@@ -1,0 +1,170 @@
+//! Discrete-event models of the baseline systems.
+//!
+//! These reuse [`parsl_executors::model::FrameworkModel`] with parameters
+//! anchored to the paper's Table 2 and Figure 3 numbers for IPyParallel,
+//! Dask distributed, and FireWorks (see `simcluster::calib` for the
+//! provenance of each constant).
+
+use parsl_executors::model::FrameworkModel;
+use simcluster::calib;
+use simnet::SimTime;
+
+/// IPyParallel: hub-connected engines, per-task hub service 1/330 s,
+/// observed limit 2048 engines.
+pub fn ipp() -> FrameworkModel {
+    FrameworkModel {
+        name: "IPP",
+        submit_overhead: calib::DFK_SUBMIT,
+        kernel_overhead: calib::EXEC_KERNEL,
+        extra_path: calib::EXTRA_IPP,
+        round_trip_hops: 4,
+        central_service: calib::IPP_HUB_SERVICE,
+        max_connections: Some(calib::IPP_MAX_CONNECTIONS),
+        connections_per_worker: 1.0,
+        jitter: calib::JITTER_IPP,
+    }
+}
+
+/// Dask distributed: centralized scheduler, fastest per-task service
+/// (1/2617 s), connection failures at 8192 workers.
+pub fn dask() -> FrameworkModel {
+    FrameworkModel {
+        name: "Dask",
+        submit_overhead: calib::DFK_SUBMIT,
+        kernel_overhead: calib::EXEC_KERNEL,
+        extra_path: calib::EXTRA_DASK,
+        round_trip_hops: 4,
+        central_service: calib::DASK_SCHEDULER_SERVICE,
+        max_connections: Some(calib::DASK_MAX_CONNECTIONS),
+        connections_per_worker: 1.0,
+        jitter: calib::JITTER_DASK,
+    }
+}
+
+/// FireWorks: polled MongoDB LaunchPad, 1/4 s per task, DB timeouts at
+/// 1024 workers. `extra_path` reflects a full poll interval on the
+/// sequential path (not reported in Figure 3; FireWorks was only measured
+/// in the scaling experiments).
+pub fn fireworks() -> FrameworkModel {
+    FrameworkModel {
+        name: "FireWorks",
+        submit_overhead: calib::DFK_SUBMIT,
+        kernel_overhead: calib::EXEC_KERNEL,
+        extra_path: calib::FIREWORKS_DB_SERVICE, // claim poll + write-back
+        round_trip_hops: 4,
+        central_service: calib::FIREWORKS_DB_SERVICE,
+        max_connections: Some(calib::FIREWORKS_MAX_CONNECTIONS),
+        connections_per_worker: 1.0,
+        jitter: SimTime::from_millis(60),
+    }
+}
+
+/// All five distributed frameworks of Figure 4, in the paper's legend
+/// order, plus LLEX (latency experiment only in the paper).
+pub fn figure4_lineup() -> Vec<FrameworkModel> {
+    vec![
+        FrameworkModel::htex(),
+        FrameworkModel::exex(),
+        ipp(),
+        fireworks(),
+        dask(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::machines;
+    use simnet::SimTime;
+
+    #[test]
+    fn table2_throughputs_reproduced() {
+        let one_way = machines::midway().one_way_latency();
+        // (model, paper tasks/s, tolerance)
+        let rows = [
+            (ipp(), 330.0, 0.15),
+            (FrameworkModel::htex(), 1181.0, 0.15),
+            (FrameworkModel::exex(), 1176.0, 0.15),
+            (dask(), 2617.0, 0.15),
+        ];
+        for (m, paper, tol) in rows {
+            // Enough workers that the central component is the bottleneck
+            // for no-op tasks, but few enough that upkeep inflation is
+            // negligible — the regime where the paper measured its maxima.
+            let workers = m.max_workers(usize::MAX).min(64);
+            let r = m
+                .run_campaign(20_000, workers, SimTime::ZERO, one_way)
+                .unwrap();
+            assert!(
+                (r.throughput - paper).abs() / paper < tol,
+                "{}: {} tasks/s vs paper {}",
+                m.name,
+                r.throughput,
+                paper
+            );
+        }
+    }
+
+    #[test]
+    fn fireworks_single_digit_throughput() {
+        let one_way = machines::midway().one_way_latency();
+        let r = fireworks()
+            .run_campaign(500, 64, SimTime::ZERO, one_way)
+            .unwrap();
+        assert!(r.throughput < 8.0, "FireWorks throughput {}", r.throughput);
+        assert!(r.throughput > 2.0, "FireWorks throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn table2_max_workers_reproduced() {
+        let bw_limit = machines::blue_waters().total_workers();
+        assert_eq!(ipp().max_workers(bw_limit), 2048);
+        assert_eq!(dask().max_workers(bw_limit), 8192);
+        assert_eq!(fireworks().max_workers(bw_limit), 1024);
+        // HTEX/EXEX were allocation-limited in the paper, not framework-
+        // limited; their model caps sit above the paper's tested points.
+        assert!(FrameworkModel::htex().max_workers(bw_limit) >= 65_536);
+        assert!(FrameworkModel::exex().max_workers(bw_limit) >= 262_144);
+    }
+
+    #[test]
+    fn dask_beats_htex_at_small_scale_loses_at_large() {
+        // "Dask distributed slightly outperforms HTEX and EXEX when there
+        // are fewer than 1024 workers" — and degrades beyond.
+        let one_way = machines::blue_waters().one_way_latency();
+        let d = SimTime::ZERO;
+        let small_dask = dask().run_campaign(50_000, 512, d, one_way).unwrap();
+        let small_htex = FrameworkModel::htex().run_campaign(50_000, 512, d, one_way).unwrap();
+        assert!(
+            small_dask.makespan < small_htex.makespan,
+            "dask {} vs htex {} at 512 workers",
+            small_dask.makespan,
+            small_htex.makespan
+        );
+        let big_dask = dask().run_campaign(50_000, 8192, d, one_way).unwrap();
+        let big_htex = FrameworkModel::htex().run_campaign(50_000, 8192, d, one_way).unwrap();
+        assert!(
+            big_htex.makespan < big_dask.makespan,
+            "htex {} vs dask {} at 8192 workers",
+            big_htex.makespan,
+            big_dask.makespan
+        );
+    }
+
+    #[test]
+    fn ipp_degrades_past_512_workers() {
+        // Figure 4: "Both IPP and Dask distributed exhibit a similar trend
+        // of increasing overhead as the number of workers increases beyond
+        // 512."
+        let one_way = machines::blue_waters().one_way_latency();
+        let d = SimTime::from_millis(100);
+        let at_256 = ipp().run_campaign(50_000, 256, d, one_way).unwrap();
+        let at_2048 = ipp().run_campaign(50_000, 2048, d, one_way).unwrap();
+        assert!(
+            at_2048.makespan > at_256.makespan,
+            "more workers must not help a saturated hub: {} vs {}",
+            at_2048.makespan,
+            at_256.makespan
+        );
+    }
+}

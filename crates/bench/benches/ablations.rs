@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! HTEX batching/prefetch depth, memoization lookup cost, and the wire
+//! codec on the submit path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parsl_core::prelude::*;
+
+const BATCH: usize = 300;
+
+/// HTEX ablation: how much do manager-side batching and prefetch buy?
+fn htex_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/htex-batch-prefetch");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(10);
+    for (batch, prefetch) in [(1usize, 0usize), (1, 4), (8, 0), (8, 4), (32, 16)] {
+        let dfk = DataFlowKernel::builder()
+            .executor(parsl_executors::HtexExecutor::new(parsl_executors::HtexConfig {
+                workers_per_node: 2,
+                nodes_per_block: 2,
+                init_blocks: 1,
+                batch_size: batch,
+                prefetch,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap();
+        let noop = dfk.python_app("noop", |x: u64| x);
+        for _ in 0..10 {
+            let _ = parsl_core::call!(noop, 0u64).result().unwrap();
+        }
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("batch{batch}-prefetch{prefetch}")),
+            |b| {
+                b.iter(|| {
+                    let futs: Vec<_> =
+                        (0..BATCH as u64).map(|i| parsl_core::call!(noop, i)).collect();
+                    for f in &futs {
+                        f.result().unwrap();
+                    }
+                })
+            },
+        );
+        dfk.shutdown();
+    }
+    group.finish();
+}
+
+/// Memoization ablation: repeated calls with caching on vs off.
+fn memoization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/memoization");
+    group.sample_size(20);
+    for memo in [false, true] {
+        let dfk = DataFlowKernel::builder()
+            .executor(ImmediateExecutor::new())
+            .memoize(memo)
+            .build()
+            .unwrap();
+        let work = dfk.python_app("work", |x: u64| {
+            // A task expensive enough that a cache hit is clearly visible.
+            (0..x * 1000).fold(0u64, |acc, i| acc.wrapping_add(i))
+        });
+        // Populate the cache.
+        let _ = parsl_core::call!(work, 50u64).result().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("memo-{memo}")), |b| {
+            b.iter(|| parsl_core::call!(work, 50u64).result().unwrap())
+        });
+        dfk.shutdown();
+    }
+    group.finish();
+}
+
+/// Wire codec on the submit path: argument encode + decode round trip.
+fn wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/wire-codec");
+    let payload: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+    group.throughput(Throughput::Bytes((payload.len() * 8) as u64));
+    group.bench_function("encode-1000-f64", |b| {
+        b.iter(|| wire::to_bytes(&payload).unwrap())
+    });
+    let bytes = wire::to_bytes(&payload).unwrap();
+    group.bench_function("decode-1000-f64", |b| {
+        b.iter(|| wire::from_bytes::<Vec<f64>>(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = htex_batching, memoization, wire_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion bench: single-task round-trip latency per executor
+//! (the real-plane counterpart of Figure 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsl_core::prelude::*;
+use std::sync::Arc;
+
+fn bench_executor(
+    c: &mut Criterion,
+    name: &str,
+    dfk: Arc<DataFlowKernel>,
+) {
+    let noop = dfk.python_app("noop", |x: u8| x);
+    // Warm up the path so registration and worker spin-up are excluded.
+    for _ in 0..10 {
+        let _ = parsl_core::call!(noop, 0u8).result().unwrap();
+    }
+    c.bench_function(&format!("latency/{name}"), |b| {
+        b.iter(|| {
+            let f = parsl_core::call!(noop, 1u8);
+            f.result().unwrap()
+        })
+    });
+    dfk.shutdown();
+}
+
+fn latency_benches(c: &mut Criterion) {
+    bench_executor(
+        c,
+        "immediate",
+        DataFlowKernel::builder().executor(ImmediateExecutor::new()).build().unwrap(),
+    );
+    bench_executor(
+        c,
+        "threadpool",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::ThreadPoolExecutor::new(1))
+            .build()
+            .unwrap(),
+    );
+    bench_executor(
+        c,
+        "llex",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::LlexExecutor::new(parsl_executors::LlexConfig {
+                workers: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_executor(
+        c,
+        "htex",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::HtexExecutor::new(parsl_executors::HtexConfig {
+                workers_per_node: 1,
+                init_blocks: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_executor(
+        c,
+        "exex",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::ExexExecutor::new(parsl_executors::ExexConfig {
+                ranks_per_pool: 2,
+                init_pools: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_executor(
+        c,
+        "ipp",
+        DataFlowKernel::builder()
+            .executor(baselines::IppExecutor::new(baselines::IppConfig {
+                engines: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_executor(
+        c,
+        "dask",
+        DataFlowKernel::builder()
+            .executor(baselines::DaskLikeExecutor::new(baselines::DaskConfig {
+                workers: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = latency_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion bench: no-op task throughput per executor (real-plane
+//! counterpart of Table 2's tasks/second column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parsl_core::prelude::*;
+use std::sync::Arc;
+
+const BATCH: usize = 500;
+
+fn bench_throughput(c: &mut Criterion, name: &str, dfk: Arc<DataFlowKernel>) {
+    let noop = dfk.python_app("noop", |x: u64| x);
+    // Warm-up.
+    for _ in 0..20 {
+        let _ = parsl_core::call!(noop, 0u64).result().unwrap();
+    }
+    let mut group = c.benchmark_group("throughput");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter(name), |b| {
+        b.iter(|| {
+            let futs: Vec<_> = (0..BATCH as u64).map(|i| parsl_core::call!(noop, i)).collect();
+            for f in &futs {
+                f.result().unwrap();
+            }
+        })
+    });
+    group.finish();
+    dfk.shutdown();
+}
+
+fn throughput_benches(c: &mut Criterion) {
+    bench_throughput(
+        c,
+        "threadpool-4",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::ThreadPoolExecutor::new(4))
+            .build()
+            .unwrap(),
+    );
+    bench_throughput(
+        c,
+        "htex-2x2",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::HtexExecutor::new(parsl_executors::HtexConfig {
+                workers_per_node: 2,
+                nodes_per_block: 2,
+                init_blocks: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_throughput(
+        c,
+        "llex-4",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::LlexExecutor::new(parsl_executors::LlexConfig {
+                workers: 4,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_throughput(
+        c,
+        "exex-1x5",
+        DataFlowKernel::builder()
+            .executor(parsl_executors::ExexExecutor::new(parsl_executors::ExexConfig {
+                ranks_per_pool: 5,
+                init_pools: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_throughput(
+        c,
+        "ipp-4",
+        DataFlowKernel::builder()
+            .executor(baselines::IppExecutor::new(baselines::IppConfig {
+                engines: 4,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_throughput(
+        c,
+        "dask-4",
+        DataFlowKernel::builder()
+            .executor(baselines::DaskLikeExecutor::new(baselines::DaskConfig {
+                workers: 4,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+    bench_throughput(
+        c,
+        "fireworks-4",
+        DataFlowKernel::builder()
+            .executor(baselines::FireworksExecutor::new(baselines::FireworksConfig {
+                workers: 4,
+                poll_interval: std::time::Duration::from_millis(2),
+                ..Default::default()
+            }))
+            .build()
+            .unwrap(),
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(std::time::Duration::from_secs(5))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = throughput_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Bash app execution (§3.1.1).
+//!
+//! A bash app's body returns "a fragment of Bash shell code. That shell
+//! code will be executed in a sandbox environment"; stdout/stderr can be
+//! redirected to files, and the return value is the UNIX exit code —
+//! nonzero codes mark the task failed.
+
+use crate::error::AppError;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+/// Redirection and sandbox options for a bash app (the `stdout=`/`stderr=`
+/// keywords of Parsl's `@bash_app`).
+#[derive(Debug, Clone, Default)]
+pub struct BashOptions {
+    /// Redirect the command's stdout to this file.
+    pub stdout: Option<PathBuf>,
+    /// Redirect the command's stderr to this file.
+    pub stderr: Option<PathBuf>,
+    /// Working directory; when `None` a fresh sandbox directory is created
+    /// under the system temp dir and removed afterwards.
+    pub cwd: Option<PathBuf>,
+}
+
+/// Execute a rendered shell command under the sandbox rules.
+///
+/// Returns the (always zero) exit code on success; nonzero exits and spawn
+/// failures become [`AppError`]s.
+pub fn run_bash(command: &str, opts: &BashOptions) -> Result<i32, AppError> {
+    let (workdir, ephemeral) = match &opts.cwd {
+        Some(d) => (d.clone(), false),
+        None => {
+            let d = std::env::temp_dir().join(format!(
+                "parsl-sandbox-{}-{}",
+                std::process::id(),
+                fastrand_suffix()
+            ));
+            std::fs::create_dir_all(&d)
+                .map_err(|e| AppError::BashSpawn(format!("sandbox dir: {e}")))?;
+            (d, true)
+        }
+    };
+
+    let mut cmd = Command::new("sh");
+    cmd.arg("-c").arg(command).current_dir(&workdir).stdin(Stdio::null());
+
+    match &opts.stdout {
+        Some(path) => {
+            let f = std::fs::File::create(path)
+                .map_err(|e| AppError::BashSpawn(format!("stdout file {path:?}: {e}")))?;
+            cmd.stdout(Stdio::from(f));
+        }
+        None => {
+            cmd.stdout(Stdio::null());
+        }
+    }
+    match &opts.stderr {
+        Some(path) => {
+            let f = std::fs::File::create(path)
+                .map_err(|e| AppError::BashSpawn(format!("stderr file {path:?}: {e}")))?;
+            cmd.stderr(Stdio::from(f));
+        }
+        None => {
+            cmd.stderr(Stdio::null());
+        }
+    }
+
+    let status = cmd
+        .status()
+        .map_err(|e| AppError::BashSpawn(format!("spawn `sh -c`: {e}")))?;
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&workdir);
+    }
+
+    match status.code() {
+        Some(0) => Ok(0),
+        Some(code) => Err(AppError::BashExit { code, command: command.to_string() }),
+        None => Err(AppError::BashExit { code: -1, command: command.to_string() }),
+    }
+}
+
+/// Cheap unique suffix without pulling a full RNG into the hot path.
+fn fastrand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    wire::fnv1a(&t.subsec_nanos().to_le_bytes()) ^ (t.as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_command_returns_zero() {
+        assert_eq!(run_bash("true", &BashOptions::default()).unwrap(), 0);
+    }
+
+    #[test]
+    fn nonzero_exit_is_error_with_code() {
+        let err = run_bash("exit 3", &BashOptions::default()).unwrap_err();
+        assert!(matches!(err, AppError::BashExit { code: 3, .. }));
+    }
+
+    #[test]
+    fn stdout_redirection_captures_output() {
+        let path = std::env::temp_dir().join(format!("parsl-bash-out-{}", std::process::id()));
+        let opts = BashOptions { stdout: Some(path.clone()), ..Default::default() };
+        run_bash("echo hello-from-bash", &opts).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.trim(), "hello-from-bash");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stderr_redirection_captures_errors() {
+        let path = std::env::temp_dir().join(format!("parsl-bash-err-{}", std::process::id()));
+        let opts = BashOptions { stderr: Some(path.clone()), ..Default::default() };
+        run_bash("echo oops 1>&2", &opts).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.trim(), "oops");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn explicit_cwd_is_respected() {
+        let dir = std::env::temp_dir().join(format!("parsl-bash-cwd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("marker.txt");
+        let opts = BashOptions { cwd: Some(dir.clone()), ..Default::default() };
+        run_bash("echo here > marker.txt", &opts).unwrap();
+        assert!(out.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sandbox_dir_is_cleaned_up() {
+        // Have the command report its own sandbox path, then verify that
+        // directory is gone after the call returns.
+        let report = std::env::temp_dir()
+            .join(format!("parsl-bash-sbx-report-{}", std::process::id()));
+        let opts = BashOptions::default();
+        run_bash(&format!("pwd > {}", report.display()), &opts).unwrap();
+        let sandbox = std::fs::read_to_string(&report).unwrap();
+        let sandbox = std::path::Path::new(sandbox.trim());
+        assert!(
+            sandbox.file_name().unwrap().to_string_lossy().starts_with("parsl-sandbox-"),
+            "command must have run inside an ephemeral sandbox, got {sandbox:?}"
+        );
+        assert!(!sandbox.exists(), "sandbox {sandbox:?} must be removed");
+        std::fs::remove_file(&report).unwrap();
+    }
+}

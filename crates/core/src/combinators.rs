@@ -1,0 +1,191 @@
+//! Higher-level parallelism constructs: `join_all`, `barrier`, and `map`.
+//!
+//! The paper's future work (§7) names "constructs for delivering
+//! parallelism such as maps and additional synchronization primitives such
+//! as barriers"; reduce-style stages (Figure 5) also need joins wider than
+//! an app's argument list. These combinators build those patterns on the
+//! same dependency machinery as ordinary apps — each one is a real task in
+//! the graph, so monitoring, memoization policy, and failure propagation
+//! all apply.
+
+use crate::app::{ArgSlot, TaskValue};
+use crate::dfk::DataFlowKernel;
+use crate::error::AppError;
+use crate::future::AppFuture;
+use crate::registry::AppOptions;
+use crate::types::AppKind;
+use std::sync::Arc;
+
+/// Wait for every future and collect the values in order:
+/// `Vec<AppFuture<T>> → AppFuture<Vec<T>>`.
+///
+/// If any input fails, the join fails with a dependency error, like any
+/// task whose parent failed.
+///
+/// ```
+/// use parsl_core::prelude::*;
+/// use parsl_core::combinators::join_all;
+///
+/// let dfk = DataFlowKernel::builder().executor(ImmediateExecutor::new()).build().unwrap();
+/// let sq = dfk.python_app("sq", |x: u64| x * x);
+/// let futs: Vec<_> = (1..=20u64).map(|i| parsl_core::call!(sq, i)).collect();
+/// let all = join_all(&dfk, futs);
+/// assert_eq!(all.result().unwrap().iter().sum::<u64>(), 2870);
+/// dfk.shutdown();
+/// ```
+pub fn join_all<T: TaskValue>(
+    dfk: &Arc<DataFlowKernel>,
+    futures: Vec<AppFuture<T>>,
+) -> AppFuture<Vec<T>> {
+    let n = futures.len();
+    // The join body decodes `n` concatenated T-encodings and re-encodes
+    // them as a Vec<T>.
+    let erased: crate::registry::ErasedAppFn = Arc::new(move |bytes: &[u8]| {
+        let mut de = wire::Deserializer::new(bytes);
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = serde::Deserialize::deserialize(&mut de)
+                .map_err(|e: wire::Error| AppError::Serialization(e.to_string()))?;
+            out.push(v);
+        }
+        if de.remaining() != 0 {
+            return Err(AppError::Serialization("trailing bytes in join".into()));
+        }
+        wire::to_bytes(&out).map_err(|e| AppError::Serialization(e.to_string()))
+    });
+    let app = dfk.register_erased(
+        &format!("_parsl_join_{n}"),
+        AppKind::Native,
+        &format!("join[{}; {n}]", std::any::type_name::<T>()),
+        erased,
+        AppOptions::default(),
+    );
+    let slots: Vec<ArgSlot> = futures
+        .iter()
+        .map(|f| ArgSlot::Pending(Arc::clone(f.state())))
+        .collect();
+    AppFuture::from_state(dfk.submit_slots(app, slots))
+}
+
+/// Synchronization barrier: resolves (to `()`) once every input future has
+/// resolved successfully; fails if any input fails.
+pub fn barrier<T: TaskValue>(
+    dfk: &Arc<DataFlowKernel>,
+    futures: Vec<AppFuture<T>>,
+) -> AppFuture<()> {
+    let n = futures.len();
+    let erased: crate::registry::ErasedAppFn = Arc::new(move |_bytes: &[u8]| {
+        // Inputs already resolved or we would not be running; values are
+        // discarded.
+        wire::to_bytes(&()).map_err(|e| AppError::Serialization(e.to_string()))
+    });
+    let app = dfk.register_erased(
+        &format!("_parsl_barrier_{n}"),
+        AppKind::Native,
+        &format!("barrier[{n}]"),
+        erased,
+        AppOptions::default(),
+    );
+    let slots: Vec<ArgSlot> = futures
+        .iter()
+        .map(|f| ArgSlot::Pending(Arc::clone(f.state())))
+        .collect();
+    AppFuture::from_state(dfk.submit_slots(app, slots))
+}
+
+/// Apply a one-argument app to every element: the `map` construct.
+///
+/// ```
+/// use parsl_core::prelude::*;
+/// use parsl_core::combinators::map_app;
+///
+/// let dfk = DataFlowKernel::builder().executor(ImmediateExecutor::new()).build().unwrap();
+/// let double = dfk.python_app("double", |x: i64| x * 2);
+/// let futs = map_app(&double, vec![1, 2, 3]);
+/// let vals: Vec<i64> = futs.iter().map(|f| f.result().unwrap()).collect();
+/// assert_eq!(vals, vec![2, 4, 6]);
+/// dfk.shutdown();
+/// ```
+pub fn map_app<T: TaskValue, R: TaskValue>(
+    app: &crate::app::App<(T,), R>,
+    inputs: Vec<T>,
+) -> Vec<AppFuture<R>> {
+    inputs
+        .into_iter()
+        .map(|v| app.call((crate::app::Dep::Value(v),)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn dfk() -> Arc<DataFlowKernel> {
+        DataFlowKernel::builder().executor(ImmediateExecutor::new()).build().unwrap()
+    }
+
+    #[test]
+    fn join_preserves_order() {
+        let dfk = dfk();
+        let id = dfk.python_app("id", |x: u32| x);
+        let futs: Vec<_> = (0..25u32).map(|i| crate::call!(id, i)).collect();
+        let all = join_all(&dfk, futs);
+        assert_eq!(all.result().unwrap(), (0..25).collect::<Vec<u32>>());
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn join_of_nothing_is_empty() {
+        let dfk = dfk();
+        let all: AppFuture<Vec<u32>> = join_all(&dfk, Vec::new());
+        assert_eq!(all.result().unwrap(), Vec::<u32>::new());
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn join_fails_if_any_input_fails() {
+        let dfk = dfk();
+        let ok = dfk.python_app("ok", |x: u32| x);
+        let bad = dfk
+            .python_app_fallible("bad", || -> Result<u32, AppError> { Err(AppError::msg("x")) });
+        let futs = vec![crate::call!(ok, 1u32), crate::call!(bad), crate::call!(ok, 3u32)];
+        let all = join_all(&dfk, futs);
+        assert!(matches!(
+            all.result(),
+            Err(ParslError::Task(TaskError::DependencyFailed { .. }))
+        ));
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn barrier_waits_for_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dfk = DataFlowKernel::builder()
+            .executor(crate::executor::ImmediateExecutor::new())
+            .build()
+            .unwrap();
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        DONE.store(0, Ordering::SeqCst);
+        let work = dfk.python_app("work", |x: u32| {
+            DONE.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        let futs: Vec<_> = (0..10u32).map(|i| crate::call!(work, i)).collect();
+        let b = barrier(&dfk, futs);
+        b.result().unwrap();
+        assert_eq!(DONE.load(Ordering::SeqCst), 10);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn map_then_join_round_trip() {
+        let dfk = dfk();
+        let inc = dfk.python_app("inc", |x: i64| x + 1);
+        let futs = map_app(&inc, (0..50).collect());
+        let all = join_all(&dfk, futs);
+        let expect: Vec<i64> = (1..=50).collect();
+        assert_eq!(all.result().unwrap(), expect);
+        dfk.shutdown();
+    }
+}

@@ -1,0 +1,182 @@
+//! Configuration: the separation of code and configuration (§3.5).
+//!
+//! "Parsl separates program logic from execution configuration, with the
+//! latter described by a Python object so that developers can easily
+//! introspect permissible options, validate settings, and retrieve/edit
+//! configurations." The Rust rendering is a builder that validates at
+//! `build()`.
+
+use crate::executor::Executor;
+use crate::monitor::MonitorSink;
+use crate::strategy::StrategyConfig;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Full DataFlowKernel configuration.
+pub struct Config {
+    /// One or more executors; with several and no per-app hint, tasks are
+    /// distributed randomly (§4.1 "multi-site execution").
+    pub executors: Vec<Arc<dyn Executor>>,
+    /// Default retry budget per task (0 = no retries, Parsl's default).
+    pub retries: u32,
+    /// DFK-wide memoization default (per-app options override).
+    pub memoize: bool,
+    /// Write-through checkpoint file for successful results.
+    pub checkpoint_file: Option<PathBuf>,
+    /// Checkpoint files from previous runs to pre-load.
+    pub load_checkpoints: Vec<PathBuf>,
+    /// Elasticity strategy settings.
+    pub strategy: StrategyConfig,
+    /// Event sink for task state transitions and worker counts.
+    pub monitor: Option<Arc<dyn MonitorSink>>,
+    /// Seed for random executor selection (reproducible placement).
+    pub seed: u64,
+}
+
+impl Config {
+    /// Start building a config.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+}
+
+impl std::fmt::Debug for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Config")
+            .field(
+                "executors",
+                &self.executors.iter().map(|e| e.label().to_string()).collect::<Vec<_>>(),
+            )
+            .field("retries", &self.retries)
+            .field("memoize", &self.memoize)
+            .field("checkpoint_file", &self.checkpoint_file)
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+/// Builder for [`Config`].
+#[derive(Default)]
+pub struct ConfigBuilder {
+    executors: Vec<Arc<dyn Executor>>,
+    retries: u32,
+    memoize: bool,
+    checkpoint_file: Option<PathBuf>,
+    load_checkpoints: Vec<PathBuf>,
+    strategy: Option<StrategyConfig>,
+    monitor: Option<Arc<dyn MonitorSink>>,
+    seed: u64,
+}
+
+impl ConfigBuilder {
+    /// Add an executor.
+    pub fn executor(mut self, e: impl Executor + 'static) -> Self {
+        self.executors.push(Arc::new(e));
+        self
+    }
+
+    /// Add an already-shared executor.
+    pub fn executor_arc(mut self, e: Arc<dyn Executor>) -> Self {
+        self.executors.push(e);
+        self
+    }
+
+    /// Set the default retry budget.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Enable/disable memoization by default.
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
+    /// Write successful results through to this checkpoint file.
+    pub fn checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_file = Some(path.into());
+        self
+    }
+
+    /// Pre-load results from a previous run's checkpoint file.
+    pub fn load_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.load_checkpoints.push(path.into());
+        self
+    }
+
+    /// Configure elasticity.
+    pub fn strategy(mut self, s: StrategyConfig) -> Self {
+        self.strategy = Some(s);
+        self
+    }
+
+    /// Attach a monitoring sink.
+    pub fn monitor(mut self, sink: Arc<dyn MonitorSink>) -> Self {
+        self.monitor = Some(sink);
+        self
+    }
+
+    /// Seed the random executor selector.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate and produce the [`Config`].
+    pub fn build(self) -> Result<Config, crate::error::ParslError> {
+        if self.executors.is_empty() {
+            return Err(crate::error::ParslError::Config(
+                "at least one executor is required".into(),
+            ));
+        }
+        let mut labels = std::collections::HashSet::new();
+        for e in &self.executors {
+            if !labels.insert(e.label().to_string()) {
+                return Err(crate::error::ParslError::Config(format!(
+                    "duplicate executor label {:?}",
+                    e.label()
+                )));
+            }
+        }
+        Ok(Config {
+            executors: self.executors,
+            retries: self.retries,
+            memoize: self.memoize,
+            checkpoint_file: self.checkpoint_file,
+            load_checkpoints: self.load_checkpoints,
+            strategy: self.strategy.unwrap_or_default(),
+            monitor: self.monitor,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ImmediateExecutor;
+
+    #[test]
+    fn builder_requires_an_executor() {
+        assert!(Config::builder().build().is_err());
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let r = Config::builder()
+            .executor(ImmediateExecutor::with_label("x"))
+            .executor(ImmediateExecutor::with_label("x"))
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let c = Config::builder().executor(ImmediateExecutor::new()).build().unwrap();
+        assert_eq!(c.retries, 0);
+        assert!(!c.memoize);
+        assert!(!c.strategy.enabled);
+        assert!(c.checkpoint_file.is_none());
+    }
+}

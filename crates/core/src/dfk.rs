@@ -1,0 +1,996 @@
+//! The DataFlowKernel (§4.1): Parsl's execution management engine.
+//!
+//! The DFK "is responsible for constructing and orchestrating the execution
+//! of the task graph":
+//!
+//! - tasks enter via app invocation; dependencies are implicit in the
+//!   futures passed as arguments;
+//! - edges are "encoded as asynchronous callbacks on a dependent future",
+//!   making the whole engine event driven — launching a task and firing an
+//!   edge are O(1), so executing a graph of *n* tasks and *e* edges costs
+//!   O(n + e);
+//! - when a task's dependencies resolve, the DFK consults the memoization
+//!   table/checkpoints, picks an executor (the per-app hint, or a random
+//!   choice across configured executors), and submits;
+//! - failures are retried up to the configured budget; exhausted retries
+//!   wrap the error into the task's future; dependent tasks fail with
+//!   dependency errors without running;
+//! - a strategy thread grows and shrinks provider blocks (§4.4), and a
+//!   walltime watcher enforces per-task time limits.
+
+use crate::app::{App, AppArgs, AppFn, ArgSlot, TaskValue};
+use crate::bash::{run_bash, BashOptions};
+use crate::config::{Config, ConfigBuilder};
+use crate::error::{AppError, ParslError, TaskError};
+use crate::executor::{Executor, ExecutorContext, TaskOutcome, TaskSpec};
+use crate::future::FutureState;
+use crate::memo::{memo_key, Memoizer};
+use crate::monitor::{MonitorEvent, MonitorSink};
+use crate::registry::{AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
+use crate::strategy::{ScalingDecision, SimpleStrategy, Strategy, StrategyConfig};
+use crate::types::{AppKind, ResourceSpec, TaskId, TaskState};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One task's bookkeeping in the dynamic task graph.
+struct TaskRecord {
+    app: Arc<RegisteredApp>,
+    /// Argument slots; `Pending` entries flip to `Ready` as parents finish.
+    slots: Vec<ArgSlot>,
+    /// Count of still-pending argument slots.
+    unresolved: usize,
+    state: TaskState,
+    /// Concatenated argument buffer, built at first launch.
+    args_bytes: Option<Bytes>,
+    attempt: u32,
+    retries_left: u32,
+    executor_idx: Option<usize>,
+    memo_key: Option<u64>,
+    future: Arc<FutureState>,
+    /// Terminal result, stored before the future is assigned.
+    result: Option<Result<Bytes, TaskError>>,
+}
+
+#[derive(Default)]
+struct TaskTable {
+    tasks: HashMap<TaskId, TaskRecord>,
+    next_id: u64,
+}
+
+/// The execution engine. Create one per program via
+/// [`DataFlowKernel::builder`]; register apps on it; call them; wait on
+/// futures. See the crate docs for a tour.
+pub struct DataFlowKernel {
+    registry: Arc<AppRegistry>,
+    executors: Vec<Arc<dyn Executor>>,
+    label_index: HashMap<String, usize>,
+    table: Mutex<TaskTable>,
+    /// Non-terminal task count; guards `wait_for_all`.
+    live: Mutex<usize>,
+    all_done: Condvar,
+    memo: Memoizer,
+    default_retries: u32,
+    monitor: Option<Arc<dyn MonitorSink>>,
+    rng: Mutex<SmallRng>,
+    started_at: Instant,
+    stop: AtomicBool,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    completions: Mutex<Option<Sender<TaskOutcome>>>,
+    /// (deadline, task, attempt) walltime heap, shared with the watcher.
+    deadlines: Arc<Mutex<BinaryHeap<Reverse<(Instant, u64, u32)>>>>,
+    strategy_cfg: StrategyConfig,
+    /// Placeholder app backing `failed_submission` records.
+    invalid_app: Arc<RegisteredApp>,
+}
+
+/// Builder producing a started [`DataFlowKernel`]. Accepts everything
+/// [`ConfigBuilder`] does.
+pub struct DfkBuilder {
+    inner: ConfigBuilder,
+}
+
+impl DfkBuilder {
+    /// Add an executor.
+    pub fn executor(mut self, e: impl Executor + 'static) -> Self {
+        self.inner = self.inner.executor(e);
+        self
+    }
+
+    /// Add an already-shared executor.
+    pub fn executor_arc(mut self, e: Arc<dyn Executor>) -> Self {
+        self.inner = self.inner.executor_arc(e);
+        self
+    }
+
+    /// Default retry budget.
+    pub fn retries(mut self, r: u32) -> Self {
+        self.inner = self.inner.retries(r);
+        self
+    }
+
+    /// Default memoization switch.
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.inner = self.inner.memoize(on);
+        self
+    }
+
+    /// Write-through checkpoint file.
+    pub fn checkpoint_file(mut self, p: impl Into<std::path::PathBuf>) -> Self {
+        self.inner = self.inner.checkpoint_file(p);
+        self
+    }
+
+    /// Pre-load a checkpoint from a previous run.
+    pub fn load_checkpoint(mut self, p: impl Into<std::path::PathBuf>) -> Self {
+        self.inner = self.inner.load_checkpoint(p);
+        self
+    }
+
+    /// Elasticity settings.
+    pub fn strategy(mut self, s: StrategyConfig) -> Self {
+        self.inner = self.inner.strategy(s);
+        self
+    }
+
+    /// Monitoring sink.
+    pub fn monitor(mut self, m: Arc<dyn MonitorSink>) -> Self {
+        self.inner = self.inner.monitor(m);
+        self
+    }
+
+    /// Random seed for executor selection.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.inner = self.inner.seed(s);
+        self
+    }
+
+    /// Validate, start executors and service threads, and return the
+    /// running kernel.
+    pub fn build(self) -> Result<Arc<DataFlowKernel>, ParslError> {
+        DataFlowKernel::new(self.inner.build()?)
+    }
+}
+
+impl DataFlowKernel {
+    /// Start building a kernel.
+    pub fn builder() -> DfkBuilder {
+        DfkBuilder { inner: Config::builder() }
+    }
+
+    /// Construct from a finished [`Config`] and start all machinery.
+    pub fn new(config: Config) -> Result<Arc<Self>, ParslError> {
+        let memo = Memoizer::new(config.memoize);
+        for p in &config.load_checkpoints {
+            memo.load_checkpoint(p)?;
+        }
+        if let Some(p) = &config.checkpoint_file {
+            memo.set_checkpoint_file(p)?;
+        }
+
+        let label_index = config
+            .executors
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.label().to_string(), i))
+            .collect();
+
+        let (tx, rx) = unbounded::<TaskOutcome>();
+        let registry = AppRegistry::new();
+        let invalid_app = registry.register(
+            "__failed_submission__",
+            AppKind::Native,
+            "()",
+            Arc::new(|_: &[u8]| Ok(Vec::new())),
+            AppOptions::default(),
+        );
+
+        let dfk = Arc::new(DataFlowKernel {
+            registry: Arc::clone(&registry),
+            executors: config.executors,
+            label_index,
+            table: Mutex::new(TaskTable::default()),
+            live: Mutex::new(0),
+            all_done: Condvar::new(),
+            memo,
+            default_retries: config.retries,
+            monitor: config.monitor,
+            rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
+            started_at: Instant::now(),
+            stop: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            completions: Mutex::new(Some(tx.clone())),
+            deadlines: Arc::new(Mutex::new(BinaryHeap::new())),
+            strategy_cfg: config.strategy,
+            invalid_app,
+        });
+
+        // Bring executors up.
+        for e in &dfk.executors {
+            e.start(ExecutorContext {
+                completions: tx.clone(),
+                registry: Arc::clone(&registry),
+            })
+            .map_err(|err| ParslError::Config(format!("executor {}: {err}", e.label())))?;
+        }
+
+        // Collector: routes executor outcomes back into the graph.
+        {
+            let weak = Arc::downgrade(&dfk);
+            let handle = std::thread::Builder::new()
+                .name("parsl-collector".into())
+                .spawn(move || loop {
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(outcome) => match weak.upgrade() {
+                            Some(dfk) => dfk.handle_outcome(outcome),
+                            None => return,
+                        },
+                        Err(RecvTimeoutError::Timeout) => {
+                            let Some(dfk) = weak.upgrade() else { return };
+                            if dfk.stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                })
+                .expect("spawn collector");
+            dfk.threads.lock().push(handle);
+        }
+
+        // Walltime watcher: synthesizes failure outcomes for expired tasks.
+        {
+            let weak = Arc::downgrade(&dfk);
+            let deadlines = Arc::clone(&dfk.deadlines);
+            let tx_watch = tx.clone();
+            let handle = std::thread::Builder::new()
+                .name("parsl-walltime".into())
+                .spawn(move || loop {
+                    std::thread::sleep(Duration::from_millis(10));
+                    let Some(dfk) = weak.upgrade() else { return };
+                    if dfk.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    let mut due = Vec::new();
+                    {
+                        let mut heap = deadlines.lock();
+                        while let Some(&Reverse((at, id, attempt))) = heap.peek() {
+                            if at > now {
+                                break;
+                            }
+                            heap.pop();
+                            due.push((id, attempt));
+                        }
+                    }
+                    for (id, attempt) in due {
+                        let _ = tx_watch.send(TaskOutcome::new(
+                            TaskId(id),
+                            attempt,
+                            Err(TaskError::WalltimeExceeded),
+                        ));
+                    }
+                })
+                .expect("spawn walltime watcher");
+            dfk.threads.lock().push(handle);
+        }
+
+        // Strategy loop: block-based elasticity (§4.4).
+        if dfk.strategy_cfg.enabled {
+            let weak = Arc::downgrade(&dfk);
+            let cfg = dfk.strategy_cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name("parsl-strategy".into())
+                .spawn(move || {
+                    let strategy = SimpleStrategy::new(cfg.parallelism);
+                    loop {
+                        std::thread::sleep(cfg.interval);
+                        let Some(dfk) = weak.upgrade() else { return };
+                        if dfk.stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        dfk.run_strategy_once(&strategy);
+                    }
+                })
+                .expect("spawn strategy");
+            dfk.threads.lock().push(handle);
+        }
+
+        Ok(dfk)
+    }
+
+    /// One strategy evaluation across all scalable executors. Public so
+    /// tests and simulations can drive the strategy synchronously.
+    pub fn run_strategy_once(&self, strategy: &dyn Strategy) {
+        for e in &self.executors {
+            let Some(scaling) = e.scaling() else { continue };
+            let outstanding = e.outstanding();
+            match strategy.decide(outstanding, scaling) {
+                ScalingDecision::Hold => {}
+                ScalingDecision::Out { blocks } => {
+                    scaling.scale_out(blocks);
+                }
+                ScalingDecision::In { blocks } => {
+                    scaling.scale_in(blocks);
+                }
+            }
+            self.emit(|| MonitorEvent::Workers {
+                executor: e.label().to_string(),
+                connected: e.connected_workers(),
+                outstanding,
+                at: self.started_at.elapsed(),
+            });
+        }
+    }
+
+    fn emit(&self, event: impl FnOnce() -> MonitorEvent) {
+        if let Some(m) = &self.monitor {
+            m.on_event(&event());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // App registration
+    // ------------------------------------------------------------------
+
+    /// Register an infallible native app (Parsl `@python_app`). Closures of
+    /// up to eight arguments work directly:
+    /// `dfk.python_app("add", |a: i64, b: i64| a + b)`.
+    pub fn python_app<A, R, F>(self: &Arc<Self>, name: &str, f: F) -> App<A, R>
+    where
+        A: AppArgs,
+        R: TaskValue,
+        F: AppFn<A, R>,
+    {
+        self.register_native(name, AppOptions::default(), move |a: A| Ok(f.invoke(a)))
+    }
+
+    /// Register a fallible native app: the body may fail, like a Python
+    /// function raising an exception.
+    pub fn python_app_fallible<A, R, F>(self: &Arc<Self>, name: &str, f: F) -> App<A, R>
+    where
+        A: AppArgs,
+        R: TaskValue,
+        F: AppFn<A, Result<R, AppError>>,
+    {
+        self.register_native(name, AppOptions::default(), move |a: A| f.invoke(a))
+    }
+
+    /// Register a fallible native app with per-app options (memoization,
+    /// retries, executor pinning, walltime).
+    ///
+    /// # Panics
+    /// If `options.executor` names a label not in this kernel's config —
+    /// that is a programming error caught at registration.
+    pub fn python_app_cfg<A, R, F>(
+        self: &Arc<Self>,
+        name: &str,
+        options: AppOptions,
+        f: F,
+    ) -> App<A, R>
+    where
+        A: AppArgs,
+        R: TaskValue,
+        F: AppFn<A, Result<R, AppError>>,
+    {
+        self.register_native(name, options, move |a: A| f.invoke(a))
+    }
+
+    /// Tuple-level registration shared by the `python_app*` entry points.
+    fn register_native<A, R>(
+        self: &Arc<Self>,
+        name: &str,
+        options: AppOptions,
+        body: impl Fn(A) -> Result<R, AppError> + Send + Sync + 'static,
+    ) -> App<A, R>
+    where
+        A: AppArgs,
+        R: TaskValue,
+    {
+        self.validate_options(&options);
+        let erased: ErasedAppFn = Arc::new(move |bytes: &[u8]| {
+            let args = A::decode(bytes)?;
+            let out = std::panic::catch_unwind(AssertUnwindSafe(|| body(args)))
+                .map_err(|p| AppError::Panic(panic_message(p)))??;
+            wire::to_bytes(&out).map_err(|e| AppError::Serialization(e.to_string()))
+        });
+        let signature = format!("{}->{}", A::signature(), std::any::type_name::<R>());
+        let registered =
+            self.registry.register(name, AppKind::Native, &signature, erased, options);
+        App::new(Arc::clone(self), registered)
+    }
+
+    /// Register a bash app (Parsl `@bash_app`): the body renders a shell
+    /// command from the arguments; the task's value is the exit code (0).
+    /// Nonzero exits fail the task.
+    pub fn bash_app<A, F>(self: &Arc<Self>, name: &str, f: F) -> App<A, i32>
+    where
+        A: AppArgs,
+        F: AppFn<A, String>,
+    {
+        self.bash_app_cfg(name, AppOptions::default(), BashOptions::default(), f)
+    }
+
+    /// [`DataFlowKernel::bash_app`] with app options and stdio redirection.
+    pub fn bash_app_cfg<A, F>(
+        self: &Arc<Self>,
+        name: &str,
+        options: AppOptions,
+        bash: BashOptions,
+        f: F,
+    ) -> App<A, i32>
+    where
+        A: AppArgs,
+        F: AppFn<A, String>,
+    {
+        self.validate_options(&options);
+        let erased: ErasedAppFn = Arc::new(move |bytes: &[u8]| {
+            let args = A::decode(bytes)?;
+            let command = std::panic::catch_unwind(AssertUnwindSafe(|| f.invoke(args)))
+                .map_err(|p| AppError::Panic(panic_message(p)))?;
+            let code = run_bash(&command, &bash)?;
+            wire::to_bytes(&code).map_err(|e| AppError::Serialization(e.to_string()))
+        });
+        let signature = format!("{}->bash", A::signature());
+        let registered = self.registry.register(name, AppKind::Bash, &signature, erased, options);
+        App::new(Arc::clone(self), registered)
+    }
+
+    /// Register a pre-erased app (used by the data-staging layer and other
+    /// substrates that build tasks dynamically).
+    pub fn register_erased(
+        self: &Arc<Self>,
+        name: &str,
+        kind: AppKind,
+        signature: &str,
+        func: ErasedAppFn,
+        options: AppOptions,
+    ) -> Arc<RegisteredApp> {
+        self.validate_options(&options);
+        self.registry.register(name, kind, signature, func, options)
+    }
+
+    fn validate_options(&self, options: &AppOptions) {
+        if let Some(label) = &options.executor {
+            assert!(
+                self.label_index.contains_key(label),
+                "executor hint {label:?} does not match any configured executor \
+                 (have: {:?})",
+                self.label_index.keys().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Submission and the dependency machinery
+    // ------------------------------------------------------------------
+
+    /// Submit a task from pre-built argument slots. Returns the future's
+    /// state; typed wrapping happens in [`App::call`].
+    pub fn submit_slots(
+        self: &Arc<Self>,
+        app: Arc<RegisteredApp>,
+        slots: Vec<ArgSlot>,
+    ) -> Arc<FutureState> {
+        let (id, future, parents) = {
+            let mut table = self.table.lock();
+            let id = TaskId(table.next_id);
+            table.next_id += 1;
+            let future = FutureState::new(id);
+            let parents: Vec<(usize, Arc<FutureState>)> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    ArgSlot::Pending(st) => Some((i, Arc::clone(st))),
+                    ArgSlot::Ready(_) => None,
+                })
+                .collect();
+            let retries_left = app.options.retries.unwrap_or(self.default_retries);
+            table.tasks.insert(
+                id,
+                TaskRecord {
+                    app: Arc::clone(&app),
+                    unresolved: parents.len(),
+                    slots,
+                    state: TaskState::Pending,
+                    args_bytes: None,
+                    attempt: 0,
+                    retries_left,
+                    executor_idx: None,
+                    memo_key: None,
+                    future: Arc::clone(&future),
+                    result: None,
+                },
+            );
+            *self.live.lock() += 1;
+            (id, future, parents)
+        };
+
+        self.emit(|| MonitorEvent::Task {
+            task: id,
+            app: app.name.clone(),
+            state: TaskState::Pending,
+            executor: None,
+            attempt: 0,
+            at: self.started_at.elapsed(),
+        });
+
+        if self.stop.load(Ordering::Acquire) {
+            self.finalize(id, Err(TaskError::Shutdown), TaskState::Failed);
+            return future;
+        }
+
+        // Wire the dependency edges: asynchronous callbacks on the parent
+        // futures (§4.1). Registered outside the table lock — a parent that
+        // is already done fires the callback synchronously right here.
+        let n_parents = parents.len();
+        for (idx, parent_state) in parents {
+            let weak = Arc::downgrade(self);
+            let parent_id = parent_state.task_id();
+            parent_state.on_done(move |result| {
+                if let Some(dfk) = weak.upgrade() {
+                    dfk.dependency_resolved(id, idx, parent_id, result);
+                }
+            });
+        }
+        if n_parents == 0 {
+            self.launch(id);
+        }
+        future
+    }
+
+    /// Produce an immediately failed future for submissions that cannot
+    /// even be encoded (argument serialization failures).
+    pub fn failed_submission(self: &Arc<Self>, error: AppError) -> Arc<FutureState> {
+        let (id, future) = {
+            let mut table = self.table.lock();
+            let id = TaskId(table.next_id);
+            table.next_id += 1;
+            let future = FutureState::new(id);
+            table.tasks.insert(
+                id,
+                TaskRecord {
+                    app: Arc::clone(&self.invalid_app),
+                    unresolved: 0,
+                    slots: Vec::new(),
+                    state: TaskState::Pending,
+                    args_bytes: None,
+                    attempt: 0,
+                    retries_left: 0,
+                    executor_idx: None,
+                    memo_key: None,
+                    future: Arc::clone(&future),
+                    result: None,
+                },
+            );
+            *self.live.lock() += 1;
+            (id, future)
+        };
+        self.finalize(id, Err(TaskError::App(error)), TaskState::Failed);
+        future
+    }
+
+    /// A parent future resolved; update the waiting child.
+    fn dependency_resolved(
+        self: &Arc<Self>,
+        child: TaskId,
+        slot_idx: usize,
+        parent: TaskId,
+        result: &Result<Bytes, TaskError>,
+    ) {
+        enum Next {
+            Launch,
+            DepFail(TaskError),
+            Wait,
+        }
+        let next = {
+            let mut table = self.table.lock();
+            let Some(rec) = table.tasks.get_mut(&child) else { return };
+            if rec.state.is_terminal() {
+                return;
+            }
+            match result {
+                Ok(bytes) => {
+                    debug_assert!(matches!(rec.slots[slot_idx], ArgSlot::Pending(_)));
+                    rec.slots[slot_idx] = ArgSlot::Ready(bytes.to_vec());
+                    rec.unresolved -= 1;
+                    if rec.unresolved == 0 {
+                        Next::Launch
+                    } else {
+                        Next::Wait
+                    }
+                }
+                Err(e) => Next::DepFail(TaskError::DependencyFailed {
+                    failed_task: parent,
+                    reason: e.to_string().into(),
+                }),
+            }
+        };
+        match next {
+            Next::Launch => self.launch(child),
+            Next::DepFail(e) => self.finalize(child, Err(e), TaskState::DepFail),
+            Next::Wait => {}
+        }
+    }
+
+    /// All dependencies met: build arguments, check the memo table, pick an
+    /// executor, submit.
+    fn launch(self: &Arc<Self>, id: TaskId) {
+        enum Next {
+            Memoized(Bytes),
+            Submit(TaskSpec, Arc<dyn Executor>, Option<Duration>),
+        }
+        let next = {
+            let mut table = self.table.lock();
+            let Some(rec) = table.tasks.get_mut(&id) else { return };
+            if rec.state.is_terminal() {
+                return;
+            }
+            debug_assert_eq!(rec.unresolved, 0, "launch with unresolved deps");
+
+            if rec.args_bytes.is_none() {
+                let total: usize = rec
+                    .slots
+                    .iter()
+                    .map(|s| match s {
+                        ArgSlot::Ready(b) => b.len(),
+                        ArgSlot::Pending(_) => 0,
+                    })
+                    .sum();
+                let mut buf = Vec::with_capacity(total);
+                for slot in &rec.slots {
+                    match slot {
+                        ArgSlot::Ready(b) => buf.extend_from_slice(b),
+                        ArgSlot::Pending(_) => unreachable!("unresolved slot at launch"),
+                    }
+                }
+                rec.args_bytes = Some(Bytes::from(buf));
+                rec.slots = Vec::new(); // free per-arg buffers
+            }
+            let args = rec.args_bytes.clone().expect("just built");
+
+            let memoized = if self.memo.enabled_for(&rec.app) {
+                let key = memo_key(&rec.app, &args);
+                rec.memo_key = Some(key);
+                self.memo.lookup(key)
+            } else {
+                None
+            };
+            match memoized {
+                Some(hit) => Next::Memoized(hit),
+                None => {
+                    let LaunchNext::Submit(spec, executor, walltime) =
+                        self.prepare_submit(rec, id, args);
+                    Next::Submit(spec, executor, walltime)
+                }
+            }
+        };
+        match next {
+            Next::Memoized(bytes) => {
+                self.finalize(id, Ok(bytes), TaskState::Memoized);
+            }
+            Next::Submit(spec, executor, walltime) => {
+                self.emit(|| MonitorEvent::Task {
+                    task: id,
+                    app: spec.app.name.clone(),
+                    state: TaskState::Launched,
+                    executor: Some(executor.label().to_string()),
+                    attempt: spec.attempt,
+                    at: self.started_at.elapsed(),
+                });
+                if let Some(w) = walltime {
+                    self.deadlines.lock().push(Reverse((
+                        Instant::now() + w,
+                        id.0,
+                        spec.attempt,
+                    )));
+                }
+                let attempt = spec.attempt;
+                if let Err(e) = executor.submit(spec) {
+                    self.handle_outcome(TaskOutcome::new(
+                        id,
+                        attempt,
+                        Err(TaskError::ExecutorLost(e.to_string().into())),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Build the TaskSpec and choose an executor (called with the table
+    /// lock held; returns what `launch` needs to do after unlocking).
+    fn prepare_submit(
+        &self,
+        rec: &mut TaskRecord,
+        id: TaskId,
+        args: Bytes,
+    ) -> LaunchNext {
+        let idx = match &rec.app.options.executor {
+            Some(label) => *self.label_index.get(label).expect("validated at registration"),
+            None => {
+                if self.executors.len() == 1 {
+                    0
+                } else {
+                    // "an executor is picked at random" (§4.1).
+                    self.rng.lock().random_range(0..self.executors.len())
+                }
+            }
+        };
+        rec.executor_idx = Some(idx);
+        rec.state = TaskState::Launched;
+        let spec = TaskSpec {
+            id,
+            app: Arc::clone(&rec.app),
+            args,
+            resources: ResourceSpec {
+                walltime: rec.app.options.walltime,
+                ..ResourceSpec::default()
+            },
+            attempt: rec.attempt,
+        };
+        LaunchNext::Submit(spec, Arc::clone(&self.executors[idx]), rec.app.options.walltime)
+    }
+
+    /// An outcome arrived from an executor (or was synthesized by the
+    /// walltime watcher / a failed submit call).
+    fn handle_outcome(self: &Arc<Self>, outcome: TaskOutcome) {
+        enum Next {
+            Finalize(Result<Bytes, TaskError>, TaskState),
+            Retry(TaskSpec, Arc<dyn Executor>, Option<Duration>, String),
+            Ignore,
+        }
+        let next = {
+            let mut table = self.table.lock();
+            let Some(rec) = table.tasks.get_mut(&outcome.id) else { return };
+            if rec.state.is_terminal() || rec.attempt != outcome.attempt {
+                // Stale: a retry or walltime expiry already superseded it.
+                Next::Ignore
+            } else {
+                match outcome.result {
+                    Ok(bytes) => Next::Finalize(Ok(bytes), TaskState::Done),
+                    Err(e) => {
+                        if rec.retries_left > 0 {
+                            rec.retries_left -= 1;
+                            rec.attempt += 1;
+                            let args = rec.args_bytes.clone().expect("launched tasks have args");
+                            match self.prepare_submit(rec, outcome.id, args) {
+                                LaunchNext::Submit(spec, executor, walltime) => {
+                                    Next::Retry(spec, executor, walltime, e.to_string())
+                                }
+                            }
+                        } else {
+                            Next::Finalize(Err(e), TaskState::Failed)
+                        }
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Finalize(result, state) => self.finalize(outcome.id, result, state),
+            Next::Retry(spec, executor, walltime, reason) => {
+                self.emit(|| MonitorEvent::Retry {
+                    task: outcome.id,
+                    attempt: spec.attempt,
+                    reason,
+                    at: self.started_at.elapsed(),
+                });
+                if let Some(w) = walltime {
+                    self.deadlines.lock().push(Reverse((
+                        Instant::now() + w,
+                        outcome.id.0,
+                        spec.attempt,
+                    )));
+                }
+                let attempt = spec.attempt;
+                if let Err(e) = executor.submit(spec) {
+                    self.handle_outcome(TaskOutcome::new(
+                        outcome.id,
+                        attempt,
+                        Err(TaskError::ExecutorLost(e.to_string().into())),
+                    ));
+                }
+            }
+            Next::Ignore => {}
+        }
+    }
+
+    /// Commit a terminal state: store the result, memoize, notify the
+    /// future (which fires dependent-edge callbacks), update counters.
+    fn finalize(
+        self: &Arc<Self>,
+        id: TaskId,
+        result: Result<Bytes, TaskError>,
+        state: TaskState,
+    ) {
+        debug_assert!(state.is_terminal());
+        let (future, app_name, executor_label, attempt) = {
+            let mut table = self.table.lock();
+            let Some(rec) = table.tasks.get_mut(&id) else { return };
+            if rec.state.is_terminal() {
+                return; // already finalized (e.g. racing DepFail)
+            }
+            rec.state = state;
+            rec.result = Some(result.clone());
+            if state == TaskState::Done {
+                if let (Some(key), Ok(bytes)) = (rec.memo_key, &result) {
+                    self.memo.record(key, bytes);
+                }
+            }
+            let label = rec
+                .executor_idx
+                .map(|i| self.executors[i].label().to_string());
+            (Arc::clone(&rec.future), rec.app.name.clone(), label, rec.attempt)
+        };
+
+        {
+            let mut live = self.live.lock();
+            *live -= 1;
+            if *live == 0 {
+                self.all_done.notify_all();
+            }
+        }
+
+        self.emit(|| MonitorEvent::Task {
+            task: id,
+            app: app_name,
+            state,
+            executor: executor_label,
+            attempt,
+            at: self.started_at.elapsed(),
+        });
+
+        // Assign the future last: this fires the dependent tasks' edge
+        // callbacks and wakes user threads blocked in result().
+        future.set(result);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection & lifecycle
+    // ------------------------------------------------------------------
+
+    /// The app registry shared with executors.
+    pub fn registry(&self) -> &Arc<AppRegistry> {
+        &self.registry
+    }
+
+    /// Number of tasks ever submitted.
+    pub fn task_count(&self) -> usize {
+        self.table.lock().tasks.len()
+    }
+
+    /// Tasks not yet in a terminal state.
+    pub fn live_tasks(&self) -> usize {
+        *self.live.lock()
+    }
+
+    /// Histogram of task states (for monitoring and tests).
+    pub fn state_counts(&self) -> HashMap<TaskState, usize> {
+        let table = self.table.lock();
+        let mut counts = HashMap::new();
+        for rec in table.tasks.values() {
+            *counts.entry(rec.state).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Labels of the configured executors, in configuration order.
+    pub fn executor_labels(&self) -> Vec<String> {
+        self.executors.iter().map(|e| e.label().to_string()).collect()
+    }
+
+    /// Access a configured executor by label.
+    pub fn executor(&self, label: &str) -> Option<&Arc<dyn Executor>> {
+        self.label_index.get(label).map(|&i| &self.executors[i])
+    }
+
+    /// Memoization (hits, misses).
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.memo.stats()
+    }
+
+    /// Block until every submitted task reaches a terminal state
+    /// (Parsl's `wait_for_current_tasks`).
+    pub fn wait_for_all(&self) {
+        let mut live = self.live.lock();
+        while *live > 0 {
+            self.all_done.wait(&mut live);
+        }
+    }
+
+    /// [`DataFlowKernel::wait_for_all`] with a deadline; false on timeout.
+    pub fn wait_for_all_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut live = self.live.lock();
+        while *live > 0 {
+            if self.all_done.wait_until(&mut live, deadline).timed_out() {
+                return *live == 0;
+            }
+        }
+        true
+    }
+
+    /// Flush the checkpoint file; returns the number of memo entries.
+    pub fn checkpoint(&self) -> Result<usize, ParslError> {
+        self.memo.flush()
+    }
+
+    /// Stop everything: executors, service threads; fail still-live tasks
+    /// with [`TaskError::Shutdown`]. Idempotent.
+    pub fn shutdown(self: &Arc<Self>) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for e in &self.executors {
+            e.shutdown();
+        }
+        // Drop our completion sender so the collector can disconnect once
+        // executors drop theirs.
+        self.completions.lock().take();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Fail whatever never finished.
+        let unfinished: Vec<TaskId> = {
+            let table = self.table.lock();
+            table
+                .tasks
+                .iter()
+                .filter(|(_, r)| !r.state.is_terminal())
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in unfinished {
+            self.finalize(id, Err(TaskError::Shutdown), TaskState::Failed);
+        }
+        let _ = self.memo.flush();
+    }
+}
+
+/// `prepare_submit`'s result; a one-variant enum so call sites read
+/// uniformly with `launch`'s internal enum.
+enum LaunchNext {
+    Submit(TaskSpec, Arc<dyn Executor>, Option<Duration>),
+}
+
+impl Drop for DataFlowKernel {
+    fn drop(&mut self) {
+        // Threads hold Weak refs, so reaching Drop means they can't block
+        // us; stop flags let them exit promptly.
+        self.stop.store(true, Ordering::Release);
+        self.completions.lock().take();
+        for e in &self.executors {
+            e.shutdown();
+        }
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    // Taking the Box by value avoids the &Box<dyn Any> coercion trap where
+    // the *box* (not the payload) would be downcast.
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+impl std::fmt::Debug for DataFlowKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataFlowKernel")
+            .field("executors", &self.executor_labels())
+            .field("tasks", &self.task_count())
+            .field("live", &self.live_tasks())
+            .finish()
+    }
+}

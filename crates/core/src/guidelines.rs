@@ -1,0 +1,119 @@
+//! Executor selection guidelines (Figure 7).
+//!
+//! The paper closes with concrete guidance:
+//!
+//! > LLEX for interactive computations on ≤10 nodes.
+//! > HTEX for batch computations on ≤1000 nodes. (For good performance,
+//! > task-duration / # nodes ≥ 0.01: e.g., on 10 nodes, tasks ≥ 0.1 s.)
+//! > EXEX for batch computations on >1000 nodes. (For good performance,
+//! > task durations ≥ 1 min.)
+//!
+//! [`recommend`] encodes those rules; the `fig7_guidelines` bench sweeps
+//! node counts and durations to validate that the recommended executor is
+//! indeed the best performer at each point of the DES models.
+
+use std::time::Duration;
+
+/// The executor families the guidelines choose between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutorChoice {
+    /// Low Latency Executor.
+    Llex,
+    /// High Throughput Executor.
+    Htex,
+    /// Extreme Scale Executor.
+    Exex,
+}
+
+impl std::fmt::Display for ExecutorChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExecutorChoice::Llex => "LLEX",
+            ExecutorChoice::Htex => "HTEX",
+            ExecutorChoice::Exex => "EXEX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Figure 7's decision rule.
+///
+/// `interactive` selects the latency-sensitive column (Jupyter-style use);
+/// batch workloads pick by node count.
+pub fn recommend(nodes: usize, interactive: bool) -> ExecutorChoice {
+    if interactive && nodes <= 10 {
+        ExecutorChoice::Llex
+    } else if nodes <= 1000 {
+        ExecutorChoice::Htex
+    } else {
+        ExecutorChoice::Exex
+    }
+}
+
+/// HTEX performance caveat: task-duration / nodes ≥ 0.01 (seconds/node).
+pub fn htex_duration_adequate(nodes: usize, task_duration: Duration) -> bool {
+    if nodes == 0 {
+        return true;
+    }
+    task_duration.as_secs_f64() / nodes as f64 >= 0.01
+}
+
+/// EXEX performance caveat: task durations ≥ 1 minute.
+pub fn exex_duration_adequate(task_duration: Duration) -> bool {
+    task_duration >= Duration::from_secs(60)
+}
+
+/// The minimum task duration at which the chosen executor performs well.
+pub fn min_recommended_duration(choice: ExecutorChoice, nodes: usize) -> Duration {
+    match choice {
+        ExecutorChoice::Llex => Duration::ZERO,
+        ExecutorChoice::Htex => Duration::from_secs_f64(0.01 * nodes as f64),
+        ExecutorChoice::Exex => Duration::from_secs(60),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_small_scale_gets_llex() {
+        assert_eq!(recommend(1, true), ExecutorChoice::Llex);
+        assert_eq!(recommend(10, true), ExecutorChoice::Llex);
+        // Interactive but large: falls through to batch rules.
+        assert_eq!(recommend(100, true), ExecutorChoice::Htex);
+    }
+
+    #[test]
+    fn batch_scale_thresholds() {
+        assert_eq!(recommend(1, false), ExecutorChoice::Htex);
+        assert_eq!(recommend(1000, false), ExecutorChoice::Htex);
+        assert_eq!(recommend(1001, false), ExecutorChoice::Exex);
+        assert_eq!(recommend(8192, false), ExecutorChoice::Exex);
+    }
+
+    #[test]
+    fn htex_caveat_from_paper_example() {
+        // "on 10 nodes, tasks ≥ 0.1 s"
+        assert!(htex_duration_adequate(10, Duration::from_millis(100)));
+        assert!(!htex_duration_adequate(10, Duration::from_millis(99)));
+    }
+
+    #[test]
+    fn exex_caveat() {
+        assert!(exex_duration_adequate(Duration::from_secs(60)));
+        assert!(!exex_duration_adequate(Duration::from_secs(59)));
+    }
+
+    #[test]
+    fn min_durations_align_with_caveats() {
+        assert_eq!(
+            min_recommended_duration(ExecutorChoice::Htex, 10),
+            Duration::from_millis(100)
+        );
+        assert_eq!(
+            min_recommended_duration(ExecutorChoice::Exex, 5000),
+            Duration::from_secs(60)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Monitoring hooks (§4.6).
+//!
+//! "DFK logs execution metadata and task state transitions, and workers log
+//! task execution information." The core crate defines the event stream and
+//! the sink interface; concrete stores (in-memory, CSV, analysis) live in
+//! `parsl-monitor`.
+
+use crate::types::{TaskId, TaskState};
+use std::time::Duration;
+
+/// A task state transition or worker-pool change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// A task changed state.
+    Task {
+        /// The task.
+        task: TaskId,
+        /// App name, for per-app aggregation.
+        app: String,
+        /// The state entered.
+        state: TaskState,
+        /// Which executor (present from launch onward).
+        executor: Option<String>,
+        /// Attempt number (0-based; >0 indicates retries).
+        attempt: u32,
+        /// Time since the DataFlowKernel started.
+        at: Duration,
+    },
+    /// A task is being retried after a failure.
+    Retry {
+        /// The task.
+        task: TaskId,
+        /// The upcoming attempt number.
+        attempt: u32,
+        /// Rendered failure that triggered the retry.
+        reason: String,
+        /// Time since the DataFlowKernel started.
+        at: Duration,
+    },
+    /// An executor's connected worker count changed (sampled by the
+    /// strategy loop).
+    Workers {
+        /// Executor label.
+        executor: String,
+        /// Workers connected now.
+        connected: usize,
+        /// Tasks submitted to the executor but not finished.
+        outstanding: usize,
+        /// Time since the DataFlowKernel started.
+        at: Duration,
+    },
+}
+
+impl MonitorEvent {
+    /// Time offset of the event.
+    pub fn at(&self) -> Duration {
+        match self {
+            MonitorEvent::Task { at, .. }
+            | MonitorEvent::Retry { at, .. }
+            | MonitorEvent::Workers { at, .. } => *at,
+        }
+    }
+}
+
+/// Receives the event stream. Implementations must be cheap and
+/// non-blocking — events are emitted from the DFK's hot paths.
+pub trait MonitorSink: Send + Sync {
+    /// Handle one event.
+    fn on_event(&self, event: &MonitorEvent);
+}
+
+/// A sink that discards everything (monitoring disabled).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MonitorSink for NullSink {
+    fn on_event(&self, _event: &MonitorEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_time_accessor() {
+        let e = MonitorEvent::Task {
+            task: TaskId(1),
+            app: "a".into(),
+            state: TaskState::Done,
+            executor: None,
+            attempt: 0,
+            at: Duration::from_millis(5),
+        };
+        assert_eq!(e.at(), Duration::from_millis(5));
+        let w = MonitorEvent::Workers {
+            executor: "htex".into(),
+            connected: 3,
+            outstanding: 9,
+            at: Duration::from_secs(1),
+        };
+        assert_eq!(w.at(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn null_sink_accepts_events() {
+        let sink = NullSink;
+        sink.on_event(&MonitorEvent::Retry {
+            task: TaskId(2),
+            attempt: 1,
+            reason: "x".into(),
+            at: Duration::ZERO,
+        });
+    }
+}

@@ -1,0 +1,187 @@
+//! The app registry: the function-shipping substitute.
+//!
+//! Parsl pickles a task's function and arguments and ships both to the
+//! worker. Rust closures cannot be serialized, so the reproduction ships
+//! `(app_id, argument bytes)` and gives every worker a shared
+//! [`AppRegistry`] in which `app_id` resolves to the type-erased function.
+//! This matches Parsl's fast path (serializing functions *by reference*)
+//! and keeps the fidelity that matters to the executors: every argument and
+//! result crosses the "network" as bytes.
+
+use crate::error::AppError;
+use crate::types::AppKind;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier assigned at registration; stable for the registry's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub u64);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app-{}", self.0)
+    }
+}
+
+/// The type-erased callable: wire-encoded argument tuple in, wire-encoded
+/// result out. Panics in the body are caught by the wrapper and surfaced as
+/// [`AppError::Panic`].
+pub type ErasedAppFn = Arc<dyn Fn(&[u8]) -> Result<Vec<u8>, AppError> + Send + Sync>;
+
+/// Per-app behaviour options (the decorator arguments in Parsl).
+#[derive(Debug, Clone, Default)]
+pub struct AppOptions {
+    /// Cache results keyed by (app identity, arguments); overrides the
+    /// DFK-wide default when set. Parsl: `@python_app(cache=True)`.
+    pub memoize: Option<bool>,
+    /// Per-app retry count override.
+    pub retries: Option<u32>,
+    /// Pin execution to the executor with this label (execution hint,
+    /// §4.1: without a hint an executor is picked at random).
+    pub executor: Option<String>,
+    /// Per-task walltime limit.
+    pub walltime: Option<Duration>,
+}
+
+/// A registered app: identity, identity hash, and the erased callable.
+pub struct RegisteredApp {
+    /// Registry id, shipped with every task.
+    pub id: AppId,
+    /// Human-readable name (used in memo keys, logs, and monitoring).
+    pub name: String,
+    /// Hash standing in for Parsl's function-body hash in memoization keys.
+    /// Computed from the app name plus the concrete argument/result type
+    /// names, since Rust cannot hash a closure's body. Documented contract:
+    /// re-registering a *different* body under the same name and signature
+    /// will hit the same memo entries.
+    pub body_hash: u64,
+    /// Native, bash, or staging.
+    pub kind: AppKind,
+    /// The callable.
+    pub func: ErasedAppFn,
+    /// Decorator options.
+    pub options: AppOptions,
+}
+
+impl fmt::Debug for RegisteredApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisteredApp")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("body_hash", &format_args!("{:#018x}", self.body_hash))
+            .finish()
+    }
+}
+
+/// Shared table of registered apps. Executors hold a reference and resolve
+/// `app_id`s on their workers.
+#[derive(Default)]
+pub struct AppRegistry {
+    apps: RwLock<HashMap<AppId, Arc<RegisteredApp>>>,
+    next: AtomicU64,
+}
+
+impl AppRegistry {
+    /// Empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register an erased app and return its handle.
+    pub fn register(
+        &self,
+        name: &str,
+        kind: AppKind,
+        signature: &str,
+        func: ErasedAppFn,
+        options: AppOptions,
+    ) -> Arc<RegisteredApp> {
+        let id = AppId(self.next.fetch_add(1, Ordering::Relaxed));
+        let mut hasher = wire::Fnv1aHasher::new();
+        hasher.update(name.as_bytes());
+        hasher.update(b"\0");
+        hasher.update(signature.as_bytes());
+        let app = Arc::new(RegisteredApp {
+            id,
+            name: name.to_string(),
+            body_hash: hasher.digest(),
+            kind,
+            func,
+            options,
+        });
+        self.apps.write().insert(id, Arc::clone(&app));
+        app
+    }
+
+    /// Resolve an app id (worker-side lookup).
+    pub fn get(&self, id: AppId) -> Option<Arc<RegisteredApp>> {
+        self.apps.read().get(&id).cloned()
+    }
+
+    /// Number of registered apps.
+    pub fn len(&self) -> usize {
+        self.apps.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.apps.read().is_empty()
+    }
+}
+
+impl fmt::Debug for AppRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AppRegistry({} apps)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_fn() -> ErasedAppFn {
+        Arc::new(|_args| Ok(Vec::new()))
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let reg = AppRegistry::new();
+        let app = reg.register("hello", AppKind::Native, "(String)->String", noop_fn(), AppOptions::default());
+        assert_eq!(reg.len(), 1);
+        let got = reg.get(app.id).expect("registered");
+        assert_eq!(got.name, "hello");
+        assert_eq!(got.body_hash, app.body_hash);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let reg = AppRegistry::new();
+        let a = reg.register("a", AppKind::Native, "()", noop_fn(), AppOptions::default());
+        let b = reg.register("b", AppKind::Native, "()", noop_fn(), AppOptions::default());
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn body_hash_depends_on_name_and_signature() {
+        let reg = AppRegistry::new();
+        let a = reg.register("f", AppKind::Native, "(u32)->u32", noop_fn(), AppOptions::default());
+        let b = reg.register("f", AppKind::Native, "(u64)->u64", noop_fn(), AppOptions::default());
+        let c = reg.register("g", AppKind::Native, "(u32)->u32", noop_fn(), AppOptions::default());
+        assert_ne!(a.body_hash, b.body_hash);
+        assert_ne!(a.body_hash, c.body_hash);
+        // Same name and signature => same hash (memoization contract).
+        let a2 = reg.register("f", AppKind::Native, "(u32)->u32", noop_fn(), AppOptions::default());
+        assert_eq!(a.body_hash, a2.body_hash);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let reg = AppRegistry::new();
+        assert!(reg.get(AppId(42)).is_none());
+    }
+}

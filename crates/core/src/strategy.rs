@@ -1,0 +1,187 @@
+//! The elasticity strategy engine (§3.6, §4.4).
+//!
+//! "Parsl implements a cloud-like elasticity model in which resource blocks
+//! are provisioned/deprovisioned in response to workload pressure", driven
+//! by an extensible strategy with a `parallelism` knob describing "how
+//! aggressively the resources should grow and shrink in response to waiting
+//! tasks".
+//!
+//! The default strategy targets `ceil(outstanding × parallelism)` worker
+//! slots, converts that to blocks, clamps to `[min_blocks, max_blocks]`,
+//! and asks the executor's [`crate::executor::BlockScaling`] interface to
+//! move toward the target. The strategy loop in the DataFlowKernel invokes
+//! [`Strategy::decide`] every `interval`.
+
+use crate::executor::BlockScaling;
+use std::time::Duration;
+
+/// Strategy configuration, part of [`crate::config::Config`].
+#[derive(Debug, Clone)]
+pub struct StrategyConfig {
+    /// Master switch; when false the DFK never scales anything.
+    pub enabled: bool,
+    /// Evaluation period.
+    pub interval: Duration,
+    /// Workers targeted per outstanding task, in `(0, 1]` typically.
+    /// 1.0 = one worker slot per waiting task (most aggressive).
+    pub parallelism: f64,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        StrategyConfig { enabled: false, interval: Duration::from_secs(5), parallelism: 1.0 }
+    }
+}
+
+/// What the strategy decided for one executor on one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingDecision {
+    /// Capacity matches the target.
+    Hold,
+    /// Request `blocks` more blocks.
+    Out {
+        /// Blocks to add.
+        blocks: usize,
+    },
+    /// Release `blocks` blocks.
+    In {
+        /// Blocks to remove.
+        blocks: usize,
+    },
+}
+
+/// Pluggable strategy: given load, choose a scaling action.
+///
+/// "Parsl provides an extensible strategy interface by which users can
+/// implement their own elasticity logic."
+pub trait Strategy: Send + Sync {
+    /// Decide for one executor. `outstanding` counts tasks submitted to the
+    /// executor but not yet completed.
+    fn decide(&self, outstanding: usize, scaling: &dyn BlockScaling) -> ScalingDecision;
+}
+
+/// The default target-tracking strategy described in the module docs.
+#[derive(Debug, Clone)]
+pub struct SimpleStrategy {
+    /// See [`StrategyConfig::parallelism`].
+    pub parallelism: f64,
+}
+
+impl SimpleStrategy {
+    /// Strategy with the given aggressiveness.
+    pub fn new(parallelism: f64) -> Self {
+        assert!(parallelism > 0.0, "parallelism must be positive");
+        SimpleStrategy { parallelism }
+    }
+
+    /// Target block count for a load level.
+    pub fn target_blocks(&self, outstanding: usize, scaling: &dyn BlockScaling) -> usize {
+        let wpb = scaling.workers_per_block().max(1);
+        let target_workers = (outstanding as f64 * self.parallelism).ceil() as usize;
+        let blocks = target_workers.div_ceil(wpb);
+        blocks.clamp(scaling.min_blocks(), scaling.max_blocks())
+    }
+}
+
+impl Strategy for SimpleStrategy {
+    fn decide(&self, outstanding: usize, scaling: &dyn BlockScaling) -> ScalingDecision {
+        let target = self.target_blocks(outstanding, scaling);
+        let current = scaling.block_count();
+        use std::cmp::Ordering::*;
+        match target.cmp(&current) {
+            Equal => ScalingDecision::Hold,
+            Greater => ScalingDecision::Out { blocks: target - current },
+            Less => ScalingDecision::In { blocks: current - target },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct FakeScaling {
+        blocks: AtomicUsize,
+        wpb: usize,
+        min: usize,
+        max: usize,
+    }
+
+    impl FakeScaling {
+        fn new(blocks: usize, wpb: usize, min: usize, max: usize) -> Self {
+            FakeScaling { blocks: AtomicUsize::new(blocks), wpb, min, max }
+        }
+    }
+
+    impl BlockScaling for FakeScaling {
+        fn block_count(&self) -> usize {
+            self.blocks.load(Ordering::SeqCst)
+        }
+        fn workers_per_block(&self) -> usize {
+            self.wpb
+        }
+        fn scale_out(&self, n: usize) -> usize {
+            self.blocks.fetch_add(n, Ordering::SeqCst);
+            n
+        }
+        fn scale_in(&self, n: usize) -> usize {
+            self.blocks.fetch_sub(n, Ordering::SeqCst);
+            n
+        }
+        fn min_blocks(&self) -> usize {
+            self.min
+        }
+        fn max_blocks(&self) -> usize {
+            self.max
+        }
+    }
+
+    #[test]
+    fn scales_out_under_load() {
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(1, 5, 0, 10);
+        // 20 outstanding tasks / 5 workers per block => 4 blocks.
+        assert_eq!(s.decide(20, &sc), ScalingDecision::Out { blocks: 3 });
+    }
+
+    #[test]
+    fn scales_in_when_idle() {
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(4, 5, 1, 10);
+        // 1 outstanding task => 1 block (min respected).
+        assert_eq!(s.decide(1, &sc), ScalingDecision::In { blocks: 3 });
+        // Completely idle => min_blocks.
+        assert_eq!(s.decide(0, &sc), ScalingDecision::In { blocks: 3 });
+    }
+
+    #[test]
+    fn holds_at_target() {
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(4, 5, 0, 10);
+        assert_eq!(s.decide(20, &sc), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn clamps_to_max() {
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(2, 5, 0, 3);
+        assert_eq!(s.decide(1000, &sc), ScalingDecision::Out { blocks: 1 });
+    }
+
+    #[test]
+    fn parallelism_scales_aggressiveness() {
+        let half = SimpleStrategy::new(0.5);
+        let sc = FakeScaling::new(0, 5, 0, 100);
+        // 20 tasks × 0.5 = 10 workers => 2 blocks.
+        assert_eq!(half.target_blocks(20, &sc), 2);
+        let full = SimpleStrategy::new(1.0);
+        assert_eq!(full.target_blocks(20, &sc), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_parallelism_rejected() {
+        let _ = SimpleStrategy::new(0.0);
+    }
+}

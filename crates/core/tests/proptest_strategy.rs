@@ -1,0 +1,112 @@
+//! Property tests on the elasticity strategy: block bounds are never
+//! violated and target tracking converges in one step.
+
+use parsl_core::executor::BlockScaling;
+use parsl_core::strategy::{ScalingDecision, SimpleStrategy, Strategy};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct FakePool {
+    blocks: AtomicUsize,
+    wpb: usize,
+    min: usize,
+    max: usize,
+}
+
+impl BlockScaling for FakePool {
+    fn block_count(&self) -> usize {
+        self.blocks.load(Ordering::SeqCst)
+    }
+    fn workers_per_block(&self) -> usize {
+        self.wpb
+    }
+    fn scale_out(&self, n: usize) -> usize {
+        self.blocks.fetch_add(n, Ordering::SeqCst);
+        n
+    }
+    fn scale_in(&self, n: usize) -> usize {
+        self.blocks.fetch_sub(n, Ordering::SeqCst);
+        n
+    }
+    fn min_blocks(&self) -> usize {
+        self.min
+    }
+    fn max_blocks(&self) -> usize {
+        self.max
+    }
+}
+
+fn apply(decision: ScalingDecision, pool: &FakePool) {
+    match decision {
+        ScalingDecision::Hold => {}
+        ScalingDecision::Out { blocks } => {
+            pool.scale_out(blocks);
+        }
+        ScalingDecision::In { blocks } => {
+            pool.scale_in(blocks);
+        }
+    }
+}
+
+proptest! {
+    /// After one evaluation, the pool is inside [min, max] and exactly at
+    /// the clamped target; a second evaluation under the same load holds.
+    #[test]
+    fn one_step_convergence(
+        outstanding in 0usize..10_000,
+        start in 0usize..64,
+        wpb in 1usize..64,
+        min in 0usize..8,
+        extra in 0usize..32,
+        parallelism in 0.05f64..2.0,
+    ) {
+        let max = min + extra;
+        let pool = FakePool {
+            blocks: AtomicUsize::new(start.clamp(min, max)),
+            wpb,
+            min,
+            max,
+        };
+        let strategy = SimpleStrategy::new(parallelism);
+        apply(strategy.decide(outstanding, &pool), &pool);
+        let after = pool.block_count();
+        prop_assert!(after >= min && after <= max, "bounds violated: {after}");
+        prop_assert_eq!(after, strategy.target_blocks(outstanding, &pool));
+        // Fixed point: same load, no further movement.
+        prop_assert_eq!(strategy.decide(outstanding, &pool), ScalingDecision::Hold);
+    }
+
+    /// Monotonicity: more outstanding work never yields fewer target
+    /// blocks.
+    #[test]
+    fn target_is_monotone_in_load(
+        a in 0usize..5_000,
+        b in 0usize..5_000,
+        wpb in 1usize..64,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pool = FakePool { blocks: AtomicUsize::new(0), wpb, min: 0, max: usize::MAX };
+        let strategy = SimpleStrategy::new(1.0);
+        prop_assert!(
+            strategy.target_blocks(lo, &pool) <= strategy.target_blocks(hi, &pool)
+        );
+    }
+
+    /// Capacity sufficiency: the target always provides at least
+    /// outstanding × parallelism worker slots (up to the max-blocks cap).
+    #[test]
+    fn target_capacity_is_sufficient(
+        outstanding in 1usize..5_000,
+        wpb in 1usize..64,
+        max in 1usize..64,
+    ) {
+        let pool = FakePool { blocks: AtomicUsize::new(0), wpb, min: 0, max };
+        let strategy = SimpleStrategy::new(1.0);
+        let target = strategy.target_blocks(outstanding, &pool);
+        if target < max {
+            prop_assert!(target * wpb >= outstanding.min(target * wpb));
+            prop_assert!(target * wpb >= outstanding || target == max,
+                "under-provisioned without hitting the cap");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The data manager: transparent staging via dynamic data dependencies.
+
+use crate::file::{File, Scheme};
+use parsl_core::app::App;
+use parsl_core::error::AppError;
+use parsl_core::future::AppFuture;
+use parsl_core::registry::AppOptions;
+use parsl_core::DataFlowKernel;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A file made available on the execution side: the result type of staging
+/// tasks and the argument type apps should accept ("Parsl translates the
+/// file reference to a local path via which the App can access the file").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagedFile {
+    /// Path where the file's content is readable locally.
+    pub local_path: String,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// Data manager configuration, including the simulated WAN model.
+#[derive(Debug, Clone)]
+pub struct DataManagerConfig {
+    /// Where staged copies land (default: a temp subdirectory).
+    pub staging_dir: PathBuf,
+    /// Label of the executor that runs Globus transfers, standing in for
+    /// "executed directly by the data manager" third-party transfer. When
+    /// `None`, Globus transfers run like any other task.
+    pub globus_executor: Option<String>,
+    /// Per-transfer setup latency of the simulated WAN.
+    pub wan_latency: Duration,
+    /// Simulated HTTP bandwidth, bytes/second.
+    pub http_bandwidth: u64,
+    /// Simulated FTP bandwidth, bytes/second.
+    pub ftp_bandwidth: u64,
+    /// Simulated Globus bandwidth (parallel streams: fastest).
+    pub globus_bandwidth: u64,
+}
+
+impl Default for DataManagerConfig {
+    fn default() -> Self {
+        DataManagerConfig {
+            staging_dir: std::env::temp_dir().join("parsl-staging"),
+            globus_executor: None,
+            wan_latency: Duration::from_millis(1),
+            http_bandwidth: 8_000_000_000,
+            ftp_bandwidth: 5_000_000_000,
+            globus_bandwidth: 20_000_000_000,
+        }
+    }
+}
+
+impl DataManagerConfig {
+    /// The WAN model: `latency + bytes / bandwidth` for the scheme.
+    pub fn simulated_transfer_time(&self, scheme: Scheme, bytes: u64) -> Duration {
+        let bw = match scheme {
+            Scheme::Local => return Duration::ZERO,
+            Scheme::Http => self.http_bandwidth,
+            Scheme::Ftp => self.ftp_bandwidth,
+            Scheme::Globus => self.globus_bandwidth,
+        };
+        self.wan_latency + Duration::from_secs_f64(bytes as f64 / bw as f64)
+    }
+}
+
+/// Deterministic synthetic size for a "remote" file (the substitution for
+/// data we cannot download): 10 kB–100 kB, keyed by URL.
+fn synthetic_size(url: &str) -> u64 {
+    10_000 + wire::fnv1a_str(url) % 90_000
+}
+
+/// Deterministic synthetic content for a "remote" file.
+fn synthetic_content(url: &str, bytes: u64) -> Vec<u8> {
+    let seed = wire::fnv1a_str(url);
+    let mut out = Vec::with_capacity(bytes as usize);
+    let mut state = seed;
+    while (out.len() as u64) < bytes {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(bytes as usize);
+    out
+}
+
+/// Registers staging apps on a DataFlowKernel and exposes stage-in/out.
+pub struct DataManager {
+    stage_local: App<(File,), StagedFile>,
+    stage_http_ftp: App<(File,), StagedFile>,
+    stage_globus: App<(File,), StagedFile>,
+    stage_out_app: App<(StagedFile, File), StagedFile>,
+}
+
+impl DataManager {
+    /// Create the manager; registers four staging apps on `dfk`.
+    pub fn new(dfk: &Arc<DataFlowKernel>, config: DataManagerConfig) -> Self {
+        std::fs::create_dir_all(&config.staging_dir).ok();
+        let cfg = Arc::new(config);
+
+        let stage_local = dfk.python_app_fallible(
+            "_parsl_stage_in_local",
+            |f: File| -> Result<StagedFile, AppError> {
+                let meta = std::fs::metadata(&f.path)
+                    .map_err(|e| AppError::msg(format!("local file {}: {e}", f.path)))?;
+                Ok(StagedFile { local_path: f.path, bytes: meta.len() })
+            },
+        );
+
+        let c = Arc::clone(&cfg);
+        let stage_http_ftp = dfk.python_app_fallible(
+            "_parsl_stage_in_transfer",
+            move |f: File| -> Result<StagedFile, AppError> { simulate_fetch(&c, &f) },
+        );
+
+        let c = Arc::clone(&cfg);
+        let globus_options = AppOptions {
+            executor: cfg.globus_executor.clone(),
+            ..Default::default()
+        };
+        let stage_globus = dfk.python_app_cfg(
+            "_parsl_stage_in_globus",
+            globus_options,
+            move |f: File| -> Result<StagedFile, AppError> { simulate_fetch(&c, &f) },
+        );
+
+        let c = Arc::clone(&cfg);
+        let stage_out_app = dfk.python_app_fallible(
+            "_parsl_stage_out",
+            move |src: StagedFile, dest: File| -> Result<StagedFile, AppError> {
+                let content = std::fs::read(&src.local_path)
+                    .map_err(|e| AppError::msg(format!("read {}: {e}", src.local_path)))?;
+                match dest.scheme {
+                    Scheme::Local => {
+                        if let Some(parent) = std::path::Path::new(&dest.path).parent() {
+                            std::fs::create_dir_all(parent)
+                                .map_err(|e| AppError::msg(format!("mkdir: {e}")))?;
+                        }
+                        std::fs::write(&dest.path, &content)
+                            .map_err(|e| AppError::msg(format!("write {}: {e}", dest.path)))?;
+                        Ok(StagedFile { local_path: dest.path, bytes: content.len() as u64 })
+                    }
+                    scheme => {
+                        // Simulated upload: pay the WAN cost, mirror the
+                        // bytes under the staging dir's outbound area.
+                        std::thread::sleep(
+                            c.simulated_transfer_time(scheme, content.len() as u64),
+                        );
+                        let mirror = c
+                            .staging_dir
+                            .join("outbound")
+                            .join(format!("{:016x}-{}", wire::fnv1a_str(&dest.url()), dest.name()));
+                        if let Some(parent) = mirror.parent() {
+                            std::fs::create_dir_all(parent)
+                                .map_err(|e| AppError::msg(format!("mkdir: {e}")))?;
+                        }
+                        std::fs::write(&mirror, &content)
+                            .map_err(|e| AppError::msg(format!("write mirror: {e}")))?;
+                        Ok(StagedFile {
+                            local_path: mirror.to_string_lossy().into_owned(),
+                            bytes: content.len() as u64,
+                        })
+                    }
+                }
+            },
+        );
+
+        DataManager { stage_local, stage_http_ftp, stage_globus, stage_out_app }
+    }
+
+    /// Make `file` available locally; returns the future of its staged
+    /// form. Passing this future to an app creates the paper's dynamic
+    /// data dependency.
+    pub fn stage_in(&self, file: File) -> AppFuture<StagedFile> {
+        match file.scheme {
+            Scheme::Local => parsl_core::call!(self.stage_local, file),
+            Scheme::Http | Scheme::Ftp => parsl_core::call!(self.stage_http_ftp, file),
+            Scheme::Globus => parsl_core::call!(self.stage_globus, file),
+        }
+    }
+
+    /// Ship a produced file to `dest` (local copy or simulated upload).
+    pub fn stage_out(&self, src: StagedFile, dest: File) -> AppFuture<StagedFile> {
+        parsl_core::call!(self.stage_out_app, src, dest)
+    }
+}
+
+/// Shared body of the simulated HTTP/FTP/Globus fetch.
+fn simulate_fetch(cfg: &DataManagerConfig, f: &File) -> Result<StagedFile, AppError> {
+    let url = f.url();
+    let bytes = synthetic_size(&url);
+    std::thread::sleep(cfg.simulated_transfer_time(f.scheme, bytes));
+    let content = synthetic_content(&url, bytes);
+    let local = cfg
+        .staging_dir
+        .join(format!("{:016x}-{}", wire::fnv1a_str(&url), f.name()));
+    std::fs::create_dir_all(&cfg.staging_dir)
+        .map_err(|e| AppError::msg(format!("staging dir: {e}")))?;
+    std::fs::write(&local, &content)
+        .map_err(|e| AppError::msg(format!("write staged file: {e}")))?;
+    Ok(StagedFile { local_path: local.to_string_lossy().into_owned(), bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_content_is_stable_and_sized() {
+        let a = synthetic_content("http://h/x", 100);
+        let b = synthetic_content("http://h/x", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let c = synthetic_content("http://h/y", 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_sizes_in_range() {
+        for url in ["a", "b", "http://host/some/file"] {
+            let s = synthetic_size(url);
+            assert!((10_000..100_000).contains(&s), "{s}");
+        }
+    }
+}

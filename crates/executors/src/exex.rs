@@ -1,0 +1,659 @@
+//! The Extreme Scale Executor (§4.3.2).
+//!
+//! EXEX targets the largest machines by using MPI inside each batch job:
+//! "Upon deployment, rank 0 of the MPI communicator takes the role of the
+//! manager, while all other ranks assume the role of workers." The
+//! reproduction deploys **pools**: each pool is a `minimpi` world whose
+//! rank 0 connects to the interchange over the fabric (ZeroMQ in the
+//! paper) and fans tasks out to its worker ranks over "MPI".
+//!
+//! The paper's fault-tolerance caveat is preserved: `minimpi` fate-sharing
+//! means one dead rank kills the whole pool, so "we recommend that users
+//! break their allocation into several smaller MPI worker pools within a
+//! single scheduler job". Pool loss is detected by the same heartbeat
+//! mechanism as HTEX.
+
+use crate::kernel;
+use crate::proto::{encode, ToClient, ToInterchange, ToManager, WireResult, WireTask};
+use minimpi::{Rank, Tag, World, ANY_SOURCE};
+use nexus::{Addr, Endpoint, Fabric};
+use parsl_core::error::TaskError;
+use parsl_core::executor::{
+    BlockScaling, Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec,
+};
+use parsl_core::registry::AppRegistry;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Message tags on the intra-pool "MPI" communicator.
+const TAG_TASK: Tag = Tag(1);
+const TAG_RESULT: Tag = Tag(2);
+const TAG_STOP: Tag = Tag(3);
+
+/// EXEX configuration.
+#[derive(Debug, Clone)]
+pub struct ExexConfig {
+    /// Executor label.
+    pub label: String,
+    /// Ranks per MPI pool (1 manager + N−1 workers).
+    pub ranks_per_pool: usize,
+    /// Task batch size from interchange to pool managers.
+    pub batch_size: usize,
+    /// Heartbeat period between pool managers and the interchange.
+    pub heartbeat_period: Duration,
+    /// Silence threshold for declaring a pool lost.
+    pub heartbeat_threshold: Duration,
+    /// Pools brought up at start.
+    pub init_pools: usize,
+    /// Elasticity floor/ceiling in pools (blocks).
+    pub min_pools: usize,
+    /// See `min_pools`.
+    pub max_pools: usize,
+    /// RNG seed for randomized pool selection.
+    pub seed: u64,
+}
+
+impl Default for ExexConfig {
+    fn default() -> Self {
+        ExexConfig {
+            label: "exex".into(),
+            ranks_per_pool: 5,
+            batch_size: 8,
+            heartbeat_period: Duration::from_millis(100),
+            heartbeat_threshold: Duration::from_millis(400),
+            init_pools: 1,
+            min_pools: 0,
+            max_pools: usize::MAX,
+            seed: 0,
+        }
+    }
+}
+
+struct PoolHandle {
+    addr: Addr,
+    /// Abort handle: firing this simulates a rank crash killing the pool.
+    world_abort: Arc<dyn Fn() + Send + Sync>,
+}
+
+struct Shared {
+    cfg: ExexConfig,
+    fabric: Fabric,
+    ix_addr: Addr,
+    client_addr: Addr,
+    outstanding: AtomicUsize,
+    connected_workers: AtomicUsize,
+    next_pool: AtomicU64,
+    stop: AtomicBool,
+    pools: Mutex<Vec<PoolHandle>>,
+}
+
+/// The Extreme Scale Executor. See module docs.
+pub struct ExexExecutor {
+    shared: Arc<Shared>,
+    client_ep: Mutex<Option<Arc<Endpoint>>>,
+    ctx: Mutex<Option<ExecutorContext>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ExexExecutor {
+    /// Build over a private fabric.
+    pub fn new(cfg: ExexConfig) -> Self {
+        Self::on_fabric(cfg, Fabric::new())
+    }
+
+    /// Build over an external fabric.
+    pub fn on_fabric(cfg: ExexConfig, fabric: Fabric) -> Self {
+        assert!(cfg.ranks_per_pool >= 2, "a pool needs rank 0 plus at least one worker");
+        let ix_addr = Addr::new(format!("{}:ix", cfg.label));
+        let client_addr = Addr::new(format!("{}:client", cfg.label));
+        ExexExecutor {
+            shared: Arc::new(Shared {
+                cfg,
+                fabric,
+                ix_addr,
+                client_addr,
+                outstanding: AtomicUsize::new(0),
+                connected_workers: AtomicUsize::new(0),
+                next_pool: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+                pools: Mutex::new(Vec::new()),
+            }),
+            client_ep: Mutex::new(None),
+            ctx: Mutex::new(None),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The fabric (for fault injection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.shared.fabric
+    }
+
+    /// Deploy one more MPI pool. Returns the pool manager's address.
+    pub fn add_pool(&self) -> Addr {
+        let registry = self
+            .ctx
+            .lock()
+            .as_ref()
+            .map(|c| Arc::clone(&c.registry))
+            .expect("add_pool before start");
+        let shared = Arc::clone(&self.shared);
+        let n = shared.next_pool.fetch_add(1, Ordering::Relaxed);
+        let addr = Addr::new(format!("{}:pool-{n}", shared.cfg.label));
+
+        let ranks = World::create(shared.cfg.ranks_per_pool);
+        let mut iter = ranks.into_iter();
+        let manager_rank = iter.next().expect("rank 0");
+        // Grab an abort hook from rank 0's world before moving it.
+        let abort_rank = {
+            // minimpi aborts are world-wide; any rank handle can fire one.
+            // We keep a closure over a dedicated tiny channel: killing the
+            // pool sends a poisoned task that makes a worker abort.
+            // Simpler and honest: clone nothing — build the closure from
+            // the manager address and fabric: killing the fabric endpoint
+            // also collapses the pool (rank 0 exits, drops handles, world
+            // aborts).
+            let fabric = shared.fabric.clone();
+            let a = addr.clone();
+            Arc::new(move || fabric.kill(&a)) as Arc<dyn Fn() + Send + Sync>
+        };
+
+        // Worker ranks.
+        for rank in iter {
+            let registry = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("{addr}:rank{}", rank.rank()))
+                .spawn(move || worker_rank_loop(rank, registry))
+                .expect("spawn exex worker rank");
+            self.threads.lock().push(handle);
+        }
+
+        // Rank 0: the pool manager bridging fabric and MPI.
+        {
+            let shared2 = Arc::clone(&shared);
+            let maddr = addr.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("{addr}:rank0"))
+                .spawn(move || pool_manager_loop(shared2, manager_rank, maddr))
+                .expect("spawn exex pool manager");
+            self.threads.lock().push(handle);
+        }
+
+        self.shared
+            .pools
+            .lock()
+            .push(PoolHandle { addr: addr.clone(), world_abort: abort_rank });
+        addr
+    }
+
+    /// Gracefully retire the most recently added pool. Routed through the
+    /// interchange so no batch crosses the shutdown on the wire.
+    pub fn remove_pool(&self) -> bool {
+        let Some(pool) = self.shared.pools.lock().pop() else { return false };
+        if let Some(ep) = self.client_ep.lock().as_ref() {
+            let _ = ep.send(
+                &self.shared.ix_addr,
+                encode(&ToInterchange::Retire { name: pool.addr.to_string() }),
+            );
+        }
+        true
+    }
+
+    /// Fault injection: crash a pool (MPI fate-sharing — every rank dies).
+    pub fn kill_pool(&self, addr: &Addr) {
+        let mut pools = self.shared.pools.lock();
+        if let Some(i) = pools.iter().position(|p| &p.addr == addr) {
+            let pool = pools.remove(i);
+            (pool.world_abort)();
+        }
+    }
+
+    /// Addresses of live pools.
+    pub fn pools(&self) -> Vec<Addr> {
+        self.shared.pools.lock().iter().map(|p| p.addr.clone()).collect()
+    }
+}
+
+impl Executor for ExexExecutor {
+    fn label(&self) -> &str {
+        &self.shared.cfg.label
+    }
+
+    fn start(&self, ctx: ExecutorContext) -> Result<(), ExecutorError> {
+        {
+            let mut slot = self.ctx.lock();
+            if slot.is_some() {
+                return Err(ExecutorError::Rejected("already started".into()));
+            }
+            *slot = Some(ctx.clone());
+        }
+        let ix_ep = self
+            .shared
+            .fabric
+            .bind(self.shared.ix_addr.clone())
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+        let client_ep = Arc::new(
+            self.shared
+                .fabric
+                .bind(self.shared.client_addr.clone())
+                .map_err(|e| ExecutorError::Comm(e.to_string()))?,
+        );
+        *self.client_ep.lock() = Some(Arc::clone(&client_ep));
+
+        let shared = Arc::clone(&self.shared);
+        let ix = std::thread::Builder::new()
+            .name(format!("{}-ix", shared.cfg.label))
+            .spawn(move || interchange_loop(shared, ix_ep))
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+
+        let shared = Arc::clone(&self.shared);
+        let client = std::thread::Builder::new()
+            .name(format!("{}-client", self.shared.cfg.label))
+            .spawn(move || client_loop(shared, client_ep, ctx))
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+        self.threads.lock().extend([ix, client]);
+
+        for _ in 0..self.shared.cfg.init_pools {
+            self.add_pool();
+        }
+        Ok(())
+    }
+
+    fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
+        let ep = self
+            .client_ep
+            .lock()
+            .clone()
+            .ok_or(ExecutorError::NotRunning)?;
+        let wire_task = WireTask {
+            id: task.id.0,
+            attempt: task.attempt,
+            app_id: task.app.id.0,
+            args: task.args.to_vec(),
+        };
+        self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
+        ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
+            .map_err(|e| {
+                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                ExecutorError::Comm(e.to_string())
+            })
+    }
+
+    fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Relaxed)
+    }
+
+    fn connected_workers(&self) -> usize {
+        self.shared.connected_workers.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(ep) = self.client_ep.lock().take() {
+            let _ = ep.send(&self.shared.ix_addr, encode(&ToInterchange::Shutdown));
+        }
+        self.ctx.lock().take();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn scaling(&self) -> Option<&dyn BlockScaling> {
+        Some(self)
+    }
+}
+
+impl BlockScaling for ExexExecutor {
+    fn block_count(&self) -> usize {
+        self.shared.pools.lock().len()
+    }
+
+    fn workers_per_block(&self) -> usize {
+        self.shared.cfg.ranks_per_pool - 1
+    }
+
+    fn scale_out(&self, n: usize) -> usize {
+        let mut added = 0;
+        for _ in 0..n {
+            if self.block_count() >= self.shared.cfg.max_pools {
+                break;
+            }
+            self.add_pool();
+            added += 1;
+        }
+        added
+    }
+
+    fn scale_in(&self, n: usize) -> usize {
+        let mut removed = 0;
+        for _ in 0..n {
+            if self.block_count() <= self.shared.cfg.min_pools {
+                break;
+            }
+            if !self.remove_pool() {
+                break;
+            }
+            removed += 1;
+        }
+        removed
+    }
+
+    fn min_blocks(&self) -> usize {
+        self.shared.cfg.min_pools
+    }
+
+    fn max_blocks(&self) -> usize {
+        self.shared.cfg.max_pools
+    }
+}
+
+impl Drop for ExexExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interchange: identical broker role to HTEX, but counterparties are pool
+// managers ("EXEX uses a hierarchical task distribution model, where the
+// managers communicate with the interchange on behalf of workers").
+// ---------------------------------------------------------------------------
+
+struct PoolInfo {
+    free: usize,
+    workers: usize,
+    last_seen: Instant,
+    outstanding: HashMap<(u64, u32), ()>,
+}
+
+fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
+    let cfg = &shared.cfg;
+    let mut pending: VecDeque<WireTask> = VecDeque::new();
+    let mut pools: HashMap<Addr, PoolInfo> = HashMap::new();
+    let mut draining: std::collections::HashSet<Addr> = std::collections::HashSet::new();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut last_hb_out = Instant::now();
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let msg = ep.recv_timeout(cfg.heartbeat_period / 2);
+        let now = Instant::now();
+        if let Ok(env) = msg {
+            match crate::proto::decode::<ToInterchange>(&env.payload) {
+                Ok(ToInterchange::Submit(task)) => pending.push_back(task),
+                Ok(ToInterchange::Register { name: _, capacity }) => {
+                    shared.connected_workers.fetch_add(capacity, Ordering::Relaxed);
+                    pools.insert(
+                        env.from.clone(),
+                        PoolInfo {
+                            free: capacity,
+                            workers: capacity,
+                            last_seen: now,
+                            outstanding: HashMap::new(),
+                        },
+                    );
+                }
+                Ok(ToInterchange::Results(results)) => {
+                    if let Some(p) = pools.get_mut(&env.from) {
+                        for r in &results {
+                            p.outstanding.remove(&(r.id, r.attempt));
+                        }
+                        p.free += results.len();
+                        p.last_seen = now;
+                    }
+                    let _ = ep.send(&shared.client_addr, encode(&ToClient::Results(results)));
+                }
+                Ok(ToInterchange::Heartbeat { name: _ }) => {
+                    if let Some(p) = pools.get_mut(&env.from) {
+                        p.last_seen = now;
+                    }
+                }
+                Ok(ToInterchange::Retire { name }) => {
+                    let addr = Addr::new(&name);
+                    if pools.contains_key(&addr) {
+                        draining.insert(addr.clone());
+                        let _ = ep.send(&addr, encode(&ToManager::Shutdown));
+                    }
+                }
+                Ok(ToInterchange::Deregister { name: _ }) => {
+                    draining.remove(&env.from);
+                    if let Some(p) = pools.remove(&env.from) {
+                        shared.connected_workers.fetch_sub(p.workers, Ordering::Relaxed);
+                    }
+                }
+                Ok(ToInterchange::Shutdown) => break,
+                _ => {}
+            }
+        }
+
+        if now.duration_since(last_hb_out) >= cfg.heartbeat_period {
+            last_hb_out = now;
+            for addr in pools.keys() {
+                let _ = ep.send(addr, encode(&ToManager::Heartbeat));
+            }
+        }
+
+        // Pool loss (MPI job died): report outstanding tasks.
+        let lost: Vec<Addr> = pools
+            .iter()
+            .filter(|(_, p)| now.duration_since(p.last_seen) > cfg.heartbeat_threshold)
+            .map(|(a, _)| a.clone())
+            .collect();
+        for addr in lost {
+            let p = pools.remove(&addr).expect("present");
+            draining.remove(&addr);
+            shared.connected_workers.fetch_sub(p.workers, Ordering::Relaxed);
+            let tasks: Vec<(u64, u32)> = p.outstanding.keys().copied().collect();
+            let _ = ep.send(
+                &shared.client_addr,
+                encode(&ToClient::ManagerLost { name: addr.to_string(), tasks }),
+            );
+        }
+
+        while !pending.is_empty() {
+            let candidates: Vec<Addr> = pools
+                .iter()
+                .filter(|(a, p)| p.free > 0 && !draining.contains(a))
+                .map(|(a, _)| a.clone())
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = &candidates[rng.random_range(0..candidates.len())];
+            let p = pools.get_mut(pick).expect("candidate");
+            let n = cfg.batch_size.min(p.free).min(pending.len());
+            let batch: Vec<WireTask> = pending.drain(..n).collect();
+            for t in &batch {
+                p.outstanding.insert((t.id, t.attempt), ());
+            }
+            p.free -= n;
+            if ep.send(pick, encode(&ToManager::Tasks(batch.clone()))).is_err() {
+                let p = pools.get_mut(pick).expect("candidate");
+                for t in &batch {
+                    p.outstanding.remove(&(t.id, t.attempt));
+                }
+                for t in batch {
+                    pending.push_front(t);
+                }
+                break;
+            }
+        }
+    }
+
+    for addr in pools.keys() {
+        let _ = ep.send(addr, encode(&ToManager::Shutdown));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool: rank 0 bridges fabric <-> MPI; other ranks execute.
+// ---------------------------------------------------------------------------
+
+fn pool_manager_loop(shared: Arc<Shared>, rank: Rank, addr: Addr) {
+    let cfg = &shared.cfg;
+    let Ok(ep) = shared.fabric.bind(addr.clone()) else {
+        rank.abort();
+        return;
+    };
+    let n_workers = rank.size() - 1;
+    let _ = ep.send(
+        &shared.ix_addr,
+        encode(&ToInterchange::Register { name: addr.to_string(), capacity: n_workers }),
+    );
+
+    let mut idle: VecDeque<usize> = (1..rank.size()).collect();
+    let mut backlog: VecDeque<WireTask> = VecDeque::new();
+    let mut in_flight = 0usize;
+    let mut last_hb = Instant::now();
+    let mut draining = false;
+
+    loop {
+        // Fabric side (non-blocking-ish).
+        match ep.recv_timeout(Duration::from_millis(1)) {
+            Ok(env) => match crate::proto::decode::<ToManager>(&env.payload) {
+                Ok(ToManager::Tasks(batch)) => backlog.extend(batch),
+                Ok(ToManager::Heartbeat) => {}
+                Ok(ToManager::Shutdown) => draining = true,
+                Err(_) => {}
+            },
+            Err(nexus::RecvError::Timeout) => {}
+            Err(nexus::RecvError::Closed) => {
+                // Endpoint killed: the "node" died. MPI fate-sharing takes
+                // the whole pool down.
+                rank.abort();
+                return;
+            }
+        }
+
+        // Dispatch over "MPI".
+        while let (Some(&w), false) = (idle.front(), backlog.is_empty()) {
+            let task = backlog.pop_front().expect("non-empty");
+            let payload = wire::to_bytes(&task).expect("task encodes");
+            if rank.send(w, TAG_TASK, payload).is_err() {
+                return; // pool aborted
+            }
+            idle.pop_front();
+            in_flight += 1;
+        }
+
+        // Collect results (non-blocking poll via short timeout).
+        loop {
+            match rank.recv_timeout(ANY_SOURCE, Some(TAG_RESULT), Duration::from_micros(200)) {
+                Ok(msg) => {
+                    idle.push_back(msg.from);
+                    in_flight -= 1;
+                    if let Ok(result) = wire::from_bytes::<WireResult>(&msg.payload) {
+                        if ep
+                            .send(&shared.ix_addr, encode(&ToInterchange::Results(vec![result])))
+                            .is_err()
+                        {
+                            // Interchange gone; nothing left to live for.
+                            rank.abort();
+                            return;
+                        }
+                    }
+                }
+                Err(minimpi::MpiError::Timeout) => break,
+                Err(_) => return, // aborted
+            }
+        }
+
+        if last_hb.elapsed() >= cfg.heartbeat_period {
+            last_hb = Instant::now();
+            let _ = ep.send(
+                &shared.ix_addr,
+                encode(&ToInterchange::Heartbeat { name: addr.to_string() }),
+            );
+        }
+
+        if draining && backlog.is_empty() && in_flight == 0 {
+            let _ = ep.send(
+                &shared.ix_addr,
+                encode(&ToInterchange::Deregister { name: addr.to_string() }),
+            );
+            for w in 1..rank.size() {
+                let _ = rank.send(w, TAG_STOP, Vec::new());
+            }
+            rank.finalize();
+            return;
+        }
+    }
+}
+
+fn worker_rank_loop(rank: Rank, registry: Arc<AppRegistry>) {
+    let me = rank.rank();
+    loop {
+        let msg = match rank.recv(Some(0), None) {
+            Ok(m) => m,
+            Err(_) => return, // pool aborted
+        };
+        match msg.tag {
+            TAG_TASK => {
+                let Ok(task) = wire::from_bytes::<WireTask>(&msg.payload) else { continue };
+                let result = kernel::execute(&registry, &task, &format!("rank-{me}"));
+                let payload = wire::to_bytes(&result).expect("result encodes");
+                if rank.send(0, TAG_RESULT, payload).is_err() {
+                    return;
+                }
+            }
+            TAG_STOP => {
+                rank.finalize();
+                return;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        match crate::proto::decode::<ToClient>(&env.payload) {
+            Ok(ToClient::Results(results)) => {
+                for r in results {
+                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    let outcome = TaskOutcome {
+                        id: parsl_core::types::TaskId(r.id),
+                        attempt: r.attempt,
+                        result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
+                        worker: Some(r.worker),
+                        started: None,
+                        finished: Some(Instant::now()),
+                    };
+                    if ctx.completions.send(outcome).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(ToClient::ManagerLost { name, tasks }) => {
+                for (id, attempt) in tasks {
+                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    let outcome = TaskOutcome::new(
+                        parsl_core::types::TaskId(id),
+                        attempt,
+                        Err(TaskError::ExecutorLost(
+                            format!("MPI pool {name} lost (heartbeat expired)").into(),
+                        )),
+                    );
+                    if ctx.completions.send(outcome).is_err() {
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,732 @@
+//! The High Throughput Executor (§4.3.1).
+//!
+//! Three components, mirroring Figure 2a:
+//!
+//! - the **executor client** (this struct) submits tasks and receives
+//!   results on behalf of the DataFlowKernel;
+//! - the **interchange** brokers between client and managers: it queues
+//!   tasks, matches them to managers with advertised capacity using
+//!   randomized selection for fairness, relays result batches, answers a
+//!   synchronous command channel, and watches heartbeats;
+//! - **managers** (pilot agents, one per node) register capacity
+//!   (`workers_per_node + prefetch`), receive task batches, feed a pool of
+//!   worker threads, and batch results back.
+//!
+//! Fault tolerance follows the paper: managers and the interchange
+//! exchange periodic heartbeats. A manager that loses the interchange
+//! exits immediately "to avoid resource wastage"; when the interchange
+//! loses a manager with outstanding tasks, it reports them to the client
+//! so the DFK can retry.
+
+use crate::kernel;
+use crate::proto::{
+    encode, Command, CommandReply, ToClient, ToInterchange, ToManager, WireResult, WireTask,
+};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use nexus::{Addr, Endpoint, Fabric};
+use parsl_core::error::TaskError;
+use parsl_core::executor::{
+    BlockScaling, Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec,
+};
+use parsl_core::registry::AppRegistry;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// HTEX tuning knobs.
+#[derive(Debug, Clone)]
+pub struct HtexConfig {
+    /// Executor label.
+    pub label: String,
+    /// Worker threads per simulated node.
+    pub workers_per_node: usize,
+    /// Extra task slots a manager advertises beyond its workers, so tasks
+    /// are prefetched while workers are busy ("configurable batching and
+    /// prefetching of tasks to minimize communication overheads").
+    pub prefetch: usize,
+    /// Largest task batch the interchange sends a manager at once.
+    pub batch_size: usize,
+    /// Heartbeat period between managers and interchange.
+    pub heartbeat_period: Duration,
+    /// Silence longer than this marks the counterpart lost.
+    pub heartbeat_threshold: Duration,
+    /// Nodes added per scaling block (provider blocks, §4.2.3).
+    pub nodes_per_block: usize,
+    /// Elasticity floor, in blocks.
+    pub min_blocks: usize,
+    /// Elasticity ceiling, in blocks.
+    pub max_blocks: usize,
+    /// Nodes brought up at start (`init_blocks × nodes_per_block`).
+    pub init_blocks: usize,
+    /// RNG seed for the interchange's randomized manager selection.
+    pub seed: u64,
+}
+
+impl Default for HtexConfig {
+    fn default() -> Self {
+        HtexConfig {
+            label: "htex".into(),
+            workers_per_node: 4,
+            prefetch: 4,
+            batch_size: 8,
+            heartbeat_period: Duration::from_millis(100),
+            heartbeat_threshold: Duration::from_millis(400),
+            nodes_per_block: 1,
+            min_blocks: 0,
+            max_blocks: usize::MAX,
+            init_blocks: 1,
+            seed: 0,
+        }
+    }
+}
+
+struct ManagerInfo {
+    free: usize,
+    workers: usize,
+    last_seen: Instant,
+    outstanding: HashMap<(u64, u32), ()>,
+}
+
+struct Shared {
+    cfg: HtexConfig,
+    fabric: Fabric,
+    ix_addr: Addr,
+    client_addr: Addr,
+    outstanding: AtomicUsize,
+    connected_workers: AtomicUsize,
+    next_node: AtomicU64,
+    stop: AtomicBool,
+    /// Reply slot for the synchronous command channel.
+    command_reply: Mutex<Option<Sender<CommandReply>>>,
+    /// Live node addresses, newest last (graceful scale-in pops the back).
+    nodes: Mutex<Vec<Addr>>,
+    blocks: AtomicUsize,
+}
+
+/// The High Throughput Executor. See module docs.
+pub struct HtexExecutor {
+    shared: Arc<Shared>,
+    client_ep: Mutex<Option<Arc<Endpoint>>>,
+    ctx: Mutex<Option<ExecutorContext>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl HtexExecutor {
+    /// Build an executor over its own private fabric.
+    pub fn new(cfg: HtexConfig) -> Self {
+        Self::on_fabric(cfg, Fabric::new())
+    }
+
+    /// Build over an externally supplied fabric (tests inject latency and
+    /// faults this way).
+    pub fn on_fabric(cfg: HtexConfig, fabric: Fabric) -> Self {
+        let ix_addr = Addr::new(format!("{}:ix", cfg.label));
+        let client_addr = Addr::new(format!("{}:client", cfg.label));
+        HtexExecutor {
+            shared: Arc::new(Shared {
+                cfg,
+                fabric,
+                ix_addr,
+                client_addr,
+                outstanding: AtomicUsize::new(0),
+                connected_workers: AtomicUsize::new(0),
+                next_node: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+                command_reply: Mutex::new(None),
+                nodes: Mutex::new(Vec::new()),
+                blocks: AtomicUsize::new(0),
+            }),
+            client_ep: Mutex::new(None),
+            ctx: Mutex::new(None),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The fabric this executor communicates over (for fault injection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.shared.fabric
+    }
+
+    /// Bring up one more simulated node (manager + workers). Returns its
+    /// fabric address.
+    pub fn add_node(&self) -> Addr {
+        let shared = Arc::clone(&self.shared);
+        let registry = self
+            .ctx
+            .lock()
+            .as_ref()
+            .map(|c| Arc::clone(&c.registry))
+            .expect("add_node before start");
+        let n = shared.next_node.fetch_add(1, Ordering::Relaxed);
+        let addr = Addr::new(format!("{}:mgr-{n}", shared.cfg.label));
+        let mgr_addr = addr.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}-mgr-{n}", shared.cfg.label))
+            .spawn(move || manager_loop(shared, registry, mgr_addr))
+            .expect("spawn manager");
+        self.threads.lock().push(handle);
+        self.shared.nodes.lock().push(addr.clone());
+        addr
+    }
+
+    /// Gracefully retire the most recently added node. The retirement is
+    /// routed through the interchange so no task batch can cross the
+    /// shutdown on the wire.
+    pub fn remove_node(&self) -> bool {
+        let Some(addr) = self.shared.nodes.lock().pop() else { return false };
+        if let Some(ep) = self.client_ep.lock().as_ref() {
+            let _ = ep.send(
+                &self.shared.ix_addr,
+                encode(&ToInterchange::Retire { name: addr.to_string() }),
+            );
+        }
+        true
+    }
+
+    /// Fault injection: abruptly kill a node's manager (no deregistration,
+    /// no result flush). The interchange notices via missed heartbeats.
+    pub fn kill_node(&self, addr: &Addr) {
+        self.shared.fabric.kill(addr);
+        self.shared.nodes.lock().retain(|a| a != addr);
+    }
+
+    /// Addresses of live nodes.
+    pub fn nodes(&self) -> Vec<Addr> {
+        self.shared.nodes.lock().clone()
+    }
+
+    /// Synchronous administrative command (§4.3.1). Times out after `wait`.
+    pub fn command(&self, cmd: Command, wait: Duration) -> Result<CommandReply, ExecutorError> {
+        let ep = self
+            .client_ep
+            .lock()
+            .clone()
+            .ok_or(ExecutorError::NotRunning)?;
+        let (tx, rx) = bounded(1);
+        {
+            let mut slot = self.shared.command_reply.lock();
+            if slot.is_some() {
+                return Err(ExecutorError::Rejected("command already in flight".into()));
+            }
+            *slot = Some(tx);
+        }
+        ep.send(&self.shared.ix_addr, encode(&ToInterchange::Command(cmd)))
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+        let reply = rx
+            .recv_timeout(wait)
+            .map_err(|_| ExecutorError::Comm("command timed out".into()));
+        *self.shared.command_reply.lock() = None;
+        reply
+    }
+}
+
+impl Executor for HtexExecutor {
+    fn label(&self) -> &str {
+        &self.shared.cfg.label
+    }
+
+    fn start(&self, ctx: ExecutorContext) -> Result<(), ExecutorError> {
+        {
+            let mut slot = self.ctx.lock();
+            if slot.is_some() {
+                return Err(ExecutorError::Rejected("already started".into()));
+            }
+            *slot = Some(ctx.clone());
+        }
+        let ix_ep = self
+            .shared
+            .fabric
+            .bind(self.shared.ix_addr.clone())
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+        let client_ep = Arc::new(
+            self.shared
+                .fabric
+                .bind(self.shared.client_addr.clone())
+                .map_err(|e| ExecutorError::Comm(e.to_string()))?,
+        );
+        *self.client_ep.lock() = Some(Arc::clone(&client_ep));
+
+        let shared = Arc::clone(&self.shared);
+        let ix_handle = std::thread::Builder::new()
+            .name(format!("{}-ix", shared.cfg.label))
+            .spawn(move || interchange_loop(shared, ix_ep))
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+
+        let shared = Arc::clone(&self.shared);
+        let client_handle = std::thread::Builder::new()
+            .name(format!("{}-client", self.shared.cfg.label))
+            .spawn(move || client_loop(shared, client_ep, ctx))
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+
+        self.threads.lock().extend([ix_handle, client_handle]);
+
+        for _ in 0..self.shared.cfg.init_blocks {
+            self.scale_out(1);
+        }
+        Ok(())
+    }
+
+    fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
+        let ep = self
+            .client_ep
+            .lock()
+            .clone()
+            .ok_or(ExecutorError::NotRunning)?;
+        let wire_task = WireTask {
+            id: task.id.0,
+            attempt: task.attempt,
+            app_id: task.app.id.0,
+            args: task.args.to_vec(),
+        };
+        self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
+        ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
+            .map_err(|e| {
+                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                ExecutorError::Comm(e.to_string())
+            })
+    }
+
+    fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Relaxed)
+    }
+
+    fn connected_workers(&self) -> usize {
+        self.shared.connected_workers.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(ep) = self.client_ep.lock().take() {
+            let _ = ep.send(&self.shared.ix_addr, encode(&ToInterchange::Shutdown));
+        }
+        self.ctx.lock().take();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn scaling(&self) -> Option<&dyn BlockScaling> {
+        Some(self)
+    }
+}
+
+impl BlockScaling for HtexExecutor {
+    fn block_count(&self) -> usize {
+        self.shared.blocks.load(Ordering::Relaxed)
+    }
+
+    fn workers_per_block(&self) -> usize {
+        self.shared.cfg.nodes_per_block * self.shared.cfg.workers_per_node
+    }
+
+    fn scale_out(&self, n: usize) -> usize {
+        let mut added = 0;
+        for _ in 0..n {
+            if self.block_count() >= self.shared.cfg.max_blocks {
+                break;
+            }
+            for _ in 0..self.shared.cfg.nodes_per_block {
+                self.add_node();
+            }
+            self.shared.blocks.fetch_add(1, Ordering::Relaxed);
+            added += 1;
+        }
+        added
+    }
+
+    fn scale_in(&self, n: usize) -> usize {
+        let mut removed = 0;
+        for _ in 0..n {
+            if self.block_count() <= self.shared.cfg.min_blocks {
+                break;
+            }
+            for _ in 0..self.shared.cfg.nodes_per_block {
+                self.remove_node();
+            }
+            self.shared.blocks.fetch_sub(1, Ordering::Relaxed);
+            removed += 1;
+        }
+        removed
+    }
+
+    fn min_blocks(&self) -> usize {
+        self.shared.cfg.min_blocks
+    }
+
+    fn max_blocks(&self) -> usize {
+        self.shared.cfg.max_blocks
+    }
+}
+
+impl Drop for HtexExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interchange
+// ---------------------------------------------------------------------------
+
+fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
+    let cfg = &shared.cfg;
+    let mut pending: VecDeque<WireTask> = VecDeque::new();
+    let mut managers: HashMap<Addr, ManagerInfo> = HashMap::new();
+    let mut blacklist: HashSet<Addr> = HashSet::new();
+    let mut draining: HashSet<Addr> = HashSet::new();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut last_hb_out = Instant::now();
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let msg = ep.recv_timeout(cfg.heartbeat_period / 2);
+        let now = Instant::now();
+
+        if let Ok(env) = msg {
+            match crate::proto::decode::<ToInterchange>(&env.payload) {
+                Ok(ToInterchange::Submit(task)) => {
+                    pending.push_back(task);
+                }
+                Ok(ToInterchange::Register { name: _, capacity }) => {
+                    let workers = capacity.saturating_sub(cfg.prefetch);
+                    shared.connected_workers.fetch_add(workers, Ordering::Relaxed);
+                    managers.insert(
+                        env.from.clone(),
+                        ManagerInfo {
+                            free: capacity,
+                            workers,
+                            last_seen: now,
+                            outstanding: HashMap::new(),
+                        },
+                    );
+                }
+                Ok(ToInterchange::Capacity { name: _, free }) => {
+                    if let Some(m) = managers.get_mut(&env.from) {
+                        m.free = free;
+                        m.last_seen = now;
+                    }
+                }
+                Ok(ToInterchange::Results(results)) => {
+                    if let Some(m) = managers.get_mut(&env.from) {
+                        for r in &results {
+                            m.outstanding.remove(&(r.id, r.attempt));
+                        }
+                        m.free += results.len();
+                        m.last_seen = now;
+                    }
+                    let _ = ep.send(&shared.client_addr, encode(&ToClient::Results(results)));
+                }
+                Ok(ToInterchange::Heartbeat { name: _ }) => {
+                    if let Some(m) = managers.get_mut(&env.from) {
+                        m.last_seen = now;
+                    }
+                }
+                Ok(ToInterchange::Retire { name }) => {
+                    let addr = Addr::new(&name);
+                    if managers.contains_key(&addr) {
+                        // Stop dispatching first, then tell the manager to
+                        // drain; same-pair FIFO means any batch sent before
+                        // this instant arrives before the shutdown.
+                        draining.insert(addr.clone());
+                        let _ = ep.send(&addr, encode(&ToManager::Shutdown));
+                    }
+                }
+                Ok(ToInterchange::Deregister { name: _ }) => {
+                    draining.remove(&env.from);
+                    if let Some(m) = managers.remove(&env.from) {
+                        shared.connected_workers.fetch_sub(m.workers, Ordering::Relaxed);
+                        // A graceful manager has already flushed results;
+                        // anything still marked outstanding is reported.
+                        if !m.outstanding.is_empty() {
+                            let tasks: Vec<(u64, u32)> = m.outstanding.keys().copied().collect();
+                            let _ = ep.send(
+                                &shared.client_addr,
+                                encode(&ToClient::ManagerLost {
+                                    name: env.from.to_string(),
+                                    tasks,
+                                }),
+                            );
+                        }
+                    }
+                }
+                Ok(ToInterchange::Command(cmd)) => {
+                    let reply = match cmd {
+                        Command::OutstandingInfo => {
+                            let queued = pending.len();
+                            let running: usize =
+                                managers.values().map(|m| m.outstanding.len()).sum();
+                            CommandReply::Outstanding(queued + running)
+                        }
+                        Command::ConnectedWorkers => CommandReply::Workers(
+                            shared.connected_workers.load(Ordering::Relaxed),
+                        ),
+                        Command::Blacklist(name) => {
+                            blacklist.insert(Addr::new(name));
+                            CommandReply::Ack
+                        }
+                        Command::ShutdownExecutor => {
+                            let _ = ep.send(
+                                &env.from,
+                                encode(&ToClient::CommandReply(CommandReply::Ack)),
+                            );
+                            break;
+                        }
+                    };
+                    let _ = ep.send(&env.from, encode(&ToClient::CommandReply(reply)));
+                }
+                Ok(ToInterchange::Shutdown) => break,
+                Err(_) => { /* corrupt frame; drop, like a real broker */ }
+            }
+        }
+
+        // Heartbeats out to managers.
+        if now.duration_since(last_hb_out) >= cfg.heartbeat_period {
+            last_hb_out = now;
+            for addr in managers.keys() {
+                let _ = ep.send(addr, encode(&ToManager::Heartbeat));
+            }
+        }
+
+        // Detect lost managers (§4.3.1) and surface their tasks.
+        let lost: Vec<Addr> = managers
+            .iter()
+            .filter(|(_, m)| now.duration_since(m.last_seen) > cfg.heartbeat_threshold)
+            .map(|(a, _)| a.clone())
+            .collect();
+        for addr in lost {
+            let m = managers.remove(&addr).expect("present");
+            draining.remove(&addr);
+            shared.connected_workers.fetch_sub(m.workers, Ordering::Relaxed);
+            let tasks: Vec<(u64, u32)> = m.outstanding.keys().copied().collect();
+            let _ = ep.send(
+                &shared.client_addr,
+                encode(&ToClient::ManagerLost { name: addr.to_string(), tasks }),
+            );
+        }
+
+        // Dispatch: match queued tasks to managers with capacity, picking
+        // managers at random for fairness.
+        while !pending.is_empty() {
+            let candidates: Vec<Addr> = managers
+                .iter()
+                .filter(|(a, m)| m.free > 0 && !blacklist.contains(a) && !draining.contains(a))
+                .map(|(a, _)| a.clone())
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = &candidates[rng.random_range(0..candidates.len())];
+            let m = managers.get_mut(pick).expect("candidate exists");
+            let n = cfg.batch_size.min(m.free).min(pending.len());
+            let batch: Vec<WireTask> = pending.drain(..n).collect();
+            for t in &batch {
+                m.outstanding.insert((t.id, t.attempt), ());
+            }
+            m.free -= n;
+            if ep.send(pick, encode(&ToManager::Tasks(batch.clone()))).is_err() {
+                // Manager's endpoint died between heartbeat checks; requeue
+                // and let the loss path clean up.
+                let m = managers.get_mut(pick).expect("candidate exists");
+                for t in &batch {
+                    m.outstanding.remove(&(t.id, t.attempt));
+                }
+                for t in batch {
+                    pending.push_front(t);
+                }
+                break;
+            }
+        }
+    }
+
+    // Shutdown: stop every manager.
+    for addr in managers.keys() {
+        let _ = ep.send(addr, encode(&ToManager::Shutdown));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manager (one per node) and its workers
+// ---------------------------------------------------------------------------
+
+fn manager_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
+    let cfg = &shared.cfg;
+    let Ok(ep) = shared.fabric.bind(addr.clone()) else { return };
+
+    // Worker pool: shared task queue, common result funnel.
+    let (task_tx, task_rx) = unbounded::<WireTask>();
+    let (result_tx, result_rx) = unbounded::<WireResult>();
+    let mut worker_handles = Vec::with_capacity(cfg.workers_per_node);
+    for w in 0..cfg.workers_per_node {
+        let task_rx = task_rx.clone();
+        let result_tx = result_tx.clone();
+        let registry = Arc::clone(&registry);
+        let name = format!("{addr}:w{w}");
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(move || {
+                    while let Ok(task) = task_rx.recv() {
+                        let result = kernel::execute(&registry, &task, &name);
+                        if result_tx.send(result).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+    drop(result_tx); // manager holds only the receiver side
+
+    let capacity = cfg.workers_per_node + cfg.prefetch;
+    let _ = ep.send(
+        &shared.ix_addr,
+        encode(&ToInterchange::Register { name: addr.to_string(), capacity }),
+    );
+
+    let ticker = crossbeam::channel::tick(cfg.heartbeat_period);
+    let mut result_buf: Vec<WireResult> = Vec::new();
+    let mut last_ix_contact = Instant::now();
+    let mut draining = false;
+    // Tasks accepted minus results returned: workers may be mid-task even
+    // when every queue is empty, and a draining manager must wait for them.
+    let mut in_flight: usize = 0;
+
+    loop {
+        crossbeam::channel::select! {
+            recv(ep.receiver()) -> env => {
+                let Ok(env) = env else { return }; // endpoint killed
+                last_ix_contact = Instant::now();
+                match crate::proto::decode::<ToManager>(&env.payload) {
+                    Ok(ToManager::Tasks(batch)) => {
+                        in_flight += batch.len();
+                        for t in batch {
+                            if task_tx.send(t).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    Ok(ToManager::Heartbeat) => {}
+                    Ok(ToManager::Shutdown) => {
+                        draining = true;
+                    }
+                    Err(_) => {}
+                }
+            }
+            recv(result_rx) -> res => {
+                if let Ok(res) = res {
+                    in_flight -= 1;
+                    result_buf.push(res);
+                    // Batch aggressively under load (drain whatever has
+                    // already accumulated), but never sit on results when
+                    // the funnel is empty — idle latency must not pay the
+                    // batching timer.
+                    while result_buf.len() < cfg.batch_size {
+                        match result_rx.try_recv() {
+                            Ok(more) => {
+                                in_flight -= 1;
+                                result_buf.push(more);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    flush_results(&ep, &shared.ix_addr, &addr, &mut result_buf);
+                }
+            }
+            recv(ticker) -> _ => {
+                flush_results(&ep, &shared.ix_addr, &addr, &mut result_buf);
+                let _ = ep.send(
+                    &shared.ix_addr,
+                    encode(&ToInterchange::Heartbeat { name: addr.to_string() }),
+                );
+                // "Managers, upon losing contact with the interchange, exit
+                // immediately to avoid resource wastage."
+                if last_ix_contact.elapsed() > cfg.heartbeat_threshold {
+                    return;
+                }
+            }
+        }
+        // Deregister only after every accepted task has returned its
+        // result and the fabric inbox holds nothing new.
+        if draining && in_flight == 0 && ep.queued() == 0 {
+            flush_results(&ep, &shared.ix_addr, &addr, &mut result_buf);
+            let _ = ep.send(
+                &shared.ix_addr,
+                encode(&ToInterchange::Deregister { name: addr.to_string() }),
+            );
+            drop(task_tx);
+            for h in worker_handles {
+                let _ = h.join();
+            }
+            return;
+        }
+    }
+}
+
+fn flush_results(ep: &Endpoint, ix: &Addr, _addr: &Addr, buf: &mut Vec<WireResult>) {
+    if buf.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(buf);
+    let _ = ep.send(ix, encode(&ToInterchange::Results(batch)));
+}
+
+// ---------------------------------------------------------------------------
+// Client-side receive loop
+// ---------------------------------------------------------------------------
+
+fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        match crate::proto::decode::<ToClient>(&env.payload) {
+            Ok(ToClient::Results(results)) => {
+                for r in results {
+                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    let outcome = TaskOutcome {
+                        id: parsl_core::types::TaskId(r.id),
+                        attempt: r.attempt,
+                        result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
+                        worker: Some(r.worker),
+                        started: None,
+                        finished: Some(Instant::now()),
+                    };
+                    if ctx.completions.send(outcome).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(ToClient::ManagerLost { name, tasks }) => {
+                for (id, attempt) in tasks {
+                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    let outcome = TaskOutcome::new(
+                        parsl_core::types::TaskId(id),
+                        attempt,
+                        Err(TaskError::ExecutorLost(
+                            format!("manager {name} lost (heartbeat expired)").into(),
+                        )),
+                    );
+                    if ctx.completions.send(outcome).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(ToClient::CommandReply(reply)) => {
+                if let Some(tx) = shared.command_reply.lock().take() {
+                    let _ = tx.send(reply);
+                }
+            }
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The common execution kernel (§4.3).
+//!
+//! "All executors share a common execution kernel that is responsible for
+//! deserializing the task (i.e., the App and its input arguments) and
+//! executing the task in a sandboxed Python environment." Here the kernel
+//! resolves the app id against the shared registry and applies the erased
+//! function to the argument bytes; panic isolation ("sandboxing") is built
+//! into the erased wrapper.
+
+use crate::proto::{WireResult, WireTask};
+use parsl_core::error::AppError;
+use parsl_core::registry::{AppId, AppRegistry};
+
+/// Execute one task and package the result for the wire.
+pub fn execute(registry: &AppRegistry, task: &WireTask, worker: &str) -> WireResult {
+    let outcome = match registry.get(AppId(task.app_id)) {
+        Some(app) => (app.func)(&task.args),
+        None => Err(AppError::Serialization(format!(
+            "app id {} not present in worker registry",
+            task.app_id
+        ))),
+    };
+    WireResult {
+        id: task.id,
+        attempt: task.attempt,
+        outcome,
+        worker: worker.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsl_core::registry::AppOptions;
+    use parsl_core::types::AppKind;
+    use std::sync::Arc;
+
+    #[test]
+    fn kernel_runs_registered_app() {
+        let reg = AppRegistry::new();
+        let app = reg.register(
+            "triple",
+            AppKind::Native,
+            "(u32)->u32",
+            Arc::new(|args| {
+                let (x,): (u32,) = wire::from_bytes(args)
+                    .map_err(|e| AppError::Serialization(e.to_string()))?;
+                wire::to_bytes(&(x * 3)).map_err(|e| AppError::Serialization(e.to_string()))
+            }),
+            AppOptions::default(),
+        );
+        let task = WireTask {
+            id: 1,
+            attempt: 0,
+            app_id: app.id.0,
+            args: wire::to_bytes(&(14u32,)).unwrap(),
+        };
+        let result = execute(&reg, &task, "w0");
+        let v: u32 = wire::from_bytes(&result.outcome.unwrap()).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(result.worker, "w0");
+        assert_eq!(result.attempt, 0);
+    }
+
+    #[test]
+    fn unknown_app_is_reported() {
+        let reg = AppRegistry::new();
+        let task = WireTask { id: 1, attempt: 0, app_id: 999, args: vec![] };
+        let result = execute(&reg, &task, "w0");
+        assert!(matches!(result.outcome, Err(AppError::Serialization(_))));
+    }
+}

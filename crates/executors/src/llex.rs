@@ -1,0 +1,316 @@
+//! The Low Latency Executor (§4.3.3).
+//!
+//! "Since the goal of LLEX is to minimize the round-trip-time for tasks,
+//! the execution model is designed to be as minimal as possible, thus
+//! sacrificing features such as reliability and automated resource
+//! provisioning for lower latency."
+//!
+//! Differences from HTEX, reproduced here:
+//!
+//! - workers connect to the interchange **directly** (no managers), one
+//!   socket per worker, saving a message hop each way;
+//! - the interchange is a **stateless relay**: it pairs queued tasks with
+//!   idle workers and forwards results without any task tracking;
+//! - there are **no heartbeats**: worker loss is undetectable; a task sent
+//!   to a dead worker is simply lost (the paper suggests timed retries at
+//!   a higher level — the DFK's per-app `walltime` + retries provide
+//!   exactly that);
+//! - the worker pool is fixed: no provisioning, no elasticity.
+
+use crate::kernel;
+use crate::proto::{encode, ToClient, ToInterchange, ToManager, WireResult, WireTask};
+use nexus::{Addr, Endpoint, Fabric};
+use parsl_core::error::TaskError;
+use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
+use parsl_core::registry::AppRegistry;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// LLEX configuration.
+#[derive(Debug, Clone)]
+pub struct LlexConfig {
+    /// Executor label.
+    pub label: String,
+    /// Fixed number of directly connected workers.
+    pub workers: usize,
+}
+
+impl Default for LlexConfig {
+    fn default() -> Self {
+        LlexConfig { label: "llex".into(), workers: 4 }
+    }
+}
+
+struct Shared {
+    cfg: LlexConfig,
+    fabric: Fabric,
+    ix_addr: Addr,
+    client_addr: Addr,
+    outstanding: AtomicUsize,
+    connected: AtomicUsize,
+    stop: AtomicBool,
+    next_worker: AtomicU64,
+}
+
+/// The Low Latency Executor. See module docs.
+pub struct LlexExecutor {
+    shared: Arc<Shared>,
+    client_ep: Mutex<Option<Arc<Endpoint>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    ctx: Mutex<Option<ExecutorContext>>,
+}
+
+impl LlexExecutor {
+    /// Build over a private fabric.
+    pub fn new(cfg: LlexConfig) -> Self {
+        Self::on_fabric(cfg, Fabric::new())
+    }
+
+    /// Build over an external fabric (latency/fault injection).
+    pub fn on_fabric(cfg: LlexConfig, fabric: Fabric) -> Self {
+        let ix_addr = Addr::new(format!("{}:ix", cfg.label));
+        let client_addr = Addr::new(format!("{}:client", cfg.label));
+        LlexExecutor {
+            shared: Arc::new(Shared {
+                cfg,
+                fabric,
+                ix_addr,
+                client_addr,
+                outstanding: AtomicUsize::new(0),
+                connected: AtomicUsize::new(0),
+                stop: AtomicBool::new(false),
+                next_worker: AtomicU64::new(0),
+            }),
+            client_ep: Mutex::new(None),
+            threads: Mutex::new(Vec::new()),
+            ctx: Mutex::new(None),
+        }
+    }
+
+    /// The fabric (for fault injection in tests).
+    pub fn fabric(&self) -> &Fabric {
+        &self.shared.fabric
+    }
+
+    /// Connect one more worker directly to the interchange.
+    pub fn add_worker(&self) -> Addr {
+        let registry = self
+            .ctx
+            .lock()
+            .as_ref()
+            .map(|c| Arc::clone(&c.registry))
+            .expect("add_worker before start");
+        let shared = Arc::clone(&self.shared);
+        let n = shared.next_worker.fetch_add(1, Ordering::Relaxed);
+        let addr = Addr::new(format!("{}:w-{n}", shared.cfg.label));
+        let waddr = addr.clone();
+        // Worker threads are detached: LLEX trades reliability for
+        // latency, so shutdown never waits on a wedged worker (a worker
+        // stuck in app code would otherwise stall teardown forever).
+        std::thread::Builder::new()
+            .name(format!("{}-w{n}", shared.cfg.label))
+            .spawn(move || worker_loop(shared, registry, waddr))
+            .expect("spawn llex worker");
+        addr
+    }
+
+    /// Fault injection: kill a worker outright. LLEX cannot detect this;
+    /// any task on that worker is silently lost.
+    pub fn kill_worker(&self, addr: &Addr) {
+        self.shared.fabric.kill(addr);
+    }
+}
+
+impl Executor for LlexExecutor {
+    fn label(&self) -> &str {
+        &self.shared.cfg.label
+    }
+
+    fn start(&self, ctx: ExecutorContext) -> Result<(), ExecutorError> {
+        {
+            let mut slot = self.ctx.lock();
+            if slot.is_some() {
+                return Err(ExecutorError::Rejected("already started".into()));
+            }
+            *slot = Some(ctx.clone());
+        }
+        let ix_ep = self
+            .shared
+            .fabric
+            .bind(self.shared.ix_addr.clone())
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+        let client_ep = Arc::new(
+            self.shared
+                .fabric
+                .bind(self.shared.client_addr.clone())
+                .map_err(|e| ExecutorError::Comm(e.to_string()))?,
+        );
+        *self.client_ep.lock() = Some(Arc::clone(&client_ep));
+
+        let shared = Arc::clone(&self.shared);
+        let ix = std::thread::Builder::new()
+            .name(format!("{}-ix", shared.cfg.label))
+            .spawn(move || relay_loop(shared, ix_ep))
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+
+        let shared = Arc::clone(&self.shared);
+        let client = std::thread::Builder::new()
+            .name(format!("{}-client", self.shared.cfg.label))
+            .spawn(move || client_loop(shared, client_ep, ctx))
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+        self.threads.lock().extend([ix, client]);
+
+        for _ in 0..self.shared.cfg.workers {
+            self.add_worker();
+        }
+        Ok(())
+    }
+
+    fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
+        let ep = self
+            .client_ep
+            .lock()
+            .clone()
+            .ok_or(ExecutorError::NotRunning)?;
+        let wire_task = WireTask {
+            id: task.id.0,
+            attempt: task.attempt,
+            app_id: task.app.id.0,
+            args: task.args.to_vec(),
+        };
+        self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
+        ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
+            .map_err(|e| {
+                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                ExecutorError::Comm(e.to_string())
+            })
+    }
+
+    fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Relaxed)
+    }
+
+    fn connected_workers(&self) -> usize {
+        self.shared.connected.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(ep) = self.client_ep.lock().take() {
+            let _ = ep.send(&self.shared.ix_addr, encode(&ToInterchange::Shutdown));
+        }
+        self.ctx.lock().take();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LlexExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The stateless relay: pair tasks with idle workers, forward results.
+/// No tracking tables, no heartbeats — "the routing logic is completely
+/// stateless and opaque to the interchange".
+fn relay_loop(shared: Arc<Shared>, ep: Endpoint) {
+    let mut idle: VecDeque<Addr> = VecDeque::new();
+    let mut queued: VecDeque<WireTask> = VecDeque::new();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        match crate::proto::decode::<ToInterchange>(&env.payload) {
+            Ok(ToInterchange::Submit(task)) => queued.push_back(task),
+            Ok(ToInterchange::Register { .. }) => {
+                shared.connected.fetch_add(1, Ordering::Relaxed);
+                idle.push_back(env.from);
+            }
+            Ok(ToInterchange::Results(results)) => {
+                // Worker is free again; forward its result unexamined.
+                idle.push_back(env.from);
+                let _ = ep.send(&shared.client_addr, encode(&ToClient::Results(results)));
+            }
+            Ok(ToInterchange::Deregister { .. }) => {
+                shared.connected.fetch_sub(1, Ordering::Relaxed);
+                idle.retain(|a| a != &env.from);
+            }
+            Ok(ToInterchange::Shutdown) => break,
+            _ => {}
+        }
+        // Route greedily; a dead worker send loses the task (documented
+        // LLEX behaviour — reliability traded for latency).
+        while !queued.is_empty() && !idle.is_empty() {
+            let w = idle.pop_front().expect("non-empty");
+            let t = queued.pop_front().expect("non-empty");
+            if ep.send(&w, encode(&ToManager::Tasks(vec![t]))).is_err() {
+                shared.connected.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Stop workers.
+    while let Some(w) = idle.pop_front() {
+        let _ = ep.send(&w, encode(&ToManager::Shutdown));
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
+    let Ok(ep) = shared.fabric.bind(addr.clone()) else { return };
+    let _ = ep.send(
+        &shared.ix_addr,
+        encode(&ToInterchange::Register { name: addr.to_string(), capacity: 1 }),
+    );
+    loop {
+        let Ok(env) = ep.recv() else { return };
+        match crate::proto::decode::<ToManager>(&env.payload) {
+            Ok(ToManager::Tasks(tasks)) => {
+                let mut results: Vec<WireResult> = Vec::with_capacity(tasks.len());
+                for t in &tasks {
+                    results.push(kernel::execute(&registry, t, addr.as_str()));
+                }
+                if ep
+                    .send(&shared.ix_addr, encode(&ToInterchange::Results(results)))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(ToManager::Shutdown) => return,
+            _ => {}
+        }
+    }
+}
+
+fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        if let Ok(ToClient::Results(results)) = crate::proto::decode::<ToClient>(&env.payload) {
+            for r in results {
+                shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+                let outcome = TaskOutcome {
+                    id: parsl_core::types::TaskId(r.id),
+                    attempt: r.attempt,
+                    result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
+                    worker: Some(r.worker),
+                    started: None,
+                    finished: Some(Instant::now()),
+                };
+                if ctx.completions.send(outcome).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Discrete-event models of the executors for the paper-scale experiments.
+//!
+//! The real thread-based executors in this crate top out around the core
+//! count of one machine; Figure 4 and Table 2 need up to 262 144 workers.
+//! This module models each framework's architecture as a deterministic
+//! queueing network over virtual time:
+//!
+//! - a **client station** serializes task submission
+//!   ([`simcluster::calib::DFK_SUBMIT`] per task);
+//! - a **central station** (interchange / hub / scheduler / database)
+//!   serializes dispatch, with the per-task service time anchored to the
+//!   framework's measured Table 2 throughput;
+//! - per-connection **upkeep** consumes central capacity in proportion to
+//!   `connections / max_connections`, reproducing the centralized
+//!   frameworks' degradation as workers grow (§5.2) and their hard
+//!   connection limits (Table 2);
+//! - a **worker pool** executes (kernel overhead + task duration);
+//! - network hops add the machine's measured one-way latency.
+//!
+//! See `DESIGN.md` §5 for the calibration provenance. The *shapes* of
+//! Figure 4 (who wins, where curves bend) are emergent — only Figure 3
+//! means and Table 2 throughputs/limits are anchored.
+
+use simcluster::calib;
+use simnet::{Samples, ServiceStation, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Architectural parameters for one framework.
+#[derive(Debug, Clone)]
+pub struct FrameworkModel {
+    /// Display name used by the bench harness.
+    pub name: &'static str,
+    /// Client-side serial cost per task.
+    pub submit_overhead: SimTime,
+    /// Worker-side kernel cost per task.
+    pub kernel_overhead: SimTime,
+    /// Extra fixed path cost on a sequential round trip (Figure 3
+    /// calibration; irrelevant under pipelined load).
+    pub extra_path: SimTime,
+    /// Network hops on the full round trip.
+    pub round_trip_hops: u32,
+    /// Serial service time of the central component per task.
+    pub central_service: SimTime,
+    /// Hard cap on concurrent connections at the central component.
+    pub max_connections: Option<usize>,
+    /// Central connections opened per worker (1.0 = worker-connected;
+    /// 1/32 = node-level managers; ~0 = per-pool managers).
+    pub connections_per_worker: f64,
+    /// Half-width of the uniform latency jitter (Figure 3 spread).
+    pub jitter: SimTime,
+}
+
+impl FrameworkModel {
+    /// Parsl ThreadPool executor: in-process, no central component.
+    pub fn threadpool() -> Self {
+        FrameworkModel {
+            name: "ThreadPool",
+            submit_overhead: calib::DFK_SUBMIT,
+            kernel_overhead: calib::EXEC_KERNEL,
+            extra_path: calib::EXTRA_THREADPOOL,
+            round_trip_hops: 0,
+            central_service: SimTime::ZERO,
+            max_connections: None,
+            connections_per_worker: 0.0,
+            jitter: calib::JITTER_THREADPOOL,
+        }
+    }
+
+    /// Parsl HTEX: interchange + per-node managers (32 workers/manager on
+    /// Blue Waters), 6 hops (client↔ix↔manager↔worker).
+    pub fn htex() -> Self {
+        FrameworkModel {
+            name: "Parsl-HTEX",
+            submit_overhead: calib::DFK_SUBMIT,
+            kernel_overhead: calib::EXEC_KERNEL,
+            extra_path: calib::EXTRA_HTEX,
+            round_trip_hops: 6,
+            central_service: calib::HTEX_INTERCHANGE_SERVICE,
+            max_connections: Some(calib::HTEX_MAX_MANAGERS),
+            connections_per_worker: 1.0 / 32.0,
+            jitter: calib::JITTER_HTEX,
+        }
+    }
+
+    /// Parsl EXEX: interchange + per-pool rank-0 managers; pool size 32.
+    pub fn exex() -> Self {
+        FrameworkModel {
+            name: "Parsl-EXEX",
+            submit_overhead: calib::DFK_SUBMIT,
+            kernel_overhead: calib::EXEC_KERNEL,
+            extra_path: calib::EXTRA_EXEX,
+            round_trip_hops: 6,
+            central_service: calib::EXEX_INTERCHANGE_SERVICE,
+            max_connections: Some(calib::EXEX_POOL_SIZE * calib::EXEX_MAX_POOLS),
+            connections_per_worker: 1.0 / calib::EXEX_POOL_SIZE as f64,
+            jitter: calib::JITTER_EXEX,
+        }
+    }
+
+    /// Parsl LLEX: stateless relay, workers directly connected, 4 hops.
+    pub fn llex() -> Self {
+        FrameworkModel {
+            name: "Parsl-LLEX",
+            submit_overhead: calib::DFK_SUBMIT,
+            kernel_overhead: calib::EXEC_KERNEL,
+            extra_path: calib::EXTRA_LLEX,
+            round_trip_hops: 4,
+            central_service: calib::LLEX_RELAY_SERVICE,
+            max_connections: None,
+            connections_per_worker: 1.0,
+            jitter: calib::JITTER_LLEX,
+        }
+    }
+}
+
+/// Why a campaign could not run at the requested scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScaleFailure {
+    /// The central component refused connections beyond its cap.
+    ConnectionsExhausted {
+        /// Connections the configuration needs.
+        required: usize,
+        /// The framework's cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for ScaleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScaleFailure::ConnectionsExhausted { required, cap } => {
+                write!(f, "needs {required} central connections, cap is {cap}")
+            }
+        }
+    }
+}
+
+/// Result of one simulated campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Virtual time from first submit to last completion.
+    pub makespan: SimTime,
+    /// Tasks per second over the makespan.
+    pub throughput: f64,
+    /// Mean task latency (completion − submission), milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+impl FrameworkModel {
+    /// Number of central connections a worker count implies.
+    pub fn connections_for(&self, workers: usize) -> usize {
+        (workers as f64 * self.connections_per_worker).ceil() as usize
+    }
+
+    /// Effective central service time once per-connection upkeep
+    /// (heartbeats, socket buffers, bookkeeping) is taken out of the
+    /// central component's capacity. Connections beyond the hard cap are
+    /// refused outright; below it, service inflates linearly, doubling at
+    /// [`calib::UPKEEP_DOUBLING_CONNECTIONS`].
+    pub fn effective_service(&self, workers: usize) -> Result<SimTime, ScaleFailure> {
+        let conns = self.connections_for(workers);
+        if let Some(cap) = self.max_connections {
+            if conns > cap {
+                return Err(ScaleFailure::ConnectionsExhausted { required: conns, cap });
+            }
+        }
+        let inflation = 1.0 + conns as f64 / calib::UPKEEP_DOUBLING_CONNECTIONS;
+        Ok(self.central_service.mul_f64(inflation))
+    }
+
+    /// Largest worker count this framework can connect (Table 2 column 1).
+    pub fn max_workers(&self, machine_limit: usize) -> usize {
+        match self.max_connections {
+            None => machine_limit,
+            Some(cap) => {
+                // Largest W with connections_for(W) <= cap (strictly below
+                // saturation would halve throughput; the paper reports the
+                // connect limit, so use the cap itself).
+                let per = self.connections_per_worker;
+                if per == 0.0 {
+                    machine_limit
+                } else {
+                    (((cap as f64) / per).floor() as usize).min(machine_limit)
+                }
+            }
+        }
+    }
+
+    /// Run a pipelined campaign: `n_tasks` of `duration` each over
+    /// `workers` workers, one-way network latency `one_way`.
+    ///
+    /// Deterministic queueing simulation in submission order: central
+    /// station → earliest-free worker → return hop. Submission itself is
+    /// pipelined (the client's submit loop runs ahead of execution and its
+    /// buffering overlaps with dispatch), so under load the central
+    /// component's serial service is the throughput bound — which is how
+    /// the paper's Table 2 maxima were measured. Submission overhead still
+    /// bounds the *sequential* latency path, covered by
+    /// [`FrameworkModel::run_sequential_latency`].
+    pub fn run_campaign(
+        &self,
+        n_tasks: usize,
+        workers: usize,
+        duration: SimTime,
+        one_way: SimTime,
+    ) -> Result<CampaignResult, ScaleFailure> {
+        assert!(workers > 0 && n_tasks > 0);
+        let service = self.effective_service(workers)?;
+        let mut central = ServiceStation::new();
+        // Worker pool as a min-heap of free instants.
+        let mut pool: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
+        for _ in 0..workers.min(n_tasks) {
+            pool.push(Reverse(SimTime::ZERO));
+        }
+        let forward_hops = self.round_trip_hops / 2;
+        let return_hops = self.round_trip_hops - forward_hops;
+        let mut last_completion = SimTime::ZERO;
+        let mut latency_sum = 0f64;
+
+        for _ in 0..n_tasks {
+            let submitted = SimTime::ZERO;
+            let central_arrival =
+                submitted + self.submit_overhead + one_way * forward_hops as u64;
+            let dispatched = central.enqueue(central_arrival, service);
+            let Reverse(worker_free) = pool.pop().expect("pool non-empty");
+            let start = dispatched.max(worker_free);
+            let finished = start + self.kernel_overhead + duration;
+            pool.push(Reverse(finished));
+            let completed = finished + one_way * return_hops as u64;
+            if completed > last_completion {
+                last_completion = completed;
+            }
+            latency_sum += (completed - submitted).as_secs_f64();
+        }
+
+        let makespan = last_completion;
+        Ok(CampaignResult {
+            makespan,
+            throughput: n_tasks as f64 / makespan.as_secs_f64(),
+            mean_latency_ms: latency_sum / n_tasks as f64 * 1e3,
+        })
+    }
+
+    /// Run the Figure 3 experiment: `n` tasks submitted **sequentially**
+    /// (each after the previous completes), returning the latency samples
+    /// in milliseconds.
+    pub fn run_sequential_latency(
+        &self,
+        n: usize,
+        duration: SimTime,
+        one_way: SimTime,
+        seed: u64,
+    ) -> Samples {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut samples = Samples::new();
+        // `extra_path` already contains the central component's sequential-
+        // path work by construction (it was calibrated as the residual of
+        // the paper's mean), so the central service is not added again.
+        let base = self.submit_overhead
+            + self.kernel_overhead
+            + self.extra_path
+            + one_way * self.round_trip_hops as u64
+            + duration;
+        for _ in 0..n {
+            let jitter_ns = if self.jitter == SimTime::ZERO {
+                0i64
+            } else {
+                let j = self.jitter.as_nanos() as i64;
+                rng.random_range(-j..=j)
+            };
+            let total = base.as_nanos() as i64 + jitter_ns;
+            samples.record(total.max(0) as f64 / 1e6);
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcluster::machines;
+
+    #[test]
+    fn throughput_saturates_at_inverse_service() {
+        let m = FrameworkModel::htex();
+        let r = m
+            .run_campaign(50_000, 1024, SimTime::ZERO, machines::midway().one_way_latency())
+            .unwrap();
+        // No-op tasks: the interchange is the bottleneck; Table 2 says
+        // 1181 tasks/s for HTEX.
+        assert!((r.throughput - 1181.0).abs() / 1181.0 < 0.15, "throughput {}", r.throughput);
+    }
+
+    #[test]
+    fn dask_like_cap_rejects_excess_workers() {
+        // Simulate a worker-connected framework with a cap of 100.
+        let m = FrameworkModel {
+            max_connections: Some(100),
+            connections_per_worker: 1.0,
+            ..FrameworkModel::llex()
+        };
+        assert!(m.effective_service(99).is_ok());
+        assert!(matches!(
+            m.effective_service(101),
+            Err(ScaleFailure::ConnectionsExhausted { .. })
+        ));
+        assert_eq!(m.max_workers(usize::MAX), 100);
+    }
+
+    #[test]
+    fn upkeep_inflation_doubles_at_calibration_point() {
+        let m = FrameworkModel {
+            max_connections: Some(100_000),
+            connections_per_worker: 1.0,
+            ..FrameworkModel::llex()
+        };
+        let base = m.effective_service(0).unwrap();
+        let doubled = m.effective_service(2048).unwrap();
+        let ratio = doubled.as_secs_f64() / base.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        // Monotone growth beyond.
+        assert!(m.effective_service(8192).unwrap() > doubled);
+    }
+
+    #[test]
+    fn latency_model_matches_figure3_means() {
+        let one_way = machines::midway().one_way_latency();
+        let expect = [
+            (FrameworkModel::threadpool(), 1.04),
+            (FrameworkModel::llex(), 3.47),
+            (FrameworkModel::htex(), 6.87),
+            (FrameworkModel::exex(), 9.83),
+        ];
+        for (m, paper_ms) in expect {
+            let s = m.run_sequential_latency(1000, SimTime::ZERO, one_way, 1);
+            let got = s.mean();
+            // central_service adds a small extra on top of the calibrated
+            // decomposition; allow 15%.
+            assert!(
+                (got - paper_ms).abs() / paper_ms < 0.15,
+                "{}: model {got:.2} ms vs paper {paper_ms} ms",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn longer_tasks_shift_bottleneck_to_workers() {
+        let m = FrameworkModel::htex();
+        let one_way = machines::blue_waters().one_way_latency();
+        // 1 s tasks, 512 workers, 5120 tasks: worker-bound, so makespan
+        // ≈ tasks/workers seconds.
+        let r = m.run_campaign(5120, 512, SimTime::from_secs(1), one_way).unwrap();
+        let ideal = 5120.0 / 512.0;
+        assert!(
+            (r.makespan.as_secs_f64() - ideal) / ideal < 0.2,
+            "makespan {} vs ideal {ideal}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn weak_scaling_is_flat_until_central_saturates() {
+        let m = FrameworkModel::htex();
+        let one_way = machines::blue_waters().one_way_latency();
+        let d = SimTime::from_millis(1000);
+        // 10 tasks per worker; 65 536 workers is the paper's largest HTEX
+        // point (2048 nodes, allocation-limited).
+        let t_small = m.run_campaign(10 * 64, 64, d, one_way).unwrap();
+        let t_big = m.run_campaign(10 * 65_536, 65_536, d, one_way).unwrap();
+        // Small scale: ~10 s (10 rounds of 1 s). Large scale: interchange-
+        // bound: 655 k tasks at under 1181 per s >> 10 s.
+        assert!(t_small.makespan.as_secs_f64() < 15.0);
+        assert!(t_big.makespan.as_secs_f64() > 500.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Wire protocol shared by the executors (§4.3).
+//!
+//! Every message crossing the `nexus` fabric is one of these enums,
+//! wire-encoded. Tasks travel as `(task id, attempt, app id, argument
+//! bytes)` — the function itself resolves worker-side through the shared
+//! app registry, the reproduction's stand-in for serializing functions by
+//! reference.
+
+use parsl_core::error::AppError;
+use serde::{Deserialize, Serialize};
+
+/// A task as shipped to workers.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct WireTask {
+    /// DFK task id.
+    pub id: u64,
+    /// Retry attempt, echoed in the result.
+    pub attempt: u32,
+    /// App registry id.
+    pub app_id: u64,
+    /// Wire-encoded argument tuple.
+    pub args: Vec<u8>,
+}
+
+/// A result as shipped back from workers.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct WireResult {
+    /// DFK task id.
+    pub id: u64,
+    /// Attempt this result belongs to.
+    pub attempt: u32,
+    /// The app's output bytes or its failure.
+    pub outcome: Result<Vec<u8>, AppError>,
+    /// Worker identity, for monitoring.
+    pub worker: String,
+}
+
+/// Messages arriving at an interchange (from the executor client or from
+/// managers/workers).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ToInterchange {
+    /// Client submits one task.
+    Submit(WireTask),
+    /// A manager (HTEX/EXEX) or worker (LLEX) announces itself with its
+    /// task capacity.
+    Register {
+        /// Sender's fabric address.
+        name: String,
+        /// Concurrent task slots (workers + prefetch for managers; 1 for
+        /// LLEX workers).
+        capacity: usize,
+    },
+    /// Manager reports `free` open slots after dispatching work.
+    Capacity {
+        /// Manager address.
+        name: String,
+        /// Open slots.
+        free: usize,
+    },
+    /// Batch of finished tasks.
+    Results(Vec<WireResult>),
+    /// Periodic liveness signal (§4.3.1).
+    Heartbeat {
+        /// Sender address.
+        name: String,
+    },
+    /// Graceful departure; outstanding tasks have already been returned.
+    Deregister {
+        /// Sender address.
+        name: String,
+    },
+    /// Client asks the interchange to retire one manager: stop dispatching
+    /// to it, then forward a shutdown. Routing retirement through the
+    /// interchange (instead of telling the manager directly) closes the
+    /// race where a task batch and a shutdown cross on the wire.
+    Retire {
+        /// Manager address to retire.
+        name: String,
+    },
+    /// Administrative command channel request (§4.3.1).
+    Command(Command),
+    /// Stop the interchange.
+    Shutdown,
+}
+
+/// Messages from an interchange to a manager (HTEX) or pool leader (EXEX).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ToManager {
+    /// A batch of tasks to run.
+    Tasks(Vec<WireTask>),
+    /// Liveness signal from the interchange.
+    Heartbeat,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Messages from an interchange back to the executor client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ToClient {
+    /// Finished tasks.
+    Results(Vec<WireResult>),
+    /// A manager stopped heartbeating while holding tasks; the DFK decides
+    /// whether to retry them (§4.3.1).
+    ManagerLost {
+        /// The manager that disappeared.
+        name: String,
+        /// `(task id, attempt)` pairs that were outstanding on it.
+        tasks: Vec<(u64, u32)>,
+    },
+    /// Reply on the command channel.
+    CommandReply(CommandReply),
+}
+
+/// Synchronous administrative actions on the interchange (§4.3.1: "the
+/// interchange can be asked for outstanding task information, to blacklist
+/// managers, or to shutdown the executor").
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub enum Command {
+    /// How many tasks are queued or running.
+    OutstandingInfo,
+    /// How many workers are connected.
+    ConnectedWorkers,
+    /// Stop sending tasks to this manager.
+    Blacklist(String),
+    /// Shut the executor down.
+    ShutdownExecutor,
+}
+
+/// Replies to [`Command`]s.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub enum CommandReply {
+    /// Outstanding task count.
+    Outstanding(usize),
+    /// Connected worker count.
+    Workers(usize),
+    /// Generic acknowledgement.
+    Ack,
+}
+
+/// Encode any protocol message as fabric payload.
+pub fn encode<T: Serialize>(msg: &T) -> bytes::Bytes {
+    bytes::Bytes::from(wire::to_bytes(msg).expect("protocol messages always encode"))
+}
+
+/// Decode a fabric payload.
+pub fn decode<T: for<'de> Deserialize<'de>>(payload: &[u8]) -> Result<T, wire::Error> {
+    wire::from_bytes(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_roundtrip() {
+        let t = WireTask { id: 7, attempt: 1, app_id: 3, args: vec![1, 2, 3] };
+        let msg = ToInterchange::Submit(t.clone());
+        let bytes = encode(&msg);
+        match decode::<ToInterchange>(&bytes).unwrap() {
+            ToInterchange::Submit(got) => assert_eq!(got, t),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_roundtrip_with_error() {
+        let r = WireResult {
+            id: 9,
+            attempt: 0,
+            outcome: Err(AppError::msg("boom")),
+            worker: "w1".into(),
+        };
+        let msg = ToClient::Results(vec![r.clone()]);
+        let bytes = encode(&msg);
+        match decode::<ToClient>(&bytes).unwrap() {
+            ToClient::Results(v) => assert_eq!(v, vec![r]),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_roundtrip() {
+        for cmd in [
+            Command::OutstandingInfo,
+            Command::ConnectedWorkers,
+            Command::Blacklist("m-3".into()),
+            Command::ShutdownExecutor,
+        ] {
+            let bytes = encode(&ToInterchange::Command(cmd.clone()));
+            match decode::<ToInterchange>(&bytes).unwrap() {
+                ToInterchange::Command(got) => assert_eq!(got, cmd),
+                other => panic!("wrong variant {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Rank handles, point-to-point matching, and collectives.
+
+use crate::error::MpiError;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag, used for receive matching like MPI tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u32);
+
+/// Wildcard source for [`Rank::recv`]: match a message from any rank.
+pub const ANY_SOURCE: Option<usize> = None;
+/// Wildcard tag for [`Rank::recv`]: match a message with any tag.
+pub const ANY_TAG: Option<Tag> = None;
+
+/// A received point-to-point message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub from: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// Items travelling on rank inboxes: user messages, collective-protocol
+/// control messages, and the abort broadcast.
+enum Item {
+    Msg(Message),
+    Ctl(Ctl),
+    Abort,
+}
+
+enum Ctl {
+    BarrierEnter,
+    BarrierRelease,
+    Bcast { from: usize, data: Vec<u8> },
+    Gather { from: usize, data: Vec<u8> },
+}
+
+struct Shared {
+    aborted: AtomicBool,
+    txs: Vec<Sender<Item>>,
+}
+
+impl Shared {
+    fn abort(&self) {
+        if !self.aborted.swap(true, Ordering::SeqCst) {
+            for tx in &self.txs {
+                let _ = tx.send(Item::Abort);
+            }
+        }
+    }
+}
+
+/// Factory for communicators.
+pub struct World;
+
+impl World {
+    /// Create an `n`-rank communicator and return the rank handles in rank
+    /// order, ready to be moved onto threads.
+    pub fn create(n: usize) -> Vec<Rank> {
+        assert!(n > 0, "communicator needs at least one rank");
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let shared = Arc::new(Shared { aborted: AtomicBool::new(false), txs });
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Rank {
+                rank,
+                size: n,
+                rx,
+                shared: Arc::clone(&shared),
+                pending_msgs: RefCell::new(Vec::new()),
+                pending_ctl: RefCell::new(Vec::new()),
+                finalized: Cell::new(false),
+            })
+            .collect()
+    }
+}
+
+/// One rank's handle onto the communicator.
+///
+/// A rank handle is single-threaded (move it onto its thread); dropping it
+/// without calling [`Rank::finalize`] aborts the entire communicator, the
+/// way a crashed MPI process takes down the whole application.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    rx: Receiver<Item>,
+    shared: Arc<Shared>,
+    /// User messages received while waiting for something else.
+    pending_msgs: RefCell<Vec<Message>>,
+    /// Control messages received while waiting for user messages.
+    pending_ctl: RefCell<Vec<Ctl>>,
+    finalized: Cell<bool>,
+}
+
+impl Rank {
+    /// This rank's index, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True once the communicator is aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.shared.aborted.load(Ordering::SeqCst)
+    }
+
+    fn check_alive(&self) -> Result<(), MpiError> {
+        if self.is_aborted() {
+            Err(MpiError::Aborted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Send `payload` to rank `to` with `tag`.
+    pub fn send(&self, to: usize, tag: Tag, payload: Vec<u8>) -> Result<(), MpiError> {
+        self.check_alive()?;
+        let tx = self.shared.txs.get(to).ok_or(MpiError::InvalidRank(to))?;
+        tx.send(Item::Msg(Message { from: self.rank, tag, payload }))
+            .map_err(|_| MpiError::Aborted)
+    }
+
+    /// Block until a message matching `source`/`tag` arrives.
+    ///
+    /// `None` acts as a wildcard ([`ANY_SOURCE`] / [`ANY_TAG`]).
+    pub fn recv(&self, source: Option<usize>, tag: Option<Tag>) -> Result<Message, MpiError> {
+        self.recv_inner(source, tag, None)
+    }
+
+    /// [`Rank::recv`] with a deadline.
+    pub fn recv_timeout(
+        &self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> Result<Message, MpiError> {
+        self.recv_inner(source, tag, Some(timeout))
+    }
+
+    fn recv_inner(
+        &self,
+        source: Option<usize>,
+        tag: Option<Tag>,
+        timeout: Option<Duration>,
+    ) -> Result<Message, MpiError> {
+        self.check_alive()?;
+        let matches = |m: &Message| {
+            source.is_none_or(|s| s == m.from) && tag.is_none_or(|t| t == m.tag)
+        };
+        // Check messages buffered by earlier non-matching receives first.
+        {
+            let mut pending = self.pending_msgs.borrow_mut();
+            if let Some(i) = pending.iter().position(&matches) {
+                return Ok(pending.remove(i));
+            }
+        }
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            let item = match deadline {
+                None => self.rx.recv().map_err(|_| MpiError::Aborted)?,
+                Some(d) => {
+                    let left = d.saturating_duration_since(std::time::Instant::now());
+                    match self.rx.recv_timeout(left) {
+                        Ok(i) => i,
+                        Err(RecvTimeoutError::Timeout) => return Err(MpiError::Timeout),
+                        Err(RecvTimeoutError::Disconnected) => return Err(MpiError::Aborted),
+                    }
+                }
+            };
+            match item {
+                Item::Abort => {
+                    self.shared.aborted.store(true, Ordering::SeqCst);
+                    return Err(MpiError::Aborted);
+                }
+                Item::Ctl(c) => self.pending_ctl.borrow_mut().push(c),
+                Item::Msg(m) if matches(&m) => return Ok(m),
+                Item::Msg(m) => self.pending_msgs.borrow_mut().push(m),
+            }
+        }
+    }
+
+    /// Pull the next control message matching `pred`, buffering everything
+    /// else, used by the collectives below.
+    fn recv_ctl(&self, pred: impl Fn(&Ctl) -> bool) -> Result<Ctl, MpiError> {
+        self.check_alive()?;
+        {
+            let mut pending = self.pending_ctl.borrow_mut();
+            if let Some(i) = pending.iter().position(&pred) {
+                return Ok(pending.remove(i));
+            }
+        }
+        loop {
+            match self.rx.recv().map_err(|_| MpiError::Aborted)? {
+                Item::Abort => {
+                    self.shared.aborted.store(true, Ordering::SeqCst);
+                    return Err(MpiError::Aborted);
+                }
+                Item::Msg(m) => self.pending_msgs.borrow_mut().push(m),
+                Item::Ctl(c) if pred(&c) => return Ok(c),
+                Item::Ctl(c) => self.pending_ctl.borrow_mut().push(c),
+            }
+        }
+    }
+
+    fn send_ctl(&self, to: usize, ctl: Ctl) -> Result<(), MpiError> {
+        let tx = self.shared.txs.get(to).ok_or(MpiError::InvalidRank(to))?;
+        tx.send(Item::Ctl(ctl)).map_err(|_| MpiError::Aborted)
+    }
+
+    /// Synchronize all ranks: nobody returns until everyone has entered.
+    ///
+    /// Centralized protocol: rank 0 collects enter notices and broadcasts
+    /// the release, which is fine at EXEX pool sizes (ranks-per-pool is
+    /// deliberately kept modest, §4.3.2).
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        if self.size == 1 {
+            return self.check_alive();
+        }
+        if self.rank == 0 {
+            let mut entered = 1; // self
+            while entered < self.size {
+                self.recv_ctl(|c| matches!(c, Ctl::BarrierEnter))?;
+                entered += 1;
+            }
+            for r in 1..self.size {
+                self.send_ctl(r, Ctl::BarrierRelease)?;
+            }
+            Ok(())
+        } else {
+            self.send_ctl(0, Ctl::BarrierEnter)?;
+            self.recv_ctl(|c| matches!(c, Ctl::BarrierRelease))?;
+            Ok(())
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank; all ranks return the
+    /// root's data (non-root callers pass anything, typically empty).
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, MpiError> {
+        if root >= self.size {
+            return Err(MpiError::InvalidRank(root));
+        }
+        self.check_alive()?;
+        if self.rank == root {
+            for r in 0..self.size {
+                if r != root {
+                    self.send_ctl(r, Ctl::Bcast { from: root, data: data.clone() })?;
+                }
+            }
+            Ok(data)
+        } else {
+            match self.recv_ctl(|c| matches!(c, Ctl::Bcast { from, .. } if *from == root))? {
+                Ctl::Bcast { data, .. } => Ok(data),
+                _ => unreachable!("predicate admits only Bcast"),
+            }
+        }
+    }
+
+    /// Gather each rank's `data` at `root`, ordered by rank index.
+    ///
+    /// Returns `Some(all)` at the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>, MpiError> {
+        if root >= self.size {
+            return Err(MpiError::InvalidRank(root));
+        }
+        self.check_alive()?;
+        if self.rank == root {
+            let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size];
+            slots[root] = Some(data);
+            let mut remaining = self.size - 1;
+            while remaining > 0 {
+                match self.recv_ctl(|c| matches!(c, Ctl::Gather { .. }))? {
+                    Ctl::Gather { from, data } => {
+                        debug_assert!(slots[from].is_none(), "duplicate gather from {from}");
+                        slots[from] = Some(data);
+                        remaining -= 1;
+                    }
+                    _ => unreachable!("predicate admits only Gather"),
+                }
+            }
+            Ok(Some(slots.into_iter().map(|s| s.expect("all ranks gathered")).collect()))
+        } else {
+            self.send_ctl(root, Ctl::Gather { from: self.rank, data })?;
+            Ok(None)
+        }
+    }
+
+    /// Mark clean shutdown for this rank. After finalize, dropping the
+    /// handle does not abort the communicator.
+    pub fn finalize(self) {
+        self.finalized.set(true);
+        // Drop runs next and sees the flag.
+    }
+
+    /// Abort the communicator: every rank's pending and future operations
+    /// fail with [`MpiError::Aborted`].
+    pub fn abort(&self) {
+        self.shared.abort();
+    }
+}
+
+impl Drop for Rank {
+    fn drop(&mut self) {
+        if !self.finalized.get() && !self.is_aborted() {
+            // A rank vanished without finalizing — the whole "MPI job" dies.
+            self.shared.abort();
+        }
+    }
+}
+
+impl std::fmt::Debug for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rank")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("aborted", &self.is_aborted())
+            .finish()
+    }
+}

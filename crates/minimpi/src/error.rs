@@ -1,0 +1,29 @@
+//! Communicator errors.
+
+use std::fmt;
+
+/// Errors surfaced by `minimpi` operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// The communicator was aborted — by an explicit [`crate::Rank::abort`]
+    /// or by a rank dropped without finalizing (a "crashed process").
+    /// Every subsequent operation on every rank fails with this error:
+    /// MPI-style fate sharing.
+    Aborted,
+    /// Destination or root rank out of range.
+    InvalidRank(usize),
+    /// A timed receive elapsed with no matching message.
+    Timeout,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Aborted => write!(f, "communicator aborted"),
+            MpiError::InvalidRank(r) => write!(f, "rank {r} out of range"),
+            MpiError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}

@@ -1,0 +1,125 @@
+//! Reducers for the elasticity experiment (Figure 6) and the task
+//! lifecycle visualization.
+
+use crate::store::MemoryStore;
+use std::time::Duration;
+
+/// Integrate the executor's connected-worker step series over
+/// `[first record, until]` — total worker-seconds of acquired resources.
+pub fn worker_seconds(store: &MemoryStore, executor: &str, until: Duration) -> f64 {
+    let series = store.worker_series(executor);
+    if series.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for w in series.windows(2) {
+        let (t0, v) = w[0];
+        let (t1, _) = w[1];
+        let hi = t1.min(until);
+        if hi > t0 {
+            total += v as f64 * (hi - t0).as_secs_f64();
+        }
+    }
+    let (tl, vl) = *series.last().expect("non-empty");
+    if until > tl {
+        total += vl as f64 * (until - tl).as_secs_f64();
+    }
+    total
+}
+
+/// The paper's utilization metric: "the ratio of total wall clock time of
+/// tasks to that of the workers".
+pub fn utilization(task_seconds: f64, worker_seconds: f64) -> f64 {
+    if worker_seconds <= 0.0 {
+        0.0
+    } else {
+        task_seconds / worker_seconds
+    }
+}
+
+/// Makespan: first submission to last terminal event.
+pub fn makespan(store: &MemoryStore) -> Duration {
+    let timelines = store.timelines();
+    let start = timelines
+        .iter()
+        .filter_map(|(_, t)| t.submitted)
+        .min()
+        .unwrap_or(Duration::ZERO);
+    let end = timelines
+        .iter()
+        .filter_map(|(_, t)| t.finished)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    end.saturating_sub(start)
+}
+
+/// ASCII task-lifecycle chart (Figure 6 bottom): one row per task,
+/// `.` while waiting (submitted → launched), `#` while launched →
+/// finished. `width` is the chart width in characters.
+pub fn lifecycle_chart(store: &MemoryStore, width: usize) -> String {
+    let timelines = store.timelines();
+    let end = store.last_event_at().as_secs_f64().max(1e-9);
+    let scale = width as f64 / end;
+    let mut out = String::new();
+    for (id, t) in &timelines {
+        let sub = t.submitted.unwrap_or(Duration::ZERO).as_secs_f64();
+        let launch = t.launched.unwrap_or(Duration::ZERO).as_secs_f64().max(sub);
+        let fin = t.finished.map(|d| d.as_secs_f64()).unwrap_or(end).max(launch);
+        let a = (sub * scale).round() as usize;
+        let b = (launch * scale).round() as usize;
+        let c = (fin * scale).round() as usize;
+        let mut row = String::with_capacity(width + 16);
+        row.push_str(&format!("{id:>10} |"));
+        for x in 0..width {
+            row.push(if x >= a && x < b {
+                '.'
+            } else if x >= b && x < c.max(b + 1) {
+                '#'
+            } else {
+                ' '
+            });
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsl_core::monitor::{MonitorEvent, MonitorSink};
+    use parsl_core::types::{TaskId, TaskState};
+
+    #[test]
+    fn makespan_spans_first_submit_to_last_finish() {
+        let store = MemoryStore::new();
+        for (id, sub, fin) in [(1u64, 10u64, 100u64), (2, 20, 250), (3, 0, 50)] {
+            store.on_event(&MonitorEvent::Task {
+                task: TaskId(id),
+                app: "a".into(),
+                state: TaskState::Pending,
+                executor: None,
+                attempt: 0,
+                at: Duration::from_millis(sub),
+            });
+            store.on_event(&MonitorEvent::Task {
+                task: TaskId(id),
+                app: "a".into(),
+                state: TaskState::Done,
+                executor: None,
+                attempt: 0,
+                at: Duration::from_millis(fin),
+            });
+        }
+        assert_eq!(makespan(&store), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn empty_store_is_zero() {
+        let store = MemoryStore::new();
+        assert_eq!(makespan(&store), Duration::ZERO);
+        assert_eq!(worker_seconds(&store, "x", Duration::from_secs(5)), 0.0);
+        assert_eq!(utilization(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! CSV file sink.
+
+use parking_lot::Mutex;
+use parsl_core::monitor::{MonitorEvent, MonitorSink};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Appends one CSV row per event. Columns:
+/// `kind,at_us,task,app,state,executor,attempt,detail`.
+pub struct CsvSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl CsvSink {
+    /// Create (truncate) the file and write the header.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        writeln!(writer, "kind,at_us,task,app,state,executor,attempt,detail")?;
+        Ok(CsvSink { writer: Mutex::new(writer) })
+    }
+
+    /// Flush buffered rows to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().flush()
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl MonitorSink for CsvSink {
+    fn on_event(&self, event: &MonitorEvent) {
+        let mut w = self.writer.lock();
+        let _ = match event {
+            MonitorEvent::Task { task, app, state, executor, attempt, at } => writeln!(
+                w,
+                "task,{},{},{},{},{},{},",
+                at.as_micros(),
+                task,
+                csv_escape(app),
+                state,
+                executor.as_deref().unwrap_or(""),
+                attempt
+            ),
+            MonitorEvent::Retry { task, attempt, reason, at } => writeln!(
+                w,
+                "retry,{},{},,,,{},{}",
+                at.as_micros(),
+                task,
+                attempt,
+                csv_escape(reason)
+            ),
+            MonitorEvent::Workers { executor, connected, outstanding, at } => writeln!(
+                w,
+                "workers,{},,,,{},,connected={} outstanding={}",
+                at.as_micros(),
+                executor,
+                connected,
+                outstanding
+            ),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_quotes_and_commas() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,159 @@
+//! `parsl-monitor` — monitoring stores and analysis (§4.6).
+//!
+//! "To enable both real-time and post-completion analysis and
+//! introspection of execution information, DFK logs execution metadata and
+//! task state transitions ... A modular DFK interface allows monitoring
+//! information to be stored in a SQL database, Elastic Search, or files."
+//!
+//! The reproduction provides:
+//!
+//! - [`MemoryStore`]: an in-memory event store with query APIs (the
+//!   "SQL database" role);
+//! - [`CsvSink`]: append events to a CSV file (the "files" role);
+//! - [`analysis`]: makespan / worker-seconds / utilization reducers used
+//!   by the elasticity experiment (Figure 6), plus an ASCII task-lifecycle
+//!   chart standing in for the web visualization.
+
+pub mod analysis;
+mod csv;
+mod store;
+
+pub use csv::CsvSink;
+pub use store::{MemoryStore, TaskTimeline};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsl_core::monitor::{MonitorEvent, MonitorSink};
+    use parsl_core::types::{TaskId, TaskState};
+    use std::time::Duration;
+
+    fn task_event(id: u64, state: TaskState, at_ms: u64) -> MonitorEvent {
+        MonitorEvent::Task {
+            task: TaskId(id),
+            app: "app".into(),
+            state,
+            executor: Some("x".into()),
+            attempt: 0,
+            at: Duration::from_millis(at_ms),
+        }
+    }
+
+    #[test]
+    fn store_accumulates_and_queries() {
+        let store = MemoryStore::new();
+        store.on_event(&task_event(1, TaskState::Pending, 0));
+        store.on_event(&task_event(1, TaskState::Launched, 5));
+        store.on_event(&task_event(1, TaskState::Done, 20));
+        store.on_event(&task_event(2, TaskState::Pending, 1));
+        assert_eq!(store.event_count(), 4);
+        let t1 = store.task_timeline(TaskId(1)).unwrap();
+        assert_eq!(t1.submitted, Some(Duration::from_millis(0)));
+        assert_eq!(t1.launched, Some(Duration::from_millis(5)));
+        assert_eq!(t1.finished, Some(Duration::from_millis(20)));
+        assert_eq!(t1.final_state, Some(TaskState::Done));
+        assert!(store.task_timeline(TaskId(3)).is_none());
+        assert_eq!(store.tasks_in_state(TaskState::Done).len(), 1);
+    }
+
+    #[test]
+    fn store_tracks_worker_series() {
+        let store = MemoryStore::new();
+        store.on_event(&MonitorEvent::Workers {
+            executor: "htex".into(),
+            connected: 5,
+            outstanding: 10,
+            at: Duration::from_secs(1),
+        });
+        store.on_event(&MonitorEvent::Workers {
+            executor: "htex".into(),
+            connected: 10,
+            outstanding: 3,
+            at: Duration::from_secs(2),
+        });
+        let series = store.worker_series("htex");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (Duration::from_secs(1), 5));
+        assert_eq!(series[1], (Duration::from_secs(2), 10));
+    }
+
+    #[test]
+    fn live_with_dfk() {
+        use parsl_core::prelude::*;
+        use std::sync::Arc;
+        let store = Arc::new(MemoryStore::new());
+        let dfk = DataFlowKernel::builder()
+            .executor(ImmediateExecutor::new())
+            .monitor(store.clone())
+            .build()
+            .unwrap();
+        let add = dfk.python_app("add", |a: i64, b: i64| a + b);
+        let f = parsl_core::call!(add, 1i64, 2i64);
+        assert_eq!(f.result().unwrap(), 3);
+        dfk.wait_for_all();
+        let t = store.task_timeline(f.task_id()).expect("recorded");
+        assert_eq!(t.final_state, Some(TaskState::Done));
+        assert!(t.finished >= t.launched);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn csv_sink_writes_rows() {
+        let path =
+            std::env::temp_dir().join(format!("parsl-monitor-{}.csv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = CsvSink::create(&path).unwrap();
+            sink.on_event(&task_event(1, TaskState::Pending, 0));
+            sink.on_event(&task_event(1, TaskState::Done, 9));
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "kind,at_us,task,app,state,executor,attempt,detail");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("pending"));
+        assert!(lines[2].contains("done"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn utilization_analysis_matches_hand_computation() {
+        use analysis::utilization;
+        let store = MemoryStore::new();
+        // 2 workers for 10 s, then 4 workers for 10 s => 60 worker-seconds.
+        store.on_event(&MonitorEvent::Workers {
+            executor: "e".into(),
+            connected: 2,
+            outstanding: 0,
+            at: Duration::from_secs(0),
+        });
+        store.on_event(&MonitorEvent::Workers {
+            executor: "e".into(),
+            connected: 4,
+            outstanding: 0,
+            at: Duration::from_secs(10),
+        });
+        let ws = analysis::worker_seconds(&store, "e", Duration::from_secs(20));
+        assert!((ws - 60.0).abs() < 1e-9);
+        // 30 task-seconds of useful work => 50% utilization.
+        let u = utilization(30.0, ws);
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifecycle_chart_renders() {
+        let store = MemoryStore::new();
+        store.on_event(&task_event(1, TaskState::Pending, 0));
+        store.on_event(&task_event(1, TaskState::Launched, 100));
+        store.on_event(&task_event(1, TaskState::Done, 300));
+        store.on_event(&task_event(2, TaskState::Pending, 50));
+        store.on_event(&task_event(2, TaskState::Launched, 150));
+        store.on_event(&task_event(2, TaskState::Done, 400));
+        let chart = analysis::lifecycle_chart(&store, 40);
+        assert!(chart.contains("task-1"));
+        assert!(chart.contains("task-2"));
+        // Waiting rendered distinct from executing.
+        assert!(chart.contains('.') && chart.contains('#'));
+    }
+}

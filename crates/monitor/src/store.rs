@@ -1,0 +1,154 @@
+//! In-memory event store.
+
+use parking_lot::RwLock;
+use parsl_core::monitor::{MonitorEvent, MonitorSink};
+use parsl_core::types::{TaskId, TaskState};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Per-task lifecycle timestamps derived from the event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskTimeline {
+    /// App name.
+    pub app: String,
+    /// First `Pending` event.
+    pub submitted: Option<Duration>,
+    /// Most recent `Launched` event (retries re-launch).
+    pub launched: Option<Duration>,
+    /// Terminal event time.
+    pub finished: Option<Duration>,
+    /// Terminal state.
+    pub final_state: Option<TaskState>,
+    /// Executor that ran (or was meant to run) the task.
+    pub executor: Option<String>,
+    /// Retries observed.
+    pub retries: u32,
+}
+
+#[derive(Default)]
+struct Inner {
+    events: Vec<MonitorEvent>,
+    timelines: HashMap<TaskId, TaskTimeline>,
+    workers: HashMap<String, Vec<(Duration, usize)>>,
+}
+
+/// Thread-safe in-memory store; register as the DFK's monitor sink and
+/// query after (or during) the run.
+#[derive(Default)]
+pub struct MemoryStore {
+    inner: RwLock<Inner>,
+}
+
+impl MemoryStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total events recorded.
+    pub fn event_count(&self) -> usize {
+        self.inner.read().events.len()
+    }
+
+    /// Copy of the raw event log.
+    pub fn events(&self) -> Vec<MonitorEvent> {
+        self.inner.read().events.clone()
+    }
+
+    /// Lifecycle info for one task.
+    pub fn task_timeline(&self, task: TaskId) -> Option<TaskTimeline> {
+        self.inner.read().timelines.get(&task).cloned()
+    }
+
+    /// All task ids whose final state is `state`.
+    pub fn tasks_in_state(&self, state: TaskState) -> Vec<TaskId> {
+        self.inner
+            .read()
+            .timelines
+            .iter()
+            .filter(|(_, t)| t.final_state == Some(state))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// All task timelines, sorted by task id.
+    pub fn timelines(&self) -> Vec<(TaskId, TaskTimeline)> {
+        let mut v: Vec<_> = self
+            .inner
+            .read()
+            .timelines
+            .iter()
+            .map(|(&id, t)| (id, t.clone()))
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// Worker-count step series for one executor.
+    pub fn worker_series(&self, executor: &str) -> Vec<(Duration, usize)> {
+        self.inner.read().workers.get(executor).cloned().unwrap_or_default()
+    }
+
+    /// Time of the last recorded event.
+    pub fn last_event_at(&self) -> Duration {
+        self.inner
+            .read()
+            .events
+            .iter()
+            .map(|e| e.at())
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+impl MonitorSink for MemoryStore {
+    fn on_event(&self, event: &MonitorEvent) {
+        let mut inner = self.inner.write();
+        match event {
+            MonitorEvent::Task { task, app, state, executor, at, .. } => {
+                let t = inner.timelines.entry(*task).or_default();
+                if t.app.is_empty() {
+                    t.app = app.clone();
+                }
+                match state {
+                    TaskState::Pending => t.submitted = Some(*at),
+                    TaskState::Launched => {
+                        t.launched = Some(*at);
+                        t.executor.clone_from(executor);
+                    }
+                    s if s.is_terminal() => {
+                        t.finished = Some(*at);
+                        t.final_state = Some(*s);
+                        if t.executor.is_none() {
+                            t.executor.clone_from(executor);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            MonitorEvent::Retry { task, at, .. } => {
+                let t = inner.timelines.entry(*task).or_default();
+                t.retries += 1;
+                let _ = at;
+            }
+            MonitorEvent::Workers { executor, connected, at, .. } => {
+                inner
+                    .workers
+                    .entry(executor.clone())
+                    .or_default()
+                    .push((*at, *connected));
+            }
+        }
+        inner.events.push(event.clone());
+    }
+}
+
+impl std::fmt::Debug for MemoryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("MemoryStore")
+            .field("events", &inner.events.len())
+            .field("tasks", &inner.timelines.len())
+            .finish()
+    }
+}

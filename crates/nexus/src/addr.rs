@@ -1,0 +1,69 @@
+//! Endpoint addresses — cheap-to-clone interned strings.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The identity of an endpoint on a [`crate::Fabric`].
+///
+/// Comparable to a ZeroMQ socket identity: an opaque name chosen by the
+/// binder. `Addr` is reference-counted, so routing tables and envelopes
+/// clone it without allocating.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(Arc<str>);
+
+impl Addr {
+    /// Create an address from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Addr(Arc::from(name.as_ref()))
+    }
+
+    /// View the address as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({})", self.0)
+    }
+}
+
+impl From<&str> for Addr {
+    fn from(s: &str) -> Self {
+        Addr::new(s)
+    }
+}
+
+impl From<String> for Addr {
+    fn from(s: String) -> Self {
+        Addr::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use std::collections::HashSet;
+        let a1 = Addr::new("worker-1");
+        let a2 = Addr::new(String::from("worker-1"));
+        assert_eq!(a1, a2);
+        let mut set = HashSet::new();
+        set.insert(a1);
+        assert!(set.contains(&a2));
+    }
+
+    #[test]
+    fn display_is_bare_name() {
+        assert_eq!(Addr::new("hub").to_string(), "hub");
+    }
+}

@@ -1,0 +1,112 @@
+//! Endpoints: the mailbox handles held by executor components.
+
+use crate::addr::Addr;
+use crate::error::{RecvError, SendError};
+use crate::fabric::FabricInner;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message as received: sender identity plus opaque payload.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Address of the endpoint that sent this message.
+    pub from: Addr,
+    /// Message body; `wire` frames in the executors.
+    pub payload: Bytes,
+}
+
+/// A bound mailbox on a [`crate::Fabric`].
+///
+/// Dropping an endpoint unbinds its address; subsequent sends to it fail
+/// with [`SendError::PeerGone`], exactly like connecting to a closed socket.
+pub struct Endpoint {
+    addr: Addr,
+    rx: Receiver<Envelope>,
+    generation: u64,
+    closed: Arc<AtomicBool>,
+    fabric: Arc<FabricInner>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(
+        addr: Addr,
+        rx: Receiver<Envelope>,
+        generation: u64,
+        closed: Arc<AtomicBool>,
+        fabric: Arc<FabricInner>,
+    ) -> Self {
+        Endpoint { addr, rx, generation, closed, fabric }
+    }
+
+    /// This endpoint's own address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Send `payload` to the endpoint bound at `to`.
+    ///
+    /// Returns as soon as the fabric accepts the message; delivery may be
+    /// delayed by the fabric's configured latency.
+    pub fn send(&self, to: &Addr, payload: Bytes) -> Result<(), SendError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(SendError::SelfClosed);
+        }
+        self.fabric.route(&self.addr, to, payload)
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Closed)
+    }
+
+    /// Block up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    /// Take a message if one is already queued.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        match self.rx.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Number of messages waiting in the inbox.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// The raw inbox receiver, so callers can `select!` across an endpoint
+    /// and other channels (used by executor manager loops).
+    pub fn receiver(&self) -> &Receiver<Envelope> {
+        &self.rx
+    }
+
+    /// True once the endpoint has been killed via fault injection.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.fabric.unbind(&self.addr, self.generation);
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("addr", &self.addr)
+            .field("queued", &self.rx.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}

@@ -1,0 +1,45 @@
+//! Fabric error types.
+
+use crate::addr::Addr;
+use std::fmt;
+
+/// Failure to hand a message to the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination endpoint does not exist or has been killed.
+    PeerGone(Addr),
+    /// The sender itself has been killed and may no longer transmit.
+    SelfClosed,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::PeerGone(a) => write!(f, "peer {a} is gone"),
+            SendError::SelfClosed => write!(f, "sending endpoint is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Failure to receive from an endpoint's inbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The inbox is drained and the endpoint was killed or its fabric
+    /// dropped; no further message can ever arrive.
+    Closed,
+    /// `recv_timeout` elapsed without a message.
+    Timeout,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "endpoint closed"),
+            RecvError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}

@@ -1,0 +1,86 @@
+//! Fabric-wide message counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters shared by all endpoints of one fabric.
+///
+/// Counts are monotone and lock-free; executors use them to assert batching
+/// efficiency (messages per task) and tests use them to verify loss.
+#[derive(Clone, Debug, Default)]
+pub struct FabricStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl FabricStats {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_sent(&self, bytes: usize) {
+        self.inner.sent.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delivered(&self) {
+        self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dropped(&self) {
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages accepted by the fabric (including ones later dropped).
+    pub fn sent(&self) -> u64 {
+        self.inner.sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages placed in a destination inbox.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Messages eaten by link faults or loss probability.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes accepted.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = FabricStats::new();
+        s.record_sent(10);
+        s.record_sent(5);
+        s.record_delivered();
+        s.record_dropped();
+        assert_eq!(s.sent(), 2);
+        assert_eq!(s.delivered(), 1);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.bytes(), 15);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = FabricStats::new();
+        let s2 = s.clone();
+        s.record_sent(1);
+        assert_eq!(s2.sent(), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Block pools (§4.2.3, §4.4): provider-backed elasticity.
+//!
+//! "Parsl defines a resource unit abstraction called a block as the most
+//! basic unit of resources to be acquired from a provider ... Any scaling
+//! in/out must occur in units of blocks." A [`BlockPool`] turns provider
+//! jobs into executor capacity: scaling out submits a job for
+//! `nodes_per_block` nodes; when the provider reports the job running, the
+//! pool fires `on_block_up` (which typically calls the executor's
+//! `add_node`); scaling in cancels jobs and fires `on_block_down`.
+//!
+//! Because the provider can impose queue delays, the DataFlowKernel's
+//! strategy engine experiences realistic provisioning latency — the effect
+//! measured in the elasticity experiment (Figure 6).
+
+use crate::provider::{ExecutionProvider, JobHandle, JobStatus};
+use parsl_core::executor::BlockScaling;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+enum BlockState {
+    /// Submitted to the provider, waiting in its queue.
+    Requested,
+    /// Provider says the job is running; `on_block_up` has fired.
+    Up,
+}
+
+struct Block {
+    job: JobHandle,
+    state: BlockState,
+}
+
+type NodeHook = Box<dyn Fn(usize) + Send + Sync>;
+
+struct PoolInner {
+    provider: Arc<dyn ExecutionProvider>,
+    nodes_per_block: usize,
+    workers_per_node: usize,
+    min_blocks: usize,
+    max_blocks: usize,
+    walltime: Option<Duration>,
+    on_up: NodeHook,
+    on_down: NodeHook,
+    blocks: Mutex<Vec<Block>>,
+    stop: AtomicBool,
+}
+
+/// Provider-backed block manager implementing [`BlockScaling`].
+pub struct BlockPool {
+    inner: Arc<PoolInner>,
+    poll_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Builder for [`BlockPool`].
+pub struct BlockPoolBuilder {
+    provider: Arc<dyn ExecutionProvider>,
+    nodes_per_block: usize,
+    workers_per_node: usize,
+    min_blocks: usize,
+    max_blocks: usize,
+    walltime: Option<Duration>,
+    poll_interval: Duration,
+    on_up: Option<NodeHook>,
+    on_down: Option<NodeHook>,
+}
+
+impl BlockPool {
+    /// Start building a pool over `provider`.
+    pub fn builder(provider: impl ExecutionProvider + 'static) -> BlockPoolBuilder {
+        BlockPoolBuilder {
+            provider: Arc::new(provider),
+            nodes_per_block: 1,
+            workers_per_node: 1,
+            min_blocks: 0,
+            max_blocks: usize::MAX,
+            walltime: None,
+            poll_interval: Duration::from_millis(100),
+            on_up: None,
+            on_down: None,
+        }
+    }
+
+    /// Blocks in `Up` state (provider granted the nodes).
+    pub fn blocks_up(&self) -> usize {
+        self.inner
+            .blocks
+            .lock()
+            .iter()
+            .filter(|b| matches!(b.state, BlockState::Up))
+            .count()
+    }
+
+    /// Stop polling and cancel all provider jobs.
+    pub fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(h) = self.poll_thread.lock().take() {
+            let _ = h.join();
+        }
+        let mut blocks = self.inner.blocks.lock();
+        for b in blocks.drain(..) {
+            self.inner.provider.cancel(&b.job);
+            if matches!(b.state, BlockState::Up) {
+                (self.inner.on_down)(self.inner.nodes_per_block);
+            }
+        }
+    }
+}
+
+impl BlockPoolBuilder {
+    /// Nodes acquired per block (one provider job).
+    pub fn nodes_per_block(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.nodes_per_block = n;
+        self
+    }
+
+    /// Workers each node will contribute (for `workers_per_block`).
+    pub fn workers_per_node(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.workers_per_node = n;
+        self
+    }
+
+    /// Elasticity floor.
+    pub fn min_blocks(mut self, n: usize) -> Self {
+        self.min_blocks = n;
+        self
+    }
+
+    /// Elasticity ceiling.
+    pub fn max_blocks(mut self, n: usize) -> Self {
+        self.max_blocks = n;
+        self
+    }
+
+    /// Walltime requested for each block job.
+    pub fn walltime(mut self, w: Duration) -> Self {
+        self.walltime = Some(w);
+        self
+    }
+
+    /// How often to poll the provider for job-state transitions.
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = d;
+        self
+    }
+
+    /// Called with the node count when a block's job starts running.
+    pub fn on_block_up(mut self, f: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.on_up = Some(Box::new(f));
+        self
+    }
+
+    /// Called with the node count when a block is released or dies.
+    pub fn on_block_down(mut self, f: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.on_down = Some(Box::new(f));
+        self
+    }
+
+    /// Build and start the polling thread.
+    pub fn build(self) -> BlockPool {
+        let inner = Arc::new(PoolInner {
+            provider: self.provider,
+            nodes_per_block: self.nodes_per_block,
+            workers_per_node: self.workers_per_node,
+            min_blocks: self.min_blocks,
+            max_blocks: self.max_blocks,
+            walltime: self.walltime,
+            on_up: self.on_up.unwrap_or_else(|| Box::new(|_| {})),
+            on_down: self.on_down.unwrap_or_else(|| Box::new(|_| {})),
+            blocks: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        });
+        let poll = {
+            let inner = Arc::clone(&inner);
+            let interval = self.poll_interval;
+            std::thread::Builder::new()
+                .name("block-pool-poll".into())
+                .spawn(move || {
+                    while !inner.stop.load(Ordering::Acquire) {
+                        std::thread::sleep(interval);
+                        poll_once(&inner);
+                    }
+                })
+                .expect("spawn block pool poll thread")
+        };
+        BlockPool { inner, poll_thread: Mutex::new(Some(poll)) }
+    }
+}
+
+/// One provider sweep: promote Requested→Up, reap dead blocks.
+fn poll_once(inner: &PoolInner) {
+    let mut blocks = inner.blocks.lock();
+    let mut i = 0;
+    while i < blocks.len() {
+        let status = inner.provider.status(&blocks[i].job);
+        match (&blocks[i].state, status) {
+            (BlockState::Requested, JobStatus::Running) => {
+                blocks[i].state = BlockState::Up;
+                (inner.on_up)(inner.nodes_per_block);
+                i += 1;
+            }
+            (BlockState::Requested, JobStatus::Pending) => {
+                i += 1;
+            }
+            (BlockState::Up, JobStatus::Running) => {
+                i += 1;
+            }
+            // Dead while queued, or dead after running (walltime/failure).
+            (BlockState::Requested, _) => {
+                blocks.remove(i);
+            }
+            (BlockState::Up, _) => {
+                (inner.on_down)(inner.nodes_per_block);
+                blocks.remove(i);
+            }
+        }
+    }
+}
+
+impl BlockScaling for BlockPool {
+    fn block_count(&self) -> usize {
+        self.inner.blocks.lock().len()
+    }
+
+    fn workers_per_block(&self) -> usize {
+        self.inner.nodes_per_block * self.inner.workers_per_node
+    }
+
+    fn scale_out(&self, n: usize) -> usize {
+        let mut added = 0;
+        for _ in 0..n {
+            let mut blocks = self.inner.blocks.lock();
+            if blocks.len() >= self.inner.max_blocks {
+                break;
+            }
+            match self.inner.provider.submit(self.inner.nodes_per_block, self.inner.walltime) {
+                Ok(job) => {
+                    blocks.push(Block { job, state: BlockState::Requested });
+                    added += 1;
+                }
+                Err(_) => break, // provider full/refusing; try again next round
+            }
+        }
+        added
+    }
+
+    fn scale_in(&self, n: usize) -> usize {
+        let mut removed = 0;
+        for _ in 0..n {
+            let mut blocks = self.inner.blocks.lock();
+            if blocks.len() <= self.inner.min_blocks {
+                break;
+            }
+            // Prefer releasing still-queued blocks (free), then the newest
+            // running block.
+            let idx = blocks
+                .iter()
+                .position(|b| matches!(b.state, BlockState::Requested))
+                .unwrap_or_else(|| blocks.len() - 1);
+            let b = blocks.remove(idx);
+            self.inner.provider.cancel(&b.job);
+            if matches!(b.state, BlockState::Up) {
+                (self.inner.on_down)(self.inner.nodes_per_block);
+            }
+            removed += 1;
+        }
+        removed
+    }
+
+    fn min_blocks(&self) -> usize {
+        self.inner.min_blocks
+    }
+
+    fn max_blocks(&self) -> usize {
+        self.inner.max_blocks
+    }
+}
+
+impl Drop for BlockPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalProvider;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn immediate_provider_promotes_on_first_poll() {
+        let ups = Arc::new(AtomicUsize::new(0));
+        let downs = Arc::new(AtomicUsize::new(0));
+        let pool = BlockPool::builder(LocalProvider::new(10))
+            .nodes_per_block(2)
+            .poll_interval(Duration::from_millis(5))
+            .on_block_up({
+                let ups = Arc::clone(&ups);
+                move |n| {
+                    ups.fetch_add(n, Ordering::SeqCst);
+                }
+            })
+            .on_block_down({
+                let downs = Arc::clone(&downs);
+                move |n| {
+                    downs.fetch_add(n, Ordering::SeqCst);
+                }
+            })
+            .build();
+        assert_eq!(pool.scale_out(2), 2);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while pool.blocks_up() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ups.load(Ordering::SeqCst), 4);
+        assert_eq!(pool.scale_in(2), 2);
+        assert_eq!(downs.load(Ordering::SeqCst), 4);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn min_blocks_floor_respected() {
+        let pool = BlockPool::builder(LocalProvider::new(10))
+            .min_blocks(1)
+            .poll_interval(Duration::from_millis(5))
+            .build();
+        pool.scale_out(3);
+        assert_eq!(pool.scale_in(5), 2, "can only drop to min_blocks");
+        assert_eq!(pool.block_count(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn max_blocks_ceiling_respected() {
+        let pool = BlockPool::builder(LocalProvider::new(100))
+            .max_blocks(2)
+            .poll_interval(Duration::from_millis(5))
+            .build();
+        assert_eq!(pool.scale_out(5), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn provider_exhaustion_stops_scale_out() {
+        let pool = BlockPool::builder(LocalProvider::new(3))
+            .nodes_per_block(2)
+            .poll_interval(Duration::from_millis(5))
+            .build();
+        // 3 nodes / 2 per block: only one block fits.
+        assert_eq!(pool.scale_out(3), 1);
+        pool.shutdown();
+    }
+}

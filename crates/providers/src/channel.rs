@@ -1,0 +1,74 @@
+//! Channels (§4.2.1): how submission commands reach the provider.
+//!
+//! "Parsl includes two primary channels: LocalChannel for execution on a
+//! local resource, where the execution node has direct queue access, and
+//! SSHChannel, when executing remotely." In the reproduction, channels are
+//! command transformers: they render the shell pipeline that would deliver
+//! an `sbatch`-style command to its scheduler.
+
+/// Transforms a scheduler command for transport.
+pub trait Channel: Send + Sync {
+    /// Wrap `command` the way this channel would deliver it.
+    fn wrap(&self, command: &str) -> String;
+
+    /// Channel name for logs.
+    fn name(&self) -> &str;
+}
+
+/// Direct execution: the submitting process has queue access (login node).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalChannel;
+
+impl Channel for LocalChannel {
+    fn wrap(&self, command: &str) -> String {
+        command.to_string()
+    }
+
+    fn name(&self) -> &str {
+        "local"
+    }
+}
+
+/// Remote submission over SSH.
+#[derive(Debug, Clone)]
+pub struct SshChannel {
+    host: String,
+    user: String,
+}
+
+impl SshChannel {
+    /// Channel to `user@host`.
+    pub fn new(host: impl Into<String>, user: impl Into<String>) -> Self {
+        SshChannel { host: host.into(), user: user.into() }
+    }
+}
+
+impl Channel for SshChannel {
+    fn wrap(&self, command: &str) -> String {
+        // Single-quoted to survive the remote shell, like Parsl's channel.
+        format!("ssh {}@{} '{}'", self.user, self.host, command.replace('\'', "'\\''"))
+    }
+
+    fn name(&self) -> &str {
+        "ssh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssh_escapes_quotes() {
+        let ch = SshChannel::new("h", "u");
+        let wrapped = ch.wrap("echo 'hi'");
+        assert!(wrapped.starts_with("ssh u@h '"));
+        assert!(wrapped.contains("'\\''hi'\\''"));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LocalChannel.name(), "local");
+        assert_eq!(SshChannel::new("h", "u").name(), "ssh");
+    }
+}

@@ -1,0 +1,74 @@
+//! Launchers (§4.2.2): in-job worker fan-out.
+//!
+//! "The Parsl Launcher abstracts these system-specific launcher systems
+//! used to start workers across cores and nodes" — srun on Slurm, aprun on
+//! Crays, mpirun for MPI. A launcher turns the single worker command into
+//! the line that starts one worker per slot across the job's nodes.
+
+/// Renders the command that fans worker processes out inside a job.
+pub trait Launcher: Send + Sync {
+    /// Wrap `command` to start `nodes × tasks_per_node` workers.
+    fn wrap(&self, command: &str, nodes: usize, tasks_per_node: usize) -> String;
+
+    /// Launcher name for logs.
+    fn name(&self) -> &str;
+}
+
+/// Run the command once (single-node / fork launcher).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleLauncher;
+
+impl Launcher for SingleLauncher {
+    fn wrap(&self, command: &str, _nodes: usize, _tasks_per_node: usize) -> String {
+        command.to_string()
+    }
+
+    fn name(&self) -> &str {
+        "single"
+    }
+}
+
+/// Slurm's srun.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrunLauncher;
+
+impl Launcher for SrunLauncher {
+    fn wrap(&self, command: &str, nodes: usize, tasks_per_node: usize) -> String {
+        format!("srun --nodes={nodes} --ntasks-per-node={tasks_per_node} {command}")
+    }
+
+    fn name(&self) -> &str {
+        "srun"
+    }
+}
+
+/// Generic MPI launcher (mpiexec/mpirun/aprun family).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpiExecLauncher;
+
+impl Launcher for MpiExecLauncher {
+    fn wrap(&self, command: &str, nodes: usize, tasks_per_node: usize) -> String {
+        format!("mpiexec -n {} -ppn {tasks_per_node} {command}", nodes * tasks_per_node)
+    }
+
+    fn name(&self) -> &str {
+        "mpiexec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(SingleLauncher.name(), "single");
+        assert_eq!(SrunLauncher.name(), "srun");
+        assert_eq!(MpiExecLauncher.name(), "mpiexec");
+    }
+
+    #[test]
+    fn totals_multiply() {
+        assert!(MpiExecLauncher.wrap("w", 3, 4).contains("-n 12"));
+    }
+}

@@ -1,0 +1,115 @@
+//! The local (fork) provider: immediate node grants on this machine.
+
+use crate::provider::{ExecutionProvider, JobHandle, JobStatus, ProviderError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Parsl's local provider: "for local execution (fork)". Grants are
+/// immediate; "nodes" are purely an accounting unit for worker groups on
+/// this machine.
+pub struct LocalProvider {
+    total: usize,
+    state: Mutex<State>,
+}
+
+struct State {
+    free: usize,
+    jobs: HashMap<u64, (usize, JobStatus)>,
+    next: u64,
+}
+
+impl LocalProvider {
+    /// Provider with `nodes` grantable units.
+    pub fn new(nodes: usize) -> Self {
+        LocalProvider {
+            total: nodes,
+            state: Mutex::new(State { free: nodes, jobs: HashMap::new(), next: 0 }),
+        }
+    }
+}
+
+impl ExecutionProvider for LocalProvider {
+    fn name(&self) -> &str {
+        "local"
+    }
+
+    fn submit(
+        &self,
+        nodes: usize,
+        _walltime: Option<Duration>,
+    ) -> Result<JobHandle, ProviderError> {
+        let mut st = self.state.lock();
+        if nodes > self.total {
+            return Err(ProviderError::Rejected(format!(
+                "{nodes} nodes requested, machine has {}",
+                self.total
+            )));
+        }
+        if nodes > st.free {
+            return Err(ProviderError::Busy(format!(
+                "{nodes} nodes requested, {} free",
+                st.free
+            )));
+        }
+        st.free -= nodes;
+        let id = st.next;
+        st.next += 1;
+        st.jobs.insert(id, (nodes, JobStatus::Running));
+        Ok(JobHandle(id))
+    }
+
+    fn status(&self, job: &JobHandle) -> JobStatus {
+        self.state
+            .lock()
+            .jobs
+            .get(&job.0)
+            .map(|(_, s)| *s)
+            .unwrap_or(JobStatus::Unknown)
+    }
+
+    fn cancel(&self, job: &JobHandle) -> bool {
+        let mut st = self.state.lock();
+        match st.jobs.get_mut(&job.0) {
+            Some((nodes, status @ JobStatus::Running)) => {
+                let n = *nodes;
+                *status = JobStatus::Cancelled;
+                st.free += n;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn free_nodes(&self) -> usize {
+        self.state.lock().free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_vs_rejected() {
+        let p = LocalProvider::new(4);
+        let _a = p.submit(3, None).unwrap();
+        assert!(matches!(p.submit(2, None), Err(ProviderError::Busy(_))));
+        assert!(matches!(p.submit(5, None), Err(ProviderError::Rejected(_))));
+    }
+
+    #[test]
+    fn unknown_handle() {
+        let p = LocalProvider::new(1);
+        assert_eq!(p.status(&JobHandle(99)), JobStatus::Unknown);
+        assert!(!p.cancel(&JobHandle(99)));
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let p = LocalProvider::new(2);
+        let j = p.submit(1, None).unwrap();
+        assert!(p.cancel(&j));
+        assert!(!p.cancel(&j));
+    }
+}

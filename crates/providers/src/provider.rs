@@ -1,0 +1,73 @@
+//! The three-action provider interface.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Opaque handle to a submitted job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobHandle(pub u64);
+
+impl fmt::Display for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "provider-job-{}", self.0)
+    }
+}
+
+/// Provider-level job states (deliberately coarser than the LRM's: this is
+/// the view Parsl's provider interface exposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for resources.
+    Pending,
+    /// Nodes granted; workers should be coming up.
+    Running,
+    /// Finished (walltime or owner release).
+    Completed,
+    /// Cancelled by the owner.
+    Cancelled,
+    /// Died (injected failure or lost allocation).
+    Failed,
+    /// The provider does not know this handle.
+    Unknown,
+}
+
+/// Submission failures.
+#[derive(Debug, Clone)]
+pub enum ProviderError {
+    /// The request can never be satisfied (too many nodes, policy).
+    Rejected(String),
+    /// Transient inability to submit (queue full).
+    Busy(String),
+}
+
+impl fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProviderError::Rejected(m) => write!(f, "submission rejected: {m}"),
+            ProviderError::Busy(m) => write!(f, "provider busy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}
+
+/// The uniform resource-acquisition interface (§4.2): submit / status /
+/// cancel, in units of nodes.
+pub trait ExecutionProvider: Send + Sync {
+    /// Human-readable name for logs ("local", "slurm-sim", ...).
+    fn name(&self) -> &str;
+
+    /// Ask for `nodes` nodes, optionally bounded by `walltime`.
+    fn submit(&self, nodes: usize, walltime: Option<Duration>)
+        -> Result<JobHandle, ProviderError>;
+
+    /// Poll a job's state.
+    fn status(&self, job: &JobHandle) -> JobStatus;
+
+    /// Cancel a pending or running job; true if it was live.
+    fn cancel(&self, job: &JobHandle) -> bool;
+
+    /// Nodes not currently allocated (best effort; used by tests and the
+    /// strategy's introspection).
+    fn free_nodes(&self) -> usize;
+}

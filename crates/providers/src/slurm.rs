@@ -1,0 +1,100 @@
+//! Slurm submission-script rendering.
+//!
+//! A real Slurm provider's job is mostly assembling an `sbatch` script
+//! from config parameters (§4.2: "parameters are generally mapped to LRM
+//! submission script ... options"). This renders exactly that script so
+//! configurations like the paper's Listing 1 are inspectable and testable,
+//! while actual execution goes through the simulated LRM.
+
+use std::time::Duration;
+
+/// An `sbatch` script in structured form.
+#[derive(Debug, Clone)]
+pub struct SlurmScript {
+    /// `#SBATCH --job-name=`
+    pub job_name: String,
+    /// `#SBATCH --partition=` (e.g. the paper's "skx-normal").
+    pub partition: Option<String>,
+    /// `#SBATCH --nodes=`
+    pub nodes: usize,
+    /// `#SBATCH --time=` as HH:MM:SS.
+    pub walltime: Option<Duration>,
+    /// Extra raw `#SBATCH` lines ("scheduler options").
+    pub scheduler_options: Vec<String>,
+    /// Environment setup before workers start ("worker initialization
+    /// commands (e.g., loading a conda environment)").
+    pub worker_init: String,
+    /// The (launcher-wrapped) worker command.
+    pub command: String,
+}
+
+impl SlurmScript {
+    /// Render the script text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("#!/bin/bash\n");
+        out.push_str(&format!("#SBATCH --job-name={}\n", self.job_name));
+        out.push_str(&format!("#SBATCH --nodes={}\n", self.nodes));
+        if let Some(p) = &self.partition {
+            out.push_str(&format!("#SBATCH --partition={p}\n"));
+        }
+        if let Some(w) = self.walltime {
+            let secs = w.as_secs();
+            out.push_str(&format!(
+                "#SBATCH --time={:02}:{:02}:{:02}\n",
+                secs / 3600,
+                (secs % 3600) / 60,
+                secs % 60
+            ));
+        }
+        for opt in &self.scheduler_options {
+            out.push_str(opt);
+            out.push('\n');
+        }
+        out.push('\n');
+        if !self.worker_init.is_empty() {
+            out.push_str(&self.worker_init);
+            out.push('\n');
+        }
+        out.push_str(&self.command);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_script() {
+        let s = SlurmScript {
+            job_name: "j".into(),
+            partition: None,
+            nodes: 1,
+            walltime: None,
+            scheduler_options: vec![],
+            worker_init: String::new(),
+            command: "worker".into(),
+        };
+        let text = s.render();
+        assert!(text.starts_with("#!/bin/bash\n"));
+        assert!(text.contains("--job-name=j"));
+        assert!(!text.contains("--partition"));
+        assert!(!text.contains("--time"));
+        assert!(text.trim_end().ends_with("worker"));
+    }
+
+    #[test]
+    fn walltime_formats_hhmmss() {
+        let s = SlurmScript {
+            job_name: "j".into(),
+            partition: None,
+            nodes: 1,
+            walltime: Some(Duration::from_secs(3661)),
+            scheduler_options: vec![],
+            worker_init: String::new(),
+            command: "w".into(),
+        };
+        assert!(s.render().contains("--time=01:01:01"));
+    }
+}

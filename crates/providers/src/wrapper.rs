@@ -1,0 +1,67 @@
+//! Binding an executor to a provider-backed block pool.
+
+use crate::block::BlockPool;
+use parsl_core::executor::{
+    BlockScaling, Executor, ExecutorContext, ExecutorError, TaskSpec,
+};
+use std::sync::Arc;
+
+/// An executor whose scaling goes through a provider.
+///
+/// Delegates task execution to the wrapped executor but answers
+/// [`Executor::scaling`] with the [`BlockPool`], so the DataFlowKernel's
+/// strategy engine provisions through the provider (queue delays and all)
+/// instead of the executor's instant in-process scaling. This is the
+/// configuration the elasticity experiment (Figure 6) runs.
+pub struct ProvidedExecutor<E: Executor> {
+    inner: Arc<E>,
+    pool: BlockPool,
+}
+
+impl<E: Executor> ProvidedExecutor<E> {
+    /// Wrap `inner`; `pool`'s hooks should add/remove the executor's nodes.
+    pub fn new(inner: Arc<E>, pool: BlockPool) -> Self {
+        ProvidedExecutor { inner, pool }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &BlockPool {
+        &self.pool
+    }
+
+    /// The wrapped executor.
+    pub fn inner(&self) -> &Arc<E> {
+        &self.inner
+    }
+}
+
+impl<E: Executor> Executor for ProvidedExecutor<E> {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn start(&self, ctx: ExecutorContext) -> Result<(), ExecutorError> {
+        self.inner.start(ctx)
+    }
+
+    fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
+        self.inner.submit(task)
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding()
+    }
+
+    fn connected_workers(&self) -> usize {
+        self.inner.connected_workers()
+    }
+
+    fn shutdown(&self) {
+        self.pool.shutdown();
+        self.inner.shutdown();
+    }
+
+    fn scaling(&self) -> Option<&dyn BlockScaling> {
+        Some(&self.pool)
+    }
+}

@@ -1,0 +1,216 @@
+//! `simcluster` — testbed machines and a batch-scheduler (LRM) simulator.
+//!
+//! The paper evaluates on two real systems (§5): the **Midway** campus
+//! cluster (28-core Intel nodes, 0.07 ms RTT) and the **Blue Waters** Cray
+//! (XE nodes with 32 integer scheduling units used one-per-worker, 0.04 ms
+//! RTT). Neither is available here, so this crate provides:
+//!
+//! - [`Machine`] descriptions with [`machines::midway`] and
+//!   [`machines::blue_waters`] presets carrying the paper's published node
+//!   counts, cores, and measured RTTs;
+//! - [`Lrm`], a Local Resource Manager simulation with the three provider
+//!   actions Parsl needs (submit / status / cancel, §4.2), FIFO scheduling,
+//!   configurable queue delay, walltime enforcement, block-size policies,
+//!   and failure injection. It is *time-domain agnostic*: callers drive it
+//!   with explicit clocks, so the same implementation serves the real
+//!   thread-based providers (wall-clock nanoseconds) and the
+//!   discrete-event experiments (virtual time);
+//! - [`calib`], the cost constants that parameterize every executor and
+//!   baseline model, with their provenance documented next to each number.
+
+pub mod calib;
+mod lrm;
+mod machine;
+
+pub use lrm::{JobId, JobState, Lrm, LrmConfig, SubmitError};
+pub use machine::{machines, Machine};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    fn small_machine() -> Machine {
+        Machine {
+            name: "test".into(),
+            nodes: 4,
+            cores_per_node: 2,
+            workers_per_node: 2,
+            rtt: SimTime::from_micros(50),
+        }
+    }
+
+    fn lrm(qdelay_ms: u64) -> Lrm {
+        Lrm::new(
+            small_machine(),
+            LrmConfig {
+                queue_delay: SimTime::from_millis(qdelay_ms),
+                ..Default::default()
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn submit_starts_after_queue_delay() {
+        let mut lrm = lrm(100);
+        let id = lrm.submit(SimTime::ZERO, 2, None).unwrap();
+        assert_eq!(lrm.status(id), Some(JobState::Pending));
+        lrm.advance(SimTime::from_millis(50));
+        assert_eq!(lrm.status(id), Some(JobState::Pending));
+        lrm.advance(SimTime::from_millis(100));
+        assert!(matches!(lrm.status(id), Some(JobState::Running { .. })));
+        assert_eq!(lrm.free_nodes(), 2);
+    }
+
+    #[test]
+    fn fifo_queue_blocks_when_capacity_exhausted() {
+        let mut lrm = lrm(0);
+        let a = lrm.submit(SimTime::ZERO, 3, None).unwrap();
+        let b = lrm.submit(SimTime::ZERO, 3, None).unwrap();
+        lrm.advance(SimTime::ZERO);
+        assert!(matches!(lrm.status(a), Some(JobState::Running { .. })));
+        assert_eq!(lrm.status(b), Some(JobState::Pending));
+        // Freeing A lets B start.
+        lrm.cancel(SimTime::from_secs(1), a);
+        lrm.advance(SimTime::from_secs(1));
+        assert!(matches!(lrm.status(b), Some(JobState::Running { .. })));
+    }
+
+    #[test]
+    fn walltime_expires_jobs() {
+        let mut lrm = lrm(0);
+        let id = lrm.submit(SimTime::ZERO, 1, Some(SimTime::from_secs(10))).unwrap();
+        lrm.advance(SimTime::ZERO);
+        assert!(matches!(lrm.status(id), Some(JobState::Running { .. })));
+        lrm.advance(SimTime::from_secs(10));
+        assert_eq!(lrm.status(id), Some(JobState::Completed));
+        assert_eq!(lrm.free_nodes(), 4);
+    }
+
+    #[test]
+    fn cancel_pending_job() {
+        let mut lrm = lrm(1000);
+        let id = lrm.submit(SimTime::ZERO, 1, None).unwrap();
+        assert!(lrm.cancel(SimTime::from_millis(1), id));
+        assert_eq!(lrm.status(id), Some(JobState::Cancelled));
+        lrm.advance(SimTime::from_secs(5));
+        assert_eq!(lrm.free_nodes(), 4);
+        // Cancelling twice is a no-op returning false.
+        assert!(!lrm.cancel(SimTime::from_secs(5), id));
+    }
+
+    #[test]
+    fn oversized_job_rejected() {
+        let mut lrm = lrm(0);
+        assert!(matches!(
+            lrm.submit(SimTime::ZERO, 100, None),
+            Err(SubmitError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn node_policy_enforced() {
+        let mut lrm = Lrm::new(
+            small_machine(),
+            LrmConfig {
+                min_nodes_per_job: Some(2),
+                max_nodes_per_job: Some(3),
+                ..Default::default()
+            },
+            0,
+        );
+        assert!(lrm.submit(SimTime::ZERO, 1, None).is_err());
+        assert!(lrm.submit(SimTime::ZERO, 4, None).is_err());
+        assert!(lrm.submit(SimTime::ZERO, 2, None).is_ok());
+    }
+
+    #[test]
+    fn queued_job_cap_enforced() {
+        let mut lrm = Lrm::new(
+            small_machine(),
+            LrmConfig { max_queued_jobs: Some(1), ..Default::default() },
+            0,
+        );
+        // First job occupies everything; second sits in queue; third rejected.
+        let _a = lrm.submit(SimTime::ZERO, 4, None).unwrap();
+        lrm.advance(SimTime::ZERO);
+        let _b = lrm.submit(SimTime::ZERO, 4, None).unwrap();
+        assert!(matches!(
+            lrm.submit(SimTime::ZERO, 4, None),
+            Err(SubmitError::QueueFull { .. })
+        ));
+    }
+
+    #[test]
+    fn fail_job_releases_nodes() {
+        let mut lrm = lrm(0);
+        let id = lrm.submit(SimTime::ZERO, 4, None).unwrap();
+        lrm.advance(SimTime::ZERO);
+        assert_eq!(lrm.free_nodes(), 0);
+        lrm.fail_job(SimTime::from_secs(1), id);
+        assert_eq!(lrm.status(id), Some(JobState::Failed));
+        assert_eq!(lrm.free_nodes(), 4);
+    }
+
+    #[test]
+    fn queue_jitter_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut lrm = Lrm::new(
+                small_machine(),
+                LrmConfig {
+                    queue_delay: SimTime::from_millis(10),
+                    queue_jitter: SimTime::from_millis(50),
+                    ..Default::default()
+                },
+                seed,
+            );
+            let id = lrm.submit(SimTime::ZERO, 1, None).unwrap();
+            let mut t = SimTime::ZERO;
+            while !matches!(lrm.status(id), Some(JobState::Running { .. })) {
+                t = t + SimTime::from_millis(1);
+                lrm.advance(t);
+            }
+            t
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn next_event_time_reports_earliest_transition() {
+        let mut lrm = lrm(100);
+        let _ = lrm.submit(SimTime::ZERO, 1, None).unwrap();
+        // Earliest transition is the queued job's eligibility instant.
+        assert_eq!(lrm.next_event_time(), Some(SimTime::from_millis(100)));
+        lrm.advance(SimTime::from_millis(100));
+        assert_eq!(lrm.next_event_time(), None); // running, no walltime
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        let m = machines::midway();
+        assert_eq!(m.cores_per_node, 28);
+        assert_eq!(m.rtt, SimTime::from_micros(70));
+        let b = machines::blue_waters();
+        assert_eq!(b.workers_per_node, 32);
+        assert_eq!(b.rtt, SimTime::from_micros(40));
+        assert!(b.nodes >= 8192, "must fit the paper's 8192-node runs");
+    }
+
+    #[test]
+    fn calibration_matches_reported_throughputs() {
+        // The bottleneck service times must invert to the paper's Table 2
+        // maximum throughputs.
+        let tol = 0.01;
+        let t = 1.0 / calib::HTEX_INTERCHANGE_SERVICE.as_secs_f64();
+        assert!((t - 1181.0).abs() / 1181.0 < tol, "HTEX {t}");
+        let t = 1.0 / calib::EXEX_INTERCHANGE_SERVICE.as_secs_f64();
+        assert!((t - 1176.0).abs() / 1176.0 < tol, "EXEX {t}");
+        let t = 1.0 / calib::IPP_HUB_SERVICE.as_secs_f64();
+        assert!((t - 330.0).abs() / 330.0 < tol, "IPP {t}");
+        let t = 1.0 / calib::DASK_SCHEDULER_SERVICE.as_secs_f64();
+        assert!((t - 2617.0).abs() / 2617.0 < tol, "Dask {t}");
+        let t = 1.0 / calib::FIREWORKS_DB_SERVICE.as_secs_f64();
+        assert!((t - 4.0).abs() / 4.0 < tol, "FireWorks {t}");
+    }
+}

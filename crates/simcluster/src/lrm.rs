@@ -1,0 +1,372 @@
+//! The Local Resource Manager simulation.
+//!
+//! Implements exactly the three provider actions Parsl's provider
+//! abstraction is built on (§4.2): *submit* a job, retrieve its *status*,
+//! and *cancel* it — plus the queueing behaviour those actions observe on a
+//! real batch system: FIFO start order, a queue delay before nodes are
+//! granted, walltime enforcement, and node-count policies.
+//!
+//! The simulator is driven by explicit clocks (`advance(now)`), so the same
+//! code runs under wall-clock time (thread-based providers poll it) and
+//! virtual time (discrete-event experiments call it from scheduled events).
+
+use crate::machine::Machine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// Opaque job identifier returned by [`Lrm::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue (eligibility delay or capacity).
+    Pending,
+    /// Nodes granted and the job's processes are up.
+    Running {
+        /// When the job started.
+        since: SimTime,
+    },
+    /// Ended normally (owner released it, or walltime elapsed).
+    Completed,
+    /// Cancelled before or during execution.
+    Cancelled,
+    /// Killed by injected failure.
+    Failed,
+}
+
+/// Scheduler policy knobs.
+#[derive(Debug, Clone)]
+pub struct LrmConfig {
+    /// Base delay between submission and node grant (given free capacity).
+    pub queue_delay: SimTime,
+    /// Uniform random extra delay in `[0, queue_jitter]`.
+    pub queue_jitter: SimTime,
+    /// Smallest job the scheduler accepts, in nodes.
+    pub min_nodes_per_job: Option<usize>,
+    /// Largest job the scheduler accepts, in nodes.
+    pub max_nodes_per_job: Option<usize>,
+    /// Maximum number of jobs waiting in the queue (running jobs excluded);
+    /// batch systems commonly cap queued jobs per user.
+    pub max_queued_jobs: Option<usize>,
+}
+
+impl Default for LrmConfig {
+    fn default() -> Self {
+        LrmConfig {
+            queue_delay: SimTime::ZERO,
+            queue_jitter: SimTime::ZERO,
+            min_nodes_per_job: None,
+            max_nodes_per_job: None,
+            max_queued_jobs: None,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// More nodes than the machine has, or above `max_nodes_per_job`.
+    TooManyNodes {
+        /// Nodes requested.
+        requested: usize,
+        /// Largest acceptable request.
+        limit: usize,
+    },
+    /// Below `min_nodes_per_job`.
+    TooFewNodes {
+        /// Nodes requested.
+        requested: usize,
+        /// Smallest acceptable request.
+        limit: usize,
+    },
+    /// The queue already holds `max_queued_jobs` pending jobs.
+    QueueFull {
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::TooManyNodes { requested, limit } => {
+                write!(f, "requested {requested} nodes, limit {limit}")
+            }
+            SubmitError::TooFewNodes { requested, limit } => {
+                write!(f, "requested {requested} nodes, minimum {limit}")
+            }
+            SubmitError::QueueFull { limit } => write!(f, "queue full ({limit} jobs)"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Debug)]
+struct Job {
+    nodes: usize,
+    state: JobState,
+    /// Instant the queue delay elapses and the job may start.
+    eligible_at: SimTime,
+    /// Enforced end time once running.
+    ends_at: Option<SimTime>,
+    walltime: Option<SimTime>,
+}
+
+/// The batch scheduler simulation. See the module docs.
+#[derive(Debug)]
+pub struct Lrm {
+    machine: Machine,
+    config: LrmConfig,
+    free_nodes: usize,
+    jobs: HashMap<JobId, Job>,
+    /// FIFO start order (no backfill — conservative, like a strict FIFO
+    /// scheduler; documents the worst case for elasticity).
+    queue: VecDeque<JobId>,
+    next_id: u64,
+    rng: SmallRng,
+    clock: SimTime,
+}
+
+impl Lrm {
+    /// Create a scheduler over `machine` with `config` policies.
+    pub fn new(machine: Machine, config: LrmConfig, seed: u64) -> Self {
+        let free_nodes = machine.nodes;
+        Lrm {
+            machine,
+            config,
+            free_nodes,
+            jobs: HashMap::new(),
+            queue: VecDeque::new(),
+            next_id: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The machine this scheduler manages.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Submit a job asking for `nodes` nodes, optionally bounded by
+    /// `walltime`. Returns immediately with a job id; the job starts after
+    /// the queue delay once capacity is free.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        nodes: usize,
+        walltime: Option<SimTime>,
+    ) -> Result<JobId, SubmitError> {
+        self.advance(now);
+        let max = self.config.max_nodes_per_job.unwrap_or(self.machine.nodes);
+        let max = max.min(self.machine.nodes);
+        if nodes > max {
+            return Err(SubmitError::TooManyNodes { requested: nodes, limit: max });
+        }
+        if let Some(min) = self.config.min_nodes_per_job {
+            if nodes < min {
+                return Err(SubmitError::TooFewNodes { requested: nodes, limit: min });
+            }
+        }
+        if let Some(cap) = self.config.max_queued_jobs {
+            let queued = self.queue.len();
+            if queued >= cap {
+                return Err(SubmitError::QueueFull { limit: cap });
+            }
+        }
+        let jitter = if self.config.queue_jitter == SimTime::ZERO {
+            SimTime::ZERO
+        } else {
+            SimTime::from_nanos(self.rng.random_range(0..=self.config.queue_jitter.as_nanos()))
+        };
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                nodes,
+                state: JobState::Pending,
+                eligible_at: now + self.config.queue_delay + jitter,
+                ends_at: None,
+                walltime,
+            },
+        );
+        self.queue.push_back(id);
+        self.advance(now);
+        Ok(id)
+    }
+
+    /// Current state of `id`, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        self.jobs.get(&id).map(|j| j.state)
+    }
+
+    /// Cancel a pending or running job. Returns true if the job was live.
+    pub fn cancel(&mut self, now: SimTime, id: JobId) -> bool {
+        self.advance(now);
+        let Some(job) = self.jobs.get_mut(&id) else { return false };
+        match job.state {
+            JobState::Pending => {
+                job.state = JobState::Cancelled;
+                self.queue.retain(|&q| q != id);
+                true
+            }
+            JobState::Running { .. } => {
+                job.state = JobState::Cancelled;
+                self.free_nodes += job.nodes;
+                self.start_eligible(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Inject a failure: the job dies and its nodes are released.
+    pub fn fail_job(&mut self, now: SimTime, id: JobId) -> bool {
+        self.advance(now);
+        let Some(job) = self.jobs.get_mut(&id) else { return false };
+        match job.state {
+            JobState::Running { .. } => {
+                job.state = JobState::Failed;
+                self.free_nodes += job.nodes;
+                self.start_eligible(now);
+                true
+            }
+            JobState::Pending => {
+                job.state = JobState::Failed;
+                self.queue.retain(|&q| q != id);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drive the scheduler's internal transitions up to time `now`:
+    /// walltime expirations and queued-job starts.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.clock, "LRM clock went backwards");
+        self.clock = self.clock.max(now);
+        // End running jobs whose walltime elapsed.
+        for job in self.jobs.values_mut() {
+            if let JobState::Running { .. } = job.state {
+                if let Some(end) = job.ends_at {
+                    if end <= now {
+                        job.state = JobState::Completed;
+                        self.free_nodes += job.nodes;
+                    }
+                }
+            }
+        }
+        self.start_eligible(now);
+    }
+
+    fn start_eligible(&mut self, now: SimTime) {
+        // Strict FIFO: the head of the queue must start before anyone else.
+        while let Some(&id) = self.queue.front() {
+            let job = self.jobs.get_mut(&id).expect("queued job exists");
+            debug_assert_eq!(job.state, JobState::Pending);
+            if job.eligible_at > now || job.nodes > self.free_nodes {
+                break;
+            }
+            job.state = JobState::Running { since: now };
+            job.ends_at = job.walltime.map(|w| now + w);
+            self.free_nodes -= job.nodes;
+            self.queue.pop_front();
+        }
+    }
+
+    /// Earliest future instant at which some state transition can happen
+    /// (queued-job eligibility or a walltime expiry). Lets discrete-event
+    /// callers know when to poll next. `None` when nothing is scheduled.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            if t > self.clock {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        if let Some(&head) = self.queue.front() {
+            let job = &self.jobs[&head];
+            consider(job.eligible_at);
+        }
+        for job in self.jobs.values() {
+            if let JobState::Running { .. } = job.state {
+                if let Some(end) = job.ends_at {
+                    consider(end);
+                }
+            }
+        }
+        next
+    }
+
+    /// Nodes not allocated to any running job.
+    pub fn free_nodes(&self) -> usize {
+        self.free_nodes
+    }
+
+    /// Jobs currently running.
+    pub fn running_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Running { .. }))
+            .count()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued_jobs(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::machines;
+
+    #[test]
+    fn strict_fifo_head_blocks_tail() {
+        // A small job behind a large blocked job must wait (no backfill).
+        let mut lrm = Lrm::new(machines::workstation(4), LrmConfig::default(), 0);
+        // workstation has 1 node; occupy it.
+        let a = lrm.submit(SimTime::ZERO, 1, None).unwrap();
+        let b = lrm.submit(SimTime::ZERO, 1, None).unwrap();
+        let c = lrm.submit(SimTime::ZERO, 1, None).unwrap();
+        lrm.advance(SimTime::ZERO);
+        assert!(matches!(lrm.status(a), Some(JobState::Running { .. })));
+        assert_eq!(lrm.status(b), Some(JobState::Pending));
+        assert_eq!(lrm.status(c), Some(JobState::Pending));
+        lrm.cancel(SimTime::from_secs(1), a);
+        assert!(matches!(lrm.status(b), Some(JobState::Running { .. })));
+        assert_eq!(lrm.status(c), Some(JobState::Pending));
+    }
+
+    #[test]
+    fn unknown_job_status_is_none() {
+        let lrm = Lrm::new(machines::workstation(1), LrmConfig::default(), 0);
+        assert_eq!(lrm.status(JobId(99)), None);
+    }
+
+    #[test]
+    fn walltime_expiry_lets_queue_progress() {
+        let mut lrm = Lrm::new(machines::workstation(1), LrmConfig::default(), 0);
+        let a = lrm.submit(SimTime::ZERO, 1, Some(SimTime::from_secs(5))).unwrap();
+        let b = lrm.submit(SimTime::ZERO, 1, None).unwrap();
+        lrm.advance(SimTime::from_secs(4));
+        assert!(matches!(lrm.status(a), Some(JobState::Running { .. })));
+        assert_eq!(lrm.status(b), Some(JobState::Pending));
+        lrm.advance(SimTime::from_secs(5));
+        assert_eq!(lrm.status(a), Some(JobState::Completed));
+        assert!(matches!(lrm.status(b), Some(JobState::Running { .. })));
+    }
+}

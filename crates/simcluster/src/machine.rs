@@ -1,0 +1,97 @@
+//! Machine descriptions and the paper's two testbeds.
+
+use simnet::SimTime;
+
+/// A homogeneous cluster/supercomputer description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    /// Human-readable name used in logs and experiment output.
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Physical cores per node.
+    pub cores_per_node: usize,
+    /// Workers deployed per node in the paper's experiments (one per
+    /// schedulable unit, which may differ from physical cores).
+    pub workers_per_node: usize,
+    /// Measured node-to-node round-trip time.
+    pub rtt: SimTime,
+}
+
+impl Machine {
+    /// Total worker slots across the machine.
+    pub fn total_workers(&self) -> usize {
+        self.nodes * self.workers_per_node
+    }
+
+    /// One-way network latency (half the measured RTT).
+    pub fn one_way_latency(&self) -> SimTime {
+        SimTime::from_nanos(self.rtt.as_nanos() / 2)
+    }
+}
+
+/// The two testbeds from §5 of the paper.
+pub mod machines {
+    use super::*;
+
+    /// Midway campus cluster ("broadwl" partition): 28-core Intel E5-2680v4
+    /// nodes, 64 GB RAM, InfiniBand, measured RTT 0.07 ms. Used for the
+    /// latency (Fig. 3), throughput (Table 2), and elasticity (Fig. 6)
+    /// experiments.
+    pub fn midway() -> Machine {
+        Machine {
+            name: "midway".into(),
+            // The partition is shared; the paper never needed more than a
+            // few dozen nodes there. 100 is a generous allocation cap.
+            nodes: 100,
+            cores_per_node: 28,
+            workers_per_node: 28,
+            rtt: SimTime::from_micros(70),
+        }
+    }
+
+    /// Blue Waters XE partition: 22 636 nodes with 16 AMD Interlagos cores
+    /// (32 integer scheduling units) and 64 GB RAM, 3D-torus interconnect,
+    /// measured RTT 0.04 ms. The paper deploys one worker per integer
+    /// scheduling unit (32 per node) and scales to 8192 nodes. Used for
+    /// the scaling experiments (Fig. 4, Table 2).
+    pub fn blue_waters() -> Machine {
+        Machine {
+            name: "blue-waters".into(),
+            nodes: 22_636,
+            cores_per_node: 16,
+            workers_per_node: 32,
+            rtt: SimTime::from_micros(40),
+        }
+    }
+
+    /// A laptop-scale machine for examples and tests.
+    pub fn workstation(cores: usize) -> Machine {
+        Machine {
+            name: "workstation".into(),
+            nodes: 1,
+            cores_per_node: cores,
+            workers_per_node: cores,
+            rtt: SimTime::from_micros(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let m = machines::blue_waters();
+        assert_eq!(m.total_workers(), 22_636 * 32);
+        assert_eq!(m.one_way_latency(), SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn workstation_is_single_node() {
+        let w = machines::workstation(8);
+        assert_eq!(w.nodes, 1);
+        assert_eq!(w.total_workers(), 8);
+    }
+}

@@ -1,0 +1,148 @@
+//! The event loop: a virtual clock driving a heap of pending closures.
+
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the max-heap yields earliest time, FIFO within ties.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulation run.
+///
+/// Holds the virtual clock, the pending-event heap, a seeded RNG, and run
+/// counters. Models keep their state in `Rc<RefCell<...>>` captured by the
+/// scheduled closures; the engine itself is state-agnostic.
+pub struct Sim {
+    now: SimTime,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    rng: SmallRng,
+    processed: u64,
+}
+
+impl Sim {
+    /// New simulation at time zero with a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `action` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now.saturating_add(delay), action);
+    }
+
+    /// Schedule `action` at absolute time `at` (clamped to now — the clock
+    /// never runs backwards).
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, action: Box::new(action) });
+    }
+
+    /// Execute the next event, if any. Returns false when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now, "event heap went backwards");
+                self.now = ev.time;
+                self.processed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until no events remain. Returns the number of events executed.
+    pub fn run(&mut self) -> u64 {
+        let start = self.processed;
+        while self.step() {}
+        self.processed - start
+    }
+
+    /// Run events up to and including time `horizon`, then set the clock to
+    /// `horizon`. Returns the number of events executed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let start = self.processed;
+        while let Some(ev) = self.heap.peek() {
+            if ev.time > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(horizon);
+        self.processed - start
+    }
+
+    /// Uniform random draw from a range (deterministic per seed).
+    pub fn rand_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform random float in `[0, 1)`.
+    pub fn rand_f64(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    /// Direct access to the RNG for distributions.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}

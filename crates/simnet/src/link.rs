@@ -1,0 +1,90 @@
+//! Network link model: latency plus optional serialization bandwidth.
+
+use crate::time::SimTime;
+
+/// A one-way network pipe.
+///
+/// Transmission time = queueing behind earlier messages on this link
+/// (bytes ÷ bandwidth each) + propagation `latency`. With `bandwidth:
+/// None` the link is a pure-latency wire, appropriate when message sizes
+/// are negligible (the paper's no-op task experiments).
+#[derive(Debug, Clone)]
+pub struct Link {
+    latency: SimTime,
+    bandwidth: Option<u64>,
+    busy_until: SimTime,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Link {
+    /// Create a link with propagation `latency` and optional serialization
+    /// `bandwidth` in bytes/second.
+    pub fn new(latency: SimTime, bandwidth: Option<u64>) -> Self {
+        assert!(bandwidth != Some(0), "zero bandwidth link");
+        Link { latency, bandwidth, busy_until: SimTime::ZERO, messages: 0, bytes: 0 }
+    }
+
+    /// Send `bytes` at `now`; returns the arrival instant at the far end.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.messages += 1;
+        self.bytes += bytes;
+        match self.bandwidth {
+            None => now + self.latency,
+            Some(bw) => {
+                let ser = SimTime::from_secs_f64(bytes as f64 / bw as f64);
+                let start = self.busy_until.max(now);
+                self.busy_until = start + ser;
+                self.busy_until + self.latency
+            }
+        }
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Messages transmitted.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Payload bytes transmitted.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut l = Link::new(SimTime::from_micros(10), None);
+        l.transmit(SimTime::ZERO, 100);
+        l.transmit(SimTime::ZERO, 50);
+        assert_eq!(l.messages(), 2);
+        assert_eq!(l.bytes(), 150);
+    }
+
+    #[test]
+    fn bandwidth_queues_but_latency_does_not() {
+        let mut l = Link::new(SimTime::from_millis(1), Some(1000)); // 1 KB/s
+        // 10 bytes = 10 ms serialization.
+        let a1 = l.transmit(SimTime::ZERO, 10);
+        let a2 = l.transmit(SimTime::ZERO, 10);
+        assert_eq!(a1, SimTime::from_millis(11));
+        assert_eq!(a2, SimTime::from_millis(21));
+        // After the pipe drains, no queueing.
+        let a3 = l.transmit(SimTime::from_millis(100), 10);
+        assert_eq!(a3, SimTime::from_millis(111));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(SimTime::ZERO, Some(0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Single-server FIFO queue — the bottleneck primitive.
+
+use crate::time::SimTime;
+
+/// A single-server queue with deterministic FIFO service.
+///
+/// `enqueue(now, service)` reserves the next free service slot and returns
+/// its completion time; the caller schedules the completion event there.
+/// Because arrivals are processed in call order, this reproduces an M/D/1-
+/// style bottleneck exactly: a station with per-task service time `s`
+/// saturates at `1/s` tasks per second, which is what caps each framework's
+/// throughput in Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStation {
+    busy_until: SimTime,
+    busy_accum: SimTime,
+    served: u64,
+    max_backlog: SimTime,
+}
+
+impl ServiceStation {
+    /// An idle station.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve the next service slot at/after `now` taking `service` time;
+    /// returns the completion instant.
+    pub fn enqueue(&mut self, now: SimTime, service: SimTime) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + service;
+        self.busy_until = done;
+        self.busy_accum += service;
+        self.served += 1;
+        let backlog = done.saturating_sub(now);
+        if backlog > self.max_backlog {
+            self.max_backlog = backlog;
+        }
+        done
+    }
+
+    /// Items served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Instant at which the server goes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Work currently queued ahead of a new arrival at `now`.
+    pub fn backlog(&self, now: SimTime) -> SimTime {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Largest backlog any single arrival has seen.
+    pub fn max_backlog(&self) -> SimTime {
+        self.max_backlog
+    }
+
+    /// Fraction of `[0, now]` the server spent busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            (self.busy_accum.as_secs_f64() / now.as_secs_f64()).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlog_tracks_queue_depth() {
+        let mut st = ServiceStation::new();
+        let s = SimTime::from_millis(2);
+        st.enqueue(SimTime::ZERO, s);
+        st.enqueue(SimTime::ZERO, s);
+        assert_eq!(st.backlog(SimTime::ZERO), SimTime::from_millis(4));
+        assert_eq!(st.backlog(SimTime::from_millis(3)), SimTime::from_millis(1));
+        assert_eq!(st.backlog(SimTime::from_millis(10)), SimTime::ZERO);
+        assert_eq!(st.max_backlog(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn saturation_throughput_is_inverse_service_time() {
+        // 1 ms service => at most 1000 completions fit in the first second.
+        let mut st = ServiceStation::new();
+        let s = SimTime::from_millis(1);
+        let mut within_first_second = 0;
+        for _ in 0..5000 {
+            if st.enqueue(SimTime::ZERO, s) <= SimTime::from_secs(1) {
+                within_first_second += 1;
+            }
+        }
+        assert_eq!(within_first_second, 1000);
+    }
+
+    #[test]
+    fn utilization_caps_at_one() {
+        let mut st = ServiceStation::new();
+        for _ in 0..100 {
+            st.enqueue(SimTime::ZERO, SimTime::from_millis(10));
+        }
+        assert_eq!(st.utilization(SimTime::from_millis(500)), 1.0);
+    }
+}

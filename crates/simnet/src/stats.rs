@@ -1,0 +1,203 @@
+//! Measurement containers: sample sets and stepwise time series.
+
+use crate::time::SimTime;
+
+/// A bag of scalar samples with summary statistics.
+///
+/// Used for task latencies (Figure 3) and completion times. Quantiles use
+/// the nearest-rank method over a lazily sorted copy.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean (0 for an empty set).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest observation (0 for an empty set).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observation (0 for an empty set).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Quantile `q` in `[0, 1]` by nearest rank. Panics on an empty set.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!(!self.values.is_empty(), "quantile of empty sample set");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let idx = ((self.values.len() - 1) as f64 * q).round() as usize;
+        self.values[idx]
+    }
+
+    /// All raw samples, in insertion order unless a quantile was taken.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A stepwise-constant time series: the value set at each instant holds
+/// until the next record. Used for worker counts and utilization (Fig. 6).
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that the value became `v` at time `t` (non-decreasing `t`).
+    pub fn record(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last_t, _)) = self.points.last() {
+            assert!(t >= last_t, "time series must be recorded in order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Value in effect at time `t` (None before the first record).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Integral of the series over `[first_record, end]` divided by the
+    /// span — the time-weighted average value.
+    pub fn time_weighted_mean(&self, end: SimTime) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let start = self.points[0].0;
+        if end <= start {
+            return self.points[0].1;
+        }
+        let mut integral = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v) = w[0];
+            let (t1, _) = w[1];
+            let hi = t1.min(end);
+            if hi > t0 {
+                integral += v * (hi - t0).as_secs_f64();
+            }
+        }
+        let (tl, vl) = *self.points.last().expect("non-empty");
+        if end > tl {
+            integral += vl * (end - tl).as_secs_f64();
+        }
+        integral / (end - start).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_are_safe() {
+        let s = Samples::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut s = Samples::new();
+        for _ in 0..10 {
+            s.record(4.2);
+        }
+        assert!(s.stddev() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        let mut s = Samples::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.stddev() - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(1), 10.0);
+        ts.record(SimTime::from_secs(5), 20.0);
+        assert_eq!(ts.value_at(SimTime::ZERO), None);
+        assert_eq!(ts.value_at(SimTime::from_secs(1)), Some(10.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(3)), Some(10.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(5)), Some(20.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(9)), Some(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded in order")]
+    fn out_of_order_record_panics() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(2), 1.0);
+        ts.record(SimTime::from_secs(1), 2.0);
+    }
+}

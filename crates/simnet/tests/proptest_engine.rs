@@ -1,0 +1,109 @@
+//! Property tests on the discrete-event engine: time monotonicity,
+//! FIFO tie-breaking, station conservation laws, and determinism.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simnet::{ServiceStation, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events fire in nondecreasing virtual time regardless of the order
+    /// they were scheduled, and ties preserve insertion order.
+    #[test]
+    fn event_order_is_time_then_fifo(delays in vec(0u64..1000, 1..80)) {
+        let mut sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let log = Rc::clone(&log);
+            sim.schedule_in(SimTime::from_micros(d), move |sim| {
+                log.borrow_mut().push((sim.now().as_nanos(), i));
+            });
+        }
+        let fired = sim.run();
+        prop_assert_eq!(fired as usize, delays.len());
+        let log = log.borrow();
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// A service station conserves work: completions are spaced at least
+    /// one service time apart and never before their arrival + service.
+    #[test]
+    fn station_conservation(arrivals in vec((0u64..10_000, 1u64..500), 1..100)) {
+        let mut st = ServiceStation::new();
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        let mut prev_done = SimTime::ZERO;
+        let mut total_service = SimTime::ZERO;
+        for &(at, service) in &sorted {
+            let arrive = SimTime::from_micros(at);
+            let service = SimTime::from_micros(service);
+            let done = st.enqueue(arrive, service);
+            prop_assert!(done >= arrive + service, "completed before service finished");
+            prop_assert!(done >= prev_done + service, "server overlapped jobs");
+            prev_done = done;
+            total_service += service;
+        }
+        prop_assert_eq!(st.served(), sorted.len() as u64);
+        // Busy time can never exceed the horizon.
+        let horizon = prev_done.max(SimTime::from_micros(10_000));
+        prop_assert!(st.utilization(horizon) <= 1.0 + 1e-9);
+        // The server is busy at least total_service/horizon of the time.
+        let min_util = total_service.as_secs_f64() / horizon.as_secs_f64();
+        prop_assert!(st.utilization(horizon) >= min_util - 1e-9);
+    }
+
+    /// Identical seeds and schedules produce identical traces; the clock
+    /// equals the max event time when the heap drains.
+    #[test]
+    fn determinism_and_final_clock(delays in vec(0u64..1_000_000, 1..50), seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(seed);
+            let trace = Rc::new(RefCell::new(Vec::new()));
+            for &d in &delays {
+                let trace = Rc::clone(&trace);
+                let jitter = sim.rand_range(0..100);
+                sim.schedule_in(SimTime::from_nanos(d + jitter), move |sim| {
+                    trace.borrow_mut().push(sim.now().as_nanos());
+                });
+            }
+            sim.run();
+            let final_trace = trace.borrow().clone();
+            (sim.now().as_nanos(), final_trace)
+        };
+        let (end1, trace1) = run(seed);
+        let (end2, trace2) = run(seed);
+        prop_assert_eq!(end1, end2);
+        prop_assert_eq!(&trace1, &trace2);
+        prop_assert_eq!(end1, *trace1.last().unwrap());
+    }
+
+    /// run_until never executes events beyond the horizon, and a later
+    /// run() picks up exactly the remainder.
+    #[test]
+    fn run_until_partitions_execution(delays in vec(1u64..1000, 1..60), cut in 1u64..1000) {
+        let mut sim = Sim::new(0);
+        let count = Rc::new(RefCell::new(0usize));
+        for &d in &delays {
+            let count = Rc::clone(&count);
+            sim.schedule_in(SimTime::from_micros(d), move |_| {
+                *count.borrow_mut() += 1;
+            });
+        }
+        let horizon = SimTime::from_micros(cut);
+        sim.run_until(horizon);
+        let before = *count.borrow();
+        let expected_before = delays.iter().filter(|&&d| d <= cut).count();
+        prop_assert_eq!(before, expected_before);
+        prop_assert!(sim.now() >= horizon);
+        sim.run();
+        prop_assert_eq!(*count.borrow(), delays.len());
+    }
+}

@@ -1,0 +1,388 @@
+//! Deserializer half of the wire format.
+
+use crate::error::{Error, Result};
+use crate::varint::{decode_varint, zigzag_decode};
+use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+
+/// Deserialize a value of type `T` from `input`, requiring the whole slice to
+/// be consumed.
+pub fn from_bytes<'de, T: de::Deserialize<'de>>(input: &'de [u8]) -> Result<T> {
+    let mut de = Deserializer::new(input);
+    let value = T::deserialize(&mut de)?;
+    if de.remaining() != 0 {
+        return Err(Error::TrailingBytes);
+    }
+    Ok(value)
+}
+
+/// Streaming deserializer over a borrowed byte slice.
+pub struct Deserializer<'de> {
+    input: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Deserializer<'de> {
+    /// Create a deserializer reading from `input`.
+    pub fn new(input: &'de [u8]) -> Self {
+        Deserializer { input, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Eof);
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    #[inline]
+    fn byte(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    #[inline]
+    fn varint(&mut self) -> Result<u64> {
+        let (v, used) = decode_varint(&self.input[self.pos..])?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    #[inline]
+    fn length(&mut self) -> Result<usize> {
+        let v = self.varint()?;
+        // Any valid length is bounded by the remaining input, which guards
+        // against hostile lengths pre-allocating huge buffers.
+        if v > self.remaining() as u64 {
+            return Err(Error::LengthOverflow(v));
+        }
+        Ok(v as usize)
+    }
+}
+
+macro_rules! de_unsigned {
+    ($fn:ident, $visit:ident, $ty:ty) => {
+        fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let v = self.varint()?;
+            let narrowed = <$ty>::try_from(v).map_err(|_| Error::LengthOverflow(v))?;
+            visitor.$visit(narrowed)
+        }
+    };
+}
+
+macro_rules! de_signed {
+    ($fn:ident, $visit:ident, $ty:ty) => {
+        fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let v = zigzag_decode(self.varint()?);
+            let narrowed =
+                <$ty>::try_from(v).map_err(|_| Error::LengthOverflow(v.unsigned_abs()))?;
+            visitor.$visit(narrowed)
+        }
+    };
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Unsupported("deserialize_any on a non-self-describing format"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.byte()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(Error::InvalidBool(b)),
+        }
+    }
+
+    de_signed!(deserialize_i8, visit_i8, i8);
+    de_signed!(deserialize_i16, visit_i16, i16);
+    de_signed!(deserialize_i32, visit_i32, i32);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = zigzag_decode(self.varint()?);
+        visitor.visit_i64(v)
+    }
+
+    de_unsigned!(deserialize_u8, visit_u8, u8);
+    de_unsigned!(deserialize_u16, visit_u16, u16);
+    de_unsigned!(deserialize_u32, visit_u32, u32);
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.varint()?;
+        visitor.visit_u64(v)
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes: [u8; 4] = self.take(4)?.try_into().expect("length checked");
+        visitor.visit_f32(f32::from_le_bytes(bytes))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes: [u8; 8] = self.take(8)?.try_into().expect("length checked");
+        visitor.visit_f64(f64::from_le_bytes(bytes))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.varint()?;
+        let scalar = u32::try_from(v).map_err(|_| Error::InvalidChar(u32::MAX))?;
+        let c = char::from_u32(scalar).ok_or(Error::InvalidChar(scalar))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.length()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| Error::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.length()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.byte()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(Error::InvalidBool(b)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.length()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.length()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Unsupported("field identifiers are not encoded"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Unsupported("cannot skip values in a non-self-describing format"))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Sequence/map access driven by an element count.
+struct Counted<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de, 'a> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de, 'a> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = Error;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self::Variant)> {
+        let index = self.de.varint()?;
+        let index = u32::try_from(index).map_err(|_| Error::InvalidVariant(u32::MAX))?;
+        let index_de: de::value::U32Deserializer<Error> = index.into_deserializer();
+        let value = seed.deserialize(index_de)?;
+        Ok((value, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self.de, remaining: len })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self.de, remaining: fields.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrowed_str_deserializes_zero_copy() {
+        let bytes = crate::to_bytes("borrowed").unwrap();
+        let s: &str = from_bytes(&bytes).unwrap();
+        assert_eq!(s, "borrowed");
+    }
+
+    #[test]
+    fn narrowing_overflow_is_detected() {
+        let bytes = crate::to_bytes(&300u64).unwrap();
+        assert!(from_bytes::<u8>(&bytes).is_err());
+        let bytes = crate::to_bytes(&-200i64).unwrap();
+        assert!(from_bytes::<i8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Claims a 2^40-byte string with no data behind it.
+        let mut bytes = Vec::new();
+        crate::encode_varint(1 << 40, &mut bytes);
+        assert!(matches!(
+            from_bytes::<String>(&bytes),
+            Err(Error::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let bytes = vec![2, 0xff, 0xfe];
+        assert!(matches!(from_bytes::<String>(&bytes), Err(Error::InvalidUtf8)));
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        assert!(matches!(from_bytes::<bool>(&[7]), Err(Error::InvalidBool(7))));
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        let mut bytes = Vec::new();
+        crate::encode_varint(0xD800, &mut bytes); // lone surrogate
+        assert!(matches!(from_bytes::<char>(&bytes), Err(Error::InvalidChar(0xD800))));
+    }
+
+    #[test]
+    fn out_of_range_variant_rejected() {
+        #[derive(serde::Deserialize, Debug)]
+        enum E {
+            #[allow(dead_code)]
+            A,
+        }
+        let mut bytes = Vec::new();
+        crate::encode_varint(9, &mut bytes);
+        assert!(from_bytes::<E>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by the serializer, deserializer, and frame codec.
+
+use std::fmt;
+
+/// Result alias for all `wire` operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong while encoding or decoding.
+#[derive(Debug)]
+pub enum Error {
+    /// Input ended before the value was complete.
+    Eof,
+    /// Input contained bytes beyond the end of the value.
+    TrailingBytes,
+    /// A varint ran past ten bytes (would overflow `u64`).
+    VarintOverflow,
+    /// A declared length did not fit in `usize` or exceeded a frame cap.
+    LengthOverflow(u64),
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A `char` scalar value was out of range.
+    InvalidChar(u32),
+    /// String data was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum variant index was out of range for the target type.
+    InvalidVariant(u32),
+    /// The format cannot represent this request (e.g. `deserialize_any`).
+    Unsupported(&'static str),
+    /// Underlying I/O failure (frame reader/writer only).
+    Io(std::io::Error),
+    /// Error raised by a `Serialize`/`Deserialize` implementation.
+    Custom(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of input"),
+            Error::TrailingBytes => write!(f, "trailing bytes after value"),
+            Error::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            Error::LengthOverflow(n) => write!(f, "declared length {n} too large"),
+            Error::InvalidBool(b) => write!(f, "invalid bool byte {b:#x}"),
+            Error::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            Error::InvalidUtf8 => write!(f, "string data is not valid UTF-8"),
+            Error::InvalidVariant(v) => write!(f, "enum variant index {v} out of range"),
+            Error::Unsupported(what) => write!(f, "unsupported by wire format: {what}"),
+            Error::Io(e) => write!(f, "frame I/O error: {e}"),
+            Error::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Custom(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Custom(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::Eof.to_string().contains("end of input"));
+        assert!(Error::InvalidBool(7).to_string().contains("0x7"));
+        assert!(Error::LengthOverflow(u64::MAX).to_string().contains("too large"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

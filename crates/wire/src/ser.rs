@@ -1,0 +1,377 @@
+//! Serializer half of the wire format.
+
+use crate::error::{Error, Result};
+use crate::varint::{encode_varint, zigzag_encode};
+use serde::ser::{self, Serialize};
+
+/// Serialize `value` into a fresh byte vector.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(64);
+    value.serialize(&mut Serializer::new(&mut out))?;
+    Ok(out)
+}
+
+/// Serialize `value`, appending to an existing buffer.
+///
+/// Lets callers reuse allocations on hot submit paths.
+pub fn to_writer<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<()> {
+    value.serialize(&mut Serializer::new(out))
+}
+
+/// Streaming serializer writing the wire format into a `Vec<u8>`.
+pub struct Serializer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> Serializer<'a> {
+    /// Create a serializer appending to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        Serializer { out }
+    }
+
+    #[inline]
+    fn put_varint(&mut self, v: u64) {
+        encode_varint(v, self.out);
+    }
+
+    #[inline]
+    fn put_len(&mut self, len: usize) {
+        encode_varint(len as u64, self.out);
+    }
+}
+
+/// Sequence/map serializer that buffers elements when the length is unknown
+/// up front, so the count can still be prefixed.
+pub struct SeqSerializer<'a> {
+    parent: &'a mut Vec<u8>,
+    buf: Vec<u8>,
+    count: u64,
+    /// true when the length was already written to `parent` and elements can
+    /// stream directly.
+    direct: bool,
+}
+
+impl<'a> SeqSerializer<'a> {
+    fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.count += 1;
+        if self.direct {
+            value.serialize(&mut Serializer::new(self.parent))
+        } else {
+            value.serialize(&mut Serializer::new(&mut self.buf))
+        }
+    }
+
+    fn finish(self) -> Result<()> {
+        if !self.direct {
+            encode_varint(self.count, self.parent);
+            self.parent.extend_from_slice(&self.buf);
+        }
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = SeqSerializer<'b>;
+    type SerializeTuple = Compound<'b>;
+    type SerializeTupleStruct = Compound<'b>;
+    type SerializeTupleVariant = Compound<'b>;
+    type SerializeMap = SeqSerializer<'b>;
+    type SerializeStruct = Compound<'b>;
+    type SerializeStructVariant = Compound<'b>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        self.put_varint(zigzag_encode(v));
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<()> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result<()> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result<()> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        self.put_varint(v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.put_varint(v as u64);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.put_varint(variant_index as u64);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.put_varint(variant_index as u64);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        match len {
+            Some(n) => {
+                self.put_len(n);
+                Ok(SeqSerializer { parent: self.out, buf: Vec::new(), count: 0, direct: true })
+            }
+            None => Ok(SeqSerializer {
+                parent: self.out,
+                buf: Vec::new(),
+                count: 0,
+                direct: false,
+            }),
+        }
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(Compound { out: self.out })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(Compound { out: self.out })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        self.put_varint(variant_index as u64);
+        Ok(Compound { out: self.out })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        match len {
+            Some(n) => {
+                self.put_len(n);
+                Ok(SeqSerializer { parent: self.out, buf: Vec::new(), count: 0, direct: true })
+            }
+            None => Ok(SeqSerializer {
+                parent: self.out,
+                buf: Vec::new(),
+                count: 0,
+                direct: false,
+            }),
+        }
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(Compound { out: self.out })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        self.put_varint(variant_index as u64);
+        Ok(Compound { out: self.out })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+impl<'a> ser::SerializeSeq for SeqSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+impl<'a> ser::SerializeMap for SeqSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        // Keys and values are interleaved; only count pairs (on the key).
+        self.count += 1;
+        let target: &mut Vec<u8> = if self.direct { self.parent } else { &mut self.buf };
+        key.serialize(&mut Serializer::new(target))
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        let target: &mut Vec<u8> = if self.direct { self.parent } else { &mut self.buf };
+        value.serialize(&mut Serializer::new(target))
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish()
+    }
+}
+
+/// Serializer for fixed-arity compounds: tuples, structs, and their variants.
+pub struct Compound<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+macro_rules! impl_compound {
+    ($trait:ident, $method:ident $(, $key:ty)?) => {
+        impl<'a> ser::$trait for Compound<'a> {
+            type Ok = ();
+            type Error = Error;
+
+            fn $method<T: Serialize + ?Sized>(
+                &mut self,
+                $(_key: $key,)?
+                value: &T,
+            ) -> Result<()> {
+                value.serialize(&mut Serializer::new(self.out))
+            }
+
+            fn end(self) -> Result<()> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound!(SerializeTuple, serialize_element);
+impl_compound!(SerializeTupleStruct, serialize_field);
+impl_compound!(SerializeTupleVariant, serialize_field);
+impl_compound!(SerializeStruct, serialize_field, &'static str);
+impl_compound!(SerializeStructVariant, serialize_field, &'static str);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_zero_bytes() {
+        assert!(to_bytes(&()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn small_ints_are_one_byte() {
+        assert_eq!(to_bytes(&5u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&-3i64).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn str_layout_is_len_prefixed() {
+        let b = to_bytes("ab").unwrap();
+        assert_eq!(b, vec![2, b'a', b'b']);
+    }
+
+    #[test]
+    fn unknown_len_seq_buffers_and_prefixes_count() {
+        struct Stream;
+        impl Serialize for Stream {
+            fn serialize<S: ser::Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                use serde::ser::SerializeSeq;
+                let mut seq = serializer.serialize_seq(None)?;
+                for i in 0u8..3 {
+                    seq.serialize_element(&i)?;
+                }
+                seq.end()
+            }
+        }
+        let b = to_bytes(&Stream).unwrap();
+        assert_eq!(b, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn to_writer_appends() {
+        let mut buf = vec![0xAA];
+        to_writer(&1u8, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xAA, 1]);
+    }
+}

@@ -1,0 +1,63 @@
+//! ML inference serving: the DLHub-style bag-of-tasks use case from §2.1.
+//!
+//! "DLHub requires methods to manage many short-duration inference
+//! requests using a bag-of-tasks execution model ... real-time workloads
+//! that require low-latency responses." Accordingly this example uses the
+//! Low Latency Executor on a fixed worker pool and measures per-request
+//! round trips.
+//!
+//! Run with: `cargo run --release --example ml_inference`
+
+use parsl::prelude::*;
+use std::time::Instant;
+
+/// A tiny "model": logistic regression over a feature vector.
+fn infer(weights: &[f64], features: &[f64]) -> f64 {
+    let z: f64 = weights.iter().zip(features).map(|(w, x)| w * x).sum();
+    1.0 / (1.0 + (-z).exp())
+}
+
+fn main() {
+    let dfk = DataFlowKernel::builder()
+        .executor(parsl::executors::LlexExecutor::new(parsl::executors::LlexConfig {
+            workers: 4,
+            ..Default::default()
+        }))
+        .build()
+        .expect("kernel starts");
+
+    // "Serve" a published model: weights captured by the app closure, the
+    // way DLHub keeps a model resident on its servers.
+    let weights: Vec<f64> = (0..16).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
+    let w = weights.clone();
+    let predict = dfk.python_app("predict", move |features: Vec<f64>| infer(&w, &features));
+
+    // Bag of inference requests from "concurrent researchers".
+    let requests: Vec<Vec<f64>> = (0..200)
+        .map(|r| (0..16).map(|i| ((r * 13 + i * 7) % 23) as f64 / 23.0).collect())
+        .collect();
+
+    let t0 = Instant::now();
+    let futures: Vec<_> = requests
+        .iter()
+        .map(|features| parsl::core::call!(predict, features.clone()))
+        .collect();
+    let scores: Vec<f64> = futures.iter().map(|f| f.result().expect("inference runs")).collect();
+    let elapsed = t0.elapsed();
+
+    // Interactive follow-up request, measured individually — the latency-
+    // sensitive path the LLEX exists for.
+    let t1 = Instant::now();
+    let one = parsl::core::call!(predict, requests[0].clone());
+    let score = one.result().expect("inference runs");
+    let single = t1.elapsed();
+
+    let positive = scores.iter().filter(|&&s| s > 0.5).count();
+    println!("served {} requests in {elapsed:?} ({positive} positive)", scores.len());
+    println!("single-request round trip: {single:?} (score {score:.3})");
+    println!(
+        "throughput: {:.0} requests/s",
+        scores.len() as f64 / elapsed.as_secs_f64()
+    );
+    dfk.shutdown();
+}

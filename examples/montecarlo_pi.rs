@@ -1,0 +1,80 @@
+//! Monte-Carlo π: the classic map-reduce warm-up, with checkpointing.
+//!
+//! Demonstrates the fault-tolerance workflow of §3.7: run once, kill the
+//! program, re-run — completed shards are served from the checkpoint file
+//! and only missing work executes. Here both "runs" happen in one process.
+//!
+//! Run with: `cargo run --release --example montecarlo_pi`
+
+use parsl::core::combinators::join_all;
+use parsl::prelude::*;
+
+const SHARDS: u64 = 32;
+const SAMPLES_PER_SHARD: u64 = 200_000;
+
+fn estimate(ckpt: &std::path::Path, load: bool) -> (f64, u64, u64) {
+    let mut builder = DataFlowKernel::builder()
+        .executor(parsl::executors::ThreadPoolExecutor::new(4))
+        .memoize(true)
+        .checkpoint_file(ckpt);
+    if load {
+        builder = builder.load_checkpoint(ckpt);
+    }
+    let dfk = builder.build().expect("kernel starts");
+
+    let shard = dfk.python_app("mc_shard", |seed: u64| -> u64 {
+        // xorshift-based uniform samples; deterministic per shard.
+        let mut state = seed * 2685821657736338717 + 1;
+        let mut hits = 0u64;
+        for _ in 0..SAMPLES_PER_SHARD {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let y = (state >> 11) as f64 / (1u64 << 53) as f64;
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        hits
+    });
+
+    let futs: Vec<_> = (1..=SHARDS).map(|s| parsl::core::call!(shard, s)).collect();
+    let hits: u64 = join_all(&dfk, futs)
+        .result()
+        .expect("shards complete")
+        .iter()
+        .sum();
+    let pi = 4.0 * hits as f64 / (SHARDS * SAMPLES_PER_SHARD) as f64;
+    let (memo_hits, memo_misses) = dfk.memo_stats();
+    dfk.checkpoint().expect("checkpoint flushes");
+    dfk.shutdown();
+    (pi, memo_hits, memo_misses)
+}
+
+fn main() {
+    let ckpt = std::env::temp_dir().join(format!("parsl-pi-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+
+    let t0 = std::time::Instant::now();
+    let (pi1, h1, m1) = estimate(&ckpt, false);
+    let cold = t0.elapsed();
+    println!("first run:  pi = {pi1:.6} in {cold:?} (memo hits {h1}, misses {m1})");
+
+    // "Re-execute the program": same apps, same arguments, new kernel —
+    // everything is served from the checkpoint.
+    let t1 = std::time::Instant::now();
+    let (pi2, h2, m2) = estimate(&ckpt, true);
+    let warm = t1.elapsed();
+    println!("second run: pi = {pi2:.6} in {warm:?} (memo hits {h2}, misses {m2})");
+    assert_eq!(pi1, pi2, "checkpointed results must be identical");
+    assert!(h2 >= SHARDS, "second run must be served from the checkpoint");
+    println!(
+        "speedup from checkpoint: {:.1}x",
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}

@@ -1,0 +1,132 @@
+//! Table 1: the five motivating use cases, each mapped to the executor and
+//! configuration the paper's guidelines prescribe, and exercised end to
+//! end on scaled-down workloads.
+//!
+//! Run with: `cargo run --release --example usecases`
+
+use parsl::core::combinators::join_all;
+use parsl::core::guidelines::{recommend, ExecutorChoice};
+use parsl::prelude::*;
+use std::time::Duration;
+
+struct UseCase {
+    name: &'static str,
+    pattern: &'static str,
+    nodes: usize,
+    interactive: bool,
+}
+
+fn main() {
+    // The qualitative rows of Table 1.
+    let cases = [
+        UseCase { name: "Sequence analysis", pattern: "dataflow / HTC", nodes: 500, interactive: false },
+        UseCase { name: "ML inference", pattern: "bag-of-tasks / FaaS", nodes: 10, interactive: true },
+        UseCase { name: "Materials science", pattern: "dataflow / interactive", nodes: 10, interactive: true },
+        UseCase { name: "Neuroscience", pattern: "sequential / batch", nodes: 10, interactive: false },
+        UseCase { name: "Cosmology", pattern: "dataflow / HTC", nodes: 4000, interactive: false },
+    ];
+    println!("Table 1 use cases and the Figure 7 guideline choice:");
+    for c in &cases {
+        let choice = recommend(c.nodes, c.interactive);
+        println!(
+            "  {:<18} {:<24} {:>5} nodes -> {choice}",
+            c.name, c.pattern, c.nodes
+        );
+    }
+
+    // Run a miniature of each pattern to show the same program shapes work
+    // against the recommended executor family.
+    run_dataflow(ExecutorChoice::Htex);
+    run_bag_of_tasks(ExecutorChoice::Llex);
+    run_interactive(ExecutorChoice::Llex);
+    run_sequential_batch(ExecutorChoice::Htex);
+    run_extreme_scale(ExecutorChoice::Exex);
+}
+
+fn dfk_for(choice: ExecutorChoice) -> std::sync::Arc<DataFlowKernel> {
+    let builder = DataFlowKernel::builder();
+    match choice {
+        ExecutorChoice::Llex => builder.executor(parsl::executors::LlexExecutor::new(
+            parsl::executors::LlexConfig { workers: 4, ..Default::default() },
+        )),
+        ExecutorChoice::Htex => builder.executor(parsl::executors::HtexExecutor::new(
+            parsl::executors::HtexConfig {
+                workers_per_node: 2,
+                nodes_per_block: 2,
+                init_blocks: 1,
+                ..Default::default()
+            },
+        )),
+        ExecutorChoice::Exex => builder.executor(parsl::executors::ExexExecutor::new(
+            parsl::executors::ExexConfig { ranks_per_pool: 5, init_pools: 1, ..Default::default() },
+        )),
+    }
+    .build()
+    .expect("kernel starts")
+}
+
+fn run_dataflow(choice: ExecutorChoice) {
+    let dfk = dfk_for(choice);
+    let stage_a = dfk.python_app("prep", |x: u64| x * 3);
+    let stage_b = dfk.python_app("refine", |x: u64| x + 1);
+    let futs: Vec<_> = (0..20u64)
+        .map(|i| {
+            let a = parsl::core::call!(stage_a, i);
+            parsl::core::call!(stage_b, a)
+        })
+        .collect();
+    let total: u64 = futs.iter().map(|f| f.result().expect("runs")).sum();
+    println!("dataflow ({choice}): 20 two-stage pipelines, checksum {total}");
+    dfk.shutdown();
+}
+
+fn run_bag_of_tasks(choice: ExecutorChoice) {
+    let dfk = dfk_for(choice);
+    let serve = dfk.python_app("serve", |q: u64| q % 7);
+    let futs: Vec<_> = (0..100u64).map(|q| parsl::core::call!(serve, q)).collect();
+    let answered = futs.iter().filter(|f| f.result().is_ok()).count();
+    println!("bag-of-tasks ({choice}): {answered}/100 requests served");
+    dfk.shutdown();
+}
+
+fn run_interactive(choice: ExecutorChoice) {
+    let dfk = dfk_for(choice);
+    // Notebook-style: iterate a model parameter, inspect, decide in code.
+    let evaluate = dfk.python_app("evaluate", |alpha: f64| (alpha - 0.3).abs());
+    let mut best = (f64::INFINITY, 0.0);
+    let mut alpha = 0.9;
+    for _ in 0..8 {
+        let loss = parsl::core::call!(evaluate, alpha).result().expect("runs");
+        if loss < best.0 {
+            best = (loss, alpha);
+        }
+        alpha *= 0.7; // the "scientist" reacts to each result
+    }
+    println!("interactive ({choice}): best alpha {:.3} (loss {:.3})", best.1, best.0);
+    dfk.shutdown();
+}
+
+fn run_sequential_batch(choice: ExecutorChoice) {
+    let dfk = dfk_for(choice);
+    // Neuroscience-style: center-finding -> slice scoring -> reconstruct.
+    let center = dfk.python_app("find_center", |slices: u64| slices / 2);
+    let score = dfk.python_app("score", |c: u64| c as f64 * 0.9);
+    let reconstruct = dfk.python_app("reconstruct", |s: f64| s > 10.0);
+    let c = parsl::core::call!(center, 100u64);
+    let s = parsl::core::call!(score, c);
+    let ok = parsl::core::call!(reconstruct, s).result().expect("runs");
+    println!("sequential batch ({choice}): reconstruction usable = {ok}");
+    dfk.shutdown();
+}
+
+fn run_extreme_scale(choice: ExecutorChoice) {
+    let dfk = dfk_for(choice);
+    let simulate = dfk.python_app("simulate", |seed: u64| {
+        std::thread::sleep(Duration::from_millis(2));
+        seed.wrapping_mul(6364136223846793005) >> 33
+    });
+    let futs: Vec<_> = (0..64u64).map(|s| parsl::core::call!(simulate, s)).collect();
+    let all = join_all(&dfk, futs).result().expect("campaign completes");
+    println!("extreme scale ({choice}): {} simulations, sample {}", all.len(), all[0]);
+    dfk.shutdown();
+}

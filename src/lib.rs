@@ -1,0 +1,19 @@
+//! Facade crate: re-exports the full `parsl-rs` public API.
+//!
+//! See the README for a tour. The typical entry point is
+//! [`parsl_core::DataFlowKernel`].
+
+pub use parsl_core as core;
+pub use parsl_executors as executors;
+pub use parsl_providers as providers;
+pub use parsl_data as data;
+pub use parsl_monitor as monitor;
+pub use baselines;
+pub use minimpi;
+pub use nexus;
+pub use simcluster;
+pub use simnet;
+pub use wire;
+
+pub use parsl_core::prelude;
+pub use parsl_core::prelude::*;

@@ -1,0 +1,207 @@
+//! Integration: the fault-tolerance story of §3.7 and §4.3.1 — node
+//! failures detected by heartbeats, retries, dependency failure
+//! propagation, and checkpoint-based recovery across "program runs".
+
+use parsl::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn htex_survives_rolling_node_failures() {
+    let htex = Arc::new(parsl::executors::HtexExecutor::new(parsl::executors::HtexConfig {
+        workers_per_node: 2,
+        nodes_per_block: 3,
+        init_blocks: 1,
+        heartbeat_period: Duration::from_millis(30),
+        heartbeat_threshold: Duration::from_millis(150),
+        ..Default::default()
+    }));
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(htex.clone())
+        .retries(4)
+        .build()
+        .unwrap();
+
+    let work = dfk.python_app("work", |x: u64| {
+        std::thread::sleep(Duration::from_millis(30));
+        x + 1
+    });
+    let futs: Vec<_> = (0..60u64).map(|i| parsl::core::call!(work, i)).collect();
+
+    // Kill nodes while the campaign runs; replacements keep capacity up.
+    for round in 0..2 {
+        std::thread::sleep(Duration::from_millis(60));
+        let nodes = htex.nodes();
+        if let Some(victim) = nodes.first() {
+            htex.kill_node(victim);
+            htex.add_node();
+        }
+        let _ = round;
+    }
+
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), i as u64 + 1, "task {i} must survive failures");
+    }
+    dfk.shutdown();
+}
+
+#[test]
+fn exex_pool_fate_sharing_is_recovered_by_retries() {
+    let exex = Arc::new(parsl::executors::ExexExecutor::new(parsl::executors::ExexConfig {
+        ranks_per_pool: 3,
+        init_pools: 2,
+        heartbeat_period: Duration::from_millis(30),
+        heartbeat_threshold: Duration::from_millis(150),
+        ..Default::default()
+    }));
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(exex.clone())
+        .retries(3)
+        .build()
+        .unwrap();
+    let slow = dfk.python_app("slow", |x: u64| {
+        std::thread::sleep(Duration::from_millis(100));
+        x * 2
+    });
+    let futs: Vec<_> = (0..8u64).map(|i| parsl::core::call!(slow, i)).collect();
+    std::thread::sleep(Duration::from_millis(50));
+    // Crash one pool: every rank in it dies together (MPI semantics).
+    let pools = exex.pools();
+    exex.kill_pool(&pools[0]);
+    exex.add_pool();
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), 2 * i as u64);
+    }
+    dfk.shutdown();
+}
+
+#[test]
+fn dependency_failure_cascades_through_deep_graph() {
+    let dfk = DataFlowKernel::builder()
+        .executor(parsl::executors::ThreadPoolExecutor::new(2))
+        .build()
+        .unwrap();
+    let root_fail =
+        dfk.python_app_fallible("root", || -> Result<u64, AppError> { Err(AppError::msg("dead")) });
+    let inc = dfk.python_app("inc", |x: u64| x + 1);
+    // fail -> a -> b -> c: all three descendants must be DepFail.
+    let f0 = parsl::core::call!(root_fail);
+    let f1 = parsl::core::call!(inc, f0);
+    let f2 = parsl::core::call!(inc, &f1);
+    let f3 = parsl::core::call!(inc, &f2);
+    for f in [&f1, &f2, &f3] {
+        assert!(matches!(
+            f.result(),
+            Err(ParslError::Task(TaskError::DependencyFailed { .. }))
+        ));
+    }
+    let counts = dfk.state_counts();
+    assert_eq!(counts.get(&TaskState::DepFail), Some(&3));
+    assert_eq!(counts.get(&TaskState::Failed), Some(&1));
+    dfk.shutdown();
+}
+
+#[test]
+fn walltime_plus_retries_recover_a_hung_task() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static CALLS: AtomicU32 = AtomicU32::new(0);
+    CALLS.store(0, Ordering::SeqCst);
+
+    let dfk = DataFlowKernel::builder()
+        .executor(parsl::executors::ThreadPoolExecutor::new(2))
+        .retries(1)
+        .build()
+        .unwrap();
+    let sometimes_hangs = dfk.python_app_cfg(
+        "hangs_once",
+        AppOptions { walltime: Some(Duration::from_millis(80)), ..Default::default() },
+        |x: u64| -> Result<u64, AppError> {
+            if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_secs(30)); // hang
+            }
+            Ok(x)
+        },
+    );
+    let f = parsl::core::call!(sometimes_hangs, 5u64);
+    assert_eq!(f.result_timeout(Duration::from_secs(10)).unwrap(), 5);
+    assert!(CALLS.load(Ordering::SeqCst) >= 2, "the hung attempt must have been retried");
+    dfk.shutdown();
+}
+
+#[test]
+fn checkpoint_recovers_partial_campaign() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let ckpt = std::env::temp_dir().join(format!("parsl-ft-ckpt-{}.dat", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let executions = Arc::new(AtomicU32::new(0));
+
+    // "Run" 1: completes half the campaign, then the program "crashes"
+    // (we simply stop submitting and shut down).
+    {
+        let dfk = DataFlowKernel::builder()
+            .executor(parsl::executors::ThreadPoolExecutor::new(2))
+            .memoize(true)
+            .checkpoint_file(&ckpt)
+            .build()
+            .unwrap();
+        let e = Arc::clone(&executions);
+        let work = dfk.python_app("work", move |x: u64| {
+            e.fetch_add(1, Ordering::SeqCst);
+            x * 10
+        });
+        for i in 0..10u64 {
+            assert_eq!(parsl::core::call!(work, i).result().unwrap(), i * 10);
+        }
+        dfk.shutdown();
+    }
+    assert_eq!(executions.load(Ordering::SeqCst), 10);
+
+    // "Run" 2: the full campaign (20 tasks); the first 10 come from the
+    // checkpoint, only 10 new ones execute.
+    {
+        let dfk = DataFlowKernel::builder()
+            .executor(parsl::executors::ThreadPoolExecutor::new(2))
+            .memoize(true)
+            .load_checkpoint(&ckpt)
+            .build()
+            .unwrap();
+        let e = Arc::clone(&executions);
+        let work = dfk.python_app("work", move |x: u64| {
+            e.fetch_add(1, Ordering::SeqCst);
+            x * 10
+        });
+        for i in 0..20u64 {
+            assert_eq!(parsl::core::call!(work, i).result().unwrap(), i * 10);
+        }
+        let counts = dfk.state_counts();
+        assert_eq!(counts.get(&TaskState::Memoized), Some(&10));
+        dfk.shutdown();
+    }
+    assert_eq!(executions.load(Ordering::SeqCst), 20, "only the missing half re-ran");
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn llex_drops_faults_silently_as_documented() {
+    // LLEX cannot detect worker loss; without walltime/retries the future
+    // simply never resolves. We assert the *absence* of spurious failure.
+    let llex = Arc::new(parsl::executors::LlexExecutor::new(parsl::executors::LlexConfig {
+        workers: 1,
+        ..Default::default()
+    }));
+    let dfk = DataFlowKernel::builder().executor_arc(llex.clone()).build().unwrap();
+    let slow = dfk.python_app("slow", |x: u64| {
+        std::thread::sleep(Duration::from_millis(300));
+        x
+    });
+    let f = parsl::core::call!(slow, 1u64);
+    std::thread::sleep(Duration::from_millis(50));
+    // Kill the only worker mid-task.
+    let addr = nexus::Addr::new("llex:w-0");
+    llex.kill_worker(&addr);
+    assert!(
+        matches!(f.result_timeout(Duration::from_millis(600)), Err(ParslError::Timeout)),
+        "LLEX must not fabricate a result or an error for a lost task"
+    );
+    dfk.shutdown();
+}
