@@ -1,0 +1,275 @@
+//! Offline subset of the `criterion` API.
+//!
+//! A thin wall-clock harness: each benchmark runs for roughly the
+//! configured measurement time and reports the mean per-iteration timing
+//! (plus derived throughput) as plain text. No statistical analysis, no
+//! HTML reports.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput basis for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Filled by `iter`: (iterations, total elapsed).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly for about the configured measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration over a window, so a single anomalous first
+        // iteration (lazy init, cold caches) cannot skew the iteration
+        // budget.
+        let warmup = (self.measurement_time / 10).max(Duration::from_millis(10));
+        let cal_start = Instant::now();
+        let mut cal_iters: u64 = 0;
+        loop {
+            black_box(f());
+            cal_iters += 1;
+            if cal_start.elapsed() >= warmup {
+                break;
+            }
+        }
+        let per_iter = (cal_start.elapsed().as_nanos() / cal_iters as u128).max(1);
+        let target_iters = (self.measurement_time.as_nanos() / per_iter)
+            .clamp(self.sample_size as u128, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result = Some((target_iters, elapsed));
+    }
+
+    /// `iter` variant that consumes per-iteration inputs (subset: setup is
+    /// run per iteration, outside of nothing — timing includes setup).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        self.iter(move || f(setup()));
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by the subset).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+fn report(id: &str, throughput: Option<Throughput>, iters: u64, elapsed: Duration) {
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let mut line = format!(
+        "bench {id:<40} {:>12.3} us/iter ({iters} iters in {:.2}s)",
+        per_iter * 1e6,
+        elapsed.as_secs_f64(),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!(" {:>12.0} elem/s", n as f64 / per_iter));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(" {:>12.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Far below the real crate's 5s: the subset has no statistics
+            // to converge, it only needs a stable mean.
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark measurement time.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        // Cap: the subset is run in CI where long walls add nothing.
+        self.measurement_time = t.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Set the sample size (lower bound on iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((iters, elapsed)) = b.result {
+            report(&id.to_string(), None, iters, elapsed);
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput basis for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the group's sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Override the group's measurement time.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t.min(Duration::from_secs(2)));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            result: None,
+        };
+        f(&mut b);
+        if let Some((iters, elapsed)) = b.result {
+            report(&format!("{}/{}", self.name, id), self.throughput, iters, elapsed);
+        }
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

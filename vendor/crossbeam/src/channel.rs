@@ -1,0 +1,541 @@
+//! Multi-producer multi-consumer channels with crossbeam's semantics:
+//! both [`Sender`] and [`Receiver`] are `Clone`; a channel disconnects
+//! when all handles on the *other* side are gone.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Signalled on push and on disconnect.
+    not_empty: Condvar,
+    /// Signalled on pop and on disconnect (bounded send waits on this).
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    capacity: Option<usize>,
+    /// `select!` waiters registered on this channel; woken on push and on
+    /// disconnect so a blocked select reacts without polling.
+    select_wakers: Mutex<Vec<Arc<SelectWaker>>>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wake_selects(&self) {
+        let wakers = self.select_wakers.lock().unwrap_or_else(PoisonError::into_inner);
+        for w in wakers.iter() {
+            w.wake();
+        }
+    }
+}
+
+/// Wakeup cell shared between a blocked `select!` and the channels it
+/// watches.
+#[doc(hidden)]
+pub struct SelectWaker {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SelectWaker {
+    fn new() -> Arc<Self> {
+        Arc::new(SelectWaker { ready: Mutex::new(false), cv: Condvar::new() })
+    }
+
+    fn wake(&self) {
+        *self.ready.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+
+    /// Park until woken or `timeout` elapses; clears the ready flag.
+    fn park(&self, timeout: Duration) {
+        let mut ready = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = Instant::now() + timeout;
+        while !*ready {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            ready = self
+                .cv
+                .wait_timeout(ready, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        *ready = false;
+    }
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the timeout.
+    Timeout,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "recv timed out"),
+            RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+impl std::error::Error for RecvTimeoutError {}
+
+/// The sending half of a channel. Clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Clonable (any one receiver gets each
+/// message).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: wake receivers so they observe the disconnect.
+            let _guard = self.shared.lock();
+            self.shared.not_empty.notify_all();
+            drop(_guard);
+            self.shared.wake_selects();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.shared.lock();
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.lock();
+        loop {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if queue.len() >= cap => {
+                    queue = self
+                        .shared
+                        .not_full
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        drop(queue);
+        self.shared.wake_selects();
+        Ok(())
+    }
+
+    /// Try to send without blocking; returns the value on a full or
+    /// disconnected channel.
+    pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.lock();
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if queue.len() >= cap {
+                return Err(SendError(value));
+            }
+        }
+        queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        drop(queue);
+        self.shared.wake_selects();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .shared
+                .not_empty
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            queue = self
+                .shared
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.lock();
+        if let Some(v) = queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if self.shared.senders.load(Ordering::SeqCst) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator over messages until disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        capacity,
+        select_wakers: Mutex::new(Vec::new()),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Create a bounded channel with capacity `cap`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+/// A receiver that yields the current `Instant` every `period`.
+///
+/// Ticks are generated by a background thread that exits when the
+/// receiver is dropped.
+pub fn tick(period: Duration) -> Receiver<Instant> {
+    let (tx, rx) = bounded::<Instant>(1);
+    std::thread::Builder::new()
+        .name("crossbeam-tick".into())
+        .spawn(move || loop {
+            std::thread::sleep(period);
+            // try_send: drop the tick if the consumer is behind (matches
+            // crossbeam, whose tick channel holds at most one message).
+            match tx.try_send(Instant::now()) {
+                Ok(()) => {}
+                Err(_) if tx.shared.receivers.load(Ordering::SeqCst) == 0 => return,
+                Err(_) => {}
+            }
+        })
+        .expect("spawn tick thread");
+    rx
+}
+
+/// Support for [`select!`]: poll a receiver, mapping disconnect to
+/// `Some(Err(RecvError))` (a disconnected channel is always "ready").
+#[doc(hidden)]
+pub fn __select_poll<T>(rx: &Receiver<T>) -> Option<Result<T, RecvError>> {
+    match rx.try_recv() {
+        Ok(v) => Some(Ok(v)),
+        Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+        Err(TryRecvError::Empty) => None,
+    }
+}
+
+/// Registration of a `select!` waker on one channel; deregisters on drop
+/// (including when an arm body `return`s out of the enclosing function).
+#[doc(hidden)]
+pub struct SelectGuard<T> {
+    shared: Arc<Shared<T>>,
+    waker: Arc<SelectWaker>,
+}
+
+impl<T> Drop for SelectGuard<T> {
+    fn drop(&mut self) {
+        let mut wakers = self
+            .shared
+            .select_wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        wakers.retain(|w| !Arc::ptr_eq(w, &self.waker));
+    }
+}
+
+/// Register `waker` on `rx`'s channel so pushes and disconnects wake a
+/// blocked [`select!`].
+#[doc(hidden)]
+pub fn __select_register<T>(rx: &Receiver<T>, waker: &Arc<SelectWaker>) -> SelectGuard<T> {
+    rx.shared
+        .select_wakers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Arc::clone(waker));
+    SelectGuard { shared: Arc::clone(&rx.shared), waker: Arc::clone(waker) }
+}
+
+/// Make a fresh waker for one [`select!`] block.
+#[doc(hidden)]
+pub fn __select_waker() -> Arc<SelectWaker> {
+    SelectWaker::new()
+}
+
+/// Park the waker (blocking wakeup path of [`select!`]). The timeout is a
+/// safety net only; every push/disconnect wakes the waker promptly.
+#[doc(hidden)]
+pub fn __select_park(waker: &Arc<SelectWaker>) {
+    waker.park(Duration::from_millis(10));
+}
+
+/// Wait until one of several receive operations is ready, then run its arm.
+///
+/// Offline subset: supports only `recv(ch) -> var => body` arms. Blocking
+/// is condvar-based: each polled channel wakes the select on push and on
+/// disconnect, so the idle path costs no CPU.
+#[macro_export]
+macro_rules! select {
+    ( $( recv($ch:expr) -> $var:pat => $body:block )+ ) => {{
+        let __waker = $crate::channel::__select_waker();
+        // One guard per arm; dropped when the block exits (normally or via
+        // `return` from an arm body), deregistering the waker.
+        let __guards = ( $( $crate::channel::__select_register(&$ch, &__waker), )+ );
+        'crossbeam_select: loop {
+            $(
+                if let ::std::option::Option::Some(__res) =
+                    $crate::channel::__select_poll(&$ch)
+                {
+                    let $var = __res;
+                    let _ = $body;
+                    // Unreachable when the arm body diverges (e.g. `return`).
+                    #[allow(unreachable_code)]
+                    {
+                        break 'crossbeam_select;
+                    }
+                }
+            )+
+            $crate::channel::__select_park(&__waker);
+        }
+        drop(__guards);
+    }};
+}
+
+// Make `crossbeam::channel::select!` resolvable (the macro itself lives at
+// the crate root due to `#[macro_export]`).
+pub use crate::select;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mpmc_roundtrip() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap() + rx2.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_popped() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn tick_produces_instants() {
+        let ticker = tick(Duration::from_millis(5));
+        assert!(ticker.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn select_picks_ready_arm() {
+        let (tx, rx) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        tx.send(7).unwrap();
+        select! {
+            recv(rx) -> v => { assert_eq!(v.unwrap(), 7); }
+            recv(rx2) -> _v => { unreachable!(); }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline subset of the `crossbeam` API: MPMC channels (with `select!`
+//! and `tick`) and scoped threads, implemented over `std::sync`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,65 @@
+//! The [`Arbitrary`] trait backing [`crate::any`].
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for a primitive type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any(PhantomData)
+    }
+}
+
+macro_rules! arbitrary_prim {
+    ($($ty:ty => |$rng:ident| $sample:expr;)+) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, $rng: &mut SmallRng) -> $ty {
+                    $sample
+                }
+            }
+            impl Arbitrary for $ty {
+                type Strategy = Any<$ty>;
+                fn arbitrary() -> Any<$ty> {
+                    Any::default()
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_prim! {
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+    bool => |rng| rng.next_u64() & 1 == 1;
+    // Full bit patterns: exercises NaN, infinities, and subnormals.
+    f64 => |rng| f64::from_bits(rng.next_u64());
+    f32 => |rng| f32::from_bits(rng.next_u64() as u32);
+    char => |rng| loop {
+        if let Some(c) = char::from_u32(rng.random_range(0u32..=0x10FFFF)) {
+            break c;
+        }
+    };
+}

@@ -1,0 +1,61 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::{SizeRange, Strategy};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// Strategy for `Vec`s with random length.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy for `BTreeMap`s with random size.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord + Debug,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let len = rng.random_range(self.size.lo..=self.size.hi);
+        // Duplicate keys collapse, as in real proptest: the map may come
+        // out smaller than `len`.
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+/// A `BTreeMap` whose size is drawn from `size`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord + Debug,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}

@@ -1,0 +1,185 @@
+//! Offline subset of the `proptest` API: property-based testing by random
+//! sampling. Failing inputs are reported verbatim but **not shrunk**.
+//!
+//! Determinism: each `proptest!` test derives its RNG seed from the test's
+//! source location, so failures reproduce across runs. Set
+//! `PROPTEST_CASES` to override the per-test case count.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// A strategy producing any value of `T` (full domain).
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything a test module usually imports.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( @cfg ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.effective_cases();
+                // Seed from the source location: deterministic across runs,
+                // distinct across tests.
+                let __seed = $crate::test_runner::location_seed(
+                    file!(), line!(), column!(),
+                );
+                let mut __rng = <$crate::__rand::rngs::SmallRng
+                    as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                // Evaluate each strategy once, bound under the arg's name
+                // (shadowed by the sampled value inside the case closure).
+                $(let $arg = $strat;)+
+                for __case in 0..__cases {
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &$arg, &mut __rng,
+                            );
+                        )+
+                        let __desc = ::std::format!(
+                            concat!($(stringify!($arg), " = {:?}, "),+),
+                            $(&$arg),+
+                        );
+                        let __run = (|| -> ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > { $body ::std::result::Result::Ok(()) })();
+                        match __run {
+                            ::std::result::Result::Ok(()) => Ok(()),
+                            ::std::result::Result::Err(e) => {
+                                ::std::eprintln!(
+                                    "proptest case {}/{} failed with input: {}",
+                                    __case + 1, __cases, __desc,
+                                );
+                                Err(e)
+                            }
+                        }
+                    };
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_)
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg)
+                        ) => {
+                            ::std::panic!("proptest property failed: {}", msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} (left: {:?}, right: {:?})",
+            ::std::format!($($fmt)+), __l, __r,
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left), stringify!($right), __l,
+        );
+    }};
+}
+
+/// Discard the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(
+                    ::std::string::String::from(stringify!($cond)),
+                ),
+            );
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

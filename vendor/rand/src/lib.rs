@@ -1,0 +1,382 @@
+//! Offline subset of the `rand` 0.9 API.
+//!
+//! Deterministic, seedable generators only — no OS entropy source. The
+//! generator is xoshiro256++ seeded via splitmix64, which is the same
+//! construction the real `SmallRng` uses on 64-bit targets.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can produce random `u64`s; the base of everything else.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing sampling methods (rand 0.9 naming: `random`, `random_range`).
+pub trait Rng: RngCore {
+    /// Sample a uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Sample `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+
+    /// rand 0.8 spelling, kept for compatibility.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        self.random_range(range)
+    }
+
+    /// rand 0.8 spelling, kept for compatibility.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random_bool(p)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Seed from a single `u64` (expanded via splitmix64).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Seed from OS entropy — offline subset: seeds from the system clock
+    /// and a per-call counter (unique, not cryptographic).
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CTR: AtomicU64 = AtomicU64::new(0);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Self::seed_from_u64(t ^ CTR.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed))
+    }
+}
+
+/// Distribution support for `Rng::random`.
+pub trait Standard {
+    /// Sample one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u16 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Standard for u8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for u128 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for i32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for i16 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+impl Standard for i8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+impl Standard for isize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that `Rng::random_range` can sample from.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free-enough uniform integer in `[0, n)` via Lemire reduction.
+fn uniform_u64<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // 128-bit multiply-shift; bias is negligible for simulation purposes
+    // and eliminated by one rejection round.
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo >= n || lo >= (n.wrapping_neg() % n) {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+fn uniform_u128<R: RngCore>(rng: &mut R, n: u128) -> u128 {
+    debug_assert!(n > 0);
+    if n <= u64::MAX as u128 {
+        return uniform_u64(rng, n as u64) as u128;
+    }
+    // Simple rejection from the full 128-bit space.
+    loop {
+        let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        let limit = u128::MAX - (u128::MAX % n);
+        if x < limit {
+            return x % n;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($ty:ty, $wide:ty, $uniform:ident) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as $wide;
+                self.start.wrapping_add($uniform(rng, span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full domain.
+                    return <$ty as Standard>::sample(rng);
+                }
+                lo.wrapping_add($uniform(rng, span) as $ty)
+            }
+        }
+    };
+}
+
+int_range!(u8, u64, uniform_u64);
+int_range!(u16, u64, uniform_u64);
+int_range!(u32, u64, uniform_u64);
+int_range!(u64, u64, uniform_u64);
+int_range!(usize, u64, uniform_u64);
+int_range!(u128, u128, uniform_u128);
+
+macro_rules! signed_range {
+    ($ty:ty, $uty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = ((hi as $uty).wrapping_sub(lo as $uty) as u64).wrapping_add(1);
+                if span == 0 {
+                    return <$ty as Standard>::sample(rng);
+                }
+                lo.wrapping_add(uniform_u64(rng, span) as $ty)
+            }
+        }
+    };
+}
+
+signed_range!(i8, u8);
+signed_range!(i16, u16);
+signed_range!(i32, u32);
+signed_range!(i64, u64);
+signed_range!(isize, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let unit = f64::sample(rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let unit = f32::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, seeded via splitmix64 — fast, deterministic, and the
+    /// same construction the real `SmallRng` uses on 64-bit platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the subset has a single generator family.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.random_range(0u128..=5);
+            assert!(w <= 5);
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.random_range(-4i64..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

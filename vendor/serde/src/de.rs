@@ -1,0 +1,536 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Trait for deserialization errors.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A value was missing for `field`.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// A variant index/name was not recognized.
+    fn unknown_variant(variant: &str, _expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!("unknown variant `{variant}`"))
+    }
+
+    /// Wrong number of elements in a sequence.
+    fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {exp}"))
+    }
+}
+
+/// What a [`Visitor`] expected, for error messages.
+pub trait Expected {
+    /// Describe the expectation.
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, V: Visitor<'de>> Expected for V {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Expected for &str {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(formatter, "{self}")
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, formatter)
+    }
+}
+
+/// A data structure that can be deserialized from any format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful `Deserialize` driver (serde's seed mechanism).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserialize using this seed.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A format that can deserialize the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize whatever the input holds (self-describing formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a `bool` is expected.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an `i8` is expected.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an `i16` is expected.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an `i32` is expected.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an `i64` is expected.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a `u8` is expected.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a `u16` is expected.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a `u32` is expected.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a `u64` is expected.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an `f32` is expected.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an `f64` is expected.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a `char` is expected.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a string slice is expected.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an owned string is expected.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a byte slice is expected.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an owned byte buffer is expected.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: an `Option` is expected.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a `()` is expected.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a unit struct is expected.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: a newtype struct is expected.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: a variable-length sequence is expected.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a tuple of `len` elements is expected.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: a tuple struct is expected.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: a map is expected.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: a struct with the given fields is expected.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: an enum with the given variants is expected.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: a struct field / enum variant identifier is expected.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+    /// Hint: the value will be discarded.
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Whether this format is human readable (default `true`, as in serde).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Drives construction of one value from format callbacks.
+///
+/// Defaults forward narrower visits to wider ones (as in serde), and
+/// anything unhandled errors with the visitor's expectation.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Describe what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Input contained a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("bool {v}")))
+    }
+    /// Input contained an `i8`.
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Input contained an `i16`.
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Input contained an `i32`.
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Input contained an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("integer {v}")))
+    }
+    /// Input contained a `u8`.
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Input contained a `u16`.
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Input contained a `u32`.
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Input contained a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("integer {v}")))
+    }
+    /// Input contained an `f32`.
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    /// Input contained an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("float {v}")))
+    }
+    /// Input contained a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("char {v:?}")))
+    }
+    /// Input contained a string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("string {v:?}")))
+    }
+    /// Input contained a string borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Input contained an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Input contained bytes.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("bytes")))
+    }
+    /// Input contained bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Input contained an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Input contained `None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("none")))
+    }
+    /// Input contained `Some(...)`; deserialize the inner value.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D)
+        -> Result<Self::Value, D::Error> {
+        Err(unexpected(&self, format_args!("some")))
+    }
+    /// Input contained `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, format_args!("unit")))
+    }
+    /// Input contained a newtype struct; deserialize the inner value.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(unexpected(&self, format_args!("newtype struct")))
+    }
+    /// Input contained a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, format_args!("sequence")))
+    }
+    /// Input contained a map.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, format_args!("map")))
+    }
+    /// Input contained an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(unexpected(&self, format_args!("enum")))
+    }
+}
+
+fn unexpected<'de, V: Visitor<'de>, E: Error>(visitor: &V, got: fmt::Arguments<'_>) -> E {
+    struct Exp<'a, 'de, V: Visitor<'de>>(&'a V, PhantomData<&'de ()>);
+    impl<'a, 'de, V: Visitor<'de>> fmt::Display for Exp<'a, 'de, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+    E::custom(format_args!(
+        "invalid type: got {got}, expected {}",
+        Exp(visitor, PhantomData)
+    ))
+}
+
+/// Element-by-element access to a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize the next element with a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserialize the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Remaining element count, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize the next key with a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserialize the next value with a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserialize the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserialize the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserialize the next entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Remaining entry count, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Access to the variant's payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserialize the variant tag with a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserialize the variant tag.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// The variant is a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// The variant is a newtype variant; deserialize with a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// The variant is a newtype variant.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// The variant is a tuple variant with `len` fields.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// The variant is a struct variant with the given fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Deserializers over trivial in-memory values (`IntoDeserializer`
+/// support), as used by formats to decode variant indices.
+pub mod value {
+    use super::{Deserializer, Error, Visitor};
+    use std::marker::PhantomData;
+
+    /// A deserializer holding one `u32`.
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> U32Deserializer<E> {
+        /// Wrap a `u32`.
+        pub fn new(value: u32) -> Self {
+            U32Deserializer { value, marker: PhantomData }
+        }
+    }
+
+    macro_rules! forward_to_visit_u32 {
+        ($($m:ident)*) => {
+            $(
+                fn $m<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.visit_u32(self.value)
+                }
+            )*
+        };
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_visit_u32! {
+            deserialize_any deserialize_bool deserialize_i8 deserialize_i16
+            deserialize_i32 deserialize_i64 deserialize_u8 deserialize_u16
+            deserialize_u32 deserialize_u64 deserialize_f32 deserialize_f64
+            deserialize_char deserialize_str deserialize_string
+            deserialize_bytes deserialize_byte_buf deserialize_option
+            deserialize_unit deserialize_seq deserialize_map
+            deserialize_identifier deserialize_ignored_any
+        }
+
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    }
+
+    /// Conversion into a trivial deserializer.
+    pub trait IntoDeserializer<'de, E: Error> {
+        /// The deserializer produced.
+        type Deserializer: Deserializer<'de, Error = E>;
+        /// Convert self.
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+        type Deserializer = U32Deserializer<E>;
+        fn into_deserializer(self) -> U32Deserializer<E> {
+            U32Deserializer::new(self)
+        }
+    }
+}
+
+pub use value::IntoDeserializer;

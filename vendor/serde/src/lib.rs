@@ -1,0 +1,18 @@
+//! Offline subset of the `serde` data model.
+//!
+//! Faithful (method-for-method on the used surface) to real serde: the
+//! `wire` crate implements a complete binary format against these traits,
+//! and the derive macros generate the same call patterns real
+//! `serde_derive` would. Omitted: `i128`/`u128` hooks, `serde(...)`
+//! attributes, and the self-describing-format helpers (`visit_map`-driven
+//! struct decoding keyed by field name).
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,502 @@
+//! Offline subset of `serde_derive`, written against `proc_macro` alone
+//! (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Supported inputs: non-generic `struct`s with named fields and
+//! non-generic `enum`s whose variants are unit / newtype / tuple / struct.
+//! `#[serde(...)]` attributes are not supported and will be rejected.
+//!
+//! The generated code matches real serde_derive's call pattern on the
+//! data-model: structs serialize via `serialize_struct` + per-field
+//! `serialize_field`, deserialize via `deserialize_struct` with a
+//! `visit_seq` visitor; enums dispatch on a `u32` variant index.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Input {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with a list of variants.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    /// `Variant(T)`.
+    Newtype,
+    /// `Variant(T1, ..., Tn)`, n >= 2.
+    Tuple(usize),
+    /// `Variant { f1: T1, ... }`.
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream, derive_name: &str) -> Input {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional pub(...) restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({derive_name}): expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({derive_name}): expected a type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "derive({derive_name}): generic type `{name}` is not supported by the \
+                 offline serde_derive subset"
+            );
+        }
+    }
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "derive({derive_name}) on `{name}`: only brace-bodied structs/enums are \
+             supported, got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Input::Struct { name, fields: parse_named_fields(body, derive_name) },
+        "enum" => Input::Enum { name, variants: parse_variants(body, derive_name) },
+        k => panic!("derive({derive_name}): unsupported item kind `{k}`"),
+    }
+}
+
+/// Parse `attr* vis? ident : type (, ...)*` bodies, returning field names.
+fn parse_named_fields(body: TokenStream, derive_name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (incl. doc comments) and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let field = match tree {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive({derive_name}): expected a field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "derive({derive_name}): expected `:` after field `{field}`, got {other:?}"
+            ),
+        }
+        consume_type(&mut iter);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Consume one type, stopping at a top-level `,` (which is also consumed).
+/// Tracks `<`/`>` nesting; commas inside angle brackets, parens, etc. belong
+/// to the type.
+fn consume_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth: usize = 0;
+    for tree in iter.by_ref() {
+        match tree {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            },
+            // Parens/brackets arrive as single groups, commas inside them
+            // are already nested.
+            _ => {}
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream, derive_name: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let name = match tree {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive({derive_name}): expected a variant name, got {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_arity(g.stream());
+                iter.next();
+                match arity {
+                    0 => Shape::Unit,
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), derive_name);
+                iter.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume the trailing comma (a discriminant `= expr` is not
+        // supported).
+        match iter.next() {
+            None => {
+                variants.push(Variant { name, shape });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "derive({derive_name}): unsupported token after variant `{name}`: {other:?}"
+            ),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Number of comma-separated type slots in a tuple-variant body.
+fn count_tuple_arity(body: TokenStream) -> usize {
+    let mut angle_depth: usize = 0;
+    let mut slots = 0usize;
+    let mut in_slot = false;
+    for tree in body {
+        // A type may *start* with a punct (`&str`, `*const T`), so any
+        // non-separator token opens a slot.
+        let is_separator = matches!(&tree, TokenTree::Punct(p) if p.as_char() == ',')
+            && angle_depth == 0;
+        if is_separator {
+            in_slot = false;
+            continue;
+        }
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if !in_slot {
+            slots += 1;
+            in_slot = true;
+        }
+    }
+    slots
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input, "Serialize") {
+        Input::Struct { name, fields } => serialize_struct(&name, &fields),
+        Input::Enum { name, variants } => serialize_enum(&name, &variants),
+    };
+    out.parse().expect("derive(Serialize): generated code parses")
+}
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    body.push_str(&format!(
+        "let mut __st = serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+        fields.len()
+    ));
+    for f in fields {
+        body.push_str(&format!(
+            "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+        ));
+    }
+    body.push_str("serde::ser::SerializeStruct::end(__st)\n");
+    impl_serialize(name, &body)
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => serde::Serializer::serialize_unit_variant(\
+                 __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+            )),
+            Shape::Newtype => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(\
+                 __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __tv = serde::Serializer::serialize_tuple_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                    binders.join(", ")
+                );
+                for b in &binders {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeTupleVariant::end(__tv)\n}\n");
+                arms.push_str(&arm);
+            }
+            Shape::Struct(fields) => {
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                     let mut __sv = serde::Serializer::serialize_struct_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                    fields.join(", "),
+                    fields.len()
+                );
+                for f in fields {
+                    arm.push_str(&format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(\
+                         &mut __sv, \"{f}\", {f})?;\n"
+                    ));
+                }
+                arm.push_str("serde::ser::SerializeStructVariant::end(__sv)\n}\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    let body = format!("match self {{\n{arms}}}\n");
+    impl_serialize(name, &body)
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "const _: () = {{\n\
+         #[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n\
+         }};\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input, "Deserialize") {
+        Input::Struct { name, fields } => deserialize_struct(&name, &fields),
+        Input::Enum { name, variants } => deserialize_enum(&name, &variants),
+    };
+    out.parse().expect("derive(Deserialize): generated code parses")
+}
+
+/// `visit_seq` body constructing `ctor(field...)` from sequential elements.
+fn visit_seq_body(ctor: &str, fields: &[String], braced: bool) -> String {
+    let mut body = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        body.push_str(&format!(
+            "let {f} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             Some(__v) => __v,\n\
+             None => return Err(serde::de::Error::invalid_length({i}, &\"{ctor}\")),\n\
+             }};\n"
+        ));
+    }
+    if braced {
+        body.push_str(&format!("Ok({ctor} {{ {} }})\n", fields.join(", ")));
+    } else if fields.is_empty() {
+        body.push_str(&format!("Ok({ctor})\n"));
+    } else {
+        body.push_str(&format!("Ok({ctor}({}))\n", fields.join(", ")));
+    }
+    body
+}
+
+/// A visitor struct named `vis_name` whose `visit_seq` runs `seq_body`.
+fn seq_visitor(vis_name: &str, value_ty: &str, expecting: &str, seq_body: &str) -> String {
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> serde::de::Visitor<'de> for {vis_name} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         write!(__f, \"{expecting}\")\n\
+         }}\n\
+         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {seq_body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let field_list = fields
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let visitor = seq_visitor(
+        "__Visitor",
+        name,
+        &format!("struct {name}"),
+        &visit_seq_body(name, fields, true),
+    );
+    format!(
+        "const _: () = {{\n\
+         #[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         {visitor}\
+         serde::Deserializer::deserialize_struct(\
+         __deserializer, \"{name}\", &[{field_list}], __Visitor)\n\
+         }}\n\
+         }}\n\
+         }};\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let variant_list = variants
+        .iter()
+        .map(|v| format!("\"{}\"", v.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    let mut arms = String::new();
+    let mut inner_visitors = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{idx}u32 => {{\n\
+                 serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                 Ok({name}::{vname})\n\
+                 }}\n"
+            )),
+            Shape::Newtype => arms.push_str(&format!(
+                "{idx}u32 => serde::de::VariantAccess::newtype_variant(__variant)\
+                 .map({name}::{vname}),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let vis_name = format!("__Variant{idx}");
+                inner_visitors.push_str(&seq_visitor(
+                    &vis_name,
+                    name,
+                    &format!("tuple variant {name}::{vname}"),
+                    &visit_seq_body(&format!("{name}::{vname}"), &binders, false),
+                ));
+                arms.push_str(&format!(
+                    "{idx}u32 => serde::de::VariantAccess::tuple_variant(\
+                     __variant, {n}, {vis_name}),\n"
+                ));
+            }
+            Shape::Struct(fields) => {
+                let vis_name = format!("__Variant{idx}");
+                let field_list = fields
+                    .iter()
+                    .map(|f| format!("\"{f}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                inner_visitors.push_str(&seq_visitor(
+                    &vis_name,
+                    name,
+                    &format!("struct variant {name}::{vname}"),
+                    &visit_seq_body(&format!("{name}::{vname}"), fields, true),
+                ));
+                arms.push_str(&format!(
+                    "{idx}u32 => serde::de::VariantAccess::struct_variant(\
+                     __variant, &[{field_list}], {vis_name}),\n"
+                ));
+            }
+        }
+    }
+
+    format!(
+        "const _: () = {{\n\
+         #[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         {inner_visitors}\
+         struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+         type Value = {name};\n\
+         fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         write!(__f, \"enum {name}\")\n\
+         }}\n\
+         fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         let (__idx, __variant): (u32, _) = serde::de::EnumAccess::variant(__data)?;\n\
+         match __idx {{\n\
+         {arms}\
+         __other => Err(serde::de::Error::unknown_variant(\
+         &__other.to_string(), &[{variant_list}])),\n\
+         }}\n\
+         }}\n\
+         }}\n\
+         serde::Deserializer::deserialize_enum(\
+         __deserializer, \"{name}\", &[{variant_list}], __Visitor)\n\
+         }}\n\
+         }}\n\
+         }};\n"
+    )
+}
