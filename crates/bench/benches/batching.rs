@@ -1,0 +1,127 @@
+//! Criterion bench: per-task `submit` vs `submit_batch` on the HTEX
+//! simulated path and the in-process thread pool (§4.3.1 batching).
+//!
+//! The HTEX fabric charges a per-message cost modelling a real
+//! transport's syscall/framing floor, so the messages-per-task ratio —
+//! the thing batching changes — shows up in wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crossbeam::channel::{unbounded, Receiver};
+use parsl_core::executor::{Executor, ExecutorContext, TaskOutcome, TaskSpec};
+use parsl_core::registry::{AppOptions, AppRegistry, RegisteredApp};
+use parsl_core::types::{ResourceSpec, TaskId};
+use parsl_executors::{HtexConfig, HtexExecutor, ThreadPoolExecutor};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCH: usize = 500;
+
+fn noop_app(registry: &Arc<AppRegistry>) -> Arc<RegisteredApp> {
+    registry.register(
+        "noop",
+        parsl_core::types::AppKind::Native,
+        "(u64)->u64",
+        Arc::new(|args| {
+            let (x,): (u64,) = wire::from_bytes(args)
+                .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))?;
+            wire::to_bytes(&x).map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))
+        }),
+        AppOptions::default(),
+    )
+}
+
+fn specs(app: &Arc<RegisteredApp>, n: usize) -> Vec<TaskSpec> {
+    (0..n as u64)
+        .map(|i| TaskSpec {
+            id: TaskId(i),
+            app: Arc::clone(app),
+            args: bytes::Bytes::from(wire::to_bytes(&(i,)).unwrap()),
+            resources: ResourceSpec::default(),
+            attempt: 0,
+        })
+        .collect()
+}
+
+fn drain(rx: &Receiver<TaskOutcome>, n: usize) {
+    for _ in 0..n {
+        rx.recv_timeout(Duration::from_secs(30)).expect("task completes");
+    }
+}
+
+fn bench_executor(
+    c: &mut Criterion,
+    name: &str,
+    executor: &dyn Executor,
+    rx: &Receiver<TaskOutcome>,
+    app: &Arc<RegisteredApp>,
+) {
+    let mut group = c.benchmark_group("submission-batching");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new(name, "per-task"), |b| {
+        b.iter(|| {
+            for t in specs(app, BATCH) {
+                executor.submit(t).unwrap();
+            }
+            drain(rx, BATCH);
+        })
+    });
+    group.bench_function(BenchmarkId::new(name, "batched"), |b| {
+        b.iter(|| {
+            executor.submit_batch(specs(app, BATCH)).unwrap();
+            drain(rx, BATCH);
+        })
+    });
+    group.finish();
+}
+
+fn batching_benches(c: &mut Criterion) {
+    // HTEX over a fabric with a 20 µs per-message transport cost.
+    {
+        let registry = AppRegistry::new();
+        let app = noop_app(&registry);
+        let (tx, rx) = unbounded();
+        let fabric = nexus::Fabric::with_config(nexus::FabricConfig {
+            per_message_cost: Duration::from_micros(20),
+            ..Default::default()
+        });
+        let htex = HtexExecutor::on_fabric(
+            HtexConfig {
+                workers_per_node: 4,
+                nodes_per_block: 2,
+                prefetch: 64,
+                batch_size: 64,
+                ..Default::default()
+            },
+            fabric,
+        );
+        htex.start(ExecutorContext { completions: tx, registry: Arc::clone(&registry) })
+            .unwrap();
+        bench_executor(c, "htex-sim", &htex, &rx, &app);
+        htex.shutdown();
+    }
+
+    // Thread pool: batching saves lock round-trips only; the small win is
+    // the honest in-process baseline next to the wire-protocol one.
+    {
+        let registry = AppRegistry::new();
+        let app = noop_app(&registry);
+        let (tx, rx) = unbounded();
+        let pool = ThreadPoolExecutor::new(4);
+        pool.start(ExecutorContext { completions: tx, registry: Arc::clone(&registry) })
+            .unwrap();
+        bench_executor(c, "threadpool-4", &pool, &rx, &app);
+        pool.shutdown();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(std::time::Duration::from_secs(5))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = batching_benches
+}
+criterion_main!(benches);

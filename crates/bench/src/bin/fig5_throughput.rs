@@ -1,0 +1,179 @@
+//! Figure-5-style throughput experiment: per-task vs batched submission.
+//!
+//! The paper's HTEX sustains >1k tasks/s by batching task traffic
+//! (§4.3.1, §5.2). This binary measures the submission-path win on two
+//! planes:
+//!
+//! - **real plane**: an `HtexExecutor` over the in-process fabric with a
+//!   per-message cost modelling a real transport's syscall/framing floor
+//!   (20 µs — conservative next to the 180 µs per-message share profiled
+//!   into [`simcluster::calib::SUBMIT_PER_MSG`]). N noop tasks are driven
+//!   end-to-end per-task ([`Executor::submit`]) and batched
+//!   ([`Executor::submit_batch`]), plus the full DFK wide-fan-out path
+//!   where the ready-queue drainer forms the batches itself;
+//! - **model plane**: [`FrameworkModel::dispatch_rate`] at paper scale
+//!   (512 workers), batch 1 / 8 / 64.
+//!
+//! Usage: `fig5_throughput [--smoke]`. The full run writes
+//! `BENCH_throughput.json` to the working directory; `--smoke` is a small
+//! CI-sized run that exercises both paths and skips the file.
+
+use bench::{fmt_f, Table};
+use crossbeam::channel::unbounded;
+use parsl_core::executor::{Executor, ExecutorContext, TaskSpec};
+use parsl_core::registry::{AppOptions, AppRegistry, RegisteredApp};
+use parsl_core::types::{ResourceSpec, TaskId};
+use parsl_core::DataFlowKernel;
+use parsl_executors::{FrameworkModel, HtexConfig, HtexExecutor};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-message transport cost charged by the fabric (see module docs).
+const PER_MESSAGE_COST: Duration = Duration::from_micros(20);
+
+fn fabric() -> nexus::Fabric {
+    nexus::Fabric::with_config(nexus::FabricConfig {
+        per_message_cost: PER_MESSAGE_COST,
+        ..Default::default()
+    })
+}
+
+fn htex_config(label: &str) -> HtexConfig {
+    HtexConfig {
+        label: label.into(),
+        workers_per_node: 4,
+        nodes_per_block: 2,
+        init_blocks: 1,
+        prefetch: 64,
+        batch_size: 64,
+        ..Default::default()
+    }
+}
+
+fn noop_app(registry: &Arc<AppRegistry>) -> Arc<RegisteredApp> {
+    registry.register(
+        "noop",
+        parsl_core::types::AppKind::Native,
+        "(u64)->u64",
+        Arc::new(|args| {
+            let (x,): (u64,) = wire::from_bytes(args)
+                .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))?;
+            wire::to_bytes(&x).map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))
+        }),
+        AppOptions::default(),
+    )
+}
+
+fn specs(app: &Arc<RegisteredApp>, base: u64, n: usize) -> Vec<TaskSpec> {
+    (0..n as u64)
+        .map(|i| TaskSpec {
+            id: TaskId(base + i),
+            app: Arc::clone(app),
+            args: bytes::Bytes::from(wire::to_bytes(&(i,)).unwrap()),
+            resources: ResourceSpec::default(),
+            attempt: 0,
+        })
+        .collect()
+}
+
+/// Drive `n` noop tasks through a fresh HTEX, per-task or batched.
+/// Returns end-to-end tasks/second.
+fn run_htex(n: usize, batched: bool) -> f64 {
+    let registry = AppRegistry::new();
+    let app = noop_app(&registry);
+    let (tx, rx) = unbounded();
+    let htex = HtexExecutor::on_fabric(htex_config("htex"), fabric());
+    htex.start(ExecutorContext { completions: tx, registry: Arc::clone(&registry) })
+        .expect("start htex");
+
+    // Warm-up: managers registered, queues primed.
+    let warm = 50.min(n);
+    htex.submit_batch(specs(&app, 1_000_000, warm)).unwrap();
+    for _ in 0..warm {
+        rx.recv_timeout(Duration::from_secs(10)).expect("warm-up completes");
+    }
+
+    let tasks = specs(&app, 0, n);
+    let t0 = Instant::now();
+    if batched {
+        htex.submit_batch(tasks).unwrap();
+    } else {
+        for t in tasks {
+            htex.submit(t).unwrap();
+        }
+    }
+    for _ in 0..n {
+        rx.recv_timeout(Duration::from_secs(60)).expect("task completes");
+    }
+    let elapsed = t0.elapsed();
+    htex.shutdown();
+    n as f64 / elapsed.as_secs_f64()
+}
+
+/// The full DFK path: one root gating an `n`-wide fan-out on HTEX. The
+/// completion cascade makes all children ready at once, so the DFK's
+/// ready-queue drainer ships them as `submit_batch` frames.
+fn run_dfk_fanout(n: usize) -> f64 {
+    let htex = HtexExecutor::on_fabric(htex_config("htex"), fabric());
+    let dfk = DataFlowKernel::builder().executor_arc(Arc::new(htex)).build().unwrap();
+    let root = dfk.python_app("root", || 0u64);
+    let child = dfk.python_app("child", |gate: u64, i: u64| gate + i);
+    let t0 = Instant::now();
+    let g = parsl_core::call!(root);
+    let futs: Vec<_> = (0..n as u64)
+        .map(|i| child.call((parsl_core::Dep::future(g.clone()), parsl_core::Dep::value(i))))
+        .collect();
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), i as u64, "fan-out child {i}");
+    }
+    let elapsed = t0.elapsed();
+    dfk.shutdown();
+    (n + 1) as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 300 } else { 5000 };
+
+    println!(
+        "fig5_throughput: HTEX submission path, n={n}, per-message cost {:?}{}",
+        PER_MESSAGE_COST,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let per_task = run_htex(n, false);
+    let batched = run_htex(n, true);
+    let speedup = batched / per_task;
+    let dfk_fanout = run_dfk_fanout(n);
+
+    let mut table = Table::new(&["path", "tasks/s"]);
+    table.row(vec!["htex per-task submit".into(), fmt_f(per_task)]);
+    table.row(vec!["htex submit_batch".into(), fmt_f(batched)]);
+    table.row(vec!["htex batched speedup".into(), format!("{speedup:.2}x")]);
+    table.row(vec!["dfk fan-out (batched e2e)".into(), fmt_f(dfk_fanout)]);
+
+    // Model plane: paper-scale dispatch rates.
+    let model = FrameworkModel::htex();
+    let m1 = model.dispatch_rate(512, 1).unwrap();
+    let m8 = model.dispatch_rate(512, 8).unwrap();
+    let m64 = model.dispatch_rate(512, 64).unwrap();
+    table.row(vec!["model: 512 workers, batch 1".into(), fmt_f(m1)]);
+    table.row(vec!["model: 512 workers, batch 8".into(), fmt_f(m8)]);
+    table.row(vec!["model: 512 workers, batch 64".into(), fmt_f(m64)]);
+    table.print();
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_throughput.json");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fig5_throughput\",\n  \"workload\": \"wide fan-out, {n} noop tasks, HTEX simulated path\",\n  \"per_message_cost_us\": {},\n  \"htex_per_task_tps\": {per_task:.1},\n  \"htex_batched_tps\": {batched:.1},\n  \"batched_speedup\": {speedup:.3},\n  \"dfk_fanout_tps\": {dfk_fanout:.1},\n  \"model_512w_tps\": {{ \"batch_1\": {m1:.1}, \"batch_8\": {m8:.1}, \"batch_64\": {m64:.1} }}\n}}\n",
+        PER_MESSAGE_COST.as_micros(),
+    );
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+    if speedup < 1.5 {
+        println!("WARNING: batched speedup {speedup:.2}x below the 1.5x target");
+    }
+}

@@ -17,6 +17,22 @@
 //!   dependency errors without running;
 //! - a strategy thread grows and shrinks provider blocks (§4.4), and a
 //!   walltime watcher enforces per-task time limits.
+//!
+//! # Hot-path concurrency
+//!
+//! The task table is split into [`TABLE_SHARDS`] lock shards keyed by
+//! `TaskId`, so the dependency-edge callback path only ever locks the
+//! *child's* shard and unrelated tasks never contend. Cross-shard
+//! completion fan-out stays lock-free: a finished task's result travels
+//! through its `FutureState` and the shared completion channel, never by
+//! holding two shards at once. Counters (`live`, the executor-choice
+//! sequence) are atomics.
+//!
+//! Dispatch is batched: every event that makes tasks ready (a parent
+//! completing, a root submission) deposits them on a ready queue, and a
+//! single drainer collects them into per-executor batches handed to
+//! [`Executor::submit_batch`] — one wire frame for a thousand-child
+//! fan-out instead of a thousand sends (§4.3.1's "configurable batching").
 
 use crate::app::{App, AppArgs, AppFn, ArgSlot, TaskValue};
 use crate::bash::{run_bash, BashOptions};
@@ -32,14 +48,17 @@ use crate::types::{AppKind, ResourceSpec, TaskId, TaskState};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Number of lock shards in the task table. A power of two so the shard of
+/// a task is a mask of its id; 16 shards keep contention negligible well
+/// past the thread counts a single client drives.
+pub const TABLE_SHARDS: usize = 16;
 
 /// One task's bookkeeping in the dynamic task graph.
 struct TaskRecord {
@@ -60,10 +79,35 @@ struct TaskRecord {
     result: Option<Result<Bytes, TaskError>>,
 }
 
-#[derive(Default)]
+/// The sharded task table. Ids are allocated from an atomic counter;
+/// records live in the shard their id hashes to, so two tasks contend only
+/// when they share a shard.
 struct TaskTable {
-    tasks: HashMap<TaskId, TaskRecord>,
-    next_id: u64,
+    shards: Vec<Mutex<HashMap<TaskId, TaskRecord>>>,
+    next_id: AtomicU64,
+}
+
+impl TaskTable {
+    fn new() -> Self {
+        TaskTable {
+            shards: (0..TABLE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn alloc_id(&self) -> TaskId {
+        TaskId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The shard holding `id`'s record.
+    fn shard(&self, id: TaskId) -> &Mutex<HashMap<TaskId, TaskRecord>> {
+        &self.shards[id.shard(TABLE_SHARDS)]
+    }
+
+    /// Tasks ever submitted (ids are never reused or removed).
+    fn len(&self) -> usize {
+        self.next_id.load(Ordering::Relaxed) as usize
+    }
 }
 
 /// The execution engine. Create one per program via
@@ -73,14 +117,24 @@ pub struct DataFlowKernel {
     registry: Arc<AppRegistry>,
     executors: Vec<Arc<dyn Executor>>,
     label_index: HashMap<String, usize>,
-    table: Mutex<TaskTable>,
+    table: TaskTable,
     /// Non-terminal task count; guards `wait_for_all`.
-    live: Mutex<usize>,
+    live: AtomicUsize,
+    /// Paired with `all_done`: `live` is atomic, so waiters re-check it
+    /// under this mutex to close the wakeup race.
+    done_lock: Mutex<()>,
     all_done: Condvar,
     memo: Memoizer,
     default_retries: u32,
     monitor: Option<Arc<dyn MonitorSink>>,
-    rng: Mutex<SmallRng>,
+    /// Seed and sequence for the lock-free random executor choice.
+    seed: u64,
+    exec_seq: AtomicU64,
+    /// Tasks whose dependencies are all met, awaiting dispatch.
+    ready: Mutex<Vec<TaskId>>,
+    /// Single-drainer flag for the ready queue: whoever wins the CAS
+    /// collects everything deposited (by any thread) into batches.
+    dispatching: AtomicBool,
     started_at: Instant,
     stop: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -197,13 +251,17 @@ impl DataFlowKernel {
             registry: Arc::clone(&registry),
             executors: config.executors,
             label_index,
-            table: Mutex::new(TaskTable::default()),
-            live: Mutex::new(0),
+            table: TaskTable::new(),
+            live: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
             all_done: Condvar::new(),
             memo,
             default_retries: config.retries,
             monitor: config.monitor,
-            rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
+            seed: config.seed,
+            exec_seq: AtomicU64::new(0),
+            ready: Mutex::new(Vec::new()),
+            dispatching: AtomicBool::new(false),
             started_at: Instant::now(),
             stop: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
@@ -480,39 +538,37 @@ impl DataFlowKernel {
         app: Arc<RegisteredApp>,
         slots: Vec<ArgSlot>,
     ) -> Arc<FutureState> {
-        let (id, future, parents) = {
-            let mut table = self.table.lock();
-            let id = TaskId(table.next_id);
-            table.next_id += 1;
-            let future = FutureState::new(id);
-            let parents: Vec<(usize, Arc<FutureState>)> = slots
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| match s {
-                    ArgSlot::Pending(st) => Some((i, Arc::clone(st))),
-                    ArgSlot::Ready(_) => None,
-                })
-                .collect();
-            let retries_left = app.options.retries.unwrap_or(self.default_retries);
-            table.tasks.insert(
-                id,
-                TaskRecord {
-                    app: Arc::clone(&app),
-                    unresolved: parents.len(),
-                    slots,
-                    state: TaskState::Pending,
-                    args_bytes: None,
-                    attempt: 0,
-                    retries_left,
-                    executor_idx: None,
-                    memo_key: None,
-                    future: Arc::clone(&future),
-                    result: None,
-                },
-            );
-            *self.live.lock() += 1;
-            (id, future, parents)
-        };
+        let id = self.table.alloc_id();
+        let future = FutureState::new(id);
+        let parents: Vec<(usize, Arc<FutureState>)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ArgSlot::Pending(st) => Some((i, Arc::clone(st))),
+                ArgSlot::Ready(_) => None,
+            })
+            .collect();
+        let retries_left = app.options.retries.unwrap_or(self.default_retries);
+        // Count the task live *before* it becomes visible in its shard: a
+        // concurrent shutdown sweep may finalize (and decrement for) the
+        // record the moment it is inserted.
+        self.live.fetch_add(1, Ordering::AcqRel);
+        self.table.shard(id).lock().insert(
+            id,
+            TaskRecord {
+                app: Arc::clone(&app),
+                unresolved: parents.len(),
+                slots,
+                state: TaskState::Pending,
+                args_bytes: None,
+                attempt: 0,
+                retries_left,
+                executor_idx: None,
+                memo_key: None,
+                future: Arc::clone(&future),
+                result: None,
+            },
+        );
 
         self.emit(|| MonitorEvent::Task {
             task: id,
@@ -529,7 +585,7 @@ impl DataFlowKernel {
         }
 
         // Wire the dependency edges: asynchronous callbacks on the parent
-        // futures (§4.1). Registered outside the table lock — a parent that
+        // futures (§4.1). Registered outside any shard lock — a parent that
         // is already done fires the callback synchronously right here.
         let n_parents = parents.len();
         for (idx, parent_state) in parents {
@@ -542,7 +598,7 @@ impl DataFlowKernel {
             });
         }
         if n_parents == 0 {
-            self.launch(id);
+            self.schedule_launch(id);
         }
         future
     }
@@ -550,35 +606,32 @@ impl DataFlowKernel {
     /// Produce an immediately failed future for submissions that cannot
     /// even be encoded (argument serialization failures).
     pub fn failed_submission(self: &Arc<Self>, error: AppError) -> Arc<FutureState> {
-        let (id, future) = {
-            let mut table = self.table.lock();
-            let id = TaskId(table.next_id);
-            table.next_id += 1;
-            let future = FutureState::new(id);
-            table.tasks.insert(
-                id,
-                TaskRecord {
-                    app: Arc::clone(&self.invalid_app),
-                    unresolved: 0,
-                    slots: Vec::new(),
-                    state: TaskState::Pending,
-                    args_bytes: None,
-                    attempt: 0,
-                    retries_left: 0,
-                    executor_idx: None,
-                    memo_key: None,
-                    future: Arc::clone(&future),
-                    result: None,
-                },
-            );
-            *self.live.lock() += 1;
-            (id, future)
-        };
+        let id = self.table.alloc_id();
+        let future = FutureState::new(id);
+        // As in submit_slots: live first, then visible.
+        self.live.fetch_add(1, Ordering::AcqRel);
+        self.table.shard(id).lock().insert(
+            id,
+            TaskRecord {
+                app: Arc::clone(&self.invalid_app),
+                unresolved: 0,
+                slots: Vec::new(),
+                state: TaskState::Pending,
+                args_bytes: None,
+                attempt: 0,
+                retries_left: 0,
+                executor_idx: None,
+                memo_key: None,
+                future: Arc::clone(&future),
+                result: None,
+            },
+        );
         self.finalize(id, Err(TaskError::App(error)), TaskState::Failed);
         future
     }
 
-    /// A parent future resolved; update the waiting child.
+    /// A parent future resolved; update the waiting child. Locks only the
+    /// child's shard — parent state arrives by value on the callback.
     fn dependency_resolved(
         self: &Arc<Self>,
         child: TaskId,
@@ -592,8 +645,8 @@ impl DataFlowKernel {
             Wait,
         }
         let next = {
-            let mut table = self.table.lock();
-            let Some(rec) = table.tasks.get_mut(&child) else { return };
+            let mut shard = self.table.shard(child).lock();
+            let Some(rec) = shard.get_mut(&child) else { return };
             if rec.state.is_terminal() {
                 return;
             }
@@ -615,74 +668,110 @@ impl DataFlowKernel {
             }
         };
         match next {
-            Next::Launch => self.launch(child),
+            Next::Launch => self.schedule_launch(child),
             Next::DepFail(e) => self.finalize(child, Err(e), TaskState::DepFail),
             Next::Wait => {}
         }
     }
 
-    /// All dependencies met: build arguments, check the memo table, pick an
-    /// executor, submit.
-    fn launch(self: &Arc<Self>, id: TaskId) {
-        enum Next {
-            Memoized(Bytes),
-            Submit(TaskSpec, Arc<dyn Executor>, Option<Duration>),
-        }
-        let next = {
-            let mut table = self.table.lock();
-            let Some(rec) = table.tasks.get_mut(&id) else { return };
-            if rec.state.is_terminal() {
+    /// A task's dependencies are all met: deposit it on the ready queue and
+    /// make sure a drainer is running. If another thread currently holds
+    /// the dispatch slot (e.g. a completing parent fanning out to many
+    /// children), the deposit simply rides along in its batch.
+    fn schedule_launch(self: &Arc<Self>, id: TaskId) {
+        self.ready.lock().push(id);
+        self.drain_ready();
+    }
+
+    /// Become the dispatcher if nobody is, and drain the ready queue into
+    /// per-executor batches until it stays empty.
+    fn drain_ready(self: &Arc<Self>) {
+        loop {
+            if self.ready.lock().is_empty() {
                 return;
             }
-            debug_assert_eq!(rec.unresolved, 0, "launch with unresolved deps");
+            if self
+                .dispatching
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // The current holder re-checks the queue after releasing
+                // the flag, so our deposit cannot be stranded.
+                return;
+            }
+            self.drain_holding_flag();
+        }
+    }
 
-            if rec.args_bytes.is_none() {
-                let total: usize = rec
-                    .slots
-                    .iter()
-                    .map(|s| match s {
-                        ArgSlot::Ready(b) => b.len(),
-                        ArgSlot::Pending(_) => 0,
-                    })
-                    .sum();
-                let mut buf = Vec::with_capacity(total);
-                for slot in &rec.slots {
-                    match slot {
-                        ArgSlot::Ready(b) => buf.extend_from_slice(b),
-                        ArgSlot::Pending(_) => unreachable!("unresolved slot at launch"),
+    /// Drain with the dispatch flag held; releases the flag on exit.
+    fn drain_holding_flag(self: &Arc<Self>) {
+        loop {
+            let batch: Vec<TaskId> = std::mem::take(&mut *self.ready.lock());
+            if batch.is_empty() {
+                break;
+            }
+            self.launch_batch(batch);
+        }
+        self.dispatching.store(false, Ordering::SeqCst);
+    }
+
+    /// Build specs for a batch of ready tasks, group them per executor, and
+    /// submit each group through one [`Executor::submit_batch`] call.
+    fn launch_batch(self: &Arc<Self>, ids: Vec<TaskId>) {
+        let mut memoized: Vec<(TaskId, Bytes)> = Vec::new();
+        let mut per_exec: Vec<Vec<TaskSpec>> = vec![Vec::new(); self.executors.len()];
+
+        for id in ids {
+            let prepared = {
+                let mut shard = self.table.shard(id).lock();
+                let Some(rec) = shard.get_mut(&id) else { continue };
+                if rec.state.is_terminal() {
+                    continue;
+                }
+                debug_assert_eq!(rec.unresolved, 0, "launch with unresolved deps");
+
+                if rec.args_bytes.is_none() {
+                    let total: usize = rec
+                        .slots
+                        .iter()
+                        .map(|s| match s {
+                            ArgSlot::Ready(b) => b.len(),
+                            ArgSlot::Pending(_) => 0,
+                        })
+                        .sum();
+                    let mut buf = Vec::with_capacity(total);
+                    for slot in &rec.slots {
+                        match slot {
+                            ArgSlot::Ready(b) => buf.extend_from_slice(b),
+                            ArgSlot::Pending(_) => unreachable!("unresolved slot at launch"),
+                        }
                     }
+                    rec.args_bytes = Some(Bytes::from(buf));
+                    rec.slots = Vec::new(); // free per-arg buffers
                 }
-                rec.args_bytes = Some(Bytes::from(buf));
-                rec.slots = Vec::new(); // free per-arg buffers
-            }
-            let args = rec.args_bytes.clone().expect("just built");
+                let args = rec.args_bytes.clone().expect("just built");
 
-            let memoized = if self.memo.enabled_for(&rec.app) {
-                let key = memo_key(&rec.app, &args);
-                rec.memo_key = Some(key);
-                self.memo.lookup(key)
-            } else {
-                None
-            };
-            match memoized {
-                Some(hit) => Next::Memoized(hit),
-                None => {
-                    let LaunchNext::Submit(spec, executor, walltime) =
-                        self.prepare_submit(rec, id, args);
-                    Next::Submit(spec, executor, walltime)
+                let hit = if self.memo.enabled_for(&rec.app) {
+                    let key = memo_key(&rec.app, &args);
+                    rec.memo_key = Some(key);
+                    self.memo.lookup(key)
+                } else {
+                    None
+                };
+                match hit {
+                    Some(bytes) => {
+                        memoized.push((id, bytes));
+                        None
+                    }
+                    None => Some(self.prepare_submit(rec, id, args)),
                 }
-            }
-        };
-        match next {
-            Next::Memoized(bytes) => {
-                self.finalize(id, Ok(bytes), TaskState::Memoized);
-            }
-            Next::Submit(spec, executor, walltime) => {
+            };
+            if let Some((spec, exec_idx, walltime)) = prepared {
                 self.emit(|| MonitorEvent::Task {
                     task: id,
                     app: spec.app.name.clone(),
                     state: TaskState::Launched,
-                    executor: Some(executor.label().to_string()),
+                    executor: Some(self.executors[exec_idx].label().to_string()),
                     attempt: spec.attempt,
                     at: self.started_at.elapsed(),
                 });
@@ -693,8 +782,32 @@ impl DataFlowKernel {
                         spec.attempt,
                     )));
                 }
-                let attempt = spec.attempt;
-                if let Err(e) = executor.submit(spec) {
+                per_exec[exec_idx].push(spec);
+            }
+        }
+
+        // Memo hits finalize outside all shard locks: set() fires dependent
+        // edges, whose newly ready children join the queue we are draining.
+        for (id, bytes) in memoized {
+            self.finalize(id, Ok(bytes), TaskState::Memoized);
+        }
+
+        for (idx, batch) in per_exec.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let executor = &self.executors[idx];
+            // Remember identities in case the whole batch is rejected.
+            let manifest: Vec<(TaskId, u32)> =
+                batch.iter().map(|s| (s.id, s.attempt)).collect();
+            let outcome = if batch.len() == 1 {
+                let mut batch = batch;
+                executor.submit(batch.pop().expect("len checked"))
+            } else {
+                executor.submit_batch(batch)
+            };
+            if let Err(e) = outcome {
+                for (id, attempt) in manifest {
                     self.handle_outcome(TaskOutcome::new(
                         id,
                         attempt,
@@ -705,24 +818,28 @@ impl DataFlowKernel {
         }
     }
 
-    /// Build the TaskSpec and choose an executor (called with the table
-    /// lock held; returns what `launch` needs to do after unlocking).
+    /// Pick an executor for an unpinned task. "An executor is picked at
+    /// random" (§4.1) — here via a seeded counter-hash, so the choice is
+    /// reproducible for a given seed yet requires no lock on the hot path.
+    fn pick_executor(&self) -> usize {
+        if self.executors.len() == 1 {
+            return 0;
+        }
+        let n = self.exec_seq.fetch_add(1, Ordering::Relaxed);
+        (splitmix64(self.seed.wrapping_add(n)) % self.executors.len() as u64) as usize
+    }
+
+    /// Build the TaskSpec and choose an executor (called with the task's
+    /// shard lock held; returns what the dispatcher needs after unlocking).
     fn prepare_submit(
         &self,
         rec: &mut TaskRecord,
         id: TaskId,
         args: Bytes,
-    ) -> LaunchNext {
+    ) -> (TaskSpec, usize, Option<Duration>) {
         let idx = match &rec.app.options.executor {
             Some(label) => *self.label_index.get(label).expect("validated at registration"),
-            None => {
-                if self.executors.len() == 1 {
-                    0
-                } else {
-                    // "an executor is picked at random" (§4.1).
-                    self.rng.lock().random_range(0..self.executors.len())
-                }
-            }
+            None => self.pick_executor(),
         };
         rec.executor_idx = Some(idx);
         rec.state = TaskState::Launched;
@@ -736,7 +853,7 @@ impl DataFlowKernel {
             },
             attempt: rec.attempt,
         };
-        LaunchNext::Submit(spec, Arc::clone(&self.executors[idx]), rec.app.options.walltime)
+        (spec, idx, rec.app.options.walltime)
     }
 
     /// An outcome arrived from an executor (or was synthesized by the
@@ -748,8 +865,8 @@ impl DataFlowKernel {
             Ignore,
         }
         let next = {
-            let mut table = self.table.lock();
-            let Some(rec) = table.tasks.get_mut(&outcome.id) else { return };
+            let mut shard = self.table.shard(outcome.id).lock();
+            let Some(rec) = shard.get_mut(&outcome.id) else { return };
             if rec.state.is_terminal() || rec.attempt != outcome.attempt {
                 // Stale: a retry or walltime expiry already superseded it.
                 Next::Ignore
@@ -761,11 +878,14 @@ impl DataFlowKernel {
                             rec.retries_left -= 1;
                             rec.attempt += 1;
                             let args = rec.args_bytes.clone().expect("launched tasks have args");
-                            match self.prepare_submit(rec, outcome.id, args) {
-                                LaunchNext::Submit(spec, executor, walltime) => {
-                                    Next::Retry(spec, executor, walltime, e.to_string())
-                                }
-                            }
+                            let (spec, idx, walltime) =
+                                self.prepare_submit(rec, outcome.id, args);
+                            Next::Retry(
+                                spec,
+                                Arc::clone(&self.executors[idx]),
+                                walltime,
+                                e.to_string(),
+                            )
                         } else {
                             Next::Finalize(Err(e), TaskState::Failed)
                         }
@@ -812,8 +932,8 @@ impl DataFlowKernel {
     ) {
         debug_assert!(state.is_terminal());
         let (future, app_name, executor_label, attempt) = {
-            let mut table = self.table.lock();
-            let Some(rec) = table.tasks.get_mut(&id) else { return };
+            let mut shard = self.table.shard(id).lock();
+            let Some(rec) = shard.get_mut(&id) else { return };
             if rec.state.is_terminal() {
                 return; // already finalized (e.g. racing DepFail)
             }
@@ -830,12 +950,11 @@ impl DataFlowKernel {
             (Arc::clone(&rec.future), rec.app.name.clone(), label, rec.attempt)
         };
 
-        {
-            let mut live = self.live.lock();
-            *live -= 1;
-            if *live == 0 {
-                self.all_done.notify_all();
-            }
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last live task: take the lock so a waiter between its atomic
+            // check and its wait cannot miss the notification.
+            let _guard = self.done_lock.lock();
+            self.all_done.notify_all();
         }
 
         self.emit(|| MonitorEvent::Task {
@@ -848,8 +967,18 @@ impl DataFlowKernel {
         });
 
         // Assign the future last: this fires the dependent tasks' edge
-        // callbacks and wakes user threads blocked in result().
+        // callbacks and wakes user threads blocked in result(). Holding the
+        // dispatch slot across the cascade collects every child this
+        // completion unblocks into one batch — the fan-out batching point.
+        let gated = self
+            .dispatching
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
         future.set(result);
+        if gated {
+            self.drain_holding_flag();
+        }
+        self.drain_ready();
     }
 
     // ------------------------------------------------------------------
@@ -863,20 +992,22 @@ impl DataFlowKernel {
 
     /// Number of tasks ever submitted.
     pub fn task_count(&self) -> usize {
-        self.table.lock().tasks.len()
+        self.table.len()
     }
 
     /// Tasks not yet in a terminal state.
     pub fn live_tasks(&self) -> usize {
-        *self.live.lock()
+        self.live.load(Ordering::Acquire)
     }
 
     /// Histogram of task states (for monitoring and tests).
     pub fn state_counts(&self) -> HashMap<TaskState, usize> {
-        let table = self.table.lock();
         let mut counts = HashMap::new();
-        for rec in table.tasks.values() {
-            *counts.entry(rec.state).or_insert(0) += 1;
+        for shard in &self.table.shards {
+            let shard = shard.lock();
+            for rec in shard.values() {
+                *counts.entry(rec.state).or_insert(0) += 1;
+            }
         }
         counts
     }
@@ -899,19 +1030,19 @@ impl DataFlowKernel {
     /// Block until every submitted task reaches a terminal state
     /// (Parsl's `wait_for_current_tasks`).
     pub fn wait_for_all(&self) {
-        let mut live = self.live.lock();
-        while *live > 0 {
-            self.all_done.wait(&mut live);
+        let mut guard = self.done_lock.lock();
+        while self.live.load(Ordering::Acquire) > 0 {
+            self.all_done.wait(&mut guard);
         }
     }
 
     /// [`DataFlowKernel::wait_for_all`] with a deadline; false on timeout.
     pub fn wait_for_all_timeout(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut live = self.live.lock();
-        while *live > 0 {
-            if self.all_done.wait_until(&mut live, deadline).timed_out() {
-                return *live == 0;
+        let mut guard = self.done_lock.lock();
+        while self.live.load(Ordering::Acquire) > 0 {
+            if self.all_done.wait_until(&mut guard, deadline).timed_out() {
+                return self.live.load(Ordering::Acquire) == 0;
             }
         }
         true
@@ -939,26 +1070,21 @@ impl DataFlowKernel {
             let _ = h.join();
         }
         // Fail whatever never finished.
-        let unfinished: Vec<TaskId> = {
-            let table = self.table.lock();
-            table
-                .tasks
-                .iter()
-                .filter(|(_, r)| !r.state.is_terminal())
-                .map(|(&id, _)| id)
-                .collect()
-        };
+        let mut unfinished: Vec<TaskId> = Vec::new();
+        for shard in &self.table.shards {
+            let shard = shard.lock();
+            unfinished.extend(
+                shard
+                    .iter()
+                    .filter(|(_, r)| !r.state.is_terminal())
+                    .map(|(&id, _)| id),
+            );
+        }
         for id in unfinished {
             self.finalize(id, Err(TaskError::Shutdown), TaskState::Failed);
         }
         let _ = self.memo.flush();
     }
-}
-
-/// `prepare_submit`'s result; a one-variant enum so call sites read
-/// uniformly with `launch`'s internal enum.
-enum LaunchNext {
-    Submit(TaskSpec, Arc<dyn Executor>, Option<Duration>),
 }
 
 impl Drop for DataFlowKernel {
@@ -971,6 +1097,15 @@ impl Drop for DataFlowKernel {
             e.shutdown();
         }
     }
+}
+
+/// SplitMix64: the statistically solid single-u64 mixer, used for the
+/// lock-free seeded executor choice.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {

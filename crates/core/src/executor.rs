@@ -136,6 +136,25 @@ pub trait Executor: Send + Sync {
     /// context's channel; this call must not block on task execution.
     fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError>;
 
+    /// Hand a batch of ready tasks to the executor in one call (§4.3.1:
+    /// "configurable batching ... of tasks to minimize communication
+    /// overheads"). The DataFlowKernel drains all tasks made ready by one
+    /// event through this path, so a wide fan-out arrives as a handful of
+    /// large batches rather than thousands of per-task calls.
+    ///
+    /// The provided implementation loops over [`Executor::submit`];
+    /// executors with a wire protocol override it to ship one frame per
+    /// batch. On error the whole batch is considered failed — the DFK
+    /// synthesizes a lost-task outcome for every task in it, so an
+    /// implementation that partially submitted must tolerate late
+    /// duplicate outcomes (the DFK discards stale attempts).
+    fn submit_batch(&self, tasks: Vec<TaskSpec>) -> Result<(), ExecutorError> {
+        for task in tasks {
+            self.submit(task)?;
+        }
+        Ok(())
+    }
+
     /// Tasks submitted whose outcomes have not yet been delivered.
     fn outstanding(&self) -> usize;
 

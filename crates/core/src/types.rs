@@ -7,6 +7,16 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u64);
 
+impl TaskId {
+    /// Index of the task-table shard this id maps to, for `shards` a power
+    /// of two. Ids are allocated sequentially, so consecutive tasks land on
+    /// consecutive shards and a wide fan-out spreads across all locks.
+    pub fn shard(self, shards: usize) -> usize {
+        debug_assert!(shards.is_power_of_two());
+        (self.0 as usize) & (shards - 1)
+    }
+}
+
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "task-{}", self.0)

@@ -270,18 +270,31 @@ impl Executor for ExexExecutor {
             .lock()
             .clone()
             .ok_or(ExecutorError::NotRunning)?;
-        let wire_task = WireTask {
-            id: task.id.0,
-            attempt: task.attempt,
-            app_id: task.app.id.0,
-            args: task.args.to_vec(),
-        };
+        let wire_task = WireTask::from_spec(&task);
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
         ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
             .map_err(|e| {
                 self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
                 ExecutorError::Comm(e.to_string())
             })
+    }
+
+    /// Native batching, identical on the wire to HTEX: `SubmitBatch`
+    /// frames chunked at the fabric's frame budget, fanned out to pool
+    /// managers by the interchange.
+    fn submit_batch(&self, tasks: Vec<TaskSpec>) -> Result<(), ExecutorError> {
+        let ep = self
+            .client_ep
+            .lock()
+            .clone()
+            .ok_or(ExecutorError::NotRunning)?;
+        crate::proto::send_task_batch(
+            &ep,
+            &self.shared.ix_addr,
+            &self.shared.outstanding,
+            self.shared.fabric.max_frame_bytes(),
+            &tasks,
+        )
     }
 
     fn outstanding(&self) -> usize {
@@ -391,6 +404,7 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
         if let Ok(env) = msg {
             match crate::proto::decode::<ToInterchange>(&env.payload) {
                 Ok(ToInterchange::Submit(task)) => pending.push_back(task),
+                Ok(ToInterchange::SubmitBatch(tasks)) => pending.extend(tasks),
                 Ok(ToInterchange::Register { name: _, capacity }) => {
                     shared.connected_workers.fetch_add(capacity, Ordering::Relaxed);
                     pools.insert(

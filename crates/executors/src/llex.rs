@@ -175,18 +175,32 @@ impl Executor for LlexExecutor {
             .lock()
             .clone()
             .ok_or(ExecutorError::NotRunning)?;
-        let wire_task = WireTask {
-            id: task.id.0,
-            attempt: task.attempt,
-            app_id: task.app.id.0,
-            args: task.args.to_vec(),
-        };
+        let wire_task = WireTask::from_spec(&task);
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
         ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
             .map_err(|e| {
                 self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
                 ExecutorError::Comm(e.to_string())
             })
+    }
+
+    /// Native batching on the client→relay hop only: the relay still hands
+    /// workers one task at a time (LLEX trades batching for latency on the
+    /// dispatch side), but a wide submission crosses the fabric as a
+    /// handful of `SubmitBatch` frames instead of one frame per task.
+    fn submit_batch(&self, tasks: Vec<TaskSpec>) -> Result<(), ExecutorError> {
+        let ep = self
+            .client_ep
+            .lock()
+            .clone()
+            .ok_or(ExecutorError::NotRunning)?;
+        crate::proto::send_task_batch(
+            &ep,
+            &self.shared.ix_addr,
+            &self.shared.outstanding,
+            self.shared.fabric.max_frame_bytes(),
+            &tasks,
+        )
     }
 
     fn outstanding(&self) -> usize {
@@ -231,6 +245,7 @@ fn relay_loop(shared: Arc<Shared>, ep: Endpoint) {
         let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
         match crate::proto::decode::<ToInterchange>(&env.payload) {
             Ok(ToInterchange::Submit(task)) => queued.push_back(task),
+            Ok(ToInterchange::SubmitBatch(tasks)) => queued.extend(tasks),
             Ok(ToInterchange::Register { .. }) => {
                 shared.connected.fetch_add(1, Ordering::Relaxed);
                 idle.push_back(env.from);

@@ -108,16 +108,26 @@ impl Executor for ThreadPoolExecutor {
         let state = self.state.lock();
         let running = state.as_ref().ok_or(ExecutorError::NotRunning)?;
         self.outstanding.fetch_add(1, Ordering::Relaxed);
-        let wire_task = WireTask {
-            id: task.id.0,
-            attempt: task.attempt,
-            app_id: task.app.id.0,
-            args: task.args.to_vec(),
-        };
+        let wire_task = WireTask::from_spec(&task);
         running.tx.send(wire_task).map_err(|_| {
             self.outstanding.fetch_sub(1, Ordering::Relaxed);
             ExecutorError::NotRunning
         })
+    }
+
+    /// Native batching: one state-lock acquisition for the whole batch;
+    /// the tasks stream into the shared MPMC worker queue back to back.
+    fn submit_batch(&self, tasks: Vec<TaskSpec>) -> Result<(), ExecutorError> {
+        let state = self.state.lock();
+        let running = state.as_ref().ok_or(ExecutorError::NotRunning)?;
+        for task in &tasks {
+            self.outstanding.fetch_add(1, Ordering::Relaxed);
+            running.tx.send(WireTask::from_spec(task)).map_err(|_| {
+                self.outstanding.fetch_sub(1, Ordering::Relaxed);
+                ExecutorError::NotRunning
+            })?;
+        }
+        Ok(())
     }
 
     fn outstanding(&self) -> usize {

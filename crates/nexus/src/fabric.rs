@@ -26,11 +26,32 @@ pub struct FabricConfig {
     pub loss_probability: f64,
     /// Seed for the loss RNG, for reproducible fault runs.
     pub seed: u64,
+    /// Soft ceiling on one frame's payload size. Batching senders (the
+    /// executors' `submit_batch` paths) chunk their task batches so a
+    /// single frame stays within this budget — one oversized message would
+    /// otherwise head-of-line-block everything behind it on a real
+    /// transport. Advisory: the fabric itself never rejects a frame.
+    pub max_frame_bytes: usize,
+    /// Fixed per-message cost charged to the *sender*, modelling the
+    /// syscall/serialization floor of a real transport (ZeroMQ over TCP in
+    /// the paper). Zero by default; throughput experiments set it so the
+    /// messages-per-task ratio shows up in wall-clock numbers the way it
+    /// does on a cluster.
+    pub per_message_cost: Duration,
 }
+
+/// Default frame budget: 256 KiB, a few thousand small tasks per frame.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 * 1024;
 
 impl Default for FabricConfig {
     fn default() -> Self {
-        FabricConfig { latency: Duration::ZERO, loss_probability: 0.0, seed: 0 }
+        FabricConfig {
+            latency: Duration::ZERO,
+            loss_probability: 0.0,
+            seed: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            per_message_cost: Duration::ZERO,
+        }
     }
 }
 
@@ -52,6 +73,14 @@ pub(crate) struct FabricInner {
 
 impl FabricInner {
     pub(crate) fn route(&self, from: &Addr, to: &Addr, payload: Bytes) -> Result<(), SendError> {
+        if self.config.per_message_cost > Duration::ZERO {
+            // Spin rather than sleep: the modelled costs are microseconds,
+            // well under OS sleep granularity.
+            let until = Instant::now() + self.config.per_message_cost;
+            while Instant::now() < until {
+                std::hint::spin_loop();
+            }
+        }
         self.stats.record_sent(payload.len());
         if !self.dead_links.read().is_empty()
             && self.dead_links.read().contains(&(from.clone(), to.clone()))
@@ -181,6 +210,11 @@ impl Fabric {
     /// Number of live endpoints.
     pub fn endpoint_count(&self) -> usize {
         self.inner.endpoints.read().len()
+    }
+
+    /// The advisory per-frame payload budget batching senders chunk at.
+    pub fn max_frame_bytes(&self) -> usize {
+        self.inner.config.max_frame_bytes
     }
 
     /// Message counters for this fabric.

@@ -42,7 +42,7 @@ mod stats;
 pub use addr::Addr;
 pub use endpoint::{Endpoint, Envelope};
 pub use error::{RecvError, SendError};
-pub use fabric::{AddrInUse, Fabric, FabricConfig};
+pub use fabric::{AddrInUse, Fabric, FabricConfig, DEFAULT_MAX_FRAME_BYTES};
 pub use stats::FabricStats;
 
 #[cfg(test)]
@@ -53,6 +53,35 @@ mod tests {
 
     fn payload(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn frame_budget_defaults_and_overrides() {
+        assert_eq!(Fabric::new().max_frame_bytes(), DEFAULT_MAX_FRAME_BYTES);
+        let fabric = Fabric::with_config(FabricConfig {
+            max_frame_bytes: 512,
+            ..Default::default()
+        });
+        assert_eq!(fabric.max_frame_bytes(), 512);
+    }
+
+    #[test]
+    fn per_message_cost_charges_the_sender() {
+        let fabric = Fabric::with_config(FabricConfig {
+            per_message_cost: Duration::from_millis(2),
+            ..Default::default()
+        });
+        let a = fabric.bind(Addr::new("a")).unwrap();
+        let _b = fabric.bind(Addr::new("b")).unwrap();
+        let t0 = std::time::Instant::now();
+        for _ in 0..5 {
+            a.send(&Addr::new("b"), payload("x")).unwrap();
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "5 sends at 2 ms each took only {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

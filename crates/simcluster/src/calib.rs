@@ -30,6 +30,20 @@ pub const DFK_SUBMIT: SimTime = SimTime::from_micros(600);
 /// kernel"). See [`DFK_SUBMIT`] for the derivation.
 pub const EXEC_KERNEL: SimTime = SimTime::from_micros(440);
 
+/// Share of [`DFK_SUBMIT`] that is per-*message* dispatch work — framing
+/// the submit message and writing it to the executor socket — rather than
+/// per-task argument serialization. Derived: profiled on the real-thread
+/// plane as roughly 30% of the submit path. Batched submission (§4.3.1)
+/// pays this once per frame instead of once per task, which is the lever
+/// behind the Figure-5-style launch-rate experiments.
+pub const SUBMIT_PER_MSG: SimTime = SimTime::from_micros(180);
+
+/// Fraction of the central component's per-task service that is message
+/// parsing/framing rather than matching and task tracking; amortized by
+/// the same batching. Assumed: framing-heavy brokers (HTEX interchange)
+/// profile near this share on the real-thread plane.
+pub const CENTRAL_MSG_FRACTION: f64 = 0.4;
+
 // ---------------------------------------------------------------------------
 // Per-executor extra path cost (latency experiment, Figure 3)
 // ---------------------------------------------------------------------------

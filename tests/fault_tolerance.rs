@@ -46,6 +46,70 @@ fn htex_survives_rolling_node_failures() {
 }
 
 #[test]
+fn manager_death_mid_batch_reports_and_retries_all_outstanding() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static EXECS: AtomicU32 = AtomicU32::new(0);
+    EXECS.store(0, Ordering::SeqCst);
+
+    // One node whose manager advertises a deep prefetch queue: the whole
+    // fan-out lands on it as a single batch, most of it sitting unexecuted
+    // in the manager's backlog.
+    let htex = Arc::new(parsl::executors::HtexExecutor::new(parsl::executors::HtexConfig {
+        workers_per_node: 2,
+        prefetch: 16,
+        batch_size: 16,
+        init_blocks: 1,
+        heartbeat_period: Duration::from_millis(30),
+        heartbeat_threshold: Duration::from_millis(150),
+        ..Default::default()
+    }));
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(htex.clone())
+        .retries(3)
+        .build()
+        .unwrap();
+
+    let root = dfk.python_app("gate", || 0u64);
+    let slow = dfk.python_app("slow", |gate: u64, x: u64| {
+        EXECS.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(40));
+        gate + x * 3
+    });
+    // Gated fan-out: all 12 children dispatch as one submit_batch when the
+    // root completes (§4.3.1 batching through the interchange).
+    let gate = parsl::core::call!(root);
+    let futs: Vec<_> = (0..12u64)
+        .map(|i| slow.call((Dep::future(gate.clone()), Dep::value(i))))
+        .collect();
+
+    // Let the batch land and partially execute, then kill the manager that
+    // holds it. Every task still outstanding in the batch must be reported
+    // back (heartbeat expiry → ManagerLost) and retried on the
+    // replacement node.
+    std::thread::sleep(Duration::from_millis(100));
+    let nodes = htex.nodes();
+    htex.kill_node(nodes.first().expect("one node up"));
+    htex.add_node();
+
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(30)).unwrap(),
+            i as u64 * 3,
+            "task {i} must survive the mid-batch manager loss"
+        );
+    }
+    assert!(
+        EXECS.load(Ordering::SeqCst) >= 12,
+        "every task in the lost batch must have executed (some twice), saw {}",
+        EXECS.load(Ordering::SeqCst)
+    );
+    let counts = dfk.state_counts();
+    assert_eq!(counts.get(&TaskState::Done), Some(&13), "gate + 12 children all Done");
+    dfk.shutdown();
+    assert_eq!(htex.outstanding(), 0, "no task left marked outstanding after recovery");
+}
+
+#[test]
 fn exex_pool_fate_sharing_is_recovered_by_retries() {
     let exex = Arc::new(parsl::executors::ExexExecutor::new(parsl::executors::ExexConfig {
         ranks_per_pool: 3,

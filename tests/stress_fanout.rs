@@ -1,0 +1,104 @@
+//! Stress: a 10 000-task wide fan-out plus diamond joins on the thread
+//! pool. Guards the sharded task table and the batched ready-queue
+//! dispatch against lost wakeups: one root completion makes all 10k
+//! children ready in a single callback cascade (the worst case for the
+//! dispatcher), and every future must still resolve with exact final
+//! accounting.
+
+use parsl::core::combinators::join_all;
+use parsl::prelude::*;
+use std::time::Duration;
+
+const FANOUT: usize = 10_000;
+const JOIN_WIDTH: usize = 4;
+
+#[test]
+fn wide_fanout_with_diamond_joins_resolves_fully() {
+    let dfk = DataFlowKernel::builder()
+        .executor(parsl::executors::ThreadPoolExecutor::new(8))
+        .build()
+        .unwrap();
+
+    let root = dfk.python_app("root", || 1u64);
+    let widen = dfk.python_app("widen", |gate: u64, i: u64| gate + i);
+    let reduce = dfk.python_app("reduce", |xs: Vec<u64>| xs.iter().sum::<u64>());
+
+    // One gate task; its completion fans out to all 10k children at once.
+    let gate = parsl::core::call!(root);
+    let mid: Vec<AppFuture<u64>> = (0..FANOUT as u64)
+        .map(|i| widen.call((Dep::future(gate.clone()), Dep::value(i))))
+        .collect();
+
+    // Diamond joins: groups of JOIN_WIDTH rejoin, then one final reduce.
+    let joins: Vec<AppFuture<u64>> = mid
+        .chunks(JOIN_WIDTH)
+        .map(|chunk| {
+            let joined = join_all(&dfk, chunk.to_vec());
+            reduce.call((Dep::future(joined),))
+        })
+        .collect();
+    let all = join_all(&dfk, joins.clone());
+    let total = reduce.call((Dep::future(all),));
+
+    // gate contributes 1 to each child: sum_i (1 + i).
+    let expected: u64 = (0..FANOUT as u64).map(|i| 1 + i).sum();
+    assert_eq!(
+        total.result_timeout(Duration::from_secs(300)).expect("diamond DAG completes"),
+        expected
+    );
+
+    // Spot-check the whole fan-out layer resolved with the right values,
+    // not just the sums.
+    for (i, f) in mid.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), 1 + i as u64, "fan-out child {i}");
+    }
+    for (g, f) in joins.iter().enumerate() {
+        let base = (g * JOIN_WIDTH) as u64;
+        let width = JOIN_WIDTH.min(FANOUT - g * JOIN_WIDTH) as u64;
+        let expected_group: u64 = (base..base + width).map(|i| 1 + i).sum();
+        assert_eq!(f.result().unwrap(), expected_group, "join group {g}");
+    }
+
+    dfk.wait_for_all();
+
+    // Exact accounting: root + fan-out + (join_all + reduce) per group +
+    // final join_all + final reduce; every one Done, none live, histogram
+    // sums to the task count.
+    let n_groups = FANOUT.div_ceil(JOIN_WIDTH);
+    let expected_tasks = 1 + FANOUT + 2 * n_groups + 2;
+    assert_eq!(dfk.task_count(), expected_tasks);
+    assert_eq!(dfk.live_tasks(), 0);
+    let counts = dfk.state_counts();
+    assert_eq!(counts.get(&TaskState::Done), Some(&expected_tasks));
+    assert_eq!(counts.values().sum::<usize>(), expected_tasks);
+
+    dfk.shutdown();
+}
+
+/// The same wide fan-out submitted root-first against an already-completed
+/// gate: every edge callback fires synchronously at submission, driving
+/// the dispatcher from the submitting thread instead of the collector.
+#[test]
+fn fanout_on_resolved_parent_takes_the_synchronous_path() {
+    let dfk = DataFlowKernel::builder()
+        .executor(parsl::executors::ThreadPoolExecutor::new(4))
+        .build()
+        .unwrap();
+    let root = dfk.python_app("root", || 7u64);
+    let widen = dfk.python_app("widen", |gate: u64, i: u64| gate * i);
+
+    let gate = parsl::core::call!(root);
+    assert_eq!(gate.result().unwrap(), 7); // resolved before the fan-out
+
+    let futs: Vec<AppFuture<u64>> = (0..2_000u64)
+        .map(|i| widen.call((Dep::future(gate.clone()), Dep::value(i))))
+        .collect();
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), 7 * i as u64);
+    }
+    dfk.wait_for_all();
+    assert_eq!(dfk.live_tasks(), 0);
+    let counts = dfk.state_counts();
+    assert_eq!(counts.get(&TaskState::Done), Some(&dfk.task_count()));
+    dfk.shutdown();
+}
