@@ -9,11 +9,11 @@
 
 use crate::ipp::deliver_results_loop;
 use nexus::{Addr, Endpoint, Fabric};
+use parking_lot::Mutex;
 use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use parsl_executors::kernel;
 use parsl_executors::proto::{encode, ToClient, ToInterchange, ToManager, WireTask};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -32,7 +32,11 @@ pub struct DaskConfig {
 
 impl Default for DaskConfig {
     fn default() -> Self {
-        DaskConfig { label: "dask".into(), workers: 4, max_connections: 8192 }
+        DaskConfig {
+            label: "dask".into(),
+            workers: 4,
+            max_connections: 8192,
+        }
     }
 }
 
@@ -103,9 +107,7 @@ impl Executor for DaskLikeExecutor {
         let ctx2 = ctx.clone();
         let client = std::thread::Builder::new()
             .name(format!("{}-client", self.shared.cfg.label))
-            .spawn(move || {
-                deliver_results_loop(&shared.stop, &shared.outstanding, client_ep, ctx2)
-            })
+            .spawn(move || deliver_results_loop(&shared.stop, &shared.outstanding, client_ep, ctx2))
             .map_err(|e| ExecutorError::Comm(e.to_string()))?;
         self.threads.lock().extend([sched, client]);
 
@@ -134,11 +136,14 @@ impl Executor for DaskLikeExecutor {
             args: task.args.to_vec(),
         };
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
-        ep.send(&self.shared.sched_addr, encode(&ToInterchange::Submit(wire_task)))
-            .map_err(|e| {
-                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                ExecutorError::Comm(e.to_string())
-            })
+        ep.send(
+            &self.shared.sched_addr,
+            encode(&ToInterchange::Submit(wire_task)),
+        )
+        .map_err(|e| {
+            self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+            ExecutorError::Comm(e.to_string())
+        })
     }
 
     fn outstanding(&self) -> usize {
@@ -182,7 +187,9 @@ fn scheduler_loop(shared: Arc<Shared>, ep: Endpoint) {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
         match parsl_executors::proto::decode::<ToInterchange>(&env.payload) {
             Ok(ToInterchange::Submit(t)) => queued.push_back(t),
             Ok(ToInterchange::Register { .. }) => {
@@ -205,7 +212,9 @@ fn scheduler_loop(shared: Arc<Shared>, ep: Endpoint) {
         }
         // Per-task decision: place on the least-occupied worker.
         while !queued.is_empty() {
-            let Some((addr, _)) = workers.iter().min_by_key(|(_, &d)| d) else { break };
+            let Some((addr, _)) = workers.iter().min_by_key(|(_, &d)| d) else {
+                break;
+            };
             let addr = addr.clone();
             let depth = workers.get(&addr).copied().unwrap_or(0);
             if depth >= 2 {
@@ -227,10 +236,15 @@ fn scheduler_loop(shared: Arc<Shared>, ep: Endpoint) {
 
 fn worker_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, index: usize) {
     let addr = Addr::new(format!("{}:worker-{index}", shared.cfg.label));
-    let Ok(ep) = shared.fabric.bind(addr.clone()) else { return };
+    let Ok(ep) = shared.fabric.bind(addr.clone()) else {
+        return;
+    };
     let _ = ep.send(
         &shared.sched_addr,
-        encode(&ToInterchange::Register { name: addr.to_string(), capacity: 1 }),
+        encode(&ToInterchange::Register {
+            name: addr.to_string(),
+            capacity: 1,
+        }),
     );
     loop {
         let Ok(env) = ep.recv() else { return };

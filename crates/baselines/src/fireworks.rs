@@ -8,12 +8,12 @@
 //! step is a serialized database round trip, which is why the paper
 //! measures 4 tasks/s and MongoDB timeouts past 1024 workers.
 
+use parking_lot::Mutex;
 use parsl_core::error::TaskError;
 use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use parsl_executors::kernel;
 use parsl_executors::proto::{WireResult, WireTask};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -125,8 +125,7 @@ impl Executor for FireworksExecutor {
         }
         // FireWorkers.
         for i in 0..self.cfg.workers {
-            if self.pad.connections.fetch_add(1, Ordering::Relaxed) >= self.cfg.max_connections
-            {
+            if self.pad.connections.fetch_add(1, Ordering::Relaxed) >= self.cfg.max_connections {
                 // Database refuses further connections.
                 self.pad.connections.fetch_sub(1, Ordering::Relaxed);
                 break;
@@ -175,10 +174,7 @@ impl Executor for FireworksExecutor {
                         let outcome = TaskOutcome {
                             id: parsl_core::types::TaskId(r.id),
                             attempt: r.attempt,
-                            result: r
-                                .outcome
-                                .map(bytes::Bytes::from)
-                                .map_err(TaskError::App),
+                            result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
                             worker: Some(r.worker),
                             started: None,
                             finished: Some(Instant::now()),
@@ -247,7 +243,11 @@ mod tests {
             ..Default::default()
         });
         let (tx, _rx) = crossbeam::channel::unbounded();
-        ex.start(ExecutorContext { completions: tx, registry: AppRegistry::new() }).unwrap();
+        ex.start(ExecutorContext {
+            completions: tx,
+            registry: AppRegistry::new(),
+        })
+        .unwrap();
         assert_eq!(ex.connected_workers(), 3);
         ex.shutdown();
     }

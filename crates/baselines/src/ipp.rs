@@ -6,12 +6,12 @@
 //! hub and failures past 2048 engines.
 
 use nexus::{Addr, Endpoint, Fabric};
+use parking_lot::Mutex;
 use parsl_core::error::TaskError;
 use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use parsl_executors::kernel;
 use parsl_executors::proto::{encode, ToClient, ToInterchange, ToManager, WireTask};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,7 +31,11 @@ pub struct IppConfig {
 
 impl Default for IppConfig {
     fn default() -> Self {
-        IppConfig { label: "ipp".into(), engines: 4, max_connections: 2048 }
+        IppConfig {
+            label: "ipp".into(),
+            engines: 4,
+            max_connections: 2048,
+        }
     }
 }
 
@@ -131,11 +135,14 @@ impl Executor for IppExecutor {
             args: task.args.to_vec(),
         };
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
-        ep.send(&self.shared.hub_addr, encode(&ToInterchange::Submit(wire_task)))
-            .map_err(|e| {
-                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                ExecutorError::Comm(e.to_string())
-            })
+        ep.send(
+            &self.shared.hub_addr,
+            encode(&ToInterchange::Submit(wire_task)),
+        )
+        .map_err(|e| {
+            self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+            ExecutorError::Comm(e.to_string())
+        })
     }
 
     fn outstanding(&self) -> usize {
@@ -173,7 +180,9 @@ fn hub_loop(shared: Arc<Shared>, ep: Endpoint) {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
         match parsl_executors::proto::decode::<ToInterchange>(&env.payload) {
             Ok(ToInterchange::Submit(t)) => queued.push_back(t),
             Ok(ToInterchange::Register { .. }) => {
@@ -209,10 +218,15 @@ fn hub_loop(shared: Arc<Shared>, ep: Endpoint) {
 
 fn engine_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, index: usize) {
     let addr = Addr::new(format!("{}:engine-{index}", shared.cfg.label));
-    let Ok(ep) = shared.fabric.bind(addr.clone()) else { return };
+    let Ok(ep) = shared.fabric.bind(addr.clone()) else {
+        return;
+    };
     let _ = ep.send(
         &shared.hub_addr,
-        encode(&ToInterchange::Register { name: addr.to_string(), capacity: 1 }),
+        encode(&ToInterchange::Register {
+            name: addr.to_string(),
+            capacity: 1,
+        }),
     );
     loop {
         let Ok(env) = ep.recv() else { return };
@@ -250,7 +264,9 @@ pub(crate) fn deliver_results_loop(
         if stop.load(Ordering::Acquire) {
             return;
         }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
         if let Ok(ToClient::Results(results)) =
             parsl_executors::proto::decode::<ToClient>(&env.payload)
         {

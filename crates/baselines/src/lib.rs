@@ -47,7 +47,10 @@ mod tests {
     #[test]
     fn ipp_runs_parsl_programs() {
         let dfk = DataFlowKernel::builder()
-            .executor(IppExecutor::new(IppConfig { engines: 4, ..Default::default() }))
+            .executor(IppExecutor::new(IppConfig {
+                engines: 4,
+                ..Default::default()
+            }))
             .build()
             .unwrap();
         run_hundred(&dfk);
@@ -57,7 +60,10 @@ mod tests {
     #[test]
     fn dask_runs_parsl_programs() {
         let dfk = DataFlowKernel::builder()
-            .executor(DaskLikeExecutor::new(DaskConfig { workers: 4, ..Default::default() }))
+            .executor(DaskLikeExecutor::new(DaskConfig {
+                workers: 4,
+                ..Default::default()
+            }))
             .build()
             .unwrap();
         run_hundred(&dfk);
@@ -134,7 +140,10 @@ mod tests {
             (
                 "ipp",
                 DataFlowKernel::builder()
-                    .executor(IppExecutor::new(IppConfig { engines: 2, ..Default::default() }))
+                    .executor(IppExecutor::new(IppConfig {
+                        engines: 2,
+                        ..Default::default()
+                    }))
                     .build()
                     .unwrap(),
             ),

@@ -134,7 +134,9 @@ mod tests {
         let one_way = machines::blue_waters().one_way_latency();
         let d = SimTime::ZERO;
         let small_dask = dask().run_campaign(50_000, 512, d, one_way).unwrap();
-        let small_htex = FrameworkModel::htex().run_campaign(50_000, 512, d, one_way).unwrap();
+        let small_htex = FrameworkModel::htex()
+            .run_campaign(50_000, 512, d, one_way)
+            .unwrap();
         assert!(
             small_dask.makespan < small_htex.makespan,
             "dask {} vs htex {} at 512 workers",
@@ -142,7 +144,9 @@ mod tests {
             small_htex.makespan
         );
         let big_dask = dask().run_campaign(50_000, 8192, d, one_way).unwrap();
-        let big_htex = FrameworkModel::htex().run_campaign(50_000, 8192, d, one_way).unwrap();
+        let big_htex = FrameworkModel::htex()
+            .run_campaign(50_000, 8192, d, one_way)
+            .unwrap();
         assert!(
             big_htex.makespan < big_dask.makespan,
             "htex {} vs dask {} at 8192 workers",

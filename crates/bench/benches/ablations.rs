@@ -14,14 +14,16 @@ fn htex_batching(c: &mut Criterion) {
     group.sample_size(10);
     for (batch, prefetch) in [(1usize, 0usize), (1, 4), (8, 0), (8, 4), (32, 16)] {
         let dfk = DataFlowKernel::builder()
-            .executor(parsl_executors::HtexExecutor::new(parsl_executors::HtexConfig {
-                workers_per_node: 2,
-                nodes_per_block: 2,
-                init_blocks: 1,
-                batch_size: batch,
-                prefetch,
-                ..Default::default()
-            }))
+            .executor(parsl_executors::HtexExecutor::new(
+                parsl_executors::HtexConfig {
+                    workers_per_node: 2,
+                    nodes_per_block: 2,
+                    init_blocks: 1,
+                    batch_size: batch,
+                    prefetch,
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap();
         let noop = dfk.python_app("noop", |x: u64| x);
@@ -32,8 +34,9 @@ fn htex_batching(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("batch{batch}-prefetch{prefetch}")),
             |b| {
                 b.iter(|| {
-                    let futs: Vec<_> =
-                        (0..BATCH as u64).map(|i| parsl_core::call!(noop, i)).collect();
+                    let futs: Vec<_> = (0..BATCH as u64)
+                        .map(|i| parsl_core::call!(noop, i))
+                        .collect();
                     for f in &futs {
                         f.result().unwrap();
                     }

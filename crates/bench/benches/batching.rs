@@ -24,7 +24,8 @@ fn noop_app(registry: &Arc<AppRegistry>) -> Arc<RegisteredApp> {
         Arc::new(|args| {
             let (x,): (u64,) = wire::from_bytes(args)
                 .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))?;
-            wire::to_bytes(&x).map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))
+            wire::to_bytes(&x)
+                .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))
         }),
         AppOptions::default(),
     )
@@ -44,7 +45,8 @@ fn specs(app: &Arc<RegisteredApp>, n: usize) -> Vec<TaskSpec> {
 
 fn drain(rx: &Receiver<TaskOutcome>, n: usize) {
     for _ in 0..n {
-        rx.recv_timeout(Duration::from_secs(30)).expect("task completes");
+        rx.recv_timeout(Duration::from_secs(30))
+            .expect("task completes");
     }
 }
 
@@ -95,8 +97,11 @@ fn batching_benches(c: &mut Criterion) {
             },
             fabric,
         );
-        htex.start(ExecutorContext { completions: tx, registry: Arc::clone(&registry) })
-            .unwrap();
+        htex.start(ExecutorContext {
+            completions: tx,
+            registry: Arc::clone(&registry),
+        })
+        .unwrap();
         bench_executor(c, "htex-sim", &htex, &rx, &app);
         htex.shutdown();
     }
@@ -108,8 +113,11 @@ fn batching_benches(c: &mut Criterion) {
         let app = noop_app(&registry);
         let (tx, rx) = unbounded();
         let pool = ThreadPoolExecutor::new(4);
-        pool.start(ExecutorContext { completions: tx, registry: Arc::clone(&registry) })
-            .unwrap();
+        pool.start(ExecutorContext {
+            completions: tx,
+            registry: Arc::clone(&registry),
+        })
+        .unwrap();
         bench_executor(c, "threadpool-4", &pool, &rx, &app);
         pool.shutdown();
     }

@@ -5,17 +5,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use parsl_core::prelude::*;
 use std::sync::Arc;
 
-fn bench_executor(
-    c: &mut Criterion,
-    name: &str,
-    dfk: Arc<DataFlowKernel>,
-) {
+fn bench_executor(c: &mut Criterion, name: &str, dfk: Arc<DataFlowKernel>) {
     let noop = dfk.python_app("noop", |x: u8| x);
     // Warm up the path so registration and worker spin-up are excluded.
     for _ in 0..10 {
         let _ = parsl_core::call!(noop, 0u8).result().unwrap();
     }
-    c.bench_function(&format!("latency/{name}"), |b| {
+    c.bench_function(format!("latency/{name}"), |b| {
         b.iter(|| {
             let f = parsl_core::call!(noop, 1u8);
             f.result().unwrap()
@@ -28,7 +24,10 @@ fn latency_benches(c: &mut Criterion) {
     bench_executor(
         c,
         "immediate",
-        DataFlowKernel::builder().executor(ImmediateExecutor::new()).build().unwrap(),
+        DataFlowKernel::builder()
+            .executor(ImmediateExecutor::new())
+            .build()
+            .unwrap(),
     );
     bench_executor(
         c,
@@ -42,10 +41,12 @@ fn latency_benches(c: &mut Criterion) {
         c,
         "llex",
         DataFlowKernel::builder()
-            .executor(parsl_executors::LlexExecutor::new(parsl_executors::LlexConfig {
-                workers: 1,
-                ..Default::default()
-            }))
+            .executor(parsl_executors::LlexExecutor::new(
+                parsl_executors::LlexConfig {
+                    workers: 1,
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap(),
     );
@@ -53,11 +54,13 @@ fn latency_benches(c: &mut Criterion) {
         c,
         "htex",
         DataFlowKernel::builder()
-            .executor(parsl_executors::HtexExecutor::new(parsl_executors::HtexConfig {
-                workers_per_node: 1,
-                init_blocks: 1,
-                ..Default::default()
-            }))
+            .executor(parsl_executors::HtexExecutor::new(
+                parsl_executors::HtexConfig {
+                    workers_per_node: 1,
+                    init_blocks: 1,
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap(),
     );
@@ -65,11 +68,13 @@ fn latency_benches(c: &mut Criterion) {
         c,
         "exex",
         DataFlowKernel::builder()
-            .executor(parsl_executors::ExexExecutor::new(parsl_executors::ExexConfig {
-                ranks_per_pool: 2,
-                init_pools: 1,
-                ..Default::default()
-            }))
+            .executor(parsl_executors::ExexExecutor::new(
+                parsl_executors::ExexConfig {
+                    ranks_per_pool: 2,
+                    init_pools: 1,
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap(),
     );
@@ -98,7 +103,9 @@ fn latency_benches(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3))
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
 }
 
 criterion_group! {

@@ -18,7 +18,9 @@ fn bench_throughput(c: &mut Criterion, name: &str, dfk: Arc<DataFlowKernel>) {
     group.sample_size(10);
     group.bench_function(BenchmarkId::from_parameter(name), |b| {
         b.iter(|| {
-            let futs: Vec<_> = (0..BATCH as u64).map(|i| parsl_core::call!(noop, i)).collect();
+            let futs: Vec<_> = (0..BATCH as u64)
+                .map(|i| parsl_core::call!(noop, i))
+                .collect();
             for f in &futs {
                 f.result().unwrap();
             }
@@ -41,12 +43,14 @@ fn throughput_benches(c: &mut Criterion) {
         c,
         "htex-2x2",
         DataFlowKernel::builder()
-            .executor(parsl_executors::HtexExecutor::new(parsl_executors::HtexConfig {
-                workers_per_node: 2,
-                nodes_per_block: 2,
-                init_blocks: 1,
-                ..Default::default()
-            }))
+            .executor(parsl_executors::HtexExecutor::new(
+                parsl_executors::HtexConfig {
+                    workers_per_node: 2,
+                    nodes_per_block: 2,
+                    init_blocks: 1,
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap(),
     );
@@ -54,10 +58,12 @@ fn throughput_benches(c: &mut Criterion) {
         c,
         "llex-4",
         DataFlowKernel::builder()
-            .executor(parsl_executors::LlexExecutor::new(parsl_executors::LlexConfig {
-                workers: 4,
-                ..Default::default()
-            }))
+            .executor(parsl_executors::LlexExecutor::new(
+                parsl_executors::LlexConfig {
+                    workers: 4,
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap(),
     );
@@ -65,11 +71,13 @@ fn throughput_benches(c: &mut Criterion) {
         c,
         "exex-1x5",
         DataFlowKernel::builder()
-            .executor(parsl_executors::ExexExecutor::new(parsl_executors::ExexConfig {
-                ranks_per_pool: 5,
-                init_pools: 1,
-                ..Default::default()
-            }))
+            .executor(parsl_executors::ExexExecutor::new(
+                parsl_executors::ExexConfig {
+                    ranks_per_pool: 5,
+                    init_pools: 1,
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap(),
     );
@@ -99,11 +107,13 @@ fn throughput_benches(c: &mut Criterion) {
         c,
         "fireworks-4",
         DataFlowKernel::builder()
-            .executor(baselines::FireworksExecutor::new(baselines::FireworksConfig {
-                workers: 4,
-                poll_interval: std::time::Duration::from_millis(2),
-                ..Default::default()
-            }))
+            .executor(baselines::FireworksExecutor::new(
+                baselines::FireworksConfig {
+                    workers: 4,
+                    poll_interval: std::time::Duration::from_millis(2),
+                    ..Default::default()
+                },
+            ))
             .build()
             .unwrap(),
     );

@@ -1,0 +1,115 @@
+//! CI bench-regression guard.
+//!
+//! Compares a freshly measured `BENCH_*.json` (a `--smoke --out` run on
+//! the CI machine) against the committed baseline and fails when any
+//! guarded higher-is-better metric regressed by more than the tolerance
+//! (default 30%, the noise floor of a shared CI runner).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_guard <baseline.json> <current.json> <key> [<key>...] [--tolerance 0.30]
+//! ```
+//!
+//! Keys name numeric fields present in both files (e.g. `batched_speedup`,
+//! `least_outstanding_tps`). A key missing from either file is an error —
+//! a silently skipped metric is how regressions sneak past a guard.
+
+use bench::json_number;
+
+struct Check {
+    key: String,
+    baseline: f64,
+    current: f64,
+    ratio: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.30;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it.next().expect("--tolerance needs a value");
+            tolerance = v.parse().expect("--tolerance must be a float");
+        } else {
+            positional.push(a);
+        }
+    }
+    if positional.len() < 3 {
+        eprintln!(
+            "usage: bench_guard <baseline.json> <current.json> <key> [<key>...] \
+             [--tolerance 0.30]"
+        );
+        std::process::exit(2);
+    }
+    let baseline_path = &positional[0];
+    let current_path = &positional[1];
+    let keys = &positional[2..];
+
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench_guard: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+
+    let mut checks: Vec<Check> = Vec::new();
+    let mut failed = false;
+    for key in keys {
+        let b = json_number(&baseline, key);
+        let c = json_number(&current, key);
+        let (Some(b), Some(c)) = (b, c) else {
+            eprintln!(
+                "bench_guard: key {key:?} missing or non-numeric \
+                 (baseline: {b:?}, current: {c:?})"
+            );
+            std::process::exit(2);
+        };
+        if b <= 0.0 {
+            // A non-positive baseline can never flag a regression; treat
+            // it like a missing key instead of silently passing forever.
+            eprintln!("bench_guard: key {key:?} has non-positive baseline {b} — fix the baseline");
+            std::process::exit(2);
+        }
+        let ratio = c / b;
+        if ratio < 1.0 - tolerance {
+            failed = true;
+        }
+        checks.push(Check {
+            key: key.clone(),
+            baseline: b,
+            current: c,
+            ratio,
+        });
+    }
+
+    println!(
+        "bench_guard: {} vs {} (tolerance {:.0}%)",
+        baseline_path,
+        current_path,
+        tolerance * 100.0
+    );
+    for ck in &checks {
+        let verdict = if ck.ratio < 1.0 - tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<28} baseline {:>12.1}  current {:>12.1}  ratio {:>5.2}  {verdict}",
+            ck.key, ck.baseline, ck.current, ck.ratio
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_guard: throughput regression beyond {:.0}% detected",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: all guarded metrics within tolerance");
+}

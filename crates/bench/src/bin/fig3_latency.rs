@@ -107,7 +107,10 @@ fn real_plane_threadpool() -> simnet::Samples {
 fn real_plane_llex(one_way: SimTime) -> simnet::Samples {
     let dfk = parsl_core::DataFlowKernel::builder()
         .executor(parsl_executors::LlexExecutor::on_fabric(
-            parsl_executors::LlexConfig { workers: 1, ..Default::default() },
+            parsl_executors::LlexConfig {
+                workers: 1,
+                ..Default::default()
+            },
             fabric(one_way),
         ))
         .build()

@@ -34,7 +34,11 @@ fn main() {
         for &w in &workers {
             let mut row = vec![w.to_string()];
             for fw in &frameworks {
-                let n_tasks = if fw.name == "FireWorks" { 5_000 } else { 50_000 };
+                let n_tasks = if fw.name == "FireWorks" {
+                    5_000
+                } else {
+                    50_000
+                };
                 let cell = fw
                     .run_campaign(n_tasks, w, SimTime::from_millis(duration_ms), one_way)
                     .ok()

@@ -55,7 +55,9 @@ fn main() {
                 onsets.push(format!(
                     "{}: {}",
                     fw.name,
-                    onset.map(|w| w.to_string()).unwrap_or_else(|| "none".into())
+                    onset
+                        .map(|w| w.to_string())
+                        .unwrap_or_else(|| "none".into())
                 ));
             }
         }

@@ -27,8 +27,7 @@ const WIDTH: usize = 20;
 const WORKERS_PER_BLOCK: usize = 5;
 const MAX_BLOCKS: usize = 4;
 /// Total useful task-seconds in the workflow (scaled).
-const TASK_SECONDS: f64 =
-    (WIDTH as f64) * 2.0 + 1.0 + (WIDTH as f64) * 2.0 + 1.0;
+const TASK_SECONDS: f64 = (WIDTH as f64) * 2.0 + 1.0 + (WIDTH as f64) * 2.0 + 1.0;
 
 struct RunResult {
     makespan: f64,
@@ -53,7 +52,13 @@ fn main() {
     }
 
     section("Figure 6 — utilization and makespan");
-    let mut t = Table::new(&["configuration", "utilization %", "paper %", "makespan s", "paper s (scaled)"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "utilization %",
+        "paper %",
+        "makespan s",
+        "paper s (scaled)",
+    ]);
     t.row(vec![
         "no elasticity".into(),
         fmt_f(fixed.utilization * 100.0),
@@ -147,7 +152,9 @@ fn run(elastic: bool) -> RunResult {
         let htex = Arc::clone(&htex);
         std::thread::spawn(move || {
             while !stop.load(std::sync::atomic::Ordering::Acquire) {
-                series.lock().push((Instant::now(), htex.connected_workers()));
+                series
+                    .lock()
+                    .push((Instant::now(), htex.connected_workers()));
                 std::thread::sleep(Duration::from_millis(20));
             }
         })
@@ -156,8 +163,7 @@ fn run(elastic: bool) -> RunResult {
     if !elastic {
         // The paper deploys workers and waits for them before starting.
         let deadline = Instant::now() + Duration::from_secs(10);
-        while htex.connected_workers() < MAX_BLOCKS * WORKERS_PER_BLOCK
-            && Instant::now() < deadline
+        while htex.connected_workers() < MAX_BLOCKS * WORKERS_PER_BLOCK && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(10));
         }
@@ -178,7 +184,9 @@ fn run(elastic: bool) -> RunResult {
 
     let t0 = Instant::now();
     // Stage 1: 20 wide tasks.
-    let s1: Vec<_> = (0..WIDTH).map(|_| parsl_core::call!(sleep_task, WIDE_MS)).collect();
+    let s1: Vec<_> = (0..WIDTH)
+        .map(|_| parsl_core::call!(sleep_task, WIDE_MS))
+        .collect();
     // Stage 2: reduce over all of stage 1.
     let j1 = join_all(&dfk, s1);
     let s2 = parsl_core::call!(reduce_task, j1, REDUCE_MS);
@@ -211,10 +219,17 @@ fn run(elastic: bool) -> RunResult {
     dfk.shutdown();
     let mut retries = 0;
     for e in store.events() {
-        if let parsl_core::MonitorEvent::Retry { task, reason, at, .. } = e {
+        if let parsl_core::MonitorEvent::Retry {
+            task, reason, at, ..
+        } = e
+        {
             retries += 1;
             eprintln!("  retry {task} at {:.2}s: {reason}", at.as_secs_f64());
         }
     }
-    RunResult { makespan, utilization: TASK_SECONDS / worker_seconds.max(1e-9), retries }
+    RunResult {
+        makespan,
+        utilization: TASK_SECONDS / worker_seconds.max(1e-9),
+        retries,
+    }
 }

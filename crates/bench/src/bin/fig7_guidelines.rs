@@ -26,15 +26,27 @@ fn choice_of(model: &FrameworkModel) -> ExecutorChoice {
 fn main() {
     let bw = machines::blue_waters();
     let one_way = bw.one_way_latency();
-    let models = [FrameworkModel::llex(), FrameworkModel::htex(), FrameworkModel::exex()];
+    let models = [
+        FrameworkModel::llex(),
+        FrameworkModel::htex(),
+        FrameworkModel::exex(),
+    ];
 
     section("Figure 7 — interactive column (sequential latency, small scale)");
-    let mut t = Table::new(&["nodes", "LLEX ms", "HTEX ms", "EXEX ms", "best", "guideline"]);
+    let mut t = Table::new(&[
+        "nodes",
+        "LLEX ms",
+        "HTEX ms",
+        "EXEX ms",
+        "best",
+        "guideline",
+    ]);
     for nodes in [1usize, 2, 5, 10] {
         let lat: Vec<f64> = models
             .iter()
             .map(|m| {
-                m.run_sequential_latency(200, SimTime::ZERO, one_way, 7).mean()
+                m.run_sequential_latency(200, SimTime::ZERO, one_way, 7)
+                    .mean()
             })
             .collect();
         let best = models
@@ -50,14 +62,27 @@ fn main() {
             fmt_f(lat[1]),
             fmt_f(lat[2]),
             best.to_string(),
-            format!("{rec}{}", if best == rec { " (match)" } else { " (MISMATCH)" }),
+            format!(
+                "{rec}{}",
+                if best == rec {
+                    " (match)"
+                } else {
+                    " (MISMATCH)"
+                }
+            ),
         ]);
     }
     t.print();
 
     section("Figure 7 — batch column (makespan of 10 tasks/worker, 32 workers/node)");
     let mut t = Table::new(&[
-        "nodes", "task s", "LLEX s", "HTEX s", "EXEX s", "best", "guideline",
+        "nodes",
+        "task s",
+        "LLEX s",
+        "HTEX s",
+        "EXEX s",
+        "best",
+        "guideline",
     ]);
     for nodes in [10usize, 100, 1000, 2000, 4096, 8192] {
         let workers = nodes * bw.workers_per_node;

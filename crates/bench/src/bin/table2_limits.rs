@@ -91,7 +91,12 @@ fn main() {
         let tput_workers = 64.min(max_workers);
         let tput = row
             .model
-            .run_campaign(50_000, tput_workers, SimTime::ZERO, midway.one_way_latency())
+            .run_campaign(
+                50_000,
+                tput_workers,
+                SimTime::ZERO,
+                midway.one_way_latency(),
+            )
             .map(|r| r.throughput)
             .unwrap_or(0.0);
 

@@ -6,7 +6,6 @@
 //! *shape* comparison (who wins, by what factor, where curves cross) is
 //! immediate.
 
-
 /// Fixed-width table printer for experiment output.
 pub struct Table {
     headers: Vec<String>,
@@ -100,6 +99,23 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Extract the numeric value of a top-level-unique `"key": <number>` pair
+/// from a `BENCH_*.json` document. The bench files are flat
+/// machine-written JSON, so a scan for the quoted key is sufficient — no
+/// JSON parser is vendored. Returns `None` if the key is absent or not
+/// followed by a number.
+pub fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +135,27 @@ mod tests {
     fn pow2_ranges() {
         assert_eq!(pow2_range(32, 256), vec![32, 64, 128, 256]);
         assert_eq!(pow2_range(8, 8), vec![8]);
+    }
+
+    #[test]
+    fn json_number_extracts_flat_keys() {
+        let doc = r#"{
+  "experiment": "x",
+  "tps": 1234.5,
+  "nested": { "inner_tps": 9.0 },
+  "speedup": 2.5e1,
+  "neg": -3
+}"#;
+        assert_eq!(json_number(doc, "tps"), Some(1234.5));
+        assert_eq!(json_number(doc, "inner_tps"), Some(9.0));
+        assert_eq!(json_number(doc, "speedup"), Some(25.0));
+        assert_eq!(json_number(doc, "neg"), Some(-3.0));
+        assert_eq!(json_number(doc, "missing"), None);
+        assert_eq!(
+            json_number(doc, "experiment"),
+            None,
+            "strings are not numbers"
+        );
     }
 
     #[test]

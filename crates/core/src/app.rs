@@ -127,7 +127,9 @@ impl AppArgs for () {
         if bytes.is_empty() {
             Ok(())
         } else {
-            Err(AppError::Serialization("expected empty argument buffer".into()))
+            Err(AppError::Serialization(
+                "expected empty argument buffer".into(),
+            ))
         }
     }
 
@@ -238,7 +240,11 @@ impl<A: AppArgs, R: TaskValue> Clone for App<A, R> {
 
 impl<A: AppArgs, R: TaskValue> App<A, R> {
     pub(crate) fn new(dfk: Arc<DataFlowKernel>, registered: Arc<RegisteredApp>) -> Self {
-        App { dfk, registered, _marker: PhantomData }
+        App {
+            dfk,
+            registered,
+            _marker: PhantomData,
+        }
     }
 
     /// The app's registered name.
@@ -310,8 +316,7 @@ mod tests {
     #[test]
     fn tuple_args_encode_in_order() {
         let slots =
-            <(u8, String) as AppArgs>::into_slots((Dep::value(7), Dep::value("x".into())))
-                .unwrap();
+            <(u8, String) as AppArgs>::into_slots((Dep::value(7), Dep::value("x".into()))).unwrap();
         assert_eq!(slots.len(), 2);
         let mut buf = Vec::new();
         for s in &slots {
@@ -327,8 +332,14 @@ mod tests {
 
     #[test]
     fn signatures_distinguish_types() {
-        assert_ne!(<(u8,) as AppArgs>::signature(), <(u16,) as AppArgs>::signature());
-        assert_eq!(<(u8,) as AppArgs>::signature(), <(u8,) as AppArgs>::signature());
+        assert_ne!(
+            <(u8,) as AppArgs>::signature(),
+            <(u16,) as AppArgs>::signature()
+        );
+        assert_eq!(
+            <(u8,) as AppArgs>::signature(),
+            <(u8,) as AppArgs>::signature()
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn run_bash(command: &str, opts: &BashOptions) -> Result<i32, AppError> {
     };
 
     let mut cmd = Command::new("sh");
-    cmd.arg("-c").arg(command).current_dir(&workdir).stdin(Stdio::null());
+    cmd.arg("-c")
+        .arg(command)
+        .current_dir(&workdir)
+        .stdin(Stdio::null());
 
     match &opts.stdout {
         Some(path) => {
@@ -75,15 +78,23 @@ pub fn run_bash(command: &str, opts: &BashOptions) -> Result<i32, AppError> {
 
     match status.code() {
         Some(0) => Ok(0),
-        Some(code) => Err(AppError::BashExit { code, command: command.to_string() }),
-        None => Err(AppError::BashExit { code: -1, command: command.to_string() }),
+        Some(code) => Err(AppError::BashExit {
+            code,
+            command: command.to_string(),
+        }),
+        None => Err(AppError::BashExit {
+            code: -1,
+            command: command.to_string(),
+        }),
     }
 }
 
 /// Cheap unique suffix without pulling a full RNG into the hot path.
 fn fastrand_suffix() -> u64 {
     use std::time::{SystemTime, UNIX_EPOCH};
-    let t = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
     wire::fnv1a(&t.subsec_nanos().to_le_bytes()) ^ (t.as_nanos() as u64)
 }
 
@@ -105,7 +116,10 @@ mod tests {
     #[test]
     fn stdout_redirection_captures_output() {
         let path = std::env::temp_dir().join(format!("parsl-bash-out-{}", std::process::id()));
-        let opts = BashOptions { stdout: Some(path.clone()), ..Default::default() };
+        let opts = BashOptions {
+            stdout: Some(path.clone()),
+            ..Default::default()
+        };
         run_bash("echo hello-from-bash", &opts).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content.trim(), "hello-from-bash");
@@ -115,7 +129,10 @@ mod tests {
     #[test]
     fn stderr_redirection_captures_errors() {
         let path = std::env::temp_dir().join(format!("parsl-bash-err-{}", std::process::id()));
-        let opts = BashOptions { stderr: Some(path.clone()), ..Default::default() };
+        let opts = BashOptions {
+            stderr: Some(path.clone()),
+            ..Default::default()
+        };
         run_bash("echo oops 1>&2", &opts).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content.trim(), "oops");
@@ -127,7 +144,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("parsl-bash-cwd-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("marker.txt");
-        let opts = BashOptions { cwd: Some(dir.clone()), ..Default::default() };
+        let opts = BashOptions {
+            cwd: Some(dir.clone()),
+            ..Default::default()
+        };
         run_bash("echo here > marker.txt", &opts).unwrap();
         assert!(out.exists());
         std::fs::remove_dir_all(&dir).unwrap();
@@ -137,14 +157,18 @@ mod tests {
     fn sandbox_dir_is_cleaned_up() {
         // Have the command report its own sandbox path, then verify that
         // directory is gone after the call returns.
-        let report = std::env::temp_dir()
-            .join(format!("parsl-bash-sbx-report-{}", std::process::id()));
+        let report =
+            std::env::temp_dir().join(format!("parsl-bash-sbx-report-{}", std::process::id()));
         let opts = BashOptions::default();
         run_bash(&format!("pwd > {}", report.display()), &opts).unwrap();
         let sandbox = std::fs::read_to_string(&report).unwrap();
         let sandbox = std::path::Path::new(sandbox.trim());
         assert!(
-            sandbox.file_name().unwrap().to_string_lossy().starts_with("parsl-sandbox-"),
+            sandbox
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .starts_with("parsl-sandbox-"),
             "command must have run inside an ephemeral sandbox, got {sandbox:?}"
         );
         assert!(!sandbox.exists(), "sandbox {sandbox:?} must be removed");

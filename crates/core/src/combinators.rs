@@ -122,7 +122,10 @@ mod tests {
     use crate::prelude::*;
 
     fn dfk() -> Arc<DataFlowKernel> {
-        DataFlowKernel::builder().executor(ImmediateExecutor::new()).build().unwrap()
+        DataFlowKernel::builder()
+            .executor(ImmediateExecutor::new())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -147,9 +150,14 @@ mod tests {
     fn join_fails_if_any_input_fails() {
         let dfk = dfk();
         let ok = dfk.python_app("ok", |x: u32| x);
-        let bad = dfk
-            .python_app_fallible("bad", || -> Result<u32, AppError> { Err(AppError::msg("x")) });
-        let futs = vec![crate::call!(ok, 1u32), crate::call!(bad), crate::call!(ok, 3u32)];
+        let bad = dfk.python_app_fallible("bad", || -> Result<u32, AppError> {
+            Err(AppError::msg("x"))
+        });
+        let futs = vec![
+            crate::call!(ok, 1u32),
+            crate::call!(bad),
+            crate::call!(ok, 3u32),
+        ];
         let all = join_all(&dfk, futs);
         assert!(matches!(
             all.result(),

@@ -8,6 +8,7 @@
 
 use crate::executor::Executor;
 use crate::monitor::MonitorSink;
+use crate::scheduler::SchedulerPolicy;
 use crate::strategy::StrategyConfig;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -29,8 +30,14 @@ pub struct Config {
     pub strategy: StrategyConfig,
     /// Event sink for task state transitions and worker counts.
     pub monitor: Option<Arc<dyn MonitorSink>>,
-    /// Seed for random executor selection (reproducible placement).
+    /// Seed for the hashing schedulers (reproducible placement).
     pub seed: u64,
+    /// How unpinned tasks are routed across executors (§4.1; the default
+    /// reproduces the paper's random placement).
+    pub scheduler: SchedulerPolicy,
+    /// Per-executor in-flight cap: tasks beyond it park on the ready
+    /// queue instead of dispatching (`None` = unbounded).
+    pub max_inflight_per_executor: Option<usize>,
 }
 
 impl Config {
@@ -45,12 +52,18 @@ impl std::fmt::Debug for Config {
         f.debug_struct("Config")
             .field(
                 "executors",
-                &self.executors.iter().map(|e| e.label().to_string()).collect::<Vec<_>>(),
+                &self
+                    .executors
+                    .iter()
+                    .map(|e| e.label().to_string())
+                    .collect::<Vec<_>>(),
             )
             .field("retries", &self.retries)
             .field("memoize", &self.memoize)
             .field("checkpoint_file", &self.checkpoint_file)
             .field("strategy", &self.strategy)
+            .field("scheduler", &self.scheduler)
+            .field("max_inflight_per_executor", &self.max_inflight_per_executor)
             .finish()
     }
 }
@@ -66,6 +79,8 @@ pub struct ConfigBuilder {
     strategy: Option<StrategyConfig>,
     monitor: Option<Arc<dyn MonitorSink>>,
     seed: u64,
+    scheduler: SchedulerPolicy,
+    max_inflight_per_executor: Option<usize>,
 }
 
 impl ConfigBuilder {
@@ -117,9 +132,23 @@ impl ConfigBuilder {
         self
     }
 
-    /// Seed the random executor selector.
+    /// Seed the hashing schedulers (placement is reproducible per seed).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Select the task-routing policy (default:
+    /// [`SchedulerPolicy::RandomHash`], the paper's behavior).
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
+        self
+    }
+
+    /// Cap tasks in flight per executor; ready tasks beyond the cap park
+    /// until completions free capacity.
+    pub fn max_inflight_per_executor(mut self, cap: usize) -> Self {
+        self.max_inflight_per_executor = Some(cap);
         self
     }
 
@@ -128,6 +157,13 @@ impl ConfigBuilder {
         if self.executors.is_empty() {
             return Err(crate::error::ParslError::Config(
                 "at least one executor is required".into(),
+            ));
+        }
+        if self.max_inflight_per_executor == Some(0) {
+            return Err(crate::error::ParslError::Config(
+                "max_inflight_per_executor must be at least 1 \
+                 (a cap of 0 could never dispatch anything)"
+                    .into(),
             ));
         }
         let mut labels = std::collections::HashSet::new();
@@ -148,6 +184,8 @@ impl ConfigBuilder {
             strategy: self.strategy.unwrap_or_default(),
             monitor: self.monitor,
             seed: self.seed,
+            scheduler: self.scheduler,
+            max_inflight_per_executor: self.max_inflight_per_executor,
         })
     }
 }
@@ -173,10 +211,37 @@ mod tests {
 
     #[test]
     fn defaults() {
-        let c = Config::builder().executor(ImmediateExecutor::new()).build().unwrap();
+        let c = Config::builder()
+            .executor(ImmediateExecutor::new())
+            .build()
+            .unwrap();
         assert_eq!(c.retries, 0);
         assert!(!c.memoize);
         assert!(!c.strategy.enabled);
         assert!(c.checkpoint_file.is_none());
+        assert!(matches!(c.scheduler, SchedulerPolicy::RandomHash));
+        assert!(c.max_inflight_per_executor.is_none());
+    }
+
+    #[test]
+    fn zero_inflight_cap_rejected() {
+        // A cap of 0 would park every task forever; build() must refuse.
+        let r = Config::builder()
+            .executor(ImmediateExecutor::new())
+            .max_inflight_per_executor(0)
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scheduler_and_backpressure_settings_flow_through() {
+        let c = Config::builder()
+            .executor(ImmediateExecutor::new())
+            .scheduler(SchedulerPolicy::LeastOutstanding)
+            .max_inflight_per_executor(3)
+            .build()
+            .unwrap();
+        assert!(matches!(c.scheduler, SchedulerPolicy::LeastOutstanding));
+        assert_eq!(c.max_inflight_per_executor, Some(3));
     }
 }

@@ -33,6 +33,16 @@
 //! single drainer collects them into per-executor batches handed to
 //! [`Executor::submit_batch`] — one wire frame for a thousand-child
 //! fan-out instead of a thousand sends (§4.3.1's "configurable batching").
+//!
+//! # Task routing and backpressure
+//!
+//! Each unpinned ready task is placed by the configured [`Scheduler`]
+//! (see [`crate::scheduler::SchedulerPolicy`]); the batch
+//! dispatcher consults it per task against a load snapshot it updates as
+//! it assigns, so one wide batch is split across executors by policy.
+//! With `max_inflight_per_executor` set, tasks that would push an
+//! executor over its cap park instead and re-enter the ready queue as
+//! completions free capacity.
 
 use crate::app::{App, AppArgs, AppFn, ArgSlot, TaskValue};
 use crate::bash::{run_bash, BashOptions};
@@ -43,6 +53,7 @@ use crate::future::FutureState;
 use crate::memo::{memo_key, Memoizer};
 use crate::monitor::{MonitorEvent, MonitorSink};
 use crate::registry::{AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
+use crate::scheduler::{ExecutorSnapshot, Scheduler};
 use crate::strategy::{ScalingDecision, SimpleStrategy, Strategy, StrategyConfig};
 use crate::types::{AppKind, ResourceSpec, TaskId, TaskState};
 use bytes::Bytes;
@@ -90,7 +101,9 @@ struct TaskTable {
 impl TaskTable {
     fn new() -> Self {
         TaskTable {
-            shards: (0..TABLE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..TABLE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             next_id: AtomicU64::new(0),
         }
     }
@@ -110,6 +123,10 @@ impl TaskTable {
     }
 }
 
+/// The walltime heap: `Reverse<(deadline, task id, attempt)>` entries
+/// popped in deadline order by the watcher thread.
+type DeadlineHeap = BinaryHeap<Reverse<(Instant, u64, u32)>>;
+
 /// The execution engine. Create one per program via
 /// [`DataFlowKernel::builder`]; register apps on it; call them; wait on
 /// futures. See the crate docs for a tour.
@@ -127,9 +144,20 @@ pub struct DataFlowKernel {
     memo: Memoizer,
     default_retries: u32,
     monitor: Option<Arc<dyn MonitorSink>>,
-    /// Seed and sequence for the lock-free random executor choice.
-    seed: u64,
+    /// Placement policy for unpinned tasks.
+    scheduler: Arc<dyn Scheduler>,
+    /// Assignment sequence feeding the scheduler's per-task entropy.
     exec_seq: AtomicU64,
+    /// Per-executor attempts dispatched and not yet resolved. This is the
+    /// dispatcher's own view (incremented at assignment, decremented when
+    /// an outcome is accepted), so it is coherent with routing decisions
+    /// even when an executor's `outstanding()` lags its wire queue.
+    inflight: Vec<AtomicUsize>,
+    /// Backpressure cap per executor; `None` = unbounded.
+    max_inflight: Option<usize>,
+    /// Ready tasks parked by backpressure, with the executor they are
+    /// pinned to (`None` = any executor satisfies them).
+    parked: Mutex<Vec<(TaskId, Option<usize>)>>,
     /// Tasks whose dependencies are all met, awaiting dispatch.
     ready: Mutex<Vec<TaskId>>,
     /// Single-drainer flag for the ready queue: whoever wins the CAS
@@ -140,7 +168,7 @@ pub struct DataFlowKernel {
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     completions: Mutex<Option<Sender<TaskOutcome>>>,
     /// (deadline, task, attempt) walltime heap, shared with the watcher.
-    deadlines: Arc<Mutex<BinaryHeap<Reverse<(Instant, u64, u32)>>>>,
+    deadlines: Arc<Mutex<DeadlineHeap>>,
     strategy_cfg: StrategyConfig,
     /// Placeholder app backing `failed_submission` records.
     invalid_app: Arc<RegisteredApp>,
@@ -201,9 +229,21 @@ impl DfkBuilder {
         self
     }
 
-    /// Random seed for executor selection.
+    /// Random seed for the hashing schedulers.
     pub fn seed(mut self, s: u64) -> Self {
         self.inner = self.inner.seed(s);
+        self
+    }
+
+    /// Task-routing policy (default: the paper's random placement).
+    pub fn scheduler(mut self, policy: crate::scheduler::SchedulerPolicy) -> Self {
+        self.inner = self.inner.scheduler(policy);
+        self
+    }
+
+    /// Per-executor in-flight cap (backpressure).
+    pub fn max_inflight_per_executor(mut self, cap: usize) -> Self {
+        self.inner = self.inner.max_inflight_per_executor(cap);
         self
     }
 
@@ -217,7 +257,9 @@ impl DfkBuilder {
 impl DataFlowKernel {
     /// Start building a kernel.
     pub fn builder() -> DfkBuilder {
-        DfkBuilder { inner: Config::builder() }
+        DfkBuilder {
+            inner: Config::builder(),
+        }
     }
 
     /// Construct from a finished [`Config`] and start all machinery.
@@ -247,6 +289,7 @@ impl DataFlowKernel {
             AppOptions::default(),
         );
 
+        let n_executors = config.executors.len();
         let dfk = Arc::new(DataFlowKernel {
             registry: Arc::clone(&registry),
             executors: config.executors,
@@ -258,8 +301,11 @@ impl DataFlowKernel {
             memo,
             default_retries: config.retries,
             monitor: config.monitor,
-            seed: config.seed,
+            scheduler: config.scheduler.build(config.seed),
             exec_seq: AtomicU64::new(0),
+            inflight: (0..n_executors).map(|_| AtomicUsize::new(0)).collect(),
+            max_inflight: config.max_inflight_per_executor,
+            parked: Mutex::new(Vec::new()),
             ready: Mutex::new(Vec::new()),
             dispatching: AtomicBool::new(false),
             started_at: Instant::now(),
@@ -461,8 +507,9 @@ impl DataFlowKernel {
             wire::to_bytes(&out).map_err(|e| AppError::Serialization(e.to_string()))
         });
         let signature = format!("{}->{}", A::signature(), std::any::type_name::<R>());
-        let registered =
-            self.registry.register(name, AppKind::Native, &signature, erased, options);
+        let registered = self
+            .registry
+            .register(name, AppKind::Native, &signature, erased, options);
         App::new(Arc::clone(self), registered)
     }
 
@@ -498,7 +545,9 @@ impl DataFlowKernel {
             wire::to_bytes(&code).map_err(|e| AppError::Serialization(e.to_string()))
         });
         let signature = format!("{}->bash", A::signature());
-        let registered = self.registry.register(name, AppKind::Bash, &signature, erased, options);
+        let registered = self
+            .registry
+            .register(name, AppKind::Bash, &signature, erased, options);
         App::new(Arc::clone(self), registered)
     }
 
@@ -646,7 +695,9 @@ impl DataFlowKernel {
         }
         let next = {
             let mut shard = self.table.shard(child).lock();
-            let Some(rec) = shard.get_mut(&child) else { return };
+            let Some(rec) = shard.get_mut(&child) else {
+                return;
+            };
             if rec.state.is_terminal() {
                 return;
             }
@@ -715,16 +766,25 @@ impl DataFlowKernel {
         self.dispatching.store(false, Ordering::SeqCst);
     }
 
-    /// Build specs for a batch of ready tasks, group them per executor, and
-    /// submit each group through one [`Executor::submit_batch`] call.
+    /// Build specs for a batch of ready tasks, route them per the
+    /// configured scheduler (parking over-cap tasks), group them per
+    /// executor, and submit each group through one
+    /// [`Executor::submit_batch`] call.
     fn launch_batch(self: &Arc<Self>, ids: Vec<TaskId>) {
         let mut memoized: Vec<(TaskId, Bytes)> = Vec::new();
+        let mut parked: Vec<(TaskId, Option<usize>)> = Vec::new();
         let mut per_exec: Vec<Vec<TaskSpec>> = vec![Vec::new(); self.executors.len()];
+        // One load snapshot per batch, updated as tasks are assigned, so
+        // the scheduler sees the load its own picks create and a wide
+        // batch is split rather than routed wholesale.
+        let mut snapshots = self.snapshot_executors();
 
         for id in ids {
             let prepared = {
                 let mut shard = self.table.shard(id).lock();
-                let Some(rec) = shard.get_mut(&id) else { continue };
+                let Some(rec) = shard.get_mut(&id) else {
+                    continue;
+                };
                 if rec.state.is_terminal() {
                     continue;
                 }
@@ -763,7 +823,19 @@ impl DataFlowKernel {
                         memoized.push((id, bytes));
                         None
                     }
-                    None => Some(self.prepare_submit(rec, id, args)),
+                    None => {
+                        let pinned = self.pinned_index(&rec.app);
+                        match self.route(&mut snapshots, pinned) {
+                            Some(idx) => Some(self.prepare_submit(rec, id, args, idx)),
+                            None => {
+                                // Backpressure: every eligible executor is
+                                // at its cap. The task stays Pending and
+                                // parks until completions free capacity.
+                                parked.push((id, pinned));
+                                None
+                            }
+                        }
+                    }
                 }
             };
             if let Some((spec, exec_idx, walltime)) = prepared {
@@ -776,11 +848,9 @@ impl DataFlowKernel {
                     at: self.started_at.elapsed(),
                 });
                 if let Some(w) = walltime {
-                    self.deadlines.lock().push(Reverse((
-                        Instant::now() + w,
-                        id.0,
-                        spec.attempt,
-                    )));
+                    self.deadlines
+                        .lock()
+                        .push(Reverse((Instant::now() + w, id.0, spec.attempt)));
                 }
                 per_exec[exec_idx].push(spec);
             }
@@ -792,14 +862,21 @@ impl DataFlowKernel {
             self.finalize(id, Ok(bytes), TaskState::Memoized);
         }
 
+        if !parked.is_empty() {
+            self.parked.lock().extend(parked);
+            // Close the race with a completion that freed capacity between
+            // our route() check and the park: re-offer whatever fits now.
+            // (The drain loop that called us re-checks the ready queue.)
+            self.unpark_ready();
+        }
+
         for (idx, batch) in per_exec.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
             let executor = &self.executors[idx];
             // Remember identities in case the whole batch is rejected.
-            let manifest: Vec<(TaskId, u32)> =
-                batch.iter().map(|s| (s.id, s.attempt)).collect();
+            let manifest: Vec<(TaskId, u32)> = batch.iter().map(|s| (s.id, s.attempt)).collect();
             let outcome = if batch.len() == 1 {
                 let mut batch = batch;
                 executor.submit(batch.pop().expect("len checked"))
@@ -818,29 +895,145 @@ impl DataFlowKernel {
         }
     }
 
-    /// Pick an executor for an unpinned task. "An executor is picked at
-    /// random" (§4.1) — here via a seeded counter-hash, so the choice is
-    /// reproducible for a given seed yet requires no lock on the hot path.
-    fn pick_executor(&self) -> usize {
-        if self.executors.len() == 1 {
-            return 0;
-        }
-        let n = self.exec_seq.fetch_add(1, Ordering::Relaxed);
-        (splitmix64(self.seed.wrapping_add(n)) % self.executors.len() as u64) as usize
+    /// The configured executor index an app is pinned to, if any.
+    fn pinned_index(&self, app: &RegisteredApp) -> Option<usize> {
+        app.options.executor.as_ref().map(|label| {
+            *self
+                .label_index
+                .get(label)
+                .expect("validated at registration")
+        })
     }
 
-    /// Build the TaskSpec and choose an executor (called with the task's
-    /// shard lock held; returns what the dispatcher needs after unlocking).
+    /// Current per-executor load and capacity, in configuration order.
+    fn snapshot_executors(&self) -> Vec<ExecutorSnapshot> {
+        self.executors
+            .iter()
+            .enumerate()
+            .map(|(index, e)| ExecutorSnapshot {
+                index,
+                outstanding: self.inflight[index].load(Ordering::Relaxed),
+                capacity: e.capacity(),
+            })
+            .collect()
+    }
+
+    /// Route one ready task: honor the pin if present, otherwise ask the
+    /// scheduler, offering only executors under the backpressure cap.
+    /// Returns `None` when no eligible executor has capacity — the caller
+    /// parks the task. On success the snapshot and the shared in-flight
+    /// counter are charged for the assignment.
+    fn route(&self, snapshots: &mut [ExecutorSnapshot], pinned: Option<usize>) -> Option<usize> {
+        let cap = self.max_inflight;
+        let over = |s: &ExecutorSnapshot| cap.is_some_and(|c| s.outstanding >= c);
+        let idx = match pinned {
+            Some(i) => {
+                if over(&snapshots[i]) {
+                    return None;
+                }
+                i
+            }
+            None if cap.is_none() && self.executors.len() == 1 => 0,
+            None => {
+                let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
+                if snapshots.iter().any(&over) {
+                    // Slow path: some executor is saturated, so offer the
+                    // scheduler only the under-cap subset.
+                    let candidates: Vec<ExecutorSnapshot> =
+                        snapshots.iter().filter(|s| !over(s)).copied().collect();
+                    if candidates.is_empty() {
+                        return None;
+                    }
+                    let pos = self.scheduler.assign(&candidates, seq);
+                    candidates[pos].index
+                } else {
+                    // Fast path (also the no-cap case): nothing is over
+                    // cap, so no filtered copy is needed.
+                    let pos = self.scheduler.assign(snapshots, seq);
+                    snapshots[pos].index
+                }
+            }
+        };
+        snapshots[idx].outstanding += 1;
+        self.inflight[idx].fetch_add(1, Ordering::Relaxed);
+        Some(idx)
+    }
+
+    /// Route a failed task's next attempt. Retries deliberately bypass the
+    /// backpressure cap — the attempt already holds graph-level resources
+    /// and parking it would stall retry semantics — but unpinned retries
+    /// still follow the scheduler, so a saturated executor is not retried
+    /// into by default.
+    fn route_retry(&self, pinned: Option<usize>) -> usize {
+        let idx = match pinned {
+            Some(i) => i,
+            None => {
+                let snapshots = self.snapshot_executors();
+                let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
+                let pos = self.scheduler.assign(&snapshots, seq);
+                snapshots[pos].index
+            }
+        };
+        self.inflight[idx].fetch_add(1, Ordering::Relaxed);
+        idx
+    }
+
+    /// Re-queue parked tasks whose backpressure requirement is satisfiable
+    /// again, at most as many as there are free in-flight slots — waking
+    /// the whole parking lot on every completion would make each freed
+    /// slot re-process (memo-check, route, re-park) every parked task.
+    /// Returns true when any task went back on the ready queue (the
+    /// caller decides whether a drain is needed).
+    fn unpark_ready(&self) -> bool {
+        let Some(cap) = self.max_inflight else {
+            return false;
+        };
+        let mut requeue: Vec<TaskId> = Vec::new();
+        {
+            let mut parked = self.parked.lock();
+            if parked.is_empty() {
+                return false;
+            }
+            // Free-slot budget per executor, decremented as tasks are
+            // woken. A woken task may still re-park if a concurrent
+            // dispatch takes the slot first; the budget only bounds churn.
+            let mut budget: Vec<usize> = self
+                .inflight
+                .iter()
+                .map(|n| cap.saturating_sub(n.load(Ordering::Relaxed)))
+                .collect();
+            parked.retain(|&(id, pin)| {
+                let slot = match pin {
+                    Some(i) => (budget[i] > 0).then_some(i),
+                    None => budget.iter().position(|&b| b > 0),
+                };
+                match slot {
+                    Some(i) => {
+                        budget[i] -= 1;
+                        requeue.push(id);
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
+        if requeue.is_empty() {
+            return false;
+        }
+        self.ready.lock().extend(requeue);
+        true
+    }
+
+    /// Build the TaskSpec for launch on the chosen executor (called with
+    /// the task's shard lock held; returns what the dispatcher needs after
+    /// unlocking).
     fn prepare_submit(
         &self,
         rec: &mut TaskRecord,
         id: TaskId,
         args: Bytes,
+        idx: usize,
     ) -> (TaskSpec, usize, Option<Duration>) {
-        let idx = match &rec.app.options.executor {
-            Some(label) => *self.label_index.get(label).expect("validated at registration"),
-            None => self.pick_executor(),
-        };
         rec.executor_idx = Some(idx);
         rec.state = TaskState::Launched;
         let spec = TaskSpec {
@@ -866,11 +1059,19 @@ impl DataFlowKernel {
         }
         let next = {
             let mut shard = self.table.shard(outcome.id).lock();
-            let Some(rec) = shard.get_mut(&outcome.id) else { return };
+            let Some(rec) = shard.get_mut(&outcome.id) else {
+                return;
+            };
             if rec.state.is_terminal() || rec.attempt != outcome.attempt {
                 // Stale: a retry or walltime expiry already superseded it.
                 Next::Ignore
             } else {
+                // The accepted outcome resolves exactly one dispatched
+                // attempt: release its in-flight slot (retries charge a
+                // fresh one below via route_retry).
+                if let Some(idx) = rec.executor_idx {
+                    self.inflight[idx].fetch_sub(1, Ordering::Relaxed);
+                }
                 match outcome.result {
                     Ok(bytes) => Next::Finalize(Ok(bytes), TaskState::Done),
                     Err(e) => {
@@ -878,8 +1079,9 @@ impl DataFlowKernel {
                             rec.retries_left -= 1;
                             rec.attempt += 1;
                             let args = rec.args_bytes.clone().expect("launched tasks have args");
+                            let idx = self.route_retry(self.pinned_index(&rec.app));
                             let (spec, idx, walltime) =
-                                self.prepare_submit(rec, outcome.id, args);
+                                self.prepare_submit(rec, outcome.id, args, idx);
                             Next::Retry(
                                 spec,
                                 Arc::clone(&self.executors[idx]),
@@ -920,20 +1122,21 @@ impl DataFlowKernel {
             }
             Next::Ignore => {}
         }
+        // The freed in-flight slot may satisfy parked tasks.
+        if self.unpark_ready() {
+            self.drain_ready();
+        }
     }
 
     /// Commit a terminal state: store the result, memoize, notify the
     /// future (which fires dependent-edge callbacks), update counters.
-    fn finalize(
-        self: &Arc<Self>,
-        id: TaskId,
-        result: Result<Bytes, TaskError>,
-        state: TaskState,
-    ) {
+    fn finalize(self: &Arc<Self>, id: TaskId, result: Result<Bytes, TaskError>, state: TaskState) {
         debug_assert!(state.is_terminal());
         let (future, app_name, executor_label, attempt) = {
             let mut shard = self.table.shard(id).lock();
-            let Some(rec) = shard.get_mut(&id) else { return };
+            let Some(rec) = shard.get_mut(&id) else {
+                return;
+            };
             if rec.state.is_terminal() {
                 return; // already finalized (e.g. racing DepFail)
             }
@@ -947,7 +1150,12 @@ impl DataFlowKernel {
             let label = rec
                 .executor_idx
                 .map(|i| self.executors[i].label().to_string());
-            (Arc::clone(&rec.future), rec.app.name.clone(), label, rec.attempt)
+            (
+                Arc::clone(&rec.future),
+                rec.app.name.clone(),
+                label,
+                rec.attempt,
+            )
         };
 
         if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -1014,7 +1222,10 @@ impl DataFlowKernel {
 
     /// Labels of the configured executors, in configuration order.
     pub fn executor_labels(&self) -> Vec<String> {
-        self.executors.iter().map(|e| e.label().to_string()).collect()
+        self.executors
+            .iter()
+            .map(|e| e.label().to_string())
+            .collect()
     }
 
     /// Access a configured executor by label.
@@ -1025,6 +1236,26 @@ impl DataFlowKernel {
     /// Memoization (hits, misses).
     pub fn memo_stats(&self) -> (u64, u64) {
         self.memo.stats()
+    }
+
+    /// Name of the active task-routing policy.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Per-executor `(label, in-flight)` counts as tracked by the
+    /// dispatcher (attempts dispatched and not yet resolved).
+    pub fn inflight_counts(&self) -> Vec<(String, usize)> {
+        self.executors
+            .iter()
+            .zip(&self.inflight)
+            .map(|(e, n)| (e.label().to_string(), n.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Ready tasks currently parked by the backpressure cap.
+    pub fn parked_tasks(&self) -> usize {
+        self.parked.lock().len()
     }
 
     /// Block until every submitted task reaches a terminal state
@@ -1069,6 +1300,9 @@ impl DataFlowKernel {
         for h in handles {
             let _ = h.join();
         }
+        // Parked tasks are among the unfinished sweep below; drop their
+        // park entries so nothing re-queues them.
+        self.parked.lock().clear();
         // Fail whatever never finished.
         let mut unfinished: Vec<TaskId> = Vec::new();
         for shard in &self.table.shards {
@@ -1097,15 +1331,6 @@ impl Drop for DataFlowKernel {
             e.shutdown();
         }
     }
-}
-
-/// SplitMix64: the statistically solid single-u64 mixer, used for the
-/// lock-free seeded executor choice.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {

@@ -78,7 +78,10 @@ impl fmt::Display for TaskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TaskError::App(e) => write!(f, "{e}"),
-            TaskError::DependencyFailed { failed_task, reason } => {
+            TaskError::DependencyFailed {
+                failed_task,
+                reason,
+            } => {
                 write!(f, "dependency {failed_task} failed: {reason}")
             }
             TaskError::ExecutorLost(m) => write!(f, "executor lost task: {m}"),
@@ -152,7 +155,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = AppError::BashExit { code: 2, command: "grep x y".into() };
+        let e = AppError::BashExit {
+            code: 2,
+            command: "grep x y".into(),
+        };
         assert!(e.to_string().contains("code 2"));
         let t = TaskError::DependencyFailed {
             failed_task: TaskId(3),

@@ -62,7 +62,14 @@ pub struct TaskOutcome {
 impl TaskOutcome {
     /// Minimal outcome with no execution metadata.
     pub fn new(id: TaskId, attempt: u32, result: Result<Bytes, TaskError>) -> Self {
-        TaskOutcome { id, attempt, result, worker: None, started: None, finished: None }
+        TaskOutcome {
+            id,
+            attempt,
+            result,
+            worker: None,
+            started: None,
+            finished: None,
+        }
     }
 }
 
@@ -158,6 +165,18 @@ pub trait Executor: Send + Sync {
     /// Tasks submitted whose outcomes have not yet been delivered.
     fn outstanding(&self) -> usize;
 
+    /// Worker slots currently provisioned — the denominator for
+    /// capacity-aware scheduling (`SchedulerPolicy::CapacityWeighted`).
+    /// For scalable executors this tracks the block pool, so elastic
+    /// scale-out immediately shifts new traffic toward the grown
+    /// executor. Must be cheap: the dispatcher reads it once per batch.
+    fn capacity(&self) -> usize {
+        match self.scaling() {
+            Some(s) => s.block_count() * s.workers_per_block(),
+            None => self.connected_workers(),
+        }
+    }
+
     /// Workers currently connected/ready (0 before start).
     fn connected_workers(&self) -> usize;
 
@@ -218,7 +237,8 @@ impl Executor for ImmediateExecutor {
 
     fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
         let ctx = self.ctx.lock().clone().ok_or(ExecutorError::NotRunning)?;
-        self.outstanding.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.outstanding
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let started = Instant::now();
         let result = (task.app.func)(&task.args)
             .map(Bytes::from)
@@ -231,7 +251,8 @@ impl Executor for ImmediateExecutor {
             started: Some(started),
             finished: Some(Instant::now()),
         };
-        self.outstanding.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        self.outstanding
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         ctx.completions
             .send(outcome)
             .map_err(|_| ExecutorError::Comm("completion channel closed".into()))
@@ -257,7 +278,13 @@ mod tests {
     use crate::types::AppKind;
 
     fn spec(app: Arc<RegisteredApp>, args: Bytes) -> TaskSpec {
-        TaskSpec { id: TaskId(1), app, args, resources: ResourceSpec::default(), attempt: 0 }
+        TaskSpec {
+            id: TaskId(1),
+            app,
+            args,
+            resources: ResourceSpec::default(),
+            attempt: 0,
+        }
     }
 
     #[test]
@@ -277,8 +304,13 @@ mod tests {
         );
         let (tx, rx) = crossbeam::channel::unbounded();
         let ex = ImmediateExecutor::new();
-        ex.start(ExecutorContext { completions: tx, registry }).unwrap();
-        ex.submit(spec(app, Bytes::from(wire::to_bytes(&(21u32,)).unwrap()))).unwrap();
+        ex.start(ExecutorContext {
+            completions: tx,
+            registry,
+        })
+        .unwrap();
+        ex.submit(spec(app, Bytes::from(wire::to_bytes(&(21u32,)).unwrap())))
+            .unwrap();
         let outcome = rx.recv().unwrap();
         let v: u32 = wire::from_bytes(&outcome.result.unwrap()).unwrap();
         assert_eq!(v, 42);

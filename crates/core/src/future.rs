@@ -36,7 +36,10 @@ impl FutureState {
     pub fn new(task_id: TaskId) -> Arc<Self> {
         Arc::new(FutureState {
             task_id,
-            cell: Mutex::new(Inner { value: None, callbacks: Vec::new() }),
+            cell: Mutex::new(Inner {
+                value: None,
+                callbacks: Vec::new(),
+            }),
             cond: Condvar::new(),
         })
     }
@@ -130,7 +133,10 @@ pub struct AppFuture<T> {
 
 impl<T> Clone for AppFuture<T> {
     fn clone(&self) -> Self {
-        AppFuture { state: Arc::clone(&self.state), _marker: PhantomData }
+        AppFuture {
+            state: Arc::clone(&self.state),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -138,7 +144,10 @@ impl<T> AppFuture<T> {
     /// Wrap type-erased state. Internal: the type parameter is chosen by
     /// the `App` that created the task.
     pub(crate) fn from_state(state: Arc<FutureState>) -> Self {
-        AppFuture { state, _marker: PhantomData }
+        AppFuture {
+            state,
+            _marker: PhantomData,
+        }
     }
 
     /// The task backing this future.

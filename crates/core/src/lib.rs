@@ -52,6 +52,7 @@ pub mod guidelines;
 pub mod memo;
 pub mod monitor;
 pub mod registry;
+pub mod scheduler;
 pub mod strategy;
 pub mod types;
 
@@ -70,6 +71,7 @@ pub use guidelines::{recommend, ExecutorChoice};
 pub use memo::{memo_key, Memoizer};
 pub use monitor::{MonitorEvent, MonitorSink, NullSink};
 pub use registry::{AppId, AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
+pub use scheduler::{ExecutorSnapshot, Scheduler, SchedulerPolicy};
 pub use strategy::{ScalingDecision, SimpleStrategy, Strategy, StrategyConfig};
 pub use types::{AppKind, ResourceSpec, TaskId, TaskState};
 
@@ -84,6 +86,7 @@ pub mod prelude {
     pub use crate::executor::{Executor, ImmediateExecutor};
     pub use crate::future::AppFuture;
     pub use crate::registry::AppOptions;
+    pub use crate::scheduler::SchedulerPolicy;
     pub use crate::strategy::StrategyConfig;
     pub use crate::types::{TaskId, TaskState};
 }
@@ -291,7 +294,10 @@ mod tests {
         let dfk = dfk();
         let sleepy = dfk.python_app_cfg(
             "sleepy",
-            AppOptions { walltime: Some(std::time::Duration::from_millis(30)), ..Default::default() },
+            AppOptions {
+                walltime: Some(std::time::Duration::from_millis(30)),
+                ..Default::default()
+            },
             || -> Result<u32, AppError> {
                 std::thread::sleep(std::time::Duration::from_millis(200));
                 Ok(1)
@@ -311,7 +317,10 @@ mod tests {
         let dfk = dfk();
         let _app = dfk.python_app_cfg::<(u32,), u32, _>(
             "pinned",
-            AppOptions { executor: Some("nonexistent".into()), ..Default::default() },
+            AppOptions {
+                executor: Some("nonexistent".into()),
+                ..Default::default()
+            },
             |x: u32| Ok(x),
         );
     }
@@ -343,10 +352,13 @@ mod tests {
         struct Capture(Mutex<Vec<String>>);
         impl MonitorSink for Capture {
             fn on_event(&self, e: &MonitorEvent) {
-                if let MonitorEvent::Task { state: TaskState::Launched, executor, .. } = e {
-                    if let Some(l) = executor {
-                        self.0.lock().push(l.clone());
-                    }
+                if let MonitorEvent::Task {
+                    state: TaskState::Launched,
+                    executor: Some(l),
+                    ..
+                } = e
+                {
+                    self.0.lock().push(l.clone());
                 }
             }
         }
@@ -359,7 +371,10 @@ mod tests {
             .unwrap();
         let pinned = dfk.python_app_cfg::<(u64,), u64, _>(
             "pinned",
-            AppOptions { executor: Some("b".into()), ..Default::default() },
+            AppOptions {
+                executor: Some("b".into()),
+                ..Default::default()
+            },
             |x: u64| Ok(x),
         );
         for i in 0..8 {
@@ -375,8 +390,7 @@ mod tests {
     #[test]
     fn checkpoint_survives_restart() {
         use std::sync::atomic::{AtomicU32, Ordering};
-        let path = std::env::temp_dir()
-            .join(format!("parsl-dfk-ckpt-{}.dat", std::process::id()));
+        let path = std::env::temp_dir().join(format!("parsl-dfk-ckpt-{}.dat", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let runs = Arc::new(AtomicU32::new(0));
 
@@ -413,7 +427,11 @@ mod tests {
             assert_eq!(crate::call!(work, 1u32).result().unwrap(), 101);
             dfk.shutdown();
         }
-        assert_eq!(runs.load(Ordering::SeqCst), 1, "second run must be served from checkpoint");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "second run must be served from checkpoint"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -33,10 +33,19 @@ pub fn memo_key(app: &RegisteredApp, args: &[u8]) -> u64 {
     h.digest()
 }
 
-/// The memoization table with optional write-through checkpointing.
+/// Number of lock shards in the memo table — a power of two, masked by
+/// the low bits of the (already well-mixed FNV-1a) memo key. Matches the
+/// task-table design in `dfk.rs`: the lookup/record pair sits on the
+/// submit hot path, and one global mutex would serialize every batch.
+pub const MEMO_SHARDS: usize = 16;
+
+/// The memoization table with optional write-through checkpointing. The
+/// table is split into [`MEMO_SHARDS`] lock shards keyed by memo key, so
+/// concurrent lookups from the batch dispatcher and records from the
+/// collector only contend when they hash to the same shard.
 pub struct Memoizer {
     default_enabled: bool,
-    table: Mutex<HashMap<u64, Bytes>>,
+    shards: Vec<Mutex<HashMap<u64, Bytes>>>,
     writer: Mutex<Option<wire::FrameWriter<BufWriter<File>>>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
@@ -48,11 +57,18 @@ impl Memoizer {
     pub fn new(default_enabled: bool) -> Self {
         Memoizer {
             default_enabled,
-            table: Mutex::new(HashMap::new()),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             writer: Mutex::new(None),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// The shard holding `key`'s entry.
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Bytes>> {
+        &self.shards[(key as usize) & (MEMO_SHARDS - 1)]
     }
 
     /// Should this app's results be cached?
@@ -65,7 +81,6 @@ impl Memoizer {
     pub fn load_checkpoint(&self, path: &Path) -> Result<usize, ParslError> {
         let file = File::open(path).map_err(ParslError::Checkpoint)?;
         let mut reader = wire::FrameReader::new(BufReader::new(file));
-        let mut table = self.table.lock();
         let mut loaded = 0;
         while let Some(frame) = reader
             .read()
@@ -77,7 +92,9 @@ impl Memoizer {
                 )));
             }
             let key = u64::from_le_bytes(frame[..8].try_into().expect("8 bytes"));
-            table.insert(key, Bytes::copy_from_slice(&frame[8..]));
+            self.shard(key)
+                .lock()
+                .insert(key, Bytes::copy_from_slice(&frame[8..]));
             loaded += 1;
         }
         Ok(loaded)
@@ -94,9 +111,9 @@ impl Memoizer {
         Ok(())
     }
 
-    /// Look up a previous result.
+    /// Look up a previous result. Locks only the key's shard.
     pub fn lookup(&self, key: u64) -> Option<Bytes> {
-        let found = self.table.lock().get(&key).cloned();
+        let found = self.shard(key).lock().get(&key).cloned();
         use std::sync::atomic::Ordering;
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -108,7 +125,7 @@ impl Memoizer {
     /// Record a successful result (and append it to the checkpoint file if
     /// one is configured).
     pub fn record(&self, key: u64, result: &Bytes) {
-        self.table.lock().insert(key, result.clone());
+        self.shard(key).lock().insert(key, result.clone());
         if let Some(w) = self.writer.lock().as_mut() {
             let mut frame = Vec::with_capacity(8 + result.len());
             frame.extend_from_slice(&key.to_le_bytes());
@@ -122,25 +139,29 @@ impl Memoizer {
     /// Flush the checkpoint file. Returns the current table size.
     pub fn flush(&self) -> Result<usize, ParslError> {
         if let Some(w) = self.writer.lock().as_mut() {
-            w.flush().map_err(|e| ParslError::Config(format!("checkpoint flush: {e}")))?;
+            w.flush()
+                .map_err(|e| ParslError::Config(format!("checkpoint flush: {e}")))?;
         }
-        Ok(self.table.lock().len())
+        Ok(self.len())
     }
 
-    /// Entries currently cached.
+    /// Entries currently cached (sums the shards; not a snapshot).
     pub fn len(&self) -> usize {
-        self.table.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True when the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.table.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         use std::sync::atomic::Ordering;
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -152,7 +173,13 @@ mod tests {
     use std::sync::Arc;
 
     fn app(reg: &AppRegistry, name: &str) -> Arc<RegisteredApp> {
-        reg.register(name, AppKind::Native, "(u32)->u32", Arc::new(|_| Ok(vec![])), AppOptions::default())
+        reg.register(
+            name,
+            AppKind::Native,
+            "(u32)->u32",
+            Arc::new(|_| Ok(vec![])),
+            AppOptions::default(),
+        )
     }
 
     #[test]
@@ -182,14 +209,20 @@ mod tests {
             AppKind::Native,
             "()",
             Arc::new(|_| Ok(vec![])),
-            AppOptions { memoize: Some(true), ..Default::default() },
+            AppOptions {
+                memoize: Some(true),
+                ..Default::default()
+            },
         );
         let off = reg.register(
             "off",
             AppKind::Native,
             "()",
             Arc::new(|_| Ok(vec![])),
-            AppOptions { memoize: Some(false), ..Default::default() },
+            AppOptions {
+                memoize: Some(false),
+                ..Default::default()
+            },
         );
         let default_on = Memoizer::new(true);
         let default_off = Memoizer::new(false);
@@ -241,6 +274,42 @@ mod tests {
         let m = Memoizer::new(true);
         assert_eq!(m.load_checkpoint(&path).unwrap(), 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_table_holds_entries_across_all_shards() {
+        let m = Memoizer::new(true);
+        // Consecutive keys cover every shard (the mask is the low bits).
+        let n = (MEMO_SHARDS * 4) as u64;
+        for key in 0..n {
+            m.record(key, &Bytes::from(key.to_le_bytes().to_vec()));
+        }
+        assert_eq!(m.len(), n as usize);
+        for key in 0..n {
+            assert_eq!(m.lookup(key).unwrap().as_ref(), key.to_le_bytes());
+        }
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_record_and_lookup_stay_coherent() {
+        let m = Arc::new(Memoizer::new(true));
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        let key = t * 1000 + i;
+                        m.record(key, &Bytes::from(key.to_le_bytes().to_vec()));
+                        assert_eq!(m.lookup(key).unwrap().as_ref(), key.to_le_bytes());
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(m.len(), 4 * 256);
     }
 
     #[test]

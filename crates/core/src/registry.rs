@@ -151,7 +151,13 @@ mod tests {
     #[test]
     fn register_and_resolve() {
         let reg = AppRegistry::new();
-        let app = reg.register("hello", AppKind::Native, "(String)->String", noop_fn(), AppOptions::default());
+        let app = reg.register(
+            "hello",
+            AppKind::Native,
+            "(String)->String",
+            noop_fn(),
+            AppOptions::default(),
+        );
         assert_eq!(reg.len(), 1);
         let got = reg.get(app.id).expect("registered");
         assert_eq!(got.name, "hello");
@@ -169,13 +175,37 @@ mod tests {
     #[test]
     fn body_hash_depends_on_name_and_signature() {
         let reg = AppRegistry::new();
-        let a = reg.register("f", AppKind::Native, "(u32)->u32", noop_fn(), AppOptions::default());
-        let b = reg.register("f", AppKind::Native, "(u64)->u64", noop_fn(), AppOptions::default());
-        let c = reg.register("g", AppKind::Native, "(u32)->u32", noop_fn(), AppOptions::default());
+        let a = reg.register(
+            "f",
+            AppKind::Native,
+            "(u32)->u32",
+            noop_fn(),
+            AppOptions::default(),
+        );
+        let b = reg.register(
+            "f",
+            AppKind::Native,
+            "(u64)->u64",
+            noop_fn(),
+            AppOptions::default(),
+        );
+        let c = reg.register(
+            "g",
+            AppKind::Native,
+            "(u32)->u32",
+            noop_fn(),
+            AppOptions::default(),
+        );
         assert_ne!(a.body_hash, b.body_hash);
         assert_ne!(a.body_hash, c.body_hash);
         // Same name and signature => same hash (memoization contract).
-        let a2 = reg.register("f", AppKind::Native, "(u32)->u32", noop_fn(), AppOptions::default());
+        let a2 = reg.register(
+            "f",
+            AppKind::Native,
+            "(u32)->u32",
+            noop_fn(),
+            AppOptions::default(),
+        );
         assert_eq!(a.body_hash, a2.body_hash);
     }
 

@@ -1,0 +1,284 @@
+//! Load-aware task routing across executors (§4.1, §4.3).
+//!
+//! The paper's DataFlowKernel "brings tasks and executors together": when a
+//! task's dependencies resolve it must be placed on one of the configured
+//! executors. The original text picks "at random"; that is fine when all
+//! executors are interchangeable, but in a multi-site configuration (§4.3)
+//! one slow or saturated executor silently absorbs the same share of work
+//! as a fast one. This module makes the placement decision pluggable.
+//!
+//! A [`Scheduler`] sees a per-executor [`ExecutorSnapshot`] (in-flight
+//! load and capacity) and picks a destination for each ready task. The
+//! batch dispatcher consults it task by task while updating the snapshot
+//! locally, so a single wide batch is *split* across executors by policy
+//! rather than routed wholesale.
+//!
+//! Four built-in policies (select via [`SchedulerPolicy`] on the config
+//! builder):
+//!
+//! - [`SchedulerPolicy::RandomHash`] — the paper's behavior and the
+//!   default: a seeded counter-hash spreads tasks uniformly, lock-free.
+//! - [`SchedulerPolicy::RoundRobin`] — strict rotation; uniform like
+//!   `RandomHash` but with zero variance between executors.
+//! - [`SchedulerPolicy::LeastOutstanding`] — join-shortest-queue on the
+//!   dispatched-but-unfinished count; adapts to skewed executor speeds
+//!   without any configuration.
+//! - [`SchedulerPolicy::CapacityWeighted`] — a capacity-weighted hash:
+//!   executors receive traffic in proportion to their worker slots
+//!   (`Executor::capacity`, which tracks `BlockScaling` for elastic
+//!   executors), so scale-out shifts traffic toward the grown executor.
+//!
+//! Placement composes with **backpressure**: the kernel can cap in-flight
+//! tasks per executor (`ConfigBuilder::max_inflight_per_executor`). The
+//! dispatcher only offers under-cap executors to the scheduler; when none
+//! qualifies the task parks and is re-queued as completions free capacity
+//! (see `crates/core/src/dfk.rs`, `launch_batch`).
+
+use std::sync::Arc;
+
+/// One executor's state as seen by the scheduler at assignment time.
+///
+/// Snapshots are taken once per dispatch batch and updated locally as
+/// tasks are assigned, so policies observe the load their own earlier
+/// picks created.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorSnapshot {
+    /// Position of this executor in the kernel's configuration order.
+    /// The dispatcher may offer a *subset* of executors (backpressure
+    /// filtering, pinning), so this need not equal the slice index.
+    pub index: usize,
+    /// Tasks dispatched to this executor and not yet completed.
+    pub outstanding: usize,
+    /// Worker slots currently provisioned (see `Executor::capacity`).
+    /// Zero means unknown; policies treat it as one slot.
+    pub capacity: usize,
+}
+
+/// A placement policy: given candidate executors, choose one.
+///
+/// Implementations must be cheap — `assign` runs once per task on the
+/// dispatch hot path — and stateless across calls: per-task entropy comes
+/// in through `seq`, a kernel-wide counter that increments per assignment.
+pub trait Scheduler: Send + Sync {
+    /// Policy name, for monitoring and debug output.
+    fn name(&self) -> &str;
+
+    /// Choose among `candidates` (guaranteed non-empty): returns an index
+    /// **into the slice**, not an executor index — the dispatcher maps it
+    /// back through [`ExecutorSnapshot::index`].
+    fn assign(&self, candidates: &[ExecutorSnapshot], seq: u64) -> usize;
+}
+
+/// Built-in policy selector, part of the kernel configuration.
+#[derive(Clone, Default)]
+pub enum SchedulerPolicy {
+    /// Seeded uniform hash — the paper's random placement (default).
+    #[default]
+    RandomHash,
+    /// Strict rotation over the configured executors.
+    RoundRobin,
+    /// Join-shortest-queue over in-flight counts.
+    LeastOutstanding,
+    /// Traffic proportional to provisioned worker slots.
+    CapacityWeighted,
+    /// A user-supplied policy.
+    Custom(Arc<dyn Scheduler>),
+}
+
+impl SchedulerPolicy {
+    /// Materialize the policy. `seed` feeds the hashing policies so
+    /// placement is reproducible for a given config seed.
+    pub fn build(&self, seed: u64) -> Arc<dyn Scheduler> {
+        match self {
+            SchedulerPolicy::RandomHash => Arc::new(RandomHash { seed }),
+            SchedulerPolicy::RoundRobin => Arc::new(RoundRobin),
+            SchedulerPolicy::LeastOutstanding => Arc::new(LeastOutstanding),
+            SchedulerPolicy::CapacityWeighted => Arc::new(CapacityWeighted { seed }),
+            SchedulerPolicy::Custom(s) => Arc::clone(s),
+        }
+    }
+}
+
+impl std::fmt::Debug for SchedulerPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SchedulerPolicy::RandomHash => "RandomHash",
+            SchedulerPolicy::RoundRobin => "RoundRobin",
+            SchedulerPolicy::LeastOutstanding => "LeastOutstanding",
+            SchedulerPolicy::CapacityWeighted => "CapacityWeighted",
+            SchedulerPolicy::Custom(s) => return write!(f, "Custom({})", s.name()),
+        };
+        f.write_str(name)
+    }
+}
+
+/// SplitMix64: the statistically solid single-u64 mixer behind the
+/// hashing policies (and the kernel's historical executor choice).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The paper's placement: "an executor is picked at random" (§4.1), here
+/// as a seeded counter-hash so the choice is reproducible yet lock-free.
+pub struct RandomHash {
+    /// Config seed; two kernels with the same seed place identically.
+    pub seed: u64,
+}
+
+impl Scheduler for RandomHash {
+    fn name(&self) -> &str {
+        "random_hash"
+    }
+
+    fn assign(&self, candidates: &[ExecutorSnapshot], seq: u64) -> usize {
+        (splitmix64(self.seed.wrapping_add(seq)) % candidates.len() as u64) as usize
+    }
+}
+
+/// Strict rotation by assignment sequence.
+pub struct RoundRobin;
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &str {
+        "round_robin"
+    }
+
+    fn assign(&self, candidates: &[ExecutorSnapshot], seq: u64) -> usize {
+        (seq % candidates.len() as u64) as usize
+    }
+}
+
+/// Join-shortest-queue: the executor with the fewest in-flight tasks.
+/// Ties break toward the earlier candidate, which is stable and — because
+/// the dispatcher bumps the local snapshot after every pick — still
+/// spreads an idle-start batch evenly.
+pub struct LeastOutstanding;
+
+impl Scheduler for LeastOutstanding {
+    fn name(&self) -> &str {
+        "least_outstanding"
+    }
+
+    fn assign(&self, candidates: &[ExecutorSnapshot], _seq: u64) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.outstanding)
+            .map(|(i, _)| i)
+            .expect("candidates non-empty")
+    }
+}
+
+/// Capacity-proportional hashing: a task lands on executor *i* with
+/// probability `capacity_i / Σ capacity`, so an elastic executor that
+/// scales out (growing `BlockScaling` worker slots) immediately attracts
+/// a proportionally larger share of new traffic.
+pub struct CapacityWeighted {
+    /// Config seed, as in [`RandomHash`].
+    pub seed: u64,
+}
+
+impl Scheduler for CapacityWeighted {
+    fn name(&self) -> &str {
+        "capacity_weighted"
+    }
+
+    fn assign(&self, candidates: &[ExecutorSnapshot], seq: u64) -> usize {
+        // Zero-capacity executors (not yet started, scaled to nothing)
+        // still get one virtual slot so they are reachable.
+        let total: u64 = candidates.iter().map(|s| s.capacity.max(1) as u64).sum();
+        let mut ticket = splitmix64(self.seed.wrapping_add(seq)) % total;
+        for (i, s) in candidates.iter().enumerate() {
+            let w = s.capacity.max(1) as u64;
+            if ticket < w {
+                return i;
+            }
+            ticket -= w;
+        }
+        candidates.len() - 1 // unreachable: tickets cover the full range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps(loads: &[(usize, usize)]) -> Vec<ExecutorSnapshot> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(index, &(outstanding, capacity))| ExecutorSnapshot {
+                index,
+                outstanding,
+                capacity,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn random_hash_is_seed_deterministic_and_covers_all() {
+        let a = RandomHash { seed: 7 };
+        let b = RandomHash { seed: 7 };
+        let c = snaps(&[(0, 1), (0, 1), (0, 1)]);
+        let mut seen = [false; 3];
+        for seq in 0..64 {
+            let pick = a.assign(&c, seq);
+            assert_eq!(pick, b.assign(&c, seq), "same seed, same placement");
+            seen[pick] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 draws must hit all 3 executors");
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let rr = RoundRobin;
+        let c = snaps(&[(0, 1), (0, 1), (0, 1)]);
+        let picks: Vec<usize> = (0..6).map(|seq| rr.assign(&c, seq)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_joins_shortest_queue() {
+        let jsq = LeastOutstanding;
+        assert_eq!(jsq.assign(&snaps(&[(5, 1), (2, 1), (9, 1)]), 0), 1);
+        // Ties break to the earliest candidate.
+        assert_eq!(jsq.assign(&snaps(&[(3, 1), (3, 1)]), 0), 0);
+    }
+
+    #[test]
+    fn capacity_weighted_tracks_slots() {
+        let cw = CapacityWeighted { seed: 42 };
+        // 8-vs-2 slots: expect roughly an 80/20 split over many draws.
+        let c = snaps(&[(0, 8), (0, 2)]);
+        let n = 10_000;
+        let big = (0..n).filter(|&seq| cw.assign(&c, seq) == 0).count();
+        let share = big as f64 / n as f64;
+        assert!((0.75..0.85).contains(&share), "fast share was {share}");
+    }
+
+    #[test]
+    fn capacity_weighted_survives_zero_capacity() {
+        let cw = CapacityWeighted { seed: 1 };
+        let c = snaps(&[(0, 0), (0, 0)]);
+        let mut seen = [false; 2];
+        for seq in 0..32 {
+            seen[cw.assign(&c, seq)] = true;
+        }
+        assert!(seen[0] && seen[1], "zero-capacity executors stay reachable");
+    }
+
+    #[test]
+    fn policy_builder_maps_names() {
+        for (policy, name) in [
+            (SchedulerPolicy::RandomHash, "random_hash"),
+            (SchedulerPolicy::RoundRobin, "round_robin"),
+            (SchedulerPolicy::LeastOutstanding, "least_outstanding"),
+            (SchedulerPolicy::CapacityWeighted, "capacity_weighted"),
+        ] {
+            assert_eq!(policy.build(0).name(), name);
+        }
+    }
+}

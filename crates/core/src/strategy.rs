@@ -29,7 +29,11 @@ pub struct StrategyConfig {
 
 impl Default for StrategyConfig {
     fn default() -> Self {
-        StrategyConfig { enabled: false, interval: Duration::from_secs(5), parallelism: 1.0 }
+        StrategyConfig {
+            enabled: false,
+            interval: Duration::from_secs(5),
+            parallelism: 1.0,
+        }
     }
 }
 
@@ -90,8 +94,12 @@ impl Strategy for SimpleStrategy {
         use std::cmp::Ordering::*;
         match target.cmp(&current) {
             Equal => ScalingDecision::Hold,
-            Greater => ScalingDecision::Out { blocks: target - current },
-            Less => ScalingDecision::In { blocks: current - target },
+            Greater => ScalingDecision::Out {
+                blocks: target - current,
+            },
+            Less => ScalingDecision::In {
+                blocks: current - target,
+            },
         }
     }
 }
@@ -110,7 +118,12 @@ mod tests {
 
     impl FakeScaling {
         fn new(blocks: usize, wpb: usize, min: usize, max: usize) -> Self {
-            FakeScaling { blocks: AtomicUsize::new(blocks), wpb, min, max }
+            FakeScaling {
+                blocks: AtomicUsize::new(blocks),
+                wpb,
+                min,
+                max,
+            }
         }
     }
 
@@ -183,5 +196,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_parallelism_rejected() {
         let _ = SimpleStrategy::new(0.0);
+    }
+
+    #[test]
+    fn holds_pinned_at_max_under_unbounded_load() {
+        // Already at the ceiling: any extra load must not scale out.
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(3, 5, 0, 3);
+        assert_eq!(s.decide(usize::MAX / 8, &sc), ScalingDecision::Hold);
+        assert_eq!(s.target_blocks(usize::MAX / 8, &sc), 3);
+    }
+
+    #[test]
+    fn holds_pinned_at_min_when_idle() {
+        // Already at the floor: zero load must not scale in below it.
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(2, 5, 2, 10);
+        assert_eq!(s.decide(0, &sc), ScalingDecision::Hold);
+        assert_eq!(s.target_blocks(0, &sc), 2);
+    }
+
+    #[test]
+    fn exact_block_boundary_does_not_overshoot() {
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(2, 5, 0, 10);
+        // Exactly 2 blocks' worth of work: hold.
+        assert_eq!(s.decide(10, &sc), ScalingDecision::Hold);
+        // One task past the boundary tips exactly one block out.
+        assert_eq!(s.decide(11, &sc), ScalingDecision::Out { blocks: 1 });
+        // One under stays within 2 blocks: hold (9 → ceil(9/5) = 2).
+        assert_eq!(s.decide(9, &sc), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn min_equals_max_freezes_the_pool() {
+        // A degenerate [n, n] window can never move.
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(4, 5, 4, 4);
+        assert_eq!(s.decide(0, &sc), ScalingDecision::Hold);
+        assert_eq!(s.decide(10_000, &sc), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn zero_workers_per_block_treated_as_one() {
+        // Misconfigured provider reporting 0 slots per block must not
+        // divide by zero; it degrades to one slot per block.
+        let s = SimpleStrategy::new(1.0);
+        let sc = FakeScaling::new(0, 0, 0, 8);
+        assert_eq!(s.target_blocks(5, &sc), 5);
+        assert_eq!(s.decide(5, &sc), ScalingDecision::Out { blocks: 5 });
     }
 }

@@ -97,7 +97,11 @@ pub struct ResourceSpec {
 
 impl Default for ResourceSpec {
     fn default() -> Self {
-        ResourceSpec { cores: 1, mem_mb: 0, walltime: None }
+        ResourceSpec {
+            cores: 1,
+            mem_mb: 0,
+            walltime: None,
+        }
     }
 }
 

@@ -7,9 +7,7 @@
 
 use bytes::Bytes;
 use parsl_core::error::{AppError, ParslError, TaskError};
-use parsl_core::executor::{
-    Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec,
-};
+use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
 use parsl_core::prelude::*;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -30,14 +28,20 @@ struct InlineExec {
 impl InlineExec {
     fn new(batched: bool) -> Self {
         InlineExec {
-            label: if batched { "inline-batched".into() } else { "inline-serial".into() },
+            label: if batched {
+                "inline-batched".into()
+            } else {
+                "inline-serial".into()
+            },
             batched,
             ctx: parking_lot::Mutex::new(None),
         }
     }
 
     fn run(task: &TaskSpec) -> TaskOutcome {
-        let result = (task.app.func)(&task.args).map(Bytes::from).map_err(TaskError::App);
+        let result = (task.app.func)(&task.args)
+            .map(Bytes::from)
+            .map_err(TaskError::App);
         TaskOutcome::new(task.id, task.attempt, result)
     }
 }
@@ -116,7 +120,10 @@ fn dag_strategy() -> impl Strategy<Value = Dag> {
             };
             layer_strats.push(vec(node, n..=n));
         }
-        layer_strats.prop_map(move |layers| Dag { layers, with_failures })
+        layer_strats.prop_map(move |layers| Dag {
+            layers,
+            with_failures,
+        })
     })
 }
 
@@ -124,13 +131,20 @@ fn fails(dag: &Dag, li: usize, ni: usize) -> bool {
     dag.with_failures && (li * 31 + ni) % 7 == 0
 }
 
+/// Per-layer node results, total task count, and final state histogram.
+type RunOutput = (
+    Vec<Vec<Result<u64, &'static str>>>,
+    usize,
+    Vec<(TaskState, usize)>,
+);
+
 /// One run of the DAG; returns each node's observed result (`Ok(value)` or
 /// a stable error discriminant) plus the kernel's final accounting.
-fn run(
-    dag: &Dag,
-    batched: bool,
-) -> (Vec<Vec<Result<u64, &'static str>>>, usize, Vec<(TaskState, usize)>) {
-    let dfk = DataFlowKernel::builder().executor(InlineExec::new(batched)).build().unwrap();
+fn run(dag: &Dag, batched: bool) -> RunOutput {
+    let dfk = DataFlowKernel::builder()
+        .executor(InlineExec::new(batched))
+        .build()
+        .unwrap();
     let node = dfk.python_app_fallible(
         "node",
         |base: u64, deps: Vec<u64>, fail: bool| -> Result<u64, AppError> {

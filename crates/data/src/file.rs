@@ -54,13 +54,23 @@ impl File {
         } else if let Some(r) = url.strip_prefix("globus://") {
             (Scheme::Globus, r)
         } else {
-            return File { scheme: Scheme::Local, host: String::new(), path: url.to_string() };
+            return File {
+                scheme: Scheme::Local,
+                host: String::new(),
+                path: url.to_string(),
+            };
         };
         match rest.split_once('/') {
-            Some((host, path)) => {
-                File { scheme, host: host.to_string(), path: format!("/{path}") }
-            }
-            None => File { scheme, host: rest.to_string(), path: "/".to_string() },
+            Some((host, path)) => File {
+                scheme,
+                host: host.to_string(),
+                path: format!("/{path}"),
+            },
+            None => File {
+                scheme,
+                host: rest.to_string(),
+                path: "/".to_string(),
+            },
         }
     }
 
@@ -95,7 +105,11 @@ mod tests {
 
     #[test]
     fn url_roundtrip() {
-        for u in ["http://h/p/q.txt", "ftp://h/z.bin", "globus://ep/deep/tree/f.h5"] {
+        for u in [
+            "http://h/p/q.txt",
+            "ftp://h/z.bin",
+            "globus://ep/deep/tree/f.h5",
+        ] {
             assert_eq!(File::parse(u).url(), u);
         }
         assert_eq!(File::parse("/a/b/c").url(), "/a/b/c");

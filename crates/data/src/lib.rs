@@ -82,7 +82,9 @@ mod tests {
 
         // An app consuming the staged future runs after the transfer.
         let count = dfk.python_app("count", |f: StagedFile| {
-            std::fs::read(&f.local_path).map(|b| b.len() as u64).unwrap_or(0)
+            std::fs::read(&f.local_path)
+                .map(|b| b.len() as u64)
+                .unwrap_or(0)
         });
         let n = parsl_core::call!(count, staged.clone());
         let len = n.result().unwrap();
@@ -95,9 +97,18 @@ mod tests {
     fn synthetic_remote_content_is_deterministic() {
         let dfk = dfk();
         let dm = DataManager::new(&dfk, DataManagerConfig::default());
-        let a = dm.stage_in(File::parse("ftp://host/a.dat")).result().unwrap();
-        let b = dm.stage_in(File::parse("ftp://host/a.dat")).result().unwrap();
-        let c = dm.stage_in(File::parse("ftp://host/c.dat")).result().unwrap();
+        let a = dm
+            .stage_in(File::parse("ftp://host/a.dat"))
+            .result()
+            .unwrap();
+        let b = dm
+            .stage_in(File::parse("ftp://host/a.dat"))
+            .result()
+            .unwrap();
+        let c = dm
+            .stage_in(File::parse("ftp://host/c.dat"))
+            .result()
+            .unwrap();
         let bytes_a = std::fs::read(&a.local_path).unwrap();
         let bytes_b = std::fs::read(&b.local_path).unwrap();
         let bytes_c = std::fs::read(&c.local_path).unwrap();
@@ -108,8 +119,8 @@ mod tests {
 
     #[test]
     fn globus_pinned_to_data_manager_executor() {
-        use parsl_core::monitor::{MonitorEvent, MonitorSink};
         use parking_lot::Mutex;
+        use parsl_core::monitor::{MonitorEvent, MonitorSink};
         #[derive(Default)]
         struct Capture(Mutex<Vec<(String, String)>>);
         impl MonitorSink for Capture {
@@ -134,14 +145,19 @@ mod tests {
             .unwrap();
         let dm = DataManager::new(
             &dfk,
-            DataManagerConfig { globus_executor: Some("dm".into()), ..Default::default() },
+            DataManagerConfig {
+                globus_executor: Some("dm".into()),
+                ..Default::default()
+            },
         );
         let staged = dm.stage_in(File::parse("globus://ep1/data/big.h5"));
         staged.result().unwrap();
         dfk.wait_for_all();
         let launched = sink.0.lock();
-        let globus_tasks: Vec<_> =
-            launched.iter().filter(|(app, _)| app.contains("globus")).collect();
+        let globus_tasks: Vec<_> = launched
+            .iter()
+            .filter(|(app, _)| app.contains("globus"))
+            .collect();
         assert!(!globus_tasks.is_empty());
         assert!(globus_tasks.iter().all(|(_, l)| l == "dm"));
         dfk.shutdown();
@@ -158,7 +174,10 @@ mod tests {
         let dfk = dfk();
         let dm = DataManager::new(&dfk, DataManagerConfig::default());
         let fut = dm.stage_out(
-            StagedFile { local_path: src.to_string_lossy().into_owned(), bytes: 15 },
+            StagedFile {
+                local_path: src.to_string_lossy().into_owned(),
+                bytes: 15,
+            },
             File::parse(dst.to_str().unwrap()),
         );
         fut.result().unwrap();

@@ -79,7 +79,9 @@ fn synthetic_content(url: &str, bytes: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(bytes as usize);
     let mut state = seed;
     while (out.len() as u64) < bytes {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         out.extend_from_slice(&state.to_le_bytes());
     }
     out.truncate(bytes as usize);
@@ -105,7 +107,10 @@ impl DataManager {
             |f: File| -> Result<StagedFile, AppError> {
                 let meta = std::fs::metadata(&f.path)
                     .map_err(|e| AppError::msg(format!("local file {}: {e}", f.path)))?;
-                Ok(StagedFile { local_path: f.path, bytes: meta.len() })
+                Ok(StagedFile {
+                    local_path: f.path,
+                    bytes: meta.len(),
+                })
             },
         );
 
@@ -140,18 +145,20 @@ impl DataManager {
                         }
                         std::fs::write(&dest.path, &content)
                             .map_err(|e| AppError::msg(format!("write {}: {e}", dest.path)))?;
-                        Ok(StagedFile { local_path: dest.path, bytes: content.len() as u64 })
+                        Ok(StagedFile {
+                            local_path: dest.path,
+                            bytes: content.len() as u64,
+                        })
                     }
                     scheme => {
                         // Simulated upload: pay the WAN cost, mirror the
                         // bytes under the staging dir's outbound area.
-                        std::thread::sleep(
-                            c.simulated_transfer_time(scheme, content.len() as u64),
-                        );
-                        let mirror = c
-                            .staging_dir
-                            .join("outbound")
-                            .join(format!("{:016x}-{}", wire::fnv1a_str(&dest.url()), dest.name()));
+                        std::thread::sleep(c.simulated_transfer_time(scheme, content.len() as u64));
+                        let mirror = c.staging_dir.join("outbound").join(format!(
+                            "{:016x}-{}",
+                            wire::fnv1a_str(&dest.url()),
+                            dest.name()
+                        ));
                         if let Some(parent) = mirror.parent() {
                             std::fs::create_dir_all(parent)
                                 .map_err(|e| AppError::msg(format!("mkdir: {e}")))?;
@@ -167,7 +174,12 @@ impl DataManager {
             },
         );
 
-        DataManager { stage_local, stage_http_ftp, stage_globus, stage_out_app }
+        DataManager {
+            stage_local,
+            stage_http_ftp,
+            stage_globus,
+            stage_out_app,
+        }
     }
 
     /// Make `file` available locally; returns the future of its staged
@@ -200,7 +212,10 @@ fn simulate_fetch(cfg: &DataManagerConfig, f: &File) -> Result<StagedFile, AppEr
         .map_err(|e| AppError::msg(format!("staging dir: {e}")))?;
     std::fs::write(&local, &content)
         .map_err(|e| AppError::msg(format!("write staged file: {e}")))?;
-    Ok(StagedFile { local_path: local.to_string_lossy().into_owned(), bytes })
+    Ok(StagedFile {
+        local_path: local.to_string_lossy().into_owned(),
+        bytes,
+    })
 }
 
 #[cfg(test)]

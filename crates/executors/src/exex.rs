@@ -17,12 +17,12 @@ use crate::kernel;
 use crate::proto::{encode, ToClient, ToInterchange, ToManager, WireResult, WireTask};
 use minimpi::{Rank, Tag, World, ANY_SOURCE};
 use nexus::{Addr, Endpoint, Fabric};
+use parking_lot::Mutex;
 use parsl_core::error::TaskError;
 use parsl_core::executor::{
     BlockScaling, Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec,
 };
 use parsl_core::registry::AppRegistry;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
@@ -108,7 +108,10 @@ impl ExexExecutor {
 
     /// Build over an external fabric.
     pub fn on_fabric(cfg: ExexConfig, fabric: Fabric) -> Self {
-        assert!(cfg.ranks_per_pool >= 2, "a pool needs rank 0 plus at least one worker");
+        assert!(
+            cfg.ranks_per_pool >= 2,
+            "a pool needs rank 0 plus at least one worker"
+        );
         let ix_addr = Addr::new(format!("{}:ix", cfg.label));
         let client_addr = Addr::new(format!("{}:client", cfg.label));
         ExexExecutor {
@@ -184,21 +187,25 @@ impl ExexExecutor {
             self.threads.lock().push(handle);
         }
 
-        self.shared
-            .pools
-            .lock()
-            .push(PoolHandle { addr: addr.clone(), world_abort: abort_rank });
+        self.shared.pools.lock().push(PoolHandle {
+            addr: addr.clone(),
+            world_abort: abort_rank,
+        });
         addr
     }
 
     /// Gracefully retire the most recently added pool. Routed through the
     /// interchange so no batch crosses the shutdown on the wire.
     pub fn remove_pool(&self) -> bool {
-        let Some(pool) = self.shared.pools.lock().pop() else { return false };
+        let Some(pool) = self.shared.pools.lock().pop() else {
+            return false;
+        };
         if let Some(ep) = self.client_ep.lock().as_ref() {
             let _ = ep.send(
                 &self.shared.ix_addr,
-                encode(&ToInterchange::Retire { name: pool.addr.to_string() }),
+                encode(&ToInterchange::Retire {
+                    name: pool.addr.to_string(),
+                }),
             );
         }
         true
@@ -215,7 +222,12 @@ impl ExexExecutor {
 
     /// Addresses of live pools.
     pub fn pools(&self) -> Vec<Addr> {
-        self.shared.pools.lock().iter().map(|p| p.addr.clone()).collect()
+        self.shared
+            .pools
+            .lock()
+            .iter()
+            .map(|p| p.addr.clone())
+            .collect()
     }
 }
 
@@ -272,11 +284,14 @@ impl Executor for ExexExecutor {
             .ok_or(ExecutorError::NotRunning)?;
         let wire_task = WireTask::from_spec(&task);
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
-        ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
-            .map_err(|e| {
-                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                ExecutorError::Comm(e.to_string())
-            })
+        ep.send(
+            &self.shared.ix_addr,
+            encode(&ToInterchange::Submit(wire_task)),
+        )
+        .map_err(|e| {
+            self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+            ExecutorError::Comm(e.to_string())
+        })
     }
 
     /// Native batching, identical on the wire to HTEX: `SubmitBatch`
@@ -406,7 +421,9 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                 Ok(ToInterchange::Submit(task)) => pending.push_back(task),
                 Ok(ToInterchange::SubmitBatch(tasks)) => pending.extend(tasks),
                 Ok(ToInterchange::Register { name: _, capacity }) => {
-                    shared.connected_workers.fetch_add(capacity, Ordering::Relaxed);
+                    shared
+                        .connected_workers
+                        .fetch_add(capacity, Ordering::Relaxed);
                     pools.insert(
                         env.from.clone(),
                         PoolInfo {
@@ -442,7 +459,9 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                 Ok(ToInterchange::Deregister { name: _ }) => {
                     draining.remove(&env.from);
                     if let Some(p) = pools.remove(&env.from) {
-                        shared.connected_workers.fetch_sub(p.workers, Ordering::Relaxed);
+                        shared
+                            .connected_workers
+                            .fetch_sub(p.workers, Ordering::Relaxed);
                     }
                 }
                 Ok(ToInterchange::Shutdown) => break,
@@ -466,11 +485,16 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
         for addr in lost {
             let p = pools.remove(&addr).expect("present");
             draining.remove(&addr);
-            shared.connected_workers.fetch_sub(p.workers, Ordering::Relaxed);
+            shared
+                .connected_workers
+                .fetch_sub(p.workers, Ordering::Relaxed);
             let tasks: Vec<(u64, u32)> = p.outstanding.keys().copied().collect();
             let _ = ep.send(
                 &shared.client_addr,
-                encode(&ToClient::ManagerLost { name: addr.to_string(), tasks }),
+                encode(&ToClient::ManagerLost {
+                    name: addr.to_string(),
+                    tasks,
+                }),
             );
         }
 
@@ -491,7 +515,10 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                 p.outstanding.insert((t.id, t.attempt), ());
             }
             p.free -= n;
-            if ep.send(pick, encode(&ToManager::Tasks(batch.clone()))).is_err() {
+            if ep
+                .send(pick, encode(&ToManager::Tasks(batch.clone())))
+                .is_err()
+            {
                 let p = pools.get_mut(pick).expect("candidate");
                 for t in &batch {
                     p.outstanding.remove(&(t.id, t.attempt));
@@ -522,7 +549,10 @@ fn pool_manager_loop(shared: Arc<Shared>, rank: Rank, addr: Addr) {
     let n_workers = rank.size() - 1;
     let _ = ep.send(
         &shared.ix_addr,
-        encode(&ToInterchange::Register { name: addr.to_string(), capacity: n_workers }),
+        encode(&ToInterchange::Register {
+            name: addr.to_string(),
+            capacity: n_workers,
+        }),
     );
 
     let mut idle: VecDeque<usize> = (1..rank.size()).collect();
@@ -568,7 +598,10 @@ fn pool_manager_loop(shared: Arc<Shared>, rank: Rank, addr: Addr) {
                     in_flight -= 1;
                     if let Ok(result) = wire::from_bytes::<WireResult>(&msg.payload) {
                         if ep
-                            .send(&shared.ix_addr, encode(&ToInterchange::Results(vec![result])))
+                            .send(
+                                &shared.ix_addr,
+                                encode(&ToInterchange::Results(vec![result])),
+                            )
                             .is_err()
                         {
                             // Interchange gone; nothing left to live for.
@@ -586,14 +619,18 @@ fn pool_manager_loop(shared: Arc<Shared>, rank: Rank, addr: Addr) {
             last_hb = Instant::now();
             let _ = ep.send(
                 &shared.ix_addr,
-                encode(&ToInterchange::Heartbeat { name: addr.to_string() }),
+                encode(&ToInterchange::Heartbeat {
+                    name: addr.to_string(),
+                }),
             );
         }
 
         if draining && backlog.is_empty() && in_flight == 0 {
             let _ = ep.send(
                 &shared.ix_addr,
-                encode(&ToInterchange::Deregister { name: addr.to_string() }),
+                encode(&ToInterchange::Deregister {
+                    name: addr.to_string(),
+                }),
             );
             for w in 1..rank.size() {
                 let _ = rank.send(w, TAG_STOP, Vec::new());
@@ -613,7 +650,9 @@ fn worker_rank_loop(rank: Rank, registry: Arc<AppRegistry>) {
         };
         match msg.tag {
             TAG_TASK => {
-                let Ok(task) = wire::from_bytes::<WireTask>(&msg.payload) else { continue };
+                let Ok(task) = wire::from_bytes::<WireTask>(&msg.payload) else {
+                    continue;
+                };
                 let result = kernel::execute(&registry, &task, &format!("rank-{me}"));
                 let payload = wire::to_bytes(&result).expect("result encodes");
                 if rank.send(0, TAG_RESULT, payload).is_err() {
@@ -634,7 +673,9 @@ fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
         match crate::proto::decode::<ToClient>(&env.payload) {
             Ok(ToClient::Results(results)) => {
                 for r in results {

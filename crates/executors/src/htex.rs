@@ -24,12 +24,12 @@ use crate::proto::{
 };
 use crossbeam::channel::{bounded, unbounded, Sender};
 use nexus::{Addr, Endpoint, Fabric};
+use parking_lot::Mutex;
 use parsl_core::error::TaskError;
 use parsl_core::executor::{
     BlockScaling, Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec,
 };
 use parsl_core::registry::AppRegistry;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -177,11 +177,15 @@ impl HtexExecutor {
     /// routed through the interchange so no task batch can cross the
     /// shutdown on the wire.
     pub fn remove_node(&self) -> bool {
-        let Some(addr) = self.shared.nodes.lock().pop() else { return false };
+        let Some(addr) = self.shared.nodes.lock().pop() else {
+            return false;
+        };
         if let Some(ep) = self.client_ep.lock().as_ref() {
             let _ = ep.send(
                 &self.shared.ix_addr,
-                encode(&ToInterchange::Retire { name: addr.to_string() }),
+                encode(&ToInterchange::Retire {
+                    name: addr.to_string(),
+                }),
             );
         }
         true
@@ -278,11 +282,14 @@ impl Executor for HtexExecutor {
             .ok_or(ExecutorError::NotRunning)?;
         let wire_task = WireTask::from_spec(&task);
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
-        ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
-            .map_err(|e| {
-                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                ExecutorError::Comm(e.to_string())
-            })
+        ep.send(
+            &self.shared.ix_addr,
+            encode(&ToInterchange::Submit(wire_task)),
+        )
+        .map_err(|e| {
+            self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+            ExecutorError::Comm(e.to_string())
+        })
     }
 
     /// Native batching: the whole batch crosses the fabric as
@@ -415,7 +422,9 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                 }
                 Ok(ToInterchange::Register { name: _, capacity }) => {
                     let workers = capacity.saturating_sub(cfg.prefetch);
-                    shared.connected_workers.fetch_add(workers, Ordering::Relaxed);
+                    shared
+                        .connected_workers
+                        .fetch_add(workers, Ordering::Relaxed);
                     managers.insert(
                         env.from.clone(),
                         ManagerInfo {
@@ -460,7 +469,9 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                 Ok(ToInterchange::Deregister { name: _ }) => {
                     draining.remove(&env.from);
                     if let Some(m) = managers.remove(&env.from) {
-                        shared.connected_workers.fetch_sub(m.workers, Ordering::Relaxed);
+                        shared
+                            .connected_workers
+                            .fetch_sub(m.workers, Ordering::Relaxed);
                         // A graceful manager has already flushed results;
                         // anything still marked outstanding is reported.
                         if !m.outstanding.is_empty() {
@@ -483,9 +494,9 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                                 managers.values().map(|m| m.outstanding.len()).sum();
                             CommandReply::Outstanding(queued + running)
                         }
-                        Command::ConnectedWorkers => CommandReply::Workers(
-                            shared.connected_workers.load(Ordering::Relaxed),
-                        ),
+                        Command::ConnectedWorkers => {
+                            CommandReply::Workers(shared.connected_workers.load(Ordering::Relaxed))
+                        }
                         Command::Blacklist(name) => {
                             blacklist.insert(Addr::new(name));
                             CommandReply::Ack
@@ -522,11 +533,16 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
         for addr in lost {
             let m = managers.remove(&addr).expect("present");
             draining.remove(&addr);
-            shared.connected_workers.fetch_sub(m.workers, Ordering::Relaxed);
+            shared
+                .connected_workers
+                .fetch_sub(m.workers, Ordering::Relaxed);
             let tasks: Vec<(u64, u32)> = m.outstanding.keys().copied().collect();
             let _ = ep.send(
                 &shared.client_addr,
-                encode(&ToClient::ManagerLost { name: addr.to_string(), tasks }),
+                encode(&ToClient::ManagerLost {
+                    name: addr.to_string(),
+                    tasks,
+                }),
             );
         }
 
@@ -549,7 +565,10 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                 m.outstanding.insert((t.id, t.attempt), ());
             }
             m.free -= n;
-            if ep.send(pick, encode(&ToManager::Tasks(batch.clone()))).is_err() {
+            if ep
+                .send(pick, encode(&ToManager::Tasks(batch.clone())))
+                .is_err()
+            {
                 // Manager's endpoint died between heartbeat checks; requeue
                 // and let the loss path clean up.
                 let m = managers.get_mut(pick).expect("candidate exists");
@@ -576,7 +595,9 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
 
 fn manager_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
     let cfg = &shared.cfg;
-    let Ok(ep) = shared.fabric.bind(addr.clone()) else { return };
+    let Ok(ep) = shared.fabric.bind(addr.clone()) else {
+        return;
+    };
 
     // Worker pool: shared task queue, common result funnel.
     let (task_tx, task_rx) = unbounded::<WireTask>();
@@ -606,7 +627,10 @@ fn manager_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
     let capacity = cfg.workers_per_node + cfg.prefetch;
     let _ = ep.send(
         &shared.ix_addr,
-        encode(&ToInterchange::Register { name: addr.to_string(), capacity }),
+        encode(&ToInterchange::Register {
+            name: addr.to_string(),
+            capacity,
+        }),
     );
 
     let ticker = crossbeam::channel::tick(cfg.heartbeat_period);
@@ -677,7 +701,9 @@ fn manager_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
             flush_results(&ep, &shared.ix_addr, &addr, &mut result_buf);
             let _ = ep.send(
                 &shared.ix_addr,
-                encode(&ToInterchange::Deregister { name: addr.to_string() }),
+                encode(&ToInterchange::Deregister {
+                    name: addr.to_string(),
+                }),
             );
             drop(task_tx);
             for h in worker_handles {
@@ -700,71 +726,14 @@ fn flush_results(ep: &Endpoint, ix: &Addr, _addr: &Addr, buf: &mut Vec<WireResul
 // Client-side receive loop
 // ---------------------------------------------------------------------------
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use bytes::Bytes;
-    use parsl_core::registry::AppOptions;
-    use parsl_core::types::{AppKind, ResourceSpec, TaskId};
-
-    /// A batch submitted through one `submit_batch` call comes back
-    /// complete, and the outstanding gauge returns to zero.
-    #[test]
-    fn submit_batch_roundtrip() {
-        let registry = AppRegistry::new();
-        let app = registry.register(
-            "double",
-            AppKind::Native,
-            "(u64)->u64",
-            Arc::new(|args| {
-                let (x,): (u64,) = wire::from_bytes(args)
-                    .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))?;
-                wire::to_bytes(&(x * 2))
-                    .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))
-            }),
-            AppOptions::default(),
-        );
-        let (tx, rx) = crossbeam::channel::unbounded();
-        let htex = HtexExecutor::new(HtexConfig {
-            workers_per_node: 2,
-            nodes_per_block: 2,
-            ..Default::default()
-        });
-        htex.start(ExecutorContext { completions: tx, registry: Arc::clone(&registry) })
-            .unwrap();
-
-        let n = 64u64;
-        let batch: Vec<TaskSpec> = (0..n)
-            .map(|i| TaskSpec {
-                id: TaskId(i),
-                app: Arc::clone(&app),
-                args: Bytes::from(wire::to_bytes(&(i,)).unwrap()),
-                resources: ResourceSpec::default(),
-                attempt: 0,
-            })
-            .collect();
-        htex.submit_batch(batch).unwrap();
-
-        let mut got = std::collections::HashMap::new();
-        for _ in 0..n {
-            let outcome = rx.recv_timeout(Duration::from_secs(10)).expect("batch completes");
-            let v: u64 = wire::from_bytes(&outcome.result.unwrap()).unwrap();
-            got.insert(outcome.id.0, v);
-        }
-        for i in 0..n {
-            assert_eq!(got.get(&i), Some(&(i * 2)), "task {i}");
-        }
-        assert_eq!(htex.outstanding(), 0);
-        htex.shutdown();
-    }
-}
-
 fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
         match crate::proto::decode::<ToClient>(&env.payload) {
             Ok(ToClient::Results(results)) => {
                 for r in results {
@@ -804,5 +773,69 @@ fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
             }
             Err(_) => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use parsl_core::registry::AppOptions;
+    use parsl_core::types::{AppKind, ResourceSpec, TaskId};
+
+    /// A batch submitted through one `submit_batch` call comes back
+    /// complete, and the outstanding gauge returns to zero.
+    #[test]
+    fn submit_batch_roundtrip() {
+        let registry = AppRegistry::new();
+        let app = registry.register(
+            "double",
+            AppKind::Native,
+            "(u64)->u64",
+            Arc::new(|args| {
+                let (x,): (u64,) = wire::from_bytes(args)
+                    .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))?;
+                wire::to_bytes(&(x * 2))
+                    .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))
+            }),
+            AppOptions::default(),
+        );
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let htex = HtexExecutor::new(HtexConfig {
+            workers_per_node: 2,
+            nodes_per_block: 2,
+            ..Default::default()
+        });
+        htex.start(ExecutorContext {
+            completions: tx,
+            registry: Arc::clone(&registry),
+        })
+        .unwrap();
+
+        let n = 64u64;
+        let batch: Vec<TaskSpec> = (0..n)
+            .map(|i| TaskSpec {
+                id: TaskId(i),
+                app: Arc::clone(&app),
+                args: Bytes::from(wire::to_bytes(&(i,)).unwrap()),
+                resources: ResourceSpec::default(),
+                attempt: 0,
+            })
+            .collect();
+        htex.submit_batch(batch).unwrap();
+
+        let mut got = std::collections::HashMap::new();
+        for _ in 0..n {
+            let outcome = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("batch completes");
+            let v: u64 = wire::from_bytes(&outcome.result.unwrap()).unwrap();
+            got.insert(outcome.id.0, v);
+        }
+        for i in 0..n {
+            assert_eq!(got.get(&i), Some(&(i * 2)), "task {i}");
+        }
+        assert_eq!(htex.outstanding(), 0);
+        htex.shutdown();
     }
 }

@@ -43,8 +43,8 @@ mod tests {
             AppKind::Native,
             "(u32)->u32",
             Arc::new(|args| {
-                let (x,): (u32,) = wire::from_bytes(args)
-                    .map_err(|e| AppError::Serialization(e.to_string()))?;
+                let (x,): (u32,) =
+                    wire::from_bytes(args).map_err(|e| AppError::Serialization(e.to_string()))?;
                 wire::to_bytes(&(x * 3)).map_err(|e| AppError::Serialization(e.to_string()))
             }),
             AppOptions::default(),
@@ -65,7 +65,12 @@ mod tests {
     #[test]
     fn unknown_app_is_reported() {
         let reg = AppRegistry::new();
-        let task = WireTask { id: 1, attempt: 0, app_id: 999, args: vec![] };
+        let task = WireTask {
+            id: 1,
+            attempt: 0,
+            app_id: 999,
+            args: vec![],
+        };
         let result = execute(&reg, &task, "w0");
         assert!(matches!(result.outcome, Err(AppError::Serialization(_))));
     }

@@ -48,7 +48,10 @@ mod tests {
 
     #[test]
     fn htex_executes_tasks() {
-        let dfk = DataFlowKernel::builder().executor(quick_htex(2, 2)).build().unwrap();
+        let dfk = DataFlowKernel::builder()
+            .executor(quick_htex(2, 2))
+            .build()
+            .unwrap();
         let double = dfk.python_app("double", |x: u64| x * 2);
         let futs: Vec<_> = (0..50u64).map(|i| parsl_core::call!(double, i)).collect();
         for (i, f) in futs.iter().enumerate() {
@@ -59,7 +62,10 @@ mod tests {
 
     #[test]
     fn htex_dependency_chains_cross_nodes() {
-        let dfk = DataFlowKernel::builder().executor(quick_htex(2, 3)).build().unwrap();
+        let dfk = DataFlowKernel::builder()
+            .executor(quick_htex(2, 3))
+            .build()
+            .unwrap();
         let inc = dfk.python_app("inc", |x: u64| x + 1);
         let mut f = parsl_core::call!(inc, 0u64);
         for _ in 0..20 {
@@ -72,7 +78,10 @@ mod tests {
     #[test]
     fn htex_worker_count_reflects_nodes() {
         let htex = quick_htex(4, 2);
-        let dfk = DataFlowKernel::builder().executor_arc(std::sync::Arc::new(htex)).build().unwrap();
+        let dfk = DataFlowKernel::builder()
+            .executor_arc(std::sync::Arc::new(htex))
+            .build()
+            .unwrap();
         // 1 block × 2 nodes × 4 workers; registration is async, poll briefly.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let ex = dfk.executor("htex").unwrap();
@@ -111,12 +120,19 @@ mod tests {
     fn htex_command_channel_reports_outstanding() {
         use crate::proto::{Command, CommandReply};
         let htex = std::sync::Arc::new(quick_htex(2, 1));
-        let dfk = DataFlowKernel::builder().executor_arc(htex.clone()).build().unwrap();
+        let dfk = DataFlowKernel::builder()
+            .executor_arc(htex.clone())
+            .build()
+            .unwrap();
         let noop = dfk.python_app("noop", |x: u8| x);
         let _ = parsl_core::call!(noop, 1u8).result().unwrap();
-        let reply = htex.command(Command::OutstandingInfo, Duration::from_secs(2)).unwrap();
+        let reply = htex
+            .command(Command::OutstandingInfo, Duration::from_secs(2))
+            .unwrap();
         assert_eq!(reply, CommandReply::Outstanding(0));
-        let reply = htex.command(Command::ConnectedWorkers, Duration::from_secs(2)).unwrap();
+        let reply = htex
+            .command(Command::ConnectedWorkers, Duration::from_secs(2))
+            .unwrap();
         assert!(matches!(reply, CommandReply::Workers(n) if n >= 2));
         dfk.shutdown();
     }
@@ -124,7 +140,10 @@ mod tests {
     #[test]
     fn llex_executes_tasks() {
         let dfk = DataFlowKernel::builder()
-            .executor(LlexExecutor::new(LlexConfig { workers: 3, ..Default::default() }))
+            .executor(LlexExecutor::new(LlexConfig {
+                workers: 3,
+                ..Default::default()
+            }))
             .build()
             .unwrap();
         let id = dfk.python_app("id", |x: i64| x);

@@ -20,10 +20,10 @@
 use crate::kernel;
 use crate::proto::{encode, ToClient, ToInterchange, ToManager, WireResult, WireTask};
 use nexus::{Addr, Endpoint, Fabric};
+use parking_lot::Mutex;
 use parsl_core::error::TaskError;
 use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
 use parsl_core::registry::AppRegistry;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -40,7 +40,10 @@ pub struct LlexConfig {
 
 impl Default for LlexConfig {
     fn default() -> Self {
-        LlexConfig { label: "llex".into(), workers: 4 }
+        LlexConfig {
+            label: "llex".into(),
+            workers: 4,
+        }
     }
 }
 
@@ -177,11 +180,14 @@ impl Executor for LlexExecutor {
             .ok_or(ExecutorError::NotRunning)?;
         let wire_task = WireTask::from_spec(&task);
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
-        ep.send(&self.shared.ix_addr, encode(&ToInterchange::Submit(wire_task)))
-            .map_err(|e| {
-                self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                ExecutorError::Comm(e.to_string())
-            })
+        ep.send(
+            &self.shared.ix_addr,
+            encode(&ToInterchange::Submit(wire_task)),
+        )
+        .map_err(|e| {
+            self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+            ExecutorError::Comm(e.to_string())
+        })
     }
 
     /// Native batching on the client→relay hop only: the relay still hands
@@ -205,6 +211,12 @@ impl Executor for LlexExecutor {
 
     fn outstanding(&self) -> usize {
         self.shared.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Configured worker count — LLEX workers are fixed at start, so this
+    /// is the slot ceiling even while connections are still ramping.
+    fn capacity(&self) -> usize {
+        self.shared.cfg.workers
     }
 
     fn connected_workers(&self) -> usize {
@@ -242,7 +254,9 @@ fn relay_loop(shared: Arc<Shared>, ep: Endpoint) {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
         match crate::proto::decode::<ToInterchange>(&env.payload) {
             Ok(ToInterchange::Submit(task)) => queued.push_back(task),
             Ok(ToInterchange::SubmitBatch(tasks)) => queued.extend(tasks),
@@ -279,10 +293,15 @@ fn relay_loop(shared: Arc<Shared>, ep: Endpoint) {
 }
 
 fn worker_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
-    let Ok(ep) = shared.fabric.bind(addr.clone()) else { return };
+    let Ok(ep) = shared.fabric.bind(addr.clone()) else {
+        return;
+    };
     let _ = ep.send(
         &shared.ix_addr,
-        encode(&ToInterchange::Register { name: addr.to_string(), capacity: 1 }),
+        encode(&ToInterchange::Register {
+            name: addr.to_string(),
+            capacity: 1,
+        }),
     );
     loop {
         let Ok(env) = ep.recv() else { return };
@@ -310,7 +329,9 @@ fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else { continue };
+        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
         if let Ok(ToClient::Results(results)) = crate::proto::decode::<ToClient>(&env.payload) {
             for r in results {
                 shared.outstanding.fetch_sub(1, Ordering::Relaxed);

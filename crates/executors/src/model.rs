@@ -162,7 +162,10 @@ impl FrameworkModel {
         let conns = self.connections_for(workers);
         if let Some(cap) = self.max_connections {
             if conns > cap {
-                return Err(ScaleFailure::ConnectionsExhausted { required: conns, cap });
+                return Err(ScaleFailure::ConnectionsExhausted {
+                    required: conns,
+                    cap,
+                });
             }
         }
         let inflation = 1.0 + conns as f64 / calib::UPKEEP_DOUBLING_CONNECTIONS;
@@ -205,8 +208,7 @@ impl FrameworkModel {
             + amortize(calib::SUBMIT_PER_MSG);
         let central = self.effective_service(workers)?;
         let central_framing = central.mul_f64(calib::CENTRAL_MSG_FRACTION);
-        let central_per_task =
-            central.saturating_sub(central_framing) + amortize(central_framing);
+        let central_per_task = central.saturating_sub(central_framing) + amortize(central_framing);
         let bottleneck = client_per_task.max(central_per_task);
         if bottleneck == SimTime::ZERO {
             return Ok(f64::INFINITY);
@@ -247,8 +249,7 @@ impl FrameworkModel {
 
         for _ in 0..n_tasks {
             let submitted = SimTime::ZERO;
-            let central_arrival =
-                submitted + self.submit_overhead + one_way * forward_hops as u64;
+            let central_arrival = submitted + self.submit_overhead + one_way * forward_hops as u64;
             let dispatched = central.enqueue(central_arrival, service);
             let Reverse(worker_free) = pool.pop().expect("pool non-empty");
             let start = dispatched.max(worker_free);
@@ -313,11 +314,20 @@ mod tests {
     fn throughput_saturates_at_inverse_service() {
         let m = FrameworkModel::htex();
         let r = m
-            .run_campaign(50_000, 1024, SimTime::ZERO, machines::midway().one_way_latency())
+            .run_campaign(
+                50_000,
+                1024,
+                SimTime::ZERO,
+                machines::midway().one_way_latency(),
+            )
             .unwrap();
         // No-op tasks: the interchange is the bottleneck; Table 2 says
         // 1181 tasks/s for HTEX.
-        assert!((r.throughput - 1181.0).abs() / 1181.0 < 0.15, "throughput {}", r.throughput);
+        assert!(
+            (r.throughput - 1181.0).abs() / 1181.0 < 0.15,
+            "throughput {}",
+            r.throughput
+        );
     }
 
     #[test]
@@ -384,7 +394,10 @@ mod tests {
         // Amortization only removes the per-message share; the per-task
         // floor bounds the speedup.
         let ceiling = r1 / (1.0 - calib::CENTRAL_MSG_FRACTION.max(0.3));
-        assert!(r64 <= ceiling * 1.5, "batched rate {r64} above plausible ceiling");
+        assert!(
+            r64 <= ceiling * 1.5,
+            "batched rate {r64} above plausible ceiling"
+        );
     }
 
     #[test]
@@ -393,7 +406,9 @@ mod tests {
         let one_way = machines::blue_waters().one_way_latency();
         // 1 s tasks, 512 workers, 5120 tasks: worker-bound, so makespan
         // ≈ tasks/workers seconds.
-        let r = m.run_campaign(5120, 512, SimTime::from_secs(1), one_way).unwrap();
+        let r = m
+            .run_campaign(5120, 512, SimTime::from_secs(1), one_way)
+            .unwrap();
         let ideal = 5120.0 / 512.0;
         assert!(
             (r.makespan.as_secs_f64() - ideal) / ideal < 0.2,

@@ -58,10 +58,11 @@ pub fn send_task_batch(
     for chunk in chunk_by_frame_budget(wire_tasks, max_frame_bytes) {
         let n = chunk.len();
         outstanding.fetch_add(n, Ordering::Relaxed);
-        ep.send(ix, encode(&ToInterchange::SubmitBatch(chunk))).map_err(|e| {
-            outstanding.fetch_sub(n, Ordering::Relaxed);
-            parsl_core::executor::ExecutorError::Comm(e.to_string())
-        })?;
+        ep.send(ix, encode(&ToInterchange::SubmitBatch(chunk)))
+            .map_err(|e| {
+                outstanding.fetch_sub(n, Ordering::Relaxed);
+                parsl_core::executor::ExecutorError::Comm(e.to_string())
+            })?;
     }
     Ok(())
 }
@@ -224,7 +225,12 @@ mod tests {
 
     #[test]
     fn task_roundtrip() {
-        let t = WireTask { id: 7, attempt: 1, app_id: 3, args: vec![1, 2, 3] };
+        let t = WireTask {
+            id: 7,
+            attempt: 1,
+            app_id: 3,
+            args: vec![1, 2, 3],
+        };
         let msg = ToInterchange::Submit(t.clone());
         let bytes = encode(&msg);
         match decode::<ToInterchange>(&bytes).unwrap() {
@@ -236,7 +242,12 @@ mod tests {
     #[test]
     fn batch_roundtrip() {
         let tasks: Vec<WireTask> = (0..5)
-            .map(|i| WireTask { id: i, attempt: 0, app_id: 1, args: vec![i as u8; 8] })
+            .map(|i| WireTask {
+                id: i,
+                attempt: 0,
+                app_id: 1,
+                args: vec![i as u8; 8],
+            })
             .collect();
         let bytes = encode(&ToInterchange::SubmitBatch(tasks.clone()));
         match decode::<ToInterchange>(&bytes).unwrap() {
@@ -248,7 +259,12 @@ mod tests {
     #[test]
     fn chunking_respects_frame_budget_and_order() {
         let tasks: Vec<WireTask> = (0..100)
-            .map(|i| WireTask { id: i, attempt: 0, app_id: 1, args: vec![0; 60] })
+            .map(|i| WireTask {
+                id: i,
+                attempt: 0,
+                app_id: 1,
+                args: vec![0; 60],
+            })
             .collect();
         let per_task = tasks[0].encoded_size_hint();
         let chunks = chunk_by_frame_budget(tasks, per_task * 10);
@@ -256,7 +272,12 @@ mod tests {
         let flat: Vec<u64> = chunks.iter().flatten().map(|t| t.id).collect();
         assert_eq!(flat, (0..100).collect::<Vec<u64>>());
         // A single task larger than the budget still ships alone.
-        let huge = vec![WireTask { id: 7, attempt: 0, app_id: 1, args: vec![0; 4096] }];
+        let huge = vec![WireTask {
+            id: 7,
+            attempt: 0,
+            app_id: 1,
+            args: vec![0; 4096],
+        }];
         let chunks = chunk_by_frame_budget(huge, 64);
         assert_eq!(chunks.len(), 1);
         assert_eq!(chunks[0].len(), 1);

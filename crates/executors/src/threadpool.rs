@@ -9,9 +9,9 @@
 use crate::kernel;
 use crate::proto::WireTask;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use parsl_core::error::TaskError;
 use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -132,6 +132,12 @@ impl Executor for ThreadPoolExecutor {
 
     fn outstanding(&self) -> usize {
         self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Pool size, without taking the state lock: the dispatcher reads
+    /// this on the routing hot path.
+    fn capacity(&self) -> usize {
+        self.workers
     }
 
     fn connected_workers(&self) -> usize {

@@ -72,7 +72,10 @@ impl World {
             txs.push(tx);
             rxs.push(rx);
         }
-        let shared = Arc::new(Shared { aborted: AtomicBool::new(false), txs });
+        let shared = Arc::new(Shared {
+            aborted: AtomicBool::new(false),
+            txs,
+        });
         rxs.into_iter()
             .enumerate()
             .map(|(rank, rx)| Rank {
@@ -133,8 +136,12 @@ impl Rank {
     pub fn send(&self, to: usize, tag: Tag, payload: Vec<u8>) -> Result<(), MpiError> {
         self.check_alive()?;
         let tx = self.shared.txs.get(to).ok_or(MpiError::InvalidRank(to))?;
-        tx.send(Item::Msg(Message { from: self.rank, tag, payload }))
-            .map_err(|_| MpiError::Aborted)
+        tx.send(Item::Msg(Message {
+            from: self.rank,
+            tag,
+            payload,
+        }))
+        .map_err(|_| MpiError::Aborted)
     }
 
     /// Block until a message matching `source`/`tag` arrives.
@@ -161,9 +168,8 @@ impl Rank {
         timeout: Option<Duration>,
     ) -> Result<Message, MpiError> {
         self.check_alive()?;
-        let matches = |m: &Message| {
-            source.is_none_or(|s| s == m.from) && tag.is_none_or(|t| t == m.tag)
-        };
+        let matches =
+            |m: &Message| source.is_none_or(|s| s == m.from) && tag.is_none_or(|t| t == m.tag);
         // Check messages buffered by earlier non-matching receives first.
         {
             let mut pending = self.pending_msgs.borrow_mut();
@@ -260,7 +266,13 @@ impl Rank {
         if self.rank == root {
             for r in 0..self.size {
                 if r != root {
-                    self.send_ctl(r, Ctl::Bcast { from: root, data: data.clone() })?;
+                    self.send_ctl(
+                        r,
+                        Ctl::Bcast {
+                            from: root,
+                            data: data.clone(),
+                        },
+                    )?;
                 }
             }
             Ok(data)
@@ -294,9 +306,20 @@ impl Rank {
                     _ => unreachable!("predicate admits only Gather"),
                 }
             }
-            Ok(Some(slots.into_iter().map(|s| s.expect("all ranks gathered")).collect()))
+            Ok(Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("all ranks gathered"))
+                    .collect(),
+            ))
         } else {
-            self.send_ctl(root, Ctl::Gather { from: self.rank, data })?;
+            self.send_ctl(
+                root,
+                Ctl::Gather {
+                    from: self.rank,
+                    data,
+                },
+            )?;
             Ok(None)
         }
     }

@@ -162,7 +162,11 @@ mod tests {
     #[test]
     fn bcast_from_root() {
         run_world(3, |rank| {
-            let data = if rank.rank() == 0 { b"model".to_vec() } else { Vec::new() };
+            let data = if rank.rank() == 0 {
+                b"model".to_vec()
+            } else {
+                Vec::new()
+            };
             let got = rank.bcast(0, data).unwrap();
             assert_eq!(got, b"model");
             rank.finalize();
@@ -219,7 +223,10 @@ mod tests {
     fn send_to_invalid_rank_is_error() {
         let ranks = World::create(1);
         let r0 = ranks.into_iter().next().unwrap();
-        assert!(matches!(r0.send(5, Tag(0), vec![]), Err(MpiError::InvalidRank(5))));
+        assert!(matches!(
+            r0.send(5, Tag(0), vec![]),
+            Err(MpiError::InvalidRank(5))
+        ));
         r0.finalize();
     }
 }

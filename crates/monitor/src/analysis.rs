@@ -64,7 +64,11 @@ pub fn lifecycle_chart(store: &MemoryStore, width: usize) -> String {
     for (id, t) in &timelines {
         let sub = t.submitted.unwrap_or(Duration::ZERO).as_secs_f64();
         let launch = t.launched.unwrap_or(Duration::ZERO).as_secs_f64().max(sub);
-        let fin = t.finished.map(|d| d.as_secs_f64()).unwrap_or(end).max(launch);
+        let fin = t
+            .finished
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(end)
+            .max(launch);
         let a = (sub * scale).round() as usize;
         let b = (launch * scale).round() as usize;
         let c = (fin * scale).round() as usize;

@@ -17,7 +17,9 @@ impl CsvSink {
     pub fn create(path: &Path) -> std::io::Result<Self> {
         let mut writer = BufWriter::new(File::create(path)?);
         writeln!(writer, "kind,at_us,task,app,state,executor,attempt,detail")?;
-        Ok(CsvSink { writer: Mutex::new(writer) })
+        Ok(CsvSink {
+            writer: Mutex::new(writer),
+        })
     }
 
     /// Flush buffered rows to disk.
@@ -38,7 +40,14 @@ impl MonitorSink for CsvSink {
     fn on_event(&self, event: &MonitorEvent) {
         let mut w = self.writer.lock();
         let _ = match event {
-            MonitorEvent::Task { task, app, state, executor, attempt, at } => writeln!(
+            MonitorEvent::Task {
+                task,
+                app,
+                state,
+                executor,
+                attempt,
+                at,
+            } => writeln!(
                 w,
                 "task,{},{},{},{},{},{},",
                 at.as_micros(),
@@ -48,7 +57,12 @@ impl MonitorSink for CsvSink {
                 executor.as_deref().unwrap_or(""),
                 attempt
             ),
-            MonitorEvent::Retry { task, attempt, reason, at } => writeln!(
+            MonitorEvent::Retry {
+                task,
+                attempt,
+                reason,
+                at,
+            } => writeln!(
                 w,
                 "retry,{},{},,,,{},{}",
                 at.as_micros(),
@@ -56,7 +70,12 @@ impl MonitorSink for CsvSink {
                 attempt,
                 csv_escape(reason)
             ),
-            MonitorEvent::Workers { executor, connected, outstanding, at } => writeln!(
+            MonitorEvent::Workers {
+                executor,
+                connected,
+                outstanding,
+                at,
+            } => writeln!(
                 w,
                 "workers,{},,,,{},,connected={} outstanding={}",
                 at.as_micros(),

@@ -99,8 +99,7 @@ mod tests {
 
     #[test]
     fn csv_sink_writes_rows() {
-        let path =
-            std::env::temp_dir().join(format!("parsl-monitor-{}.csv", std::process::id()));
+        let path = std::env::temp_dir().join(format!("parsl-monitor-{}.csv", std::process::id()));
         let _ = std::fs::remove_file(&path);
         {
             let sink = CsvSink::create(&path).unwrap();
@@ -110,7 +109,10 @@ mod tests {
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], "kind,at_us,task,app,state,executor,attempt,detail");
+        assert_eq!(
+            lines[0],
+            "kind,at_us,task,app,state,executor,attempt,detail"
+        );
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains("pending"));
         assert!(lines[2].contains("done"));

@@ -86,7 +86,12 @@ impl MemoryStore {
 
     /// Worker-count step series for one executor.
     pub fn worker_series(&self, executor: &str) -> Vec<(Duration, usize)> {
-        self.inner.read().workers.get(executor).cloned().unwrap_or_default()
+        self.inner
+            .read()
+            .workers
+            .get(executor)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Time of the last recorded event.
@@ -105,7 +110,14 @@ impl MonitorSink for MemoryStore {
     fn on_event(&self, event: &MonitorEvent) {
         let mut inner = self.inner.write();
         match event {
-            MonitorEvent::Task { task, app, state, executor, at, .. } => {
+            MonitorEvent::Task {
+                task,
+                app,
+                state,
+                executor,
+                at,
+                ..
+            } => {
                 let t = inner.timelines.entry(*task).or_default();
                 if t.app.is_empty() {
                     t.app = app.clone();
@@ -131,7 +143,12 @@ impl MonitorSink for MemoryStore {
                 t.retries += 1;
                 let _ = at;
             }
-            MonitorEvent::Workers { executor, connected, at, .. } => {
+            MonitorEvent::Workers {
+                executor,
+                connected,
+                at,
+                ..
+            } => {
                 inner
                     .workers
                     .entry(executor.clone())

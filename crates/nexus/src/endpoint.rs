@@ -38,7 +38,13 @@ impl Endpoint {
         closed: Arc<AtomicBool>,
         fabric: Arc<FabricInner>,
     ) -> Self {
-        Endpoint { addr, rx, generation, closed, fabric }
+        Endpoint {
+            addr,
+            rx,
+            generation,
+            closed,
+            fabric,
+        }
     }
 
     /// This endpoint's own address.

@@ -102,7 +102,10 @@ impl FabricInner {
                 None => return Err(SendError::PeerGone(to.clone())),
             }
         };
-        let env = Envelope { from: from.clone(), payload };
+        let env = Envelope {
+            from: from.clone(),
+            payload,
+        };
         match &self.delay {
             None => {
                 if inbox.send(env).is_ok() {
@@ -115,7 +118,11 @@ impl FabricInner {
             Some(line) => {
                 line.enqueue(
                     Instant::now() + self.config.latency,
-                    Delivery { env, inbox, stats: self.stats.clone() },
+                    Delivery {
+                        env,
+                        inbox,
+                        stats: self.stats.clone(),
+                    },
                 );
                 Ok(())
             }
@@ -144,8 +151,11 @@ impl Fabric {
 
     /// A fabric with explicit latency/loss behaviour.
     pub fn with_config(config: FabricConfig) -> Self {
-        let delay =
-            if config.latency > Duration::ZERO { Some(DelayLine::spawn()) } else { None };
+        let delay = if config.latency > Duration::ZERO {
+            Some(DelayLine::spawn())
+        } else {
+            None
+        };
         let seed = config.seed;
         Fabric {
             inner: Arc::new(FabricInner {
@@ -174,10 +184,20 @@ impl Fabric {
             }
             eps.insert(
                 addr.clone(),
-                Binding { inbox: tx, generation, closed: Arc::clone(&closed) },
+                Binding {
+                    inbox: tx,
+                    generation,
+                    closed: Arc::clone(&closed),
+                },
             );
         }
-        Ok(Endpoint::new(addr, rx, generation, closed, Arc::clone(&self.inner)))
+        Ok(Endpoint::new(
+            addr,
+            rx,
+            generation,
+            closed,
+            Arc::clone(&self.inner),
+        ))
     }
 
     /// Fault injection: abruptly kill the endpoint at `addr`.
@@ -194,12 +214,18 @@ impl Fabric {
 
     /// Fault injection: silently eat all messages from `from` to `to`.
     pub fn drop_link(&self, from: &Addr, to: &Addr) {
-        self.inner.dead_links.write().insert((from.clone(), to.clone()));
+        self.inner
+            .dead_links
+            .write()
+            .insert((from.clone(), to.clone()));
     }
 
     /// Undo [`Fabric::drop_link`].
     pub fn restore_link(&self, from: &Addr, to: &Addr) {
-        self.inner.dead_links.write().remove(&(from.clone(), to.clone()));
+        self.inner
+            .dead_links
+            .write()
+            .remove(&(from.clone(), to.clone()));
     }
 
     /// True if `addr` is currently bound.

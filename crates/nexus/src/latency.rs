@@ -80,7 +80,11 @@ impl DelayLine {
                     };
                     match received {
                         Ok((deadline, delivery)) => {
-                            heap.push(Pending { deadline, seq, delivery });
+                            heap.push(Pending {
+                                deadline,
+                                seq,
+                                delivery,
+                            });
                             seq += 1;
                         }
                         Err(RecvTimeoutError::Timeout) => {}

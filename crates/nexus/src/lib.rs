@@ -169,7 +169,11 @@ mod tests {
         a.send(&Addr::new("b"), payload("slow")).unwrap();
         let env = b.recv().unwrap();
         assert_eq!(&env.payload[..], b"slow");
-        assert!(t0.elapsed() >= Duration::from_millis(25), "elapsed {:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "elapsed {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]
@@ -181,7 +185,8 @@ mod tests {
         let a = fabric.bind(Addr::new("a")).unwrap();
         let b = fabric.bind(Addr::new("b")).unwrap();
         for i in 0..20u8 {
-            a.send(&Addr::new("b"), Bytes::copy_from_slice(&[i])).unwrap();
+            a.send(&Addr::new("b"), Bytes::copy_from_slice(&[i]))
+                .unwrap();
         }
         for i in 0..20u8 {
             assert_eq!(b.recv().unwrap().payload[0], i);

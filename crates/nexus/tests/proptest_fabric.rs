@@ -32,9 +32,9 @@ proptest! {
             got[idx].push(u16::from_le_bytes([env.payload[0], env.payload[1]]));
         }
         prop_assert!(hub.try_recv().is_none(), "no duplicates");
-        for s in 0..4 {
+        for (s, got_s) in got.iter().enumerate() {
             let sent: Vec<u16> = messages.iter().filter(|(i, _)| *i == s).map(|(_, v)| *v).collect();
-            prop_assert_eq!(&got[s], &sent, "per-sender FIFO for s{}", s);
+            prop_assert_eq!(got_s, &sent, "per-sender FIFO for s{}", s);
         }
         prop_assert_eq!(fabric.stats().sent(), messages.len() as u64);
         prop_assert_eq!(fabric.stats().delivered(), messages.len() as u64);

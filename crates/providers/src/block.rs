@@ -13,8 +13,8 @@
 //! measured in the elasticity experiment (Figure 6).
 
 use crate::provider::{ExecutionProvider, JobHandle, JobStatus};
-use parsl_core::executor::BlockScaling;
 use parking_lot::Mutex;
+use parsl_core::executor::BlockScaling;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -187,7 +187,10 @@ impl BlockPoolBuilder {
                 })
                 .expect("spawn block pool poll thread")
         };
-        BlockPool { inner, poll_thread: Mutex::new(Some(poll)) }
+        BlockPool {
+            inner,
+            poll_thread: Mutex::new(Some(poll)),
+        }
     }
 }
 
@@ -237,9 +240,16 @@ impl BlockScaling for BlockPool {
             if blocks.len() >= self.inner.max_blocks {
                 break;
             }
-            match self.inner.provider.submit(self.inner.nodes_per_block, self.inner.walltime) {
+            match self
+                .inner
+                .provider
+                .submit(self.inner.nodes_per_block, self.inner.walltime)
+            {
                 Ok(job) => {
-                    blocks.push(Block { job, state: BlockState::Requested });
+                    blocks.push(Block {
+                        job,
+                        state: BlockState::Requested,
+                    });
                     added += 1;
                 }
                 Err(_) => break, // provider full/refusing; try again next round

@@ -39,14 +39,22 @@ pub struct SshChannel {
 impl SshChannel {
     /// Channel to `user@host`.
     pub fn new(host: impl Into<String>, user: impl Into<String>) -> Self {
-        SshChannel { host: host.into(), user: user.into() }
+        SshChannel {
+            host: host.into(),
+            user: user.into(),
+        }
     }
 }
 
 impl Channel for SshChannel {
     fn wrap(&self, command: &str) -> String {
         // Single-quoted to survive the remote shell, like Parsl's channel.
-        format!("ssh {}@{} '{}'", self.user, self.host, command.replace('\'', "'\\''"))
+        format!(
+            "ssh {}@{} '{}'",
+            self.user,
+            self.host,
+            command.replace('\'', "'\\''")
+        )
     }
 
     fn name(&self) -> &str {

@@ -48,7 +48,10 @@ pub struct MpiExecLauncher;
 
 impl Launcher for MpiExecLauncher {
     fn wrap(&self, command: &str, nodes: usize, tasks_per_node: usize) -> String {
-        format!("mpiexec -n {} -ppn {tasks_per_node} {command}", nodes * tasks_per_node)
+        format!(
+            "mpiexec -n {} -ppn {tasks_per_node} {command}",
+            nodes * tasks_per_node
+        )
     }
 
     fn name(&self) -> &str {

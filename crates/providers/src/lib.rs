@@ -196,7 +196,11 @@ mod tests {
 
         assert_eq!(pool.block_count(), 0);
         assert_eq!(pool.scale_out(2), 2);
-        assert_eq!(pool.block_count(), 2, "blocks count as provisioned while queued");
+        assert_eq!(
+            pool.block_count(),
+            2,
+            "blocks count as provisioned while queued"
+        );
         // Nodes appear only after the queue delay.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while htex.nodes().len() < 4 && std::time::Instant::now() < deadline {

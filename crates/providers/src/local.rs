@@ -24,7 +24,11 @@ impl LocalProvider {
     pub fn new(nodes: usize) -> Self {
         LocalProvider {
             total: nodes,
-            state: Mutex::new(State { free: nodes, jobs: HashMap::new(), next: 0 }),
+            state: Mutex::new(State {
+                free: nodes,
+                jobs: HashMap::new(),
+                next: 0,
+            }),
         }
     }
 }

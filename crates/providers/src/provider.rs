@@ -58,8 +58,7 @@ pub trait ExecutionProvider: Send + Sync {
     fn name(&self) -> &str;
 
     /// Ask for `nodes` nodes, optionally bounded by `walltime`.
-    fn submit(&self, nodes: usize, walltime: Option<Duration>)
-        -> Result<JobHandle, ProviderError>;
+    fn submit(&self, nodes: usize, walltime: Option<Duration>) -> Result<JobHandle, ProviderError>;
 
     /// Poll a job's state.
     fn status(&self, job: &JobHandle) -> JobStatus;

@@ -131,11 +131,7 @@ impl ExecutionProvider for SimProvider {
         &self.name
     }
 
-    fn submit(
-        &self,
-        nodes: usize,
-        walltime: Option<Duration>,
-    ) -> Result<JobHandle, ProviderError> {
+    fn submit(&self, nodes: usize, walltime: Option<Duration>) -> Result<JobHandle, ProviderError> {
         let now = self.now();
         let wt = walltime.map(|w| SimTime::from_nanos(w.as_nanos() as u64));
         match self.lrm.lock().submit(now, nodes, wt) {

@@ -1,9 +1,7 @@
 //! Binding an executor to a provider-backed block pool.
 
 use crate::block::BlockPool;
-use parsl_core::executor::{
-    BlockScaling, Executor, ExecutorContext, ExecutorError, TaskSpec,
-};
+use parsl_core::executor::{BlockScaling, Executor, ExecutorContext, ExecutorError, TaskSpec};
 use std::sync::Arc;
 
 /// An executor whose scaling goes through a provider.

@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn walltime_expires_jobs() {
         let mut lrm = lrm(0);
-        let id = lrm.submit(SimTime::ZERO, 1, Some(SimTime::from_secs(10))).unwrap();
+        let id = lrm
+            .submit(SimTime::ZERO, 1, Some(SimTime::from_secs(10)))
+            .unwrap();
         lrm.advance(SimTime::ZERO);
         assert!(matches!(lrm.status(id), Some(JobState::Running { .. })));
         lrm.advance(SimTime::from_secs(10));
@@ -129,7 +131,10 @@ mod tests {
     fn queued_job_cap_enforced() {
         let mut lrm = Lrm::new(
             small_machine(),
-            LrmConfig { max_queued_jobs: Some(1), ..Default::default() },
+            LrmConfig {
+                max_queued_jobs: Some(1),
+                ..Default::default()
+            },
             0,
         );
         // First job occupies everything; second sits in queue; third rejected.
@@ -168,7 +173,7 @@ mod tests {
             let id = lrm.submit(SimTime::ZERO, 1, None).unwrap();
             let mut t = SimTime::ZERO;
             while !matches!(lrm.status(id), Some(JobState::Running { .. })) {
-                t = t + SimTime::from_millis(1);
+                t += SimTime::from_millis(1);
                 lrm.advance(t);
             }
             t

@@ -172,11 +172,17 @@ impl Lrm {
         let max = self.config.max_nodes_per_job.unwrap_or(self.machine.nodes);
         let max = max.min(self.machine.nodes);
         if nodes > max {
-            return Err(SubmitError::TooManyNodes { requested: nodes, limit: max });
+            return Err(SubmitError::TooManyNodes {
+                requested: nodes,
+                limit: max,
+            });
         }
         if let Some(min) = self.config.min_nodes_per_job {
             if nodes < min {
-                return Err(SubmitError::TooFewNodes { requested: nodes, limit: min });
+                return Err(SubmitError::TooFewNodes {
+                    requested: nodes,
+                    limit: min,
+                });
             }
         }
         if let Some(cap) = self.config.max_queued_jobs {
@@ -188,7 +194,10 @@ impl Lrm {
         let jitter = if self.config.queue_jitter == SimTime::ZERO {
             SimTime::ZERO
         } else {
-            SimTime::from_nanos(self.rng.random_range(0..=self.config.queue_jitter.as_nanos()))
+            SimTime::from_nanos(
+                self.rng
+                    .random_range(0..=self.config.queue_jitter.as_nanos()),
+            )
         };
         let id = JobId(self.next_id);
         self.next_id += 1;
@@ -215,7 +224,9 @@ impl Lrm {
     /// Cancel a pending or running job. Returns true if the job was live.
     pub fn cancel(&mut self, now: SimTime, id: JobId) -> bool {
         self.advance(now);
-        let Some(job) = self.jobs.get_mut(&id) else { return false };
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
         match job.state {
             JobState::Pending => {
                 job.state = JobState::Cancelled;
@@ -235,7 +246,9 @@ impl Lrm {
     /// Inject a failure: the job dies and its nodes are released.
     pub fn fail_job(&mut self, now: SimTime, id: JobId) -> bool {
         self.advance(now);
-        let Some(job) = self.jobs.get_mut(&id) else { return false };
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
         match job.state {
             JobState::Running { .. } => {
                 job.state = JobState::Failed;
@@ -360,7 +373,9 @@ mod tests {
     #[test]
     fn walltime_expiry_lets_queue_progress() {
         let mut lrm = Lrm::new(machines::workstation(1), LrmConfig::default(), 0);
-        let a = lrm.submit(SimTime::ZERO, 1, Some(SimTime::from_secs(5))).unwrap();
+        let a = lrm
+            .submit(SimTime::ZERO, 1, Some(SimTime::from_secs(5)))
+            .unwrap();
         let b = lrm.submit(SimTime::ZERO, 1, None).unwrap();
         lrm.advance(SimTime::from_secs(4));
         assert!(matches!(lrm.status(a), Some(JobState::Running { .. })));

@@ -28,7 +28,10 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed so the max-heap yields earliest time, FIFO within ties.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -83,7 +86,11 @@ impl Sim {
         let time = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Event { time, seq, action: Box::new(action) });
+        self.heap.push(Event {
+            time,
+            seq,
+            action: Box::new(action),
+        });
     }
 
     /// Execute the next event, if any. Returns false when the heap is empty.

@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn link_adds_latency_and_serialization() {
         let mut link = Link::new(SimTime::from_micros(35), Some(1_000_000)); // 1 MB/s
-        // 1000 bytes at 1 MB/s = 1 ms serialization, plus 35 us latency.
+                                                                             // 1000 bytes at 1 MB/s = 1 ms serialization, plus 35 us latency.
         let arrival = link.transmit(SimTime::ZERO, 1000);
         assert_eq!(arrival, SimTime::from_micros(1035));
         // Second message queues behind the first's serialization slot.
@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn link_without_bandwidth_is_pure_latency() {
         let mut link = Link::new(SimTime::from_micros(20), None);
-        assert_eq!(link.transmit(SimTime::ZERO, 1 << 30), SimTime::from_micros(20));
+        assert_eq!(
+            link.transmit(SimTime::ZERO, 1 << 30),
+            SimTime::from_micros(20)
+        );
         assert_eq!(link.transmit(SimTime::ZERO, 1), SimTime::from_micros(20));
     }
 

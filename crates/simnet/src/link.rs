@@ -22,7 +22,13 @@ impl Link {
     /// `bandwidth` in bytes/second.
     pub fn new(latency: SimTime, bandwidth: Option<u64>) -> Self {
         assert!(bandwidth != Some(0), "zero bandwidth link");
-        Link { latency, bandwidth, busy_until: SimTime::ZERO, messages: 0, bytes: 0 }
+        Link {
+            latency,
+            bandwidth,
+            busy_until: SimTime::ZERO,
+            messages: 0,
+            bytes: 0,
+        }
     }
 
     /// Send `bytes` at `now`; returns the arrival instant at the far end.
@@ -72,7 +78,7 @@ mod tests {
     #[test]
     fn bandwidth_queues_but_latency_does_not() {
         let mut l = Link::new(SimTime::from_millis(1), Some(1000)); // 1 KB/s
-        // 10 bytes = 10 ms serialization.
+                                                                    // 10 bytes = 10 ms serialization.
         let a1 = l.transmit(SimTime::ZERO, 10);
         let a2 = l.transmit(SimTime::ZERO, 10);
         assert_eq!(a1, SimTime::from_millis(11));

@@ -45,8 +45,12 @@ impl Samples {
             return 0.0;
         }
         let mean = self.mean();
-        let var =
-            self.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
         var.sqrt()
     }
 
@@ -64,7 +68,10 @@ impl Samples {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -73,7 +80,8 @@ impl Samples {
         assert!(!self.values.is_empty(), "quantile of empty sample set");
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
         let idx = ((self.values.len() - 1) as f64 * q).round() as usize;

@@ -87,11 +87,13 @@ macro_rules! de_signed {
     };
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     type Error = Error;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::Unsupported("deserialize_any on a non-self-describing format"))
+        Err(Error::Unsupported(
+            "deserialize_any on a non-self-describing format",
+        ))
     }
 
     fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
@@ -187,11 +189,17 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.length()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -205,7 +213,10 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.length()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -231,7 +242,9 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::Unsupported("cannot skip values in a non-self-describing format"))
+        Err(Error::Unsupported(
+            "cannot skip values in a non-self-describing format",
+        ))
     }
 
     fn is_human_readable(&self) -> bool {
@@ -314,7 +327,10 @@ impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
     }
 
     fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(Counted { de: self.de, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self.de,
+            remaining: len,
+        })
     }
 
     fn struct_variant<V: Visitor<'de>>(
@@ -322,7 +338,10 @@ impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value> {
-        visitor.visit_seq(Counted { de: self.de, remaining: fields.len() })
+        visitor.visit_seq(Counted {
+            de: self.de,
+            remaining: fields.len(),
+        })
     }
 }
 
@@ -359,19 +378,28 @@ mod tests {
     #[test]
     fn invalid_utf8_rejected() {
         let bytes = vec![2, 0xff, 0xfe];
-        assert!(matches!(from_bytes::<String>(&bytes), Err(Error::InvalidUtf8)));
+        assert!(matches!(
+            from_bytes::<String>(&bytes),
+            Err(Error::InvalidUtf8)
+        ));
     }
 
     #[test]
     fn invalid_bool_rejected() {
-        assert!(matches!(from_bytes::<bool>(&[7]), Err(Error::InvalidBool(7))));
+        assert!(matches!(
+            from_bytes::<bool>(&[7]),
+            Err(Error::InvalidBool(7))
+        ));
     }
 
     #[test]
     fn invalid_char_rejected() {
         let mut bytes = Vec::new();
         crate::encode_varint(0xD800, &mut bytes); // lone surrogate
-        assert!(matches!(from_bytes::<char>(&bytes), Err(Error::InvalidChar(0xD800))));
+        assert!(matches!(
+            from_bytes::<char>(&bytes),
+            Err(Error::InvalidChar(0xD800))
+        ));
     }
 
     #[test]

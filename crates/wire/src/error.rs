@@ -85,13 +85,15 @@ mod tests {
     fn display_is_informative() {
         assert!(Error::Eof.to_string().contains("end of input"));
         assert!(Error::InvalidBool(7).to_string().contains("0x7"));
-        assert!(Error::LengthOverflow(u64::MAX).to_string().contains("too large"));
+        assert!(Error::LengthOverflow(u64::MAX)
+            .to_string()
+            .contains("too large"));
     }
 
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error as _;
-        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = Error::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

@@ -57,7 +57,8 @@ impl<W: Write> FrameWriter<W> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(Error::LengthOverflow(payload.len() as u64));
         }
-        self.inner.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.inner
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.inner.write_all(payload)?;
         Ok(())
     }
@@ -146,7 +147,10 @@ mod tests {
     fn oversized_frame_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32_le((MAX_FRAME_LEN + 1) as u32);
-        assert!(matches!(read_frame(&mut buf), Err(Error::LengthOverflow(_))));
+        assert!(matches!(
+            read_frame(&mut buf),
+            Err(Error::LengthOverflow(_))
+        ));
     }
 
     #[test]

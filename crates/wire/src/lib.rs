@@ -122,7 +122,10 @@ mod tests {
             Shape::Unit,
             Shape::NewType(9),
             Shape::Tuple(1, 2),
-            Shape::Struct { x: -5, label: "edge".into() },
+            Shape::Struct {
+                x: -5,
+                label: "edge".into(),
+            },
         ] {
             assert_eq!(roundtrip(&s), s);
         }
@@ -140,7 +143,11 @@ mod tests {
         let n = Nested {
             inner: vec![Shape::Unit, Shape::NewType(3)],
             grid: vec![vec![1.0, 2.0], vec![]],
-            opt: Some(Box::new(Nested { inner: vec![], grid: vec![], opt: None })),
+            opt: Some(Box::new(Nested {
+                inner: vec![],
+                grid: vec![],
+                opt: None,
+            })),
         };
         assert_eq!(roundtrip(&n), n);
     }

@@ -192,7 +192,12 @@ impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
         match len {
             Some(n) => {
                 self.put_len(n);
-                Ok(SeqSerializer { parent: self.out, buf: Vec::new(), count: 0, direct: true })
+                Ok(SeqSerializer {
+                    parent: self.out,
+                    buf: Vec::new(),
+                    count: 0,
+                    direct: true,
+                })
             }
             None => Ok(SeqSerializer {
                 parent: self.out,
@@ -230,7 +235,12 @@ impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
         match len {
             Some(n) => {
                 self.put_len(n);
-                Ok(SeqSerializer { parent: self.out, buf: Vec::new(), count: 0, direct: true })
+                Ok(SeqSerializer {
+                    parent: self.out,
+                    buf: Vec::new(),
+                    count: 0,
+                    direct: true,
+                })
             }
             None => Ok(SeqSerializer {
                 parent: self.out,
@@ -281,12 +291,20 @@ impl<'a> ser::SerializeMap for SeqSerializer<'a> {
     fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
         // Keys and values are interleaved; only count pairs (on the key).
         self.count += 1;
-        let target: &mut Vec<u8> = if self.direct { self.parent } else { &mut self.buf };
+        let target: &mut Vec<u8> = if self.direct {
+            self.parent
+        } else {
+            &mut self.buf
+        };
         key.serialize(&mut Serializer::new(target))
     }
 
     fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
-        let target: &mut Vec<u8> = if self.direct { self.parent } else { &mut self.buf };
+        let target: &mut Vec<u8> = if self.direct {
+            self.parent
+        } else {
+            &mut self.buf
+        };
         value.serialize(&mut Serializer::new(target))
     }
 

@@ -19,14 +19,16 @@ const WORKERS_PER_NODE: usize = 4;
 
 fn main() {
     let dfk = DataFlowKernel::builder()
-        .executor(parsl::executors::HtexExecutor::new(parsl::executors::HtexConfig {
-            workers_per_node: WORKERS_PER_NODE,
-            nodes_per_block: 1,
-            init_blocks: 1,
-            min_blocks: 1,
-            max_blocks: 4,
-            ..Default::default()
-        }))
+        .executor(parsl::executors::HtexExecutor::new(
+            parsl::executors::HtexConfig {
+                workers_per_node: WORKERS_PER_NODE,
+                nodes_per_block: 1,
+                init_blocks: 1,
+                min_blocks: 1,
+                max_blocks: 4,
+                ..Default::default()
+            },
+        ))
         .strategy(StrategyConfig {
             enabled: true,
             interval: Duration::from_millis(100),
@@ -89,7 +91,9 @@ fn main() {
         .into_iter()
         .map(|b| parsl::core::call!(simulate, b))
         .collect();
-    let fluxes = join_all(&dfk, images).result().expect("simulation completes");
+    let fluxes = join_all(&dfk, images)
+        .result()
+        .expect("simulation completes");
 
     println!(
         "simulated {} images; total flux {:.3}",
@@ -98,7 +102,9 @@ fn main() {
     );
     println!(
         "peak workers in use: {} (elasticity grew blocks to match the bundle burst)",
-        dfk.executor("htex").expect("configured").connected_workers()
+        dfk.executor("htex")
+            .expect("configured")
+            .connected_workers()
     );
     dfk.shutdown();
 }

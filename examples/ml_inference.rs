@@ -19,22 +19,30 @@ fn infer(weights: &[f64], features: &[f64]) -> f64 {
 
 fn main() {
     let dfk = DataFlowKernel::builder()
-        .executor(parsl::executors::LlexExecutor::new(parsl::executors::LlexConfig {
-            workers: 4,
-            ..Default::default()
-        }))
+        .executor(parsl::executors::LlexExecutor::new(
+            parsl::executors::LlexConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        ))
         .build()
         .expect("kernel starts");
 
     // "Serve" a published model: weights captured by the app closure, the
     // way DLHub keeps a model resident on its servers.
-    let weights: Vec<f64> = (0..16).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
+    let weights: Vec<f64> = (0..16)
+        .map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5)
+        .collect();
     let w = weights.clone();
     let predict = dfk.python_app("predict", move |features: Vec<f64>| infer(&w, &features));
 
     // Bag of inference requests from "concurrent researchers".
     let requests: Vec<Vec<f64>> = (0..200)
-        .map(|r| (0..16).map(|i| ((r * 13 + i * 7) % 23) as f64 / 23.0).collect())
+        .map(|r| {
+            (0..16)
+                .map(|i| ((r * 13 + i * 7) % 23) as f64 / 23.0)
+                .collect()
+        })
         .collect();
 
     let t0 = Instant::now();
@@ -42,7 +50,10 @@ fn main() {
         .iter()
         .map(|features| parsl::core::call!(predict, features.clone()))
         .collect();
-    let scores: Vec<f64> = futures.iter().map(|f| f.result().expect("inference runs")).collect();
+    let scores: Vec<f64> = futures
+        .iter()
+        .map(|f| f.result().expect("inference runs"))
+        .collect();
     let elapsed = t0.elapsed();
 
     // Interactive follow-up request, measured individually — the latency-
@@ -53,7 +64,10 @@ fn main() {
     let single = t1.elapsed();
 
     let positive = scores.iter().filter(|&&s| s > 0.5).count();
-    println!("served {} requests in {elapsed:?} ({positive} positive)", scores.len());
+    println!(
+        "served {} requests in {elapsed:?} ({positive} positive)",
+        scores.len()
+    );
     println!("single-request round trip: {single:?} (score {score:.3})");
     println!(
         "throughput: {:.0} requests/s",

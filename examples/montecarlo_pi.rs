@@ -71,7 +71,10 @@ fn main() {
     let warm = t1.elapsed();
     println!("second run: pi = {pi2:.6} in {warm:?} (memo hits {h2}, misses {m2})");
     assert_eq!(pi1, pi2, "checkpointed results must be identical");
-    assert!(h2 >= SHARDS, "second run must be served from the checkpoint");
+    assert!(
+        h2 >= SHARDS,
+        "second run must be served from the checkpoint"
+    );
     println!(
         "speedup from checkpoint: {:.1}x",
         cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)

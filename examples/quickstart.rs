@@ -34,7 +34,10 @@ fn main() {
     for _ in 0..9 {
         f = parsl::core::call!(add_one, f);
     }
-    println!("ten chained increments: {}", f.result().expect("chain runs"));
+    println!(
+        "ten chained increments: {}",
+        f.result().expect("chain runs")
+    );
 
     // Parallel fan-out with the map construct, reduced with join_all.
     let square = dfk.python_app("square", |x: i64| x * x);

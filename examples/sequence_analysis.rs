@@ -29,12 +29,14 @@ fn align(reference: &StagedFile, reads: &StagedFile) -> Vec<u32> {
 
 fn main() {
     let dfk = DataFlowKernel::builder()
-        .executor(parsl::executors::HtexExecutor::new(parsl::executors::HtexConfig {
-            workers_per_node: 4,
-            nodes_per_block: 2,
-            init_blocks: 1,
-            ..Default::default()
-        }))
+        .executor(parsl::executors::HtexExecutor::new(
+            parsl::executors::HtexConfig {
+                workers_per_node: 4,
+                nodes_per_block: 2,
+                init_blocks: 1,
+                ..Default::default()
+            },
+        ))
         .retries(2)
         .memoize(true)
         .build()
@@ -53,13 +55,15 @@ fn main() {
         let good = b.iter().filter(|&&x| x > 40).count();
         good as f64 / b.len().max(1) as f64
     });
-    let call_variants =
-        dfk.python_app("call_variants", |alignments: Vec<u32>, qc: f64| -> Vec<u32> {
+    let call_variants = dfk.python_app(
+        "call_variants",
+        |alignments: Vec<u32>, qc: f64| -> Vec<u32> {
             if qc < 0.05 {
                 return Vec::new(); // sample failed QC
             }
             alignments.into_iter().filter(|&c| c > 20).collect()
-        });
+        },
+    );
     let merge = dfk.python_app("merge_vcf", |per_sample: Vec<Vec<u32>>| {
         per_sample.into_iter().flatten().collect::<Vec<u32>>().len() as u64
     });
@@ -68,7 +72,9 @@ fn main() {
     // (independent) feeding variant calling.
     let mut per_sample = Vec::new();
     for s in 0..SAMPLES {
-        let reads = dm.stage_in(File::parse(&format!("ftp://seqstore/run42/sample{s}.fastq")));
+        let reads = dm.stage_in(File::parse(&format!(
+            "ftp://seqstore/run42/sample{s}.fastq"
+        )));
         let aligned = align_app.call((Dep::future(reference.clone()), Dep::future(reads.clone())));
         let qc = parsl::core::call!(qc_app, reads);
         let variants = call_variants.call((Dep::future(aligned), Dep::future(qc)));

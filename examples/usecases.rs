@@ -19,11 +19,36 @@ struct UseCase {
 fn main() {
     // The qualitative rows of Table 1.
     let cases = [
-        UseCase { name: "Sequence analysis", pattern: "dataflow / HTC", nodes: 500, interactive: false },
-        UseCase { name: "ML inference", pattern: "bag-of-tasks / FaaS", nodes: 10, interactive: true },
-        UseCase { name: "Materials science", pattern: "dataflow / interactive", nodes: 10, interactive: true },
-        UseCase { name: "Neuroscience", pattern: "sequential / batch", nodes: 10, interactive: false },
-        UseCase { name: "Cosmology", pattern: "dataflow / HTC", nodes: 4000, interactive: false },
+        UseCase {
+            name: "Sequence analysis",
+            pattern: "dataflow / HTC",
+            nodes: 500,
+            interactive: false,
+        },
+        UseCase {
+            name: "ML inference",
+            pattern: "bag-of-tasks / FaaS",
+            nodes: 10,
+            interactive: true,
+        },
+        UseCase {
+            name: "Materials science",
+            pattern: "dataflow / interactive",
+            nodes: 10,
+            interactive: true,
+        },
+        UseCase {
+            name: "Neuroscience",
+            pattern: "sequential / batch",
+            nodes: 10,
+            interactive: false,
+        },
+        UseCase {
+            name: "Cosmology",
+            pattern: "dataflow / HTC",
+            nodes: 4000,
+            interactive: false,
+        },
     ];
     println!("Table 1 use cases and the Figure 7 guideline choice:");
     for c in &cases {
@@ -47,7 +72,10 @@ fn dfk_for(choice: ExecutorChoice) -> std::sync::Arc<DataFlowKernel> {
     let builder = DataFlowKernel::builder();
     match choice {
         ExecutorChoice::Llex => builder.executor(parsl::executors::LlexExecutor::new(
-            parsl::executors::LlexConfig { workers: 4, ..Default::default() },
+            parsl::executors::LlexConfig {
+                workers: 4,
+                ..Default::default()
+            },
         )),
         ExecutorChoice::Htex => builder.executor(parsl::executors::HtexExecutor::new(
             parsl::executors::HtexConfig {
@@ -58,7 +86,11 @@ fn dfk_for(choice: ExecutorChoice) -> std::sync::Arc<DataFlowKernel> {
             },
         )),
         ExecutorChoice::Exex => builder.executor(parsl::executors::ExexExecutor::new(
-            parsl::executors::ExexConfig { ranks_per_pool: 5, init_pools: 1, ..Default::default() },
+            parsl::executors::ExexConfig {
+                ranks_per_pool: 5,
+                init_pools: 1,
+                ..Default::default()
+            },
         )),
     }
     .build()
@@ -102,7 +134,10 @@ fn run_interactive(choice: ExecutorChoice) {
         }
         alpha *= 0.7; // the "scientist" reacts to each result
     }
-    println!("interactive ({choice}): best alpha {:.3} (loss {:.3})", best.1, best.0);
+    println!(
+        "interactive ({choice}): best alpha {:.3} (loss {:.3})",
+        best.1, best.0
+    );
     dfk.shutdown();
 }
 
@@ -125,8 +160,14 @@ fn run_extreme_scale(choice: ExecutorChoice) {
         std::thread::sleep(Duration::from_millis(2));
         seed.wrapping_mul(6364136223846793005) >> 33
     });
-    let futs: Vec<_> = (0..64u64).map(|s| parsl::core::call!(simulate, s)).collect();
+    let futs: Vec<_> = (0..64u64)
+        .map(|s| parsl::core::call!(simulate, s))
+        .collect();
     let all = join_all(&dfk, futs).result().expect("campaign completes");
-    println!("extreme scale ({choice}): {} simulations, sample {}", all.len(), all[0]);
+    println!(
+        "extreme scale ({choice}): {} simulations, sample {}",
+        all.len(),
+        all[0]
+    );
     dfk.shutdown();
 }

@@ -25,14 +25,14 @@
 //! dfk.shutdown();
 //! ```
 
-pub use parsl_core as core;
-pub use parsl_executors as executors;
-pub use parsl_providers as providers;
-pub use parsl_data as data;
-pub use parsl_monitor as monitor;
 pub use baselines;
 pub use minimpi;
 pub use nexus;
+pub use parsl_core as core;
+pub use parsl_data as data;
+pub use parsl_executors as executors;
+pub use parsl_monitor as monitor;
+pub use parsl_providers as providers;
 pub use simcluster;
 pub use simnet;
 pub use wire;

@@ -40,7 +40,11 @@ fn staged_pipeline_with_monitoring() {
     dfk.wait_for_all();
     // Monitoring saw every task reach a successful terminal state.
     let done = store.tasks_in_state(TaskState::Done).len();
-    assert_eq!(done, dfk.task_count(), "all tasks (incl. staging) completed");
+    assert_eq!(
+        done,
+        dfk.task_count(),
+        "all tasks (incl. staging) completed"
+    );
     // Timelines are causally ordered.
     let tl = store.task_timeline(t.task_id()).unwrap();
     assert!(tl.finished >= tl.launched && tl.launched >= tl.submitted);
@@ -114,14 +118,21 @@ fn bash_and_python_apps_mix_in_one_graph() {
 fn executor_pinning_routes_staging_and_compute_separately() {
     let store = Arc::new(MemoryStore::new());
     let dfk = DataFlowKernel::builder()
-        .executor(parsl::executors::ThreadPoolExecutor::with_label("compute", 2))
-        .executor(parsl::executors::ThreadPoolExecutor::with_label("transfer", 1))
+        .executor(parsl::executors::ThreadPoolExecutor::with_label(
+            "compute", 2,
+        ))
+        .executor(parsl::executors::ThreadPoolExecutor::with_label(
+            "transfer", 1,
+        ))
         .monitor(store.clone())
         .build()
         .unwrap();
     let dm = DataManager::new(
         &dfk,
-        DataManagerConfig { globus_executor: Some("transfer".into()), ..Default::default() },
+        DataManagerConfig {
+            globus_executor: Some("transfer".into()),
+            ..Default::default()
+        },
     );
     let staged = dm.stage_in(File::parse("globus://ep/data/x.h5"));
     staged.result().unwrap();
@@ -132,6 +143,8 @@ fn executor_pinning_routes_staging_and_compute_separately() {
         .filter(|(_, t)| t.app.contains("globus"))
         .collect();
     assert!(!globus_tasks.is_empty());
-    assert!(globus_tasks.iter().all(|(_, t)| t.executor.as_deref() == Some("transfer")));
+    assert!(globus_tasks
+        .iter()
+        .all(|(_, t)| t.executor.as_deref() == Some("transfer")));
     dfk.shutdown();
 }

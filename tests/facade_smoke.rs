@@ -32,7 +32,10 @@ fn prelude_drives_threadpool_end_to_end() {
     assert_eq!(dfk.live_tasks(), 0);
     let counts = dfk.state_counts();
     let done = counts.get(&TaskState::Done).copied().unwrap_or(0);
-    assert!(done >= 18, "16 squares + join + sum should be Done, saw {done}");
+    assert!(
+        done >= 18,
+        "16 squares + join + sum should be Done, saw {done}"
+    );
     dfk.shutdown();
 }
 
@@ -76,8 +79,11 @@ fn reexport_surface_is_complete() {
     // nexus: message fabric.
     let fabric = Arc::new(parsl::nexus::Fabric::new());
     let ep = fabric.bind(parsl::nexus::Addr::new("smoke")).unwrap();
-    ep.send(&parsl::nexus::Addr::new("smoke"), parsl::wire::to_bytes(&1u8).unwrap().into())
-        .unwrap();
+    ep.send(
+        &parsl::nexus::Addr::new("smoke"),
+        parsl::wire::to_bytes(&1u8).unwrap().into(),
+    )
+    .unwrap();
     assert!(ep.recv_timeout(std::time::Duration::from_secs(1)).is_ok());
     // simnet/simcluster: the simulation substrate.
     let _t = parsl::simnet::SimTime::ZERO;

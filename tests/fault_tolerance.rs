@@ -8,14 +8,16 @@ use std::time::Duration;
 
 #[test]
 fn htex_survives_rolling_node_failures() {
-    let htex = Arc::new(parsl::executors::HtexExecutor::new(parsl::executors::HtexConfig {
-        workers_per_node: 2,
-        nodes_per_block: 3,
-        init_blocks: 1,
-        heartbeat_period: Duration::from_millis(30),
-        heartbeat_threshold: Duration::from_millis(150),
-        ..Default::default()
-    }));
+    let htex = Arc::new(parsl::executors::HtexExecutor::new(
+        parsl::executors::HtexConfig {
+            workers_per_node: 2,
+            nodes_per_block: 3,
+            init_blocks: 1,
+            heartbeat_period: Duration::from_millis(30),
+            heartbeat_threshold: Duration::from_millis(150),
+            ..Default::default()
+        },
+    ));
     let dfk = DataFlowKernel::builder()
         .executor_arc(htex.clone())
         .retries(4)
@@ -40,7 +42,11 @@ fn htex_survives_rolling_node_failures() {
     }
 
     for (i, f) in futs.iter().enumerate() {
-        assert_eq!(f.result().unwrap(), i as u64 + 1, "task {i} must survive failures");
+        assert_eq!(
+            f.result().unwrap(),
+            i as u64 + 1,
+            "task {i} must survive failures"
+        );
     }
     dfk.shutdown();
 }
@@ -54,15 +60,17 @@ fn manager_death_mid_batch_reports_and_retries_all_outstanding() {
     // One node whose manager advertises a deep prefetch queue: the whole
     // fan-out lands on it as a single batch, most of it sitting unexecuted
     // in the manager's backlog.
-    let htex = Arc::new(parsl::executors::HtexExecutor::new(parsl::executors::HtexConfig {
-        workers_per_node: 2,
-        prefetch: 16,
-        batch_size: 16,
-        init_blocks: 1,
-        heartbeat_period: Duration::from_millis(30),
-        heartbeat_threshold: Duration::from_millis(150),
-        ..Default::default()
-    }));
+    let htex = Arc::new(parsl::executors::HtexExecutor::new(
+        parsl::executors::HtexConfig {
+            workers_per_node: 2,
+            prefetch: 16,
+            batch_size: 16,
+            init_blocks: 1,
+            heartbeat_period: Duration::from_millis(30),
+            heartbeat_threshold: Duration::from_millis(150),
+            ..Default::default()
+        },
+    ));
     let dfk = DataFlowKernel::builder()
         .executor_arc(htex.clone())
         .retries(3)
@@ -104,20 +112,30 @@ fn manager_death_mid_batch_reports_and_retries_all_outstanding() {
         EXECS.load(Ordering::SeqCst)
     );
     let counts = dfk.state_counts();
-    assert_eq!(counts.get(&TaskState::Done), Some(&13), "gate + 12 children all Done");
+    assert_eq!(
+        counts.get(&TaskState::Done),
+        Some(&13),
+        "gate + 12 children all Done"
+    );
     dfk.shutdown();
-    assert_eq!(htex.outstanding(), 0, "no task left marked outstanding after recovery");
+    assert_eq!(
+        htex.outstanding(),
+        0,
+        "no task left marked outstanding after recovery"
+    );
 }
 
 #[test]
 fn exex_pool_fate_sharing_is_recovered_by_retries() {
-    let exex = Arc::new(parsl::executors::ExexExecutor::new(parsl::executors::ExexConfig {
-        ranks_per_pool: 3,
-        init_pools: 2,
-        heartbeat_period: Duration::from_millis(30),
-        heartbeat_threshold: Duration::from_millis(150),
-        ..Default::default()
-    }));
+    let exex = Arc::new(parsl::executors::ExexExecutor::new(
+        parsl::executors::ExexConfig {
+            ranks_per_pool: 3,
+            init_pools: 2,
+            heartbeat_period: Duration::from_millis(30),
+            heartbeat_threshold: Duration::from_millis(150),
+            ..Default::default()
+        },
+    ));
     let dfk = DataFlowKernel::builder()
         .executor_arc(exex.clone())
         .retries(3)
@@ -145,8 +163,9 @@ fn dependency_failure_cascades_through_deep_graph() {
         .executor(parsl::executors::ThreadPoolExecutor::new(2))
         .build()
         .unwrap();
-    let root_fail =
-        dfk.python_app_fallible("root", || -> Result<u64, AppError> { Err(AppError::msg("dead")) });
+    let root_fail = dfk.python_app_fallible("root", || -> Result<u64, AppError> {
+        Err(AppError::msg("dead"))
+    });
     let inc = dfk.python_app("inc", |x: u64| x + 1);
     // fail -> a -> b -> c: all three descendants must be DepFail.
     let f0 = parsl::core::call!(root_fail);
@@ -178,7 +197,10 @@ fn walltime_plus_retries_recover_a_hung_task() {
         .unwrap();
     let sometimes_hangs = dfk.python_app_cfg(
         "hangs_once",
-        AppOptions { walltime: Some(Duration::from_millis(80)), ..Default::default() },
+        AppOptions {
+            walltime: Some(Duration::from_millis(80)),
+            ..Default::default()
+        },
         |x: u64| -> Result<u64, AppError> {
             if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
                 std::thread::sleep(Duration::from_secs(30)); // hang
@@ -188,7 +210,10 @@ fn walltime_plus_retries_recover_a_hung_task() {
     );
     let f = parsl::core::call!(sometimes_hangs, 5u64);
     assert_eq!(f.result_timeout(Duration::from_secs(10)).unwrap(), 5);
-    assert!(CALLS.load(Ordering::SeqCst) >= 2, "the hung attempt must have been retried");
+    assert!(
+        CALLS.load(Ordering::SeqCst) >= 2,
+        "the hung attempt must have been retried"
+    );
     dfk.shutdown();
 }
 
@@ -241,7 +266,11 @@ fn checkpoint_recovers_partial_campaign() {
         assert_eq!(counts.get(&TaskState::Memoized), Some(&10));
         dfk.shutdown();
     }
-    assert_eq!(executions.load(Ordering::SeqCst), 20, "only the missing half re-ran");
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        20,
+        "only the missing half re-ran"
+    );
     let _ = std::fs::remove_file(&ckpt);
 }
 
@@ -249,11 +278,16 @@ fn checkpoint_recovers_partial_campaign() {
 fn llex_drops_faults_silently_as_documented() {
     // LLEX cannot detect worker loss; without walltime/retries the future
     // simply never resolves. We assert the *absence* of spurious failure.
-    let llex = Arc::new(parsl::executors::LlexExecutor::new(parsl::executors::LlexConfig {
-        workers: 1,
-        ..Default::default()
-    }));
-    let dfk = DataFlowKernel::builder().executor_arc(llex.clone()).build().unwrap();
+    let llex = Arc::new(parsl::executors::LlexExecutor::new(
+        parsl::executors::LlexConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    ));
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(llex.clone())
+        .build()
+        .unwrap();
     let slow = dfk.python_app("slow", |x: u64| {
         std::thread::sleep(Duration::from_millis(300));
         x
@@ -264,7 +298,10 @@ fn llex_drops_faults_silently_as_documented() {
     let addr = nexus::Addr::new("llex:w-0");
     llex.kill_worker(&addr);
     assert!(
-        matches!(f.result_timeout(Duration::from_millis(600)), Err(ParslError::Timeout)),
+        matches!(
+            f.result_timeout(Duration::from_millis(600)),
+            Err(ParslError::Timeout)
+        ),
         "LLEX must not fabricate a result or an error for a lost task"
     );
     dfk.shutdown();

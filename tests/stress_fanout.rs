@@ -43,7 +43,9 @@ fn wide_fanout_with_diamond_joins_resolves_fully() {
     // gate contributes 1 to each child: sum_i (1 + i).
     let expected: u64 = (0..FANOUT as u64).map(|i| 1 + i).sum();
     assert_eq!(
-        total.result_timeout(Duration::from_secs(300)).expect("diamond DAG completes"),
+        total
+            .result_timeout(Duration::from_secs(300))
+            .expect("diamond DAG completes"),
         expected
     );
 

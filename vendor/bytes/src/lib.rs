@@ -55,7 +55,11 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of range");
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 
     /// Copy the contents into a `Vec<u8>`.
@@ -86,7 +90,11 @@ impl std::borrow::Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::new(v), start: 0, end }
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -169,7 +177,10 @@ impl BytesMut {
 
     /// An empty buffer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(cap), start: 0 }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            start: 0,
+        }
     }
 
     /// Unread length in bytes.
@@ -198,7 +209,10 @@ impl BytesMut {
         let head = self.buf[self.start..self.start + at].to_vec();
         self.start += at;
         self.compact();
-        BytesMut { buf: head, start: 0 }
+        BytesMut {
+            buf: head,
+            start: 0,
+        }
     }
 
     /// Freeze into an immutable [`Bytes`].

@@ -32,12 +32,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id made of a parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -116,7 +120,10 @@ fn report(id: &str, throughput: Option<Throughput>, iters: u64, elapsed: Duratio
             line.push_str(&format!(" {:>12.0} elem/s", n as f64 / per_iter));
         }
         Some(Throughput::Bytes(n)) => {
-            line.push_str(&format!(" {:>12.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64));
+            line.push_str(&format!(
+                " {:>12.1} MiB/s",
+                n as f64 / per_iter / (1 << 20) as f64
+            ));
         }
         None => {}
     }
@@ -227,7 +234,12 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut b);
         if let Some((iters, elapsed)) = b.result {
-            report(&format!("{}/{}", self.name, id), self.throughput, iters, elapsed);
+            report(
+                &format!("{}/{}", self.name, id),
+                self.throughput,
+                iters,
+                elapsed,
+            );
         }
         self
     }

@@ -28,7 +28,10 @@ impl<T> Shared<T> {
     }
 
     fn wake_selects(&self) {
-        let wakers = self.select_wakers.lock().unwrap_or_else(PoisonError::into_inner);
+        let wakers = self
+            .select_wakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for w in wakers.iter() {
             w.wake();
         }
@@ -45,7 +48,10 @@ pub struct SelectWaker {
 
 impl SelectWaker {
     fn new() -> Arc<Self> {
-        Arc::new(SelectWaker { ready: Mutex::new(false), cv: Condvar::new() })
+        Arc::new(SelectWaker {
+            ready: Mutex::new(false),
+            cv: Condvar::new(),
+        })
     }
 
     fn wake(&self) {
@@ -147,14 +153,18 @@ pub struct Receiver<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.senders.fetch_add(1, Ordering::SeqCst);
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -352,7 +362,12 @@ fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         capacity,
         select_wakers: Mutex::new(Vec::new()),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 /// Create an unbounded channel.
@@ -426,7 +441,10 @@ pub fn __select_register<T>(rx: &Receiver<T>, waker: &Arc<SelectWaker>) -> Selec
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .push(Arc::clone(waker));
-    SelectGuard { shared: Arc::clone(&rx.shared), waker: Arc::clone(waker) }
+    SelectGuard {
+        shared: Arc::clone(&rx.shared),
+        waker: Arc::clone(waker),
+    }
 }
 
 /// Make a fresh waker for one [`select!`] block.
@@ -533,9 +551,11 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         let (_tx2, rx2) = unbounded::<u8>();
         tx.send(7).unwrap();
+        let mut picked = 0;
         select! {
-            recv(rx) -> v => { assert_eq!(v.unwrap(), 7); }
-            recv(rx2) -> _v => { unreachable!(); }
+            recv(rx) -> v => { assert_eq!(v.unwrap(), 7); picked += 1; }
+            recv(rx2) -> _v => { picked += 2; }
         }
+        assert_eq!(picked, 1, "must take the ready arm");
     }
 }

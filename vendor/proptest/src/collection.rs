@@ -23,7 +23,10 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// A `Vec` whose length is drawn from `size` and whose elements come from
 /// `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// Strategy for `BTreeMap`s with random size.
@@ -57,5 +60,9 @@ where
     K::Value: Ord + Debug,
     V: Strategy,
 {
-    BTreeMapStrategy { key, value, size: size.into() }
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
 }

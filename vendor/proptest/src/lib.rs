@@ -24,7 +24,9 @@ pub mod prelude {
     pub use crate::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`
@@ -155,7 +157,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *__l != *__r,
             "assertion failed: `{} != {}` (both: {:?})",
-            stringify!($left), stringify!($right), __l,
+            stringify!($left),
+            stringify!($right),
+            __l,
         );
     }};
 }
@@ -165,11 +169,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::Reject(
-                    ::std::string::String::from(stringify!($cond)),
-                ),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
         }
     };
 }

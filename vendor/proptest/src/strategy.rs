@@ -33,15 +33,15 @@ pub trait Strategy {
     }
 
     /// Reject values failing the predicate (resampling, bounded retries).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
-        Filter { inner: self, f, whence }
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
     }
 
     /// Type-erase the strategy.
@@ -49,7 +49,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Box::new(self) }
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
     }
 }
 
@@ -135,7 +137,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter({}): predicate rejected 1000 consecutive samples", self.whence)
+        panic!(
+            "prop_filter({}): predicate rejected 1000 consecutive samples",
+            self.whence
+        )
     }
 }
 
@@ -296,12 +301,18 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
     }
 }

@@ -66,7 +66,11 @@ pub type TestCaseResult = Result<(), TestCaseError>;
 /// Deterministic seed derived from a source location (FNV-1a).
 pub fn location_seed(file: &str, line: u32, column: u32) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in file.bytes().chain(line.to_le_bytes()).chain(column.to_le_bytes()) {
+    for b in file
+        .bytes()
+        .chain(line.to_le_bytes())
+        .chain(column.to_le_bytes())
+    {
         h ^= b as u64;
         h = h.wrapping_mul(0x1000_0000_01b3);
     }

@@ -160,13 +160,9 @@ pub trait Deserializer<'de>: Sized {
         visitor: V,
     ) -> Result<V::Value, Self::Error>;
     /// Hint: a struct field / enum variant identifier is expected.
-    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V)
-        -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
     /// Hint: the value will be discarded.
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        visitor: V,
-    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
 
     /// Whether this format is human readable (default `true`, as in serde).
     fn is_human_readable(&self) -> bool {
@@ -262,8 +258,7 @@ pub trait Visitor<'de>: Sized {
         Err(unexpected(&self, format_args!("none")))
     }
     /// Input contained `Some(...)`; deserialize the inner value.
-    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D)
-        -> Result<Self::Value, D::Error> {
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
         Err(unexpected(&self, format_args!("some")))
     }
     /// Input contained `()`.
@@ -438,7 +433,10 @@ pub mod value {
     impl<E> U32Deserializer<E> {
         /// Wrap a `u32`.
         pub fn new(value: u32) -> Self {
-            U32Deserializer { value, marker: PhantomData }
+            U32Deserializer {
+                value,
+                marker: PhantomData,
+            }
         }
     }
 

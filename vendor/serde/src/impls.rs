@@ -2,8 +2,12 @@
 //! serde's encodings (usize as u64, `Result` as an Ok/Err enum, maps as
 //! key-value sequences).
 
-use crate::de::{self, Deserialize, Deserializer, EnumAccess, MapAccess, SeqAccess, VariantAccess, Visitor};
-use crate::ser::{Serialize, SerializeMap as _, SerializeSeq as _, SerializeTuple as _, Serializer};
+use crate::de::{
+    self, Deserialize, Deserializer, EnumAccess, MapAccess, SeqAccess, VariantAccess, Visitor,
+};
+use crate::ser::{
+    Serialize, SerializeMap as _, SerializeSeq as _, SerializeTuple as _, Serializer,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{BuildHasher, Hash};
@@ -84,18 +88,67 @@ macro_rules! primitive {
     };
 }
 
-primitive!(bool, serialize_bool, deserialize_bool, visit_bool, bool, "a bool");
+primitive!(
+    bool,
+    serialize_bool,
+    deserialize_bool,
+    visit_bool,
+    bool,
+    "a bool"
+);
 primitive!(i8, serialize_i8, deserialize_i8, visit_i8, i8, "an i8");
-primitive!(i16, serialize_i16, deserialize_i16, visit_i16, i16, "an i16");
-primitive!(i32, serialize_i32, deserialize_i32, visit_i32, i32, "an i32");
-primitive!(i64, serialize_i64, deserialize_i64, visit_i64, i64, "an i64");
+primitive!(
+    i16,
+    serialize_i16,
+    deserialize_i16,
+    visit_i16,
+    i16,
+    "an i16"
+);
+primitive!(
+    i32,
+    serialize_i32,
+    deserialize_i32,
+    visit_i32,
+    i32,
+    "an i32"
+);
+primitive!(
+    i64,
+    serialize_i64,
+    deserialize_i64,
+    visit_i64,
+    i64,
+    "an i64"
+);
 primitive!(u8, serialize_u8, deserialize_u8, visit_u8, u8, "a u8");
 primitive!(u16, serialize_u16, deserialize_u16, visit_u16, u16, "a u16");
 primitive!(u32, serialize_u32, deserialize_u32, visit_u32, u32, "a u32");
 primitive!(u64, serialize_u64, deserialize_u64, visit_u64, u64, "a u64");
-primitive!(f32, serialize_f32, deserialize_f32, visit_f32, f32, "an f32");
-primitive!(f64, serialize_f64, deserialize_f64, visit_f64, f64, "an f64");
-primitive!(char, serialize_char, deserialize_char, visit_char, char, "a char");
+primitive!(
+    f32,
+    serialize_f32,
+    deserialize_f32,
+    visit_f32,
+    f32,
+    "an f32"
+);
+primitive!(
+    f64,
+    serialize_f64,
+    deserialize_f64,
+    visit_f64,
+    f64,
+    "an f64"
+);
+primitive!(
+    char,
+    serialize_char,
+    deserialize_char,
+    visit_char,
+    char,
+    "a char"
+);
 
 impl Serialize for usize {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {

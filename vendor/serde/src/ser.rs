@@ -141,8 +141,7 @@ pub trait SerializeSeq {
     /// Error type.
     type Error: Error;
     /// Serialize one element.
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
-        -> Result<(), Self::Error>;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
     /// Finish the sequence.
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }
@@ -154,8 +153,7 @@ pub trait SerializeTuple {
     /// Error type.
     type Error: Error;
     /// Serialize one element.
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
-        -> Result<(), Self::Error>;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
     /// Finish the tuple.
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }

@@ -20,7 +20,10 @@ enum Input {
     /// Struct with named fields.
     Struct { name: String, fields: Vec<String> },
     /// Enum with a list of variants.
-    Enum { name: String, variants: Vec<Variant> },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -92,8 +95,14 @@ fn parse_input(input: TokenStream, derive_name: &str) -> Input {
     };
 
     match kind.as_str() {
-        "struct" => Input::Struct { name, fields: parse_named_fields(body, derive_name) },
-        "enum" => Input::Enum { name, variants: parse_variants(body, derive_name) },
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body, derive_name),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body, derive_name),
+        },
         k => panic!("derive({derive_name}): unsupported item kind `{k}`"),
     }
 }
@@ -128,9 +137,9 @@ fn parse_named_fields(body: TokenStream, derive_name: &str) -> Vec<String> {
         };
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => panic!(
-                "derive({derive_name}): expected `:` after field `{field}`, got {other:?}"
-            ),
+            other => {
+                panic!("derive({derive_name}): expected `:` after field `{field}`, got {other:?}")
+            }
         }
         consume_type(&mut iter);
         fields.push(field);
@@ -144,16 +153,15 @@ fn parse_named_fields(body: TokenStream, derive_name: &str) -> Vec<String> {
 fn consume_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
     let mut angle_depth: usize = 0;
     for tree in iter.by_ref() {
-        match tree {
-            TokenTree::Punct(p) => match p.as_char() {
+        // Parens/brackets arrive as single groups, commas inside them are
+        // already nested; only top-level punctuation needs tracking.
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
                 '<' => angle_depth += 1,
                 '>' => angle_depth = angle_depth.saturating_sub(1),
                 ',' if angle_depth == 0 => return,
                 _ => {}
-            },
-            // Parens/brackets arrive as single groups, commas inside them
-            // are already nested.
-            _ => {}
+            }
         }
     }
 }
@@ -201,9 +209,9 @@ fn parse_variants(body: TokenStream, derive_name: &str) -> Vec<Variant> {
                 break;
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
-            Some(other) => panic!(
-                "derive({derive_name}): unsupported token after variant `{name}`: {other:?}"
-            ),
+            Some(other) => {
+                panic!("derive({derive_name}): unsupported token after variant `{name}`: {other:?}")
+            }
         }
         variants.push(Variant { name, shape });
     }
@@ -218,8 +226,8 @@ fn count_tuple_arity(body: TokenStream) -> usize {
     for tree in body {
         // A type may *start* with a punct (`&str`, `*const T`), so any
         // non-separator token opens a slot.
-        let is_separator = matches!(&tree, TokenTree::Punct(p) if p.as_char() == ',')
-            && angle_depth == 0;
+        let is_separator =
+            matches!(&tree, TokenTree::Punct(p) if p.as_char() == ',') && angle_depth == 0;
         if is_separator {
             in_slot = false;
             continue;
@@ -250,7 +258,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Input::Struct { name, fields } => serialize_struct(&name, &fields),
         Input::Enum { name, variants } => serialize_enum(&name, &variants),
     };
-    out.parse().expect("derive(Serialize): generated code parses")
+    out.parse()
+        .expect("derive(Serialize): generated code parses")
 }
 
 fn serialize_struct(name: &str, fields: &[String]) -> String {
@@ -345,7 +354,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Input::Struct { name, fields } => deserialize_struct(&name, &fields),
         Input::Enum { name, variants } => deserialize_enum(&name, &variants),
     };
-    out.parse().expect("derive(Deserialize): generated code parses")
+    out.parse()
+        .expect("derive(Deserialize): generated code parses")
 }
 
 /// `visit_seq` body constructing `ctor(field...)` from sequential elements.
