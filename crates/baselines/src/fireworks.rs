@@ -9,15 +9,14 @@
 //! measures 4 tasks/s and MongoDB timeouts past 1024 workers.
 
 use parking_lot::Mutex;
-use parsl_core::error::TaskError;
-use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
+use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use parsl_executors::kernel;
 use parsl_executors::proto::{WireResult, WireTask};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// FireWorks-like configuration.
 #[derive(Debug, Clone)]
@@ -169,19 +168,11 @@ impl Executor for FireworksExecutor {
                         std::thread::sleep(poll);
                         continue;
                     }
-                    for r in batch {
-                        outstanding.fetch_sub(1, Ordering::Relaxed);
-                        let outcome = TaskOutcome {
-                            id: parsl_core::types::TaskId(r.id),
-                            attempt: r.attempt,
-                            result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
-                            worker: Some(r.worker),
-                            started: None,
-                            finished: Some(Instant::now()),
-                        };
-                        if ctx.completions.send(outcome).is_err() {
-                            return;
-                        }
+                    // One poll's worth of results is one completion batch.
+                    outstanding.fetch_sub(batch.len(), Ordering::Relaxed);
+                    let outcomes = parsl_executors::proto::outcomes_from_results(batch);
+                    if ctx.completions.send(outcomes).is_err() {
+                        return;
                     }
                 })
                 .map_err(|e| ExecutorError::Comm(e.to_string()))?;

@@ -7,15 +7,14 @@
 
 use nexus::{Addr, Endpoint, Fabric};
 use parking_lot::Mutex;
-use parsl_core::error::TaskError;
-use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
+use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use parsl_executors::kernel;
 use parsl_executors::proto::{encode, ToClient, ToInterchange, ToManager, WireTask};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// IPP configuration.
 #[derive(Debug, Clone)]
@@ -270,19 +269,12 @@ pub(crate) fn deliver_results_loop(
         if let Ok(ToClient::Results(results)) =
             parsl_executors::proto::decode::<ToClient>(&env.payload)
         {
-            for r in results {
-                outstanding.fetch_sub(1, Ordering::Relaxed);
-                let outcome = TaskOutcome {
-                    id: parsl_core::types::TaskId(r.id),
-                    attempt: r.attempt,
-                    result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
-                    worker: Some(r.worker),
-                    started: None,
-                    finished: Some(Instant::now()),
-                };
-                if ctx.completions.send(outcome).is_err() {
-                    return;
-                }
+            // Frames here are usually single-task (the hub brokers tasks
+            // individually), but the completion channel carries batches.
+            outstanding.fetch_sub(results.len(), Ordering::Relaxed);
+            let outcomes = parsl_executors::proto::outcomes_from_results(results);
+            if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                return;
             }
         }
     }

@@ -43,10 +43,13 @@ fn specs(app: &Arc<RegisteredApp>, n: usize) -> Vec<TaskSpec> {
         .collect()
 }
 
-fn drain(rx: &Receiver<TaskOutcome>, n: usize) {
-    for _ in 0..n {
-        rx.recv_timeout(Duration::from_secs(30))
-            .expect("task completes");
+fn drain(rx: &Receiver<Vec<TaskOutcome>>, n: usize) {
+    let mut seen = 0;
+    while seen < n {
+        seen += rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("task completes")
+            .len();
     }
 }
 
@@ -54,7 +57,7 @@ fn bench_executor(
     c: &mut Criterion,
     name: &str,
     executor: &dyn Executor,
-    rx: &Receiver<TaskOutcome>,
+    rx: &Receiver<Vec<TaskOutcome>>,
     app: &Arc<RegisteredApp>,
 ) {
     let mut group = c.benchmark_group("submission-batching");

@@ -87,6 +87,9 @@ fn main() {
         });
     }
 
+    // The ratio table prints on success too: CI logs are the trend
+    // record, and a metric drifting toward the tolerance edge should be
+    // visible before it trips the guard.
     println!(
         "bench_guard: {} vs {} (tolerance {:.0}%)",
         baseline_path,
@@ -100,8 +103,12 @@ fn main() {
             "ok"
         };
         println!(
-            "  {:<28} baseline {:>12.1}  current {:>12.1}  ratio {:>5.2}  {verdict}",
-            ck.key, ck.baseline, ck.current, ck.ratio
+            "  {:<28} baseline {:>12.1}  current {:>12.1}  ratio {:>5.2}  ({:>+6.1}%)  {verdict}",
+            ck.key,
+            ck.baseline,
+            ck.current,
+            ck.ratio,
+            (ck.ratio - 1.0) * 100.0
         );
     }
     if failed {

@@ -91,13 +91,18 @@ fn run_htex(n: usize, batched: bool) -> f64 {
     })
     .expect("start htex");
 
+    // Completion frames carry batches; count outcomes, not messages.
+    let drain = |count: usize, timeout: Duration| {
+        let mut seen = 0;
+        while seen < count {
+            seen += rx.recv_timeout(timeout).expect("tasks complete").len();
+        }
+    };
+
     // Warm-up: managers registered, queues primed.
     let warm = 50.min(n);
     htex.submit_batch(specs(&app, 1_000_000, warm)).unwrap();
-    for _ in 0..warm {
-        rx.recv_timeout(Duration::from_secs(10))
-            .expect("warm-up completes");
-    }
+    drain(warm, Duration::from_secs(10));
 
     let tasks = specs(&app, 0, n);
     let t0 = Instant::now();
@@ -108,10 +113,7 @@ fn run_htex(n: usize, batched: bool) -> f64 {
             htex.submit(t).unwrap();
         }
     }
-    for _ in 0..n {
-        rx.recv_timeout(Duration::from_secs(60))
-            .expect("task completes");
-    }
+    drain(n, Duration::from_secs(60));
     let elapsed = t0.elapsed();
     htex.shutdown();
     n as f64 / elapsed.as_secs_f64()

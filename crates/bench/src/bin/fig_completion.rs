@@ -1,0 +1,424 @@
+//! Completion-plane throughput: per-task vs batched result collection.
+//!
+//! PR 2 batched the *outbound* half of the DFK loop (submission); this
+//! experiment measures the *inbound* half. Two workloads, both run with
+//! memoization + write-through checkpointing (§3.7) and a CSV monitoring
+//! sink (§4.6) attached, so every completion pays the full real-campaign
+//! pipeline: shard lock, checkpoint append, monitor event, dispatch
+//! cycle.
+//!
+//! - **fan-in storm** (headline): N independent tasks all execute up
+//!   front on a holding executor, their futures joined into one fan-in.
+//!   The timer starts when the held outcomes are *released* and stops
+//!   when every future (including the join) has resolved — a pure
+//!   measurement of the collection plane absorbing a completion storm.
+//! - **diamond cascade** (end-to-end): a field of a→(b,c)→d joins runs
+//!   live, so completions and the dispatches they trigger interleave.
+//!
+//! The two collection modes differ exactly as pre-/post-PR-5:
+//!
+//! - **per-task**: outcomes cross the completion channel as one-element
+//!   frames (the old executor clients exploded every result frame) and
+//!   `completion_batching(false)` makes the collector run the whole
+//!   completion pipeline once per task;
+//! - **batched** (default): outcomes ship as wide frames and the
+//!   collector drains greedily into `handle_outcome_batch`, amortizing
+//!   shard locks, the checkpoint writer lock, the monitor sink, and the
+//!   dispatch-drain cycle.
+//!
+//! The run also asserts the §3.7 equivalence: checkpoint files from both
+//! modes hold identical frame multisets (byte-equivalent modulo order).
+//!
+//! Usage: `fig_completion [--smoke] [--out FILE]`. The committed
+//! `BENCH_completion.json` baseline is a `--smoke` run (CI compares its
+//! own smoke numbers against it, like for like), so smoke mode writes it
+//! by default and a full run only writes where `--out` points.
+
+use bench::{fmt_f, Table};
+use bytes::Bytes;
+use parsl_core::error::TaskError;
+use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
+use parsl_core::prelude::*;
+use parsl_monitor::CsvSink;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Frame width modeling the new executor clients (interchange result
+/// frames); per-task mode uses width 1 (the old exploded sends).
+const BATCHED_FRAME: usize = 512;
+
+// ---------------------------------------------------------------------------
+// Storm executor: executes trivially off-thread. While `holding`, outcomes
+// accumulate; `release()` ships them all, chunked at the configured frame
+// width. After release it passes outcomes through live (same framing).
+// ---------------------------------------------------------------------------
+
+struct StormState {
+    ctx: parking_lot::Mutex<Option<ExecutorContext>>,
+    held: parking_lot::Mutex<Vec<TaskOutcome>>,
+    holding: AtomicBool,
+    executed: AtomicUsize,
+    frame: usize,
+}
+
+struct StormExecutor {
+    state: Arc<StormState>,
+    tx: parking_lot::Mutex<Option<crossbeam::channel::Sender<Vec<TaskSpec>>>>,
+    handle: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl StormExecutor {
+    fn new(frame: usize, holding: bool) -> Self {
+        StormExecutor {
+            state: Arc::new(StormState {
+                ctx: parking_lot::Mutex::new(None),
+                held: parking_lot::Mutex::new(Vec::new()),
+                holding: AtomicBool::new(holding),
+                executed: AtomicUsize::new(0),
+                frame,
+            }),
+            tx: parking_lot::Mutex::new(None),
+            handle: parking_lot::Mutex::new(None),
+        }
+    }
+
+    fn state(&self) -> Arc<StormState> {
+        Arc::clone(&self.state)
+    }
+}
+
+impl StormState {
+    fn deliver(&self, outcomes: Vec<TaskOutcome>) -> bool {
+        let Some(ctx) = self.ctx.lock().clone() else {
+            return false;
+        };
+        let mut outcomes = outcomes;
+        while !outcomes.is_empty() {
+            let rest = outcomes.split_off(outcomes.len().min(self.frame));
+            if ctx.completions.send(outcomes).is_err() {
+                return false;
+            }
+            outcomes = rest;
+        }
+        true
+    }
+
+    /// Flush everything held and switch to live passthrough. The flip
+    /// and the take happen under the `held` lock — the same lock the
+    /// worker's hold-check takes — so no outcome can land in a buffer
+    /// that has already been drained.
+    fn release(&self) {
+        let held = {
+            let mut held = self.held.lock();
+            self.holding.store(false, Ordering::Release);
+            std::mem::take(&mut *held)
+        };
+        self.deliver(held);
+    }
+
+    fn executed(&self) -> usize {
+        self.executed.load(Ordering::Acquire)
+    }
+}
+
+impl Executor for StormExecutor {
+    fn label(&self) -> &str {
+        "storm"
+    }
+
+    fn start(&self, ctx: ExecutorContext) -> Result<(), ExecutorError> {
+        *self.state.ctx.lock() = Some(ctx);
+        let state = Arc::clone(&self.state);
+        let (tx, rx) = crossbeam::channel::unbounded::<Vec<TaskSpec>>();
+        let handle = std::thread::Builder::new()
+            .name("storm-exec".into())
+            .spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    let outcomes: Vec<TaskOutcome> = batch
+                        .iter()
+                        .map(|t| {
+                            let result = (t.app.func)(&t.args)
+                                .map(Bytes::from)
+                                .map_err(TaskError::App);
+                            TaskOutcome::new(t.id, t.attempt, result)
+                        })
+                        .collect();
+                    // Decide hold-vs-deliver under the held lock so a
+                    // concurrent release() cannot drain the buffer
+                    // between our holding check and our append (which
+                    // would strand this batch forever).
+                    let deliver_now = {
+                        let mut held = state.held.lock();
+                        if state.holding.load(Ordering::Acquire) {
+                            held.extend(outcomes);
+                            None
+                        } else {
+                            Some(outcomes)
+                        }
+                    };
+                    state.executed.fetch_add(batch.len(), Ordering::AcqRel);
+                    if let Some(outcomes) = deliver_now {
+                        if !state.deliver(outcomes) {
+                            return;
+                        }
+                    }
+                }
+            })
+            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
+        *self.tx.lock() = Some(tx);
+        *self.handle.lock() = Some(handle);
+        Ok(())
+    }
+
+    fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
+        self.submit_batch(vec![task])
+    }
+
+    fn submit_batch(&self, tasks: Vec<TaskSpec>) -> Result<(), ExecutorError> {
+        self.tx
+            .lock()
+            .as_ref()
+            .ok_or(ExecutorError::NotRunning)?
+            .send(tasks)
+            .map_err(|_| ExecutorError::NotRunning)
+    }
+
+    fn outstanding(&self) -> usize {
+        0
+    }
+
+    fn connected_workers(&self) -> usize {
+        1
+    }
+
+    fn shutdown(&self) {
+        self.tx.lock().take();
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+        self.state.ctx.lock().take();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------------
+
+/// Build a DFK wired for the full completion pipeline (checkpoint + CSV
+/// monitor) in the given collection mode.
+fn build_dfk(
+    executor: StormExecutor,
+    ckpt: &std::path::Path,
+    csv: &std::path::Path,
+    batched: bool,
+) -> Arc<DataFlowKernel> {
+    let _ = std::fs::remove_file(ckpt);
+    DataFlowKernel::builder()
+        .executor(executor)
+        .memoize(true)
+        .checkpoint_file(ckpt)
+        .monitor(Arc::new(CsvSink::create(csv).expect("create csv sink")))
+        .completion_batching(batched)
+        .build()
+        .unwrap()
+}
+
+/// Read and sort a checkpoint file's frames (the order-insensitive
+/// equivalence witness).
+fn checkpoint_frames(path: &std::path::Path) -> Vec<Vec<u8>> {
+    let file = std::fs::File::open(path).expect("checkpoint written");
+    let mut reader = wire::FrameReader::new(std::io::BufReader::new(file));
+    let mut frames = Vec::new();
+    while let Some(frame) = reader.read().expect("checkpoint readable") {
+        frames.push(frame);
+    }
+    frames.sort();
+    frames
+}
+
+/// Fan-in storm: `n` independent tasks execute and are held; the timer
+/// covers release → every future resolved (the join included). Returns
+/// (collection tasks/s, checkpoint frames).
+fn run_storm(dir: &std::path::Path, n: usize, batched: bool) -> (f64, Vec<Vec<u8>>) {
+    let mode = if batched { "batched" } else { "per-task" };
+    let ckpt = dir.join(format!("storm-{mode}.ckpt"));
+    let csv = dir.join(format!("storm-{mode}.csv"));
+    let executor = StormExecutor::new(if batched { BATCHED_FRAME } else { 1 }, true);
+    let state = executor.state();
+    let dfk = build_dfk(executor, &ckpt, &csv, batched);
+
+    let work = dfk.python_app("work", |i: u64| i * 3 + 1);
+    let sum = dfk.python_app("sum", |xs: Vec<u64>| xs.iter().sum::<u64>());
+    let futs: Vec<_> = (0..n as u64).map(|i| parsl_core::call!(work, i)).collect();
+    let joined = parsl_core::combinators::join_all(&dfk, futs.clone());
+    let total = sum.call((Dep::future(joined),));
+
+    // Wait until the whole field has executed and is held.
+    while state.executed() < n {
+        std::thread::yield_now();
+    }
+
+    let t0 = Instant::now();
+    state.release();
+    assert_eq!(
+        total.result().unwrap(),
+        (0..n as u64).map(|i| i * 3 + 1).sum::<u64>(),
+        "fan-in sum"
+    );
+    dfk.wait_for_all();
+    let elapsed = t0.elapsed();
+    let tasks = dfk.task_count();
+    dfk.shutdown();
+    (
+        tasks as f64 / elapsed.as_secs_f64(),
+        checkpoint_frames(&ckpt),
+    )
+}
+
+/// Diamond cascade, end to end: `d` independent a→(b,c)→d joins run live
+/// (no holding), so completions interleave with the dispatches they
+/// unlock. Returns (tasks/s, checkpoint frames).
+fn run_diamonds(dir: &std::path::Path, d: usize, batched: bool) -> (f64, Vec<Vec<u8>>) {
+    let mode = if batched { "batched" } else { "per-task" };
+    let ckpt = dir.join(format!("dia-{mode}.ckpt"));
+    let csv = dir.join(format!("dia-{mode}.csv"));
+    let executor = StormExecutor::new(if batched { BATCHED_FRAME } else { 1 }, false);
+    let dfk = build_dfk(executor, &ckpt, &csv, batched);
+
+    let top = dfk.python_app("dia_top", |d: u64| d * 3);
+    let left = dfk.python_app("dia_left", |x: u64| x + 1);
+    let right = dfk.python_app("dia_right", |x: u64| x + 2);
+    let join = dfk.python_app("dia_join", |l: u64, r: u64| l * r);
+
+    let t0 = Instant::now();
+    let futs: Vec<_> = (0..d as u64)
+        .map(|i| {
+            let t = parsl_core::call!(top, i);
+            let l = left.call((Dep::future(t.clone()),));
+            let r = right.call((Dep::future(t),));
+            join.call((Dep::future(l), Dep::future(r)))
+        })
+        .collect();
+    for (i, f) in futs.iter().enumerate() {
+        let i = i as u64;
+        assert_eq!(
+            f.result().unwrap(),
+            (i * 3 + 1) * (i * 3 + 2),
+            "diamond {i}"
+        );
+    }
+    dfk.wait_for_all();
+    let elapsed = t0.elapsed();
+    let tasks = dfk.task_count();
+    dfk.shutdown();
+    (
+        tasks as f64 / elapsed.as_secs_f64(),
+        checkpoint_frames(&ckpt),
+    )
+}
+
+fn best_of<T>(reps: usize, mut run: impl FnMut() -> (f64, T)) -> (f64, T) {
+    let mut best = run();
+    for _ in 1..reps {
+        let next = run();
+        if next.0 > best.0 {
+            best = next;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone());
+    // Smoke keeps the per-task phases CI-sized but the storm wide enough
+    // that the batched phase measures milliseconds, not scheduler jitter.
+    let (storm_n, diamonds, reps) = if smoke {
+        (8000, 300, 5)
+    } else {
+        (20000, 2000, 5)
+    };
+
+    let dir = std::env::temp_dir().join(format!("parsl-fig-completion-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    println!(
+        "fig_completion: storm {storm_n} + {diamonds} diamonds, best of {reps}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let (storm_pt, storm_pt_ckpt) = best_of(reps, || run_storm(&dir, storm_n, false));
+    let (storm_b, storm_b_ckpt) = best_of(reps, || run_storm(&dir, storm_n, true));
+    let storm_speedup = storm_b / storm_pt;
+
+    let (dia_pt, dia_pt_ckpt) = best_of(reps, || run_diamonds(&dir, diamonds, false));
+    let (dia_b, dia_b_ckpt) = best_of(reps, || run_diamonds(&dir, diamonds, true));
+    let dia_speedup = dia_b / dia_pt;
+
+    // §3.7 equivalence: both modes checkpoint the same frames.
+    let equivalent = storm_pt_ckpt == storm_b_ckpt && dia_pt_ckpt == dia_b_ckpt;
+    assert!(
+        equivalent,
+        "checkpoint files diverged between collection modes \
+         (storm {} vs {}, diamonds {} vs {} frames)",
+        storm_pt_ckpt.len(),
+        storm_b_ckpt.len(),
+        dia_pt_ckpt.len(),
+        dia_b_ckpt.len()
+    );
+
+    let mut table = Table::new(&["workload", "per-task t/s", "batched t/s", "speedup"]);
+    table.row(vec![
+        format!("fan-in storm ({storm_n})"),
+        fmt_f(storm_pt),
+        fmt_f(storm_b),
+        format!("{storm_speedup:.2}x"),
+    ]);
+    table.row(vec![
+        format!("diamond cascade ({diamonds})"),
+        fmt_f(dia_pt),
+        fmt_f(dia_b),
+        format!("{dia_speedup:.2}x"),
+    ]);
+    table.print();
+    println!(
+        "checkpoint equivalence: ok ({} + {} frames, byte-equal modulo order)",
+        storm_b_ckpt.len(),
+        dia_b_ckpt.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Unlike the other figure binaries, the committed baseline here is a
+    // *smoke* run (CI compares smoke against it, like for like), so only
+    // smoke mode writes BENCH_completion.json by default — a full run
+    // must name its output explicitly, lest it silently replace the
+    // baseline with incomparable full-scale numbers.
+    let path = match (&out, smoke) {
+        (Some(p), _) => p.clone(),
+        (None, true) => "BENCH_completion.json".to_string(),
+        (None, false) => {
+            println!(
+                "full mode: skipping BENCH_completion.json (the committed baseline \
+                 is a --smoke run; pass --out to write elsewhere)"
+            );
+            return;
+        }
+    };
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fig_completion\",\n  \"workload\": \"fan-in storm {storm_n} (collection plane only) + {diamonds} diamonds e2e, checkpoint + csv monitor, best of {reps}\",\n  \"storm_per_task_tps\": {storm_pt:.1},\n  \"storm_batched_tps\": {storm_b:.1},\n  \"storm_speedup\": {storm_speedup:.3},\n  \"diamond_per_task_tps\": {dia_pt:.1},\n  \"diamond_batched_tps\": {dia_b:.1},\n  \"diamond_speedup\": {dia_speedup:.3},\n  \"checkpoint_equivalent\": {},\n  \"checkpoint_frames\": {}\n}}\n",
+        if equivalent { 1 } else { 0 },
+        storm_b_ckpt.len() + dia_b_ckpt.len(),
+    );
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+    if storm_speedup < 2.0 {
+        println!("WARNING: storm speedup {storm_speedup:.2}x below the 2x target");
+    }
+}

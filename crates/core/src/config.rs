@@ -38,6 +38,12 @@ pub struct Config {
     /// Per-executor in-flight cap: tasks beyond it park on the ready
     /// queue instead of dispatching (`None` = unbounded).
     pub max_inflight_per_executor: Option<usize>,
+    /// Batched result collection (default `true`): the collector drains
+    /// every queued outcome into one completion-plane pass. `false`
+    /// processes outcomes strictly one at a time — the pre-batching
+    /// behaviour, kept as a measurable/testable baseline
+    /// (`fig_completion`, `proptest_batching`).
+    pub completion_batching: bool,
 }
 
 impl Config {
@@ -81,6 +87,7 @@ pub struct ConfigBuilder {
     seed: u64,
     scheduler: SchedulerPolicy,
     max_inflight_per_executor: Option<usize>,
+    completion_batching: Option<bool>,
 }
 
 impl ConfigBuilder {
@@ -152,6 +159,15 @@ impl ConfigBuilder {
         self
     }
 
+    /// Toggle batched result collection (default on). With `false` the
+    /// collector handles each outcome in its own completion-plane pass —
+    /// the per-task baseline the batching benchmarks and equivalence
+    /// proptests compare against.
+    pub fn completion_batching(mut self, on: bool) -> Self {
+        self.completion_batching = Some(on);
+        self
+    }
+
     /// Validate and produce the [`Config`].
     pub fn build(self) -> Result<Config, crate::error::ParslError> {
         if self.executors.is_empty() {
@@ -186,6 +202,7 @@ impl ConfigBuilder {
             seed: self.seed,
             scheduler: self.scheduler,
             max_inflight_per_executor: self.max_inflight_per_executor,
+            completion_batching: self.completion_batching.unwrap_or(true),
         })
     }
 }
@@ -221,6 +238,17 @@ mod tests {
         assert!(c.checkpoint_file.is_none());
         assert!(matches!(c.scheduler, SchedulerPolicy::RandomHash));
         assert!(c.max_inflight_per_executor.is_none());
+        assert!(c.completion_batching, "batched collection is the default");
+    }
+
+    #[test]
+    fn completion_batching_can_be_disabled() {
+        let c = Config::builder()
+            .executor(ImmediateExecutor::new())
+            .completion_batching(false)
+            .build()
+            .unwrap();
+        assert!(!c.completion_batching);
     }
 
     #[test]

@@ -34,6 +34,17 @@
 //! [`Executor::submit_batch`] — one wire frame for a thousand-child
 //! fan-out instead of a thousand sends (§4.3.1's "configurable batching").
 //!
+//! **Collection is batched symmetrically.** Executors deliver whole result
+//! frames (`Vec<TaskOutcome>`) on the completion channel; the collector
+//! greedily drains everything queued and hands it to
+//! `handle_outcome_batch`, which groups outcomes by table shard (one lock
+//! acquisition per touched shard), records all checkpoint frames through
+//! one [`Memoizer::record_batch`] append, emits one
+//! [`MonitorSink::on_batch`] call, fires all resolved futures while
+//! holding the dispatch flag, and finishes with a single
+//! `unpark_ready` + drain — so a wide fan-in's downstream tasks ship as
+//! one submit batch instead of paying a full dispatch cycle per parent.
+//!
 //! # Task routing and backpressure
 //!
 //! Each unpinned ready task is placed by the configured [`Scheduler`]
@@ -70,6 +81,12 @@ use std::time::{Duration, Instant};
 /// a task is a mask of its id; 16 shards keep contention negligible well
 /// past the thread counts a single client drives.
 pub const TABLE_SHARDS: usize = 16;
+
+/// Most outcomes the collector folds into one completion-plane pass.
+/// Bounds the per-pass allocation (futures, monitor events, checkpoint
+/// frames) under a sustained completion storm; the channel is drained
+/// again immediately, so the cap costs at most an extra pass.
+pub const COLLECT_BATCH_CAP: usize = 4096;
 
 /// One task's bookkeeping in the dynamic task graph.
 struct TaskRecord {
@@ -166,9 +183,20 @@ pub struct DataFlowKernel {
     started_at: Instant,
     stop: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    completions: Mutex<Option<Sender<TaskOutcome>>>,
+    completions: Mutex<Option<Sender<Vec<TaskOutcome>>>>,
     /// (deadline, task, attempt) walltime heap, shared with the watcher.
     deadlines: Arc<Mutex<DeadlineHeap>>,
+    /// Wakes the walltime watcher when a new earliest deadline is armed
+    /// (or at shutdown); with nothing pending the watcher sleeps
+    /// indefinitely instead of polling.
+    deadline_cv: Arc<Condvar>,
+    /// Times the walltime watcher woke up (deadline expiry or re-arm).
+    /// Introspection for tests: an idle kernel with no walltimes must not
+    /// tick.
+    walltime_wakeups: AtomicU64,
+    /// Batched result collection (see module docs); `false` re-enables
+    /// the per-task baseline.
+    completion_batching: bool,
     strategy_cfg: StrategyConfig,
     /// Placeholder app backing `failed_submission` records.
     invalid_app: Arc<RegisteredApp>,
@@ -247,6 +275,13 @@ impl DfkBuilder {
         self
     }
 
+    /// Toggle batched result collection (default on; `false` is the
+    /// per-task baseline used by benchmarks and equivalence tests).
+    pub fn completion_batching(mut self, on: bool) -> Self {
+        self.inner = self.inner.completion_batching(on);
+        self
+    }
+
     /// Validate, start executors and service threads, and return the
     /// running kernel.
     pub fn build(self) -> Result<Arc<DataFlowKernel>, ParslError> {
@@ -279,7 +314,7 @@ impl DataFlowKernel {
             .map(|(i, e)| (e.label().to_string(), i))
             .collect();
 
-        let (tx, rx) = unbounded::<TaskOutcome>();
+        let (tx, rx) = unbounded::<Vec<TaskOutcome>>();
         let registry = AppRegistry::new();
         let invalid_app = registry.register(
             "__failed_submission__",
@@ -313,6 +348,9 @@ impl DataFlowKernel {
             threads: Mutex::new(Vec::new()),
             completions: Mutex::new(Some(tx.clone())),
             deadlines: Arc::new(Mutex::new(BinaryHeap::new())),
+            deadline_cv: Arc::new(Condvar::new()),
+            walltime_wakeups: AtomicU64::new(0),
+            completion_batching: config.completion_batching,
             strategy_cfg: config.strategy,
             invalid_app,
         });
@@ -326,17 +364,35 @@ impl DataFlowKernel {
             .map_err(|err| ParslError::Config(format!("executor {}: {err}", e.label())))?;
         }
 
-        // Collector: routes executor outcomes back into the graph.
+        // Collector: routes executor outcomes back into the graph. Frames
+        // arrive as batches; the collector greedily drains everything the
+        // channel holds (up to a cap bounding per-pass memory) so a
+        // completion storm is absorbed in a handful of completion-plane
+        // passes instead of one per task.
         {
             let weak = Arc::downgrade(&dfk);
             let handle = std::thread::Builder::new()
                 .name("parsl-collector".into())
                 .spawn(move || loop {
                     match rx.recv_timeout(Duration::from_millis(50)) {
-                        Ok(outcome) => match weak.upgrade() {
-                            Some(dfk) => dfk.handle_outcome(outcome),
-                            None => return,
-                        },
+                        Ok(mut outcomes) => {
+                            let Some(dfk) = weak.upgrade() else { return };
+                            if dfk.completion_batching {
+                                while outcomes.len() < COLLECT_BATCH_CAP {
+                                    match rx.try_recv() {
+                                        Ok(mut more) => outcomes.append(&mut more),
+                                        Err(_) => break,
+                                    }
+                                }
+                                dfk.handle_outcome_batch(outcomes);
+                            } else {
+                                // Per-task baseline: every outcome pays the
+                                // full completion cycle on its own.
+                                for outcome in outcomes {
+                                    dfk.handle_outcome_batch(vec![outcome]);
+                                }
+                            }
+                        }
                         Err(RecvTimeoutError::Timeout) => {
                             let Some(dfk) = weak.upgrade() else { return };
                             if dfk.stop.load(Ordering::Acquire) {
@@ -350,37 +406,60 @@ impl DataFlowKernel {
             dfk.threads.lock().push(handle);
         }
 
-        // Walltime watcher: synthesizes failure outcomes for expired tasks.
+        // Walltime watcher: synthesizes failure outcomes for expired task
+        // attempts, as one batch per expiry wave through the same
+        // completion channel as executor results. Event driven: it sleeps
+        // until the earliest armed deadline (`arm_deadline` re-arms it
+        // when a new earliest appears) and parks indefinitely when no
+        // walltimes are pending — an idle kernel burns no wakeups.
         {
             let weak = Arc::downgrade(&dfk);
             let deadlines = Arc::clone(&dfk.deadlines);
+            let deadline_cv = Arc::clone(&dfk.deadline_cv);
             let tx_watch = tx.clone();
             let handle = std::thread::Builder::new()
                 .name("parsl-walltime".into())
                 .spawn(move || loop {
-                    std::thread::sleep(Duration::from_millis(10));
-                    let Some(dfk) = weak.upgrade() else { return };
-                    if dfk.stop.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let now = Instant::now();
-                    let mut due = Vec::new();
+                    let mut due: Vec<TaskOutcome> = Vec::new();
                     {
                         let mut heap = deadlines.lock();
-                        while let Some(&Reverse((at, id, attempt))) = heap.peek() {
-                            if at > now {
+                        loop {
+                            {
+                                let Some(dfk) = weak.upgrade() else { return };
+                                if dfk.stop.load(Ordering::Acquire) {
+                                    return;
+                                }
+                            }
+                            let now = Instant::now();
+                            while let Some(&Reverse((at, id, attempt))) = heap.peek() {
+                                if at > now {
+                                    break;
+                                }
+                                heap.pop();
+                                due.push(TaskOutcome::new(
+                                    TaskId(id),
+                                    attempt,
+                                    Err(TaskError::WalltimeExceeded),
+                                ));
+                            }
+                            if !due.is_empty() {
                                 break;
                             }
-                            heap.pop();
-                            due.push((id, attempt));
+                            // Sleep until the earliest pending deadline, or
+                            // until arm_deadline/shutdown wakes us.
+                            match heap.peek() {
+                                Some(&Reverse((at, _, _))) => {
+                                    deadline_cv.wait_until(&mut heap, at);
+                                }
+                                None => deadline_cv.wait(&mut heap),
+                            }
+                            if let Some(dfk) = weak.upgrade() {
+                                dfk.walltime_wakeups.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
-                    for (id, attempt) in due {
-                        let _ = tx_watch.send(TaskOutcome::new(
-                            TaskId(id),
-                            attempt,
-                            Err(TaskError::WalltimeExceeded),
-                        ));
+                    if tx_watch.send(due).is_err() {
+                        return;
                     }
                 })
                 .expect("spawn walltime watcher");
@@ -848,9 +927,7 @@ impl DataFlowKernel {
                     at: self.started_at.elapsed(),
                 });
                 if let Some(w) = walltime {
-                    self.deadlines
-                        .lock()
-                        .push(Reverse((Instant::now() + w, id.0, spec.attempt)));
+                    self.arm_deadline(Instant::now() + w, id, spec.attempt);
                 }
                 per_exec[exec_idx].push(spec);
             }
@@ -874,24 +951,9 @@ impl DataFlowKernel {
             if batch.is_empty() {
                 continue;
             }
-            let executor = &self.executors[idx];
-            // Remember identities in case the whole batch is rejected.
-            let manifest: Vec<(TaskId, u32)> = batch.iter().map(|s| (s.id, s.attempt)).collect();
-            let outcome = if batch.len() == 1 {
-                let mut batch = batch;
-                executor.submit(batch.pop().expect("len checked"))
-            } else {
-                executor.submit_batch(batch)
-            };
-            if let Err(e) = outcome {
-                for (id, attempt) in manifest {
-                    self.handle_outcome(TaskOutcome::new(
-                        id,
-                        attempt,
-                        Err(TaskError::ExecutorLost(e.to_string().into())),
-                    ));
-                }
-            }
+            // A rejected group synthesizes lost-task outcomes that flow
+            // back through the batched completion plane.
+            self.submit_group(idx, batch);
         }
     }
 
@@ -1049,31 +1111,73 @@ impl DataFlowKernel {
         (spec, idx, rec.app.options.walltime)
     }
 
-    /// An outcome arrived from an executor (or was synthesized by the
-    /// walltime watcher / a failed submit call).
-    fn handle_outcome(self: &Arc<Self>, outcome: TaskOutcome) {
-        enum Next {
-            Finalize(Result<Bytes, TaskError>, TaskState),
-            Retry(TaskSpec, Arc<dyn Executor>, Option<Duration>, String),
-            Ignore,
+    /// A batch of outcomes arrived from the executors (or was synthesized
+    /// by the walltime watcher / a failed submit call). This is the
+    /// batched completion plane, the mirror image of `launch_batch`:
+    ///
+    /// 1. group outcomes by table shard and take each touched shard's lock
+    ///    exactly once, resolving every member's retry/finalize decision
+    ///    and committing terminal state under that single acquisition;
+    /// 2. append all checkpoint frames through one
+    ///    [`Memoizer::record_batch`] (one writer lock);
+    /// 3. decrement the live counter once for the whole batch;
+    /// 4. emit every monitor event through one [`MonitorSink::on_batch`];
+    /// 5. re-submit all retries grouped per executor (one
+    ///    [`Executor::submit_batch`] each);
+    /// 6. fire all resolved futures while holding the dispatch flag, then
+    ///    perform a single `unpark_ready` + drain — a wide fan-in's
+    ///    downstream tasks ship as one submit batch.
+    fn handle_outcome_batch(self: &Arc<Self>, outcomes: Vec<TaskOutcome>) {
+        if outcomes.is_empty() {
+            return;
         }
-        let next = {
-            let mut shard = self.table.shard(outcome.id).lock();
-            let Some(rec) = shard.get_mut(&outcome.id) else {
-                return;
-            };
-            if rec.state.is_terminal() || rec.attempt != outcome.attempt {
-                // Stale: a retry or walltime expiry already superseded it.
-                Next::Ignore
-            } else {
+        // (1) shard grouping, preserving arrival order within a shard so a
+        // stale duplicate behind an accepted outcome still sees the
+        // terminal state it must be discarded against.
+        let mut by_shard: Vec<Vec<TaskOutcome>> = vec![Vec::new(); TABLE_SHARDS];
+        for outcome in outcomes {
+            by_shard[outcome.id.shard(TABLE_SHARDS)].push(outcome);
+        }
+
+        let monitoring = self.monitor.is_some();
+        let mut events: Vec<MonitorEvent> = Vec::new();
+        let mut checkpoints: Vec<(u64, Bytes)> = Vec::new();
+        let mut fire: Vec<(Arc<FutureState>, Result<Bytes, TaskError>)> = Vec::new();
+        // Retries: (spec, executor index, walltime) — armed and grouped
+        // per executor after the shard pass.
+        let mut retries: Vec<(TaskSpec, usize, Option<Duration>)> = Vec::new();
+
+        for group in by_shard {
+            let Some(first) = group.first() else { continue };
+            let mut shard = self.table.shard(first.id).lock();
+            for outcome in group {
+                let Some(rec) = shard.get_mut(&outcome.id) else {
+                    continue;
+                };
+                if rec.state.is_terminal() || rec.attempt != outcome.attempt {
+                    // Stale: a retry, walltime expiry, or an earlier
+                    // member of this very batch already superseded it.
+                    continue;
+                }
                 // The accepted outcome resolves exactly one dispatched
                 // attempt: release its in-flight slot (retries charge a
-                // fresh one below via route_retry).
+                // fresh one via route_retry).
                 if let Some(idx) = rec.executor_idx {
                     self.inflight[idx].fetch_sub(1, Ordering::Relaxed);
                 }
                 match outcome.result {
-                    Ok(bytes) => Next::Finalize(Ok(bytes), TaskState::Done),
+                    Ok(bytes) => {
+                        let (future, result, event, checkpoint) = self.commit_terminal(
+                            rec,
+                            outcome.id,
+                            TaskState::Done,
+                            Ok(bytes),
+                            monitoring,
+                        );
+                        checkpoints.extend(checkpoint);
+                        events.extend(event);
+                        fire.push((future, result));
+                    }
                     Err(e) => {
                         if rec.retries_left > 0 {
                             rec.retries_left -= 1;
@@ -1082,57 +1186,189 @@ impl DataFlowKernel {
                             let idx = self.route_retry(self.pinned_index(&rec.app));
                             let (spec, idx, walltime) =
                                 self.prepare_submit(rec, outcome.id, args, idx);
-                            Next::Retry(
-                                spec,
-                                Arc::clone(&self.executors[idx]),
-                                walltime,
-                                e.to_string(),
-                            )
+                            if monitoring {
+                                events.push(MonitorEvent::Retry {
+                                    task: outcome.id,
+                                    attempt: spec.attempt,
+                                    reason: e.to_string(),
+                                    at: self.started_at.elapsed(),
+                                });
+                            }
+                            retries.push((spec, idx, walltime));
                         } else {
-                            Next::Finalize(Err(e), TaskState::Failed)
+                            let (future, result, event, checkpoint) = self.commit_terminal(
+                                rec,
+                                outcome.id,
+                                TaskState::Failed,
+                                Err(e),
+                                monitoring,
+                            );
+                            checkpoints.extend(checkpoint);
+                            events.extend(event);
+                            fire.push((future, result));
                         }
                     }
                 }
             }
-        };
-        match next {
-            Next::Finalize(result, state) => self.finalize(outcome.id, result, state),
-            Next::Retry(spec, executor, walltime, reason) => {
-                self.emit(|| MonitorEvent::Retry {
-                    task: outcome.id,
-                    attempt: spec.attempt,
-                    reason,
-                    at: self.started_at.elapsed(),
-                });
-                if let Some(w) = walltime {
-                    self.deadlines.lock().push(Reverse((
-                        Instant::now() + w,
-                        outcome.id.0,
-                        spec.attempt,
-                    )));
-                }
-                let attempt = spec.attempt;
-                if let Err(e) = executor.submit(spec) {
-                    self.handle_outcome(TaskOutcome::new(
-                        outcome.id,
-                        attempt,
-                        Err(TaskError::ExecutorLost(e.to_string().into())),
-                    ));
-                }
+        }
+
+        // (2) one writer-locked checkpoint append for the whole batch.
+        if !checkpoints.is_empty() {
+            self.memo.record_batch(&checkpoints);
+        }
+
+        // (3) one live-counter update; wake wait_for_all at zero.
+        let finished = fire.len();
+        if finished > 0 && self.live.fetch_sub(finished, Ordering::AcqRel) == finished {
+            // Last live tasks: take the lock so a waiter between its
+            // atomic check and its wait cannot miss the notification.
+            let _guard = self.done_lock.lock();
+            self.all_done.notify_all();
+        }
+
+        // (4) one monitor call for everything this batch produced.
+        if let Some(m) = &self.monitor {
+            if !events.is_empty() {
+                m.on_batch(&events);
             }
-            Next::Ignore => {}
         }
-        // The freed in-flight slot may satisfy parked tasks.
-        if self.unpark_ready() {
-            self.drain_ready();
+
+        // (5) retries: arm walltimes and re-submit per executor as one
+        // batch. A failed submit synthesizes lost-task outcomes that
+        // recurse through this same path (bounded by the retry budget).
+        if !retries.is_empty() {
+            let mut per_exec: Vec<Vec<TaskSpec>> = vec![Vec::new(); self.executors.len()];
+            for (spec, idx, walltime) in retries {
+                if let Some(w) = walltime {
+                    self.arm_deadline(Instant::now() + w, spec.id, spec.attempt);
+                }
+                per_exec[idx].push(spec);
+            }
+            for (idx, batch) in per_exec.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                self.submit_group(idx, batch);
+            }
         }
+
+        // (6) fire all futures under one dispatch-flag hold: every child
+        // the whole batch unblocks lands in a single ready-queue drain.
+        let gated = self
+            .dispatching
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        for (future, result) in fire {
+            future.set(result);
+        }
+        // The freed in-flight slots may satisfy parked tasks; one check
+        // for the whole batch.
+        self.unpark_ready();
+        if gated {
+            self.drain_holding_flag();
+        }
+        self.drain_ready();
+    }
+
+    /// Submit one per-executor group, synthesizing lost-task outcomes for
+    /// the whole group if the executor refuses it.
+    fn submit_group(self: &Arc<Self>, idx: usize, batch: Vec<TaskSpec>) {
+        let executor = &self.executors[idx];
+        let manifest: Vec<(TaskId, u32)> = batch.iter().map(|s| (s.id, s.attempt)).collect();
+        let outcome = if batch.len() == 1 {
+            let mut batch = batch;
+            executor.submit(batch.pop().expect("len checked"))
+        } else {
+            executor.submit_batch(batch)
+        };
+        if let Err(e) = outcome {
+            let reason: Arc<str> = e.to_string().into();
+            self.handle_outcome_batch(
+                manifest
+                    .into_iter()
+                    .map(|(id, attempt)| {
+                        TaskOutcome::new(
+                            id,
+                            attempt,
+                            Err(TaskError::ExecutorLost(Arc::clone(&reason))),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+    }
+
+    /// Arm a walltime deadline, waking the watcher if it became the
+    /// earliest pending one (otherwise the watcher's current sleep
+    /// already covers it).
+    fn arm_deadline(&self, at: Instant, id: TaskId, attempt: u32) {
+        let mut heap = self.deadlines.lock();
+        let new_earliest = heap
+            .peek()
+            .is_none_or(|&Reverse((current, _, _))| at < current);
+        heap.push(Reverse((at, id.0, attempt)));
+        if new_earliest {
+            self.deadline_cv.notify_all();
+        }
+    }
+
+    /// Commit a terminal state on a record whose shard lock the caller
+    /// holds, returning everything the post-lock half of finalization
+    /// needs: the future to fire, the result to fire it with, the
+    /// monitor event (when monitoring), and the checkpoint entry (for a
+    /// memoizable `Done`). Shared by `finalize` (single task) and
+    /// `handle_outcome_batch` (the batched plane) so the two paths
+    /// cannot diverge.
+    #[allow(clippy::type_complexity)]
+    fn commit_terminal(
+        &self,
+        rec: &mut TaskRecord,
+        id: TaskId,
+        state: TaskState,
+        result: Result<Bytes, TaskError>,
+        monitoring: bool,
+    ) -> (
+        Arc<FutureState>,
+        Result<Bytes, TaskError>,
+        Option<MonitorEvent>,
+        Option<(u64, Bytes)>,
+    ) {
+        debug_assert!(state.is_terminal());
+        rec.state = state;
+        let checkpoint = if state == TaskState::Done {
+            match (rec.memo_key, &result) {
+                (Some(key), Ok(bytes)) => Some((key, bytes.clone())),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        rec.result = Some(result.clone());
+        let event = if monitoring {
+            Some(MonitorEvent::Task {
+                task: id,
+                app: rec.app.name.clone(),
+                state,
+                executor: rec
+                    .executor_idx
+                    .map(|i| self.executors[i].label().to_string()),
+                attempt: rec.attempt,
+                at: self.started_at.elapsed(),
+            })
+        } else {
+            None
+        };
+        (Arc::clone(&rec.future), result, event, checkpoint)
     }
 
     /// Commit a terminal state: store the result, memoize, notify the
     /// future (which fires dependent-edge callbacks), update counters.
+    /// The single-task specialization of the batched completion plane,
+    /// used by paths that do not originate from an executor outcome
+    /// (memo hits, dependency failures, failed submissions, shutdown).
     fn finalize(self: &Arc<Self>, id: TaskId, result: Result<Bytes, TaskError>, state: TaskState) {
-        debug_assert!(state.is_terminal());
-        let (future, app_name, executor_label, attempt) = {
+        let monitoring = self.monitor.is_some();
+        let (future, result, event, checkpoint) = {
             let mut shard = self.table.shard(id).lock();
             let Some(rec) = shard.get_mut(&id) else {
                 return;
@@ -1140,23 +1376,12 @@ impl DataFlowKernel {
             if rec.state.is_terminal() {
                 return; // already finalized (e.g. racing DepFail)
             }
-            rec.state = state;
-            rec.result = Some(result.clone());
-            if state == TaskState::Done {
-                if let (Some(key), Ok(bytes)) = (rec.memo_key, &result) {
-                    self.memo.record(key, bytes);
-                }
-            }
-            let label = rec
-                .executor_idx
-                .map(|i| self.executors[i].label().to_string());
-            (
-                Arc::clone(&rec.future),
-                rec.app.name.clone(),
-                label,
-                rec.attempt,
-            )
+            self.commit_terminal(rec, id, state, result, monitoring)
         };
+
+        if let Some((key, bytes)) = checkpoint {
+            self.memo.record(key, &bytes);
+        }
 
         if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last live task: take the lock so a waiter between its atomic
@@ -1165,14 +1390,9 @@ impl DataFlowKernel {
             self.all_done.notify_all();
         }
 
-        self.emit(|| MonitorEvent::Task {
-            task: id,
-            app: app_name,
-            state,
-            executor: executor_label,
-            attempt,
-            at: self.started_at.elapsed(),
-        });
+        if let (Some(m), Some(event)) = (&self.monitor, event) {
+            m.on_event(&event);
+        }
 
         // Assign the future last: this fires the dependent tasks' edge
         // callbacks and wakes user threads blocked in result(). Holding the
@@ -1258,6 +1478,13 @@ impl DataFlowKernel {
         self.parked.lock().len()
     }
 
+    /// Times the walltime watcher has woken up. Stays at zero on a kernel
+    /// that never arms a walltime — the watcher is deadline driven, not a
+    /// periodic poll.
+    pub fn walltime_wakeups(&self) -> u64 {
+        self.walltime_wakeups.load(Ordering::Relaxed)
+    }
+
     /// Block until every submitted task reaches a terminal state
     /// (Parsl's `wait_for_current_tasks`).
     pub fn wait_for_all(&self) {
@@ -1289,6 +1516,15 @@ impl DataFlowKernel {
     pub fn shutdown(self: &Arc<Self>) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
+        }
+        // The walltime watcher may be parked with no deadline; wake it so
+        // it can observe `stop` and exit. Notify *under* the deadlines
+        // lock: the watcher checks `stop` while holding it, so an
+        // unlocked notify could land in the window between its check and
+        // its wait and be lost — parking it (and this join) forever.
+        {
+            let _heap = self.deadlines.lock();
+            self.deadline_cv.notify_all();
         }
         for e in &self.executors {
             e.shutdown();
@@ -1324,8 +1560,13 @@ impl DataFlowKernel {
 impl Drop for DataFlowKernel {
     fn drop(&mut self) {
         // Threads hold Weak refs, so reaching Drop means they can't block
-        // us; stop flags let them exit promptly.
+        // us; stop flags let them exit promptly. As in shutdown(), the
+        // watcher wakeup must be published under the deadlines lock.
         self.stop.store(true, Ordering::Release);
+        {
+            let _heap = self.deadlines.lock();
+            self.deadline_cv.notify_all();
+        }
         self.completions.lock().take();
         for e in &self.executors {
             e.shutdown();

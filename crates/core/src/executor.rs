@@ -77,7 +77,16 @@ impl TaskOutcome {
 #[derive(Clone)]
 pub struct ExecutorContext {
     /// Where to deliver [`TaskOutcome`]s (shared by all executors).
-    pub completions: Sender<TaskOutcome>,
+    ///
+    /// The channel carries *batches*: an executor that receives a whole
+    /// result frame (HTEX/EXEX/LLEX) forwards it as one `Vec` so the
+    /// DFK's collector handles it in one completion-plane pass — one
+    /// shard lock per shard, one checkpoint append, one monitor batch —
+    /// instead of paying the full cycle per task. Single results ship as
+    /// one-element vectors; the collector's greedy drain coalesces those
+    /// too. Never *withhold* a finished outcome to grow a batch: the
+    /// DFK's walltime clock keeps running until the outcome is accepted.
+    pub completions: Sender<Vec<TaskOutcome>>,
     /// App lookup table for worker-side resolution.
     pub registry: Arc<AppRegistry>,
 }
@@ -254,7 +263,7 @@ impl Executor for ImmediateExecutor {
         self.outstanding
             .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
         ctx.completions
-            .send(outcome)
+            .send(vec![outcome])
             .map_err(|_| ExecutorError::Comm("completion channel closed".into()))
     }
 
@@ -311,7 +320,9 @@ mod tests {
         .unwrap();
         ex.submit(spec(app, Bytes::from(wire::to_bytes(&(21u32,)).unwrap())))
             .unwrap();
-        let outcome = rx.recv().unwrap();
+        let batch = rx.recv().unwrap();
+        assert_eq!(batch.len(), 1);
+        let outcome = batch.into_iter().next().unwrap();
         let v: u32 = wire::from_bytes(&outcome.result.unwrap()).unwrap();
         assert_eq!(v, 42);
         assert!(outcome.worker.unwrap().contains("inline"));

@@ -6,6 +6,7 @@
 //! `parsl-monitor`.
 
 use crate::types::{TaskId, TaskState};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A task state transition or worker-pool change.
@@ -15,8 +16,9 @@ pub enum MonitorEvent {
     Task {
         /// The task.
         task: TaskId,
-        /// App name, for per-app aggregation.
-        app: String,
+        /// App name, for per-app aggregation. Shared (`Arc<str>`) with the
+        /// app registration, so emitting an event never copies the string.
+        app: Arc<str>,
         /// The state entered.
         state: TaskState,
         /// Which executor (present from launch onward).
@@ -67,6 +69,19 @@ impl MonitorEvent {
 pub trait MonitorSink: Send + Sync {
     /// Handle one event.
     fn on_event(&self, event: &MonitorEvent);
+
+    /// Handle a batch of events produced by one completion-plane pass.
+    ///
+    /// The DFK's batched collector emits everything a drained batch of
+    /// outcomes produced (terminal transitions, retries) through a single
+    /// call, so a sink can take its lock or perform its write once per
+    /// batch instead of once per task. The default forwards event by
+    /// event, which keeps per-event sinks correct unchanged.
+    fn on_batch(&self, events: &[MonitorEvent]) {
+        for event in events {
+            self.on_event(event);
+        }
+    }
 }
 
 /// A sink that discards everything (monitoring disabled).
@@ -75,6 +90,8 @@ pub struct NullSink;
 
 impl MonitorSink for NullSink {
     fn on_event(&self, _event: &MonitorEvent) {}
+
+    fn on_batch(&self, _events: &[MonitorEvent]) {}
 }
 
 #[cfg(test)]
@@ -110,5 +127,30 @@ mod tests {
             reason: "x".into(),
             at: Duration::ZERO,
         });
+    }
+
+    #[test]
+    fn default_on_batch_forwards_per_event() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Counting(AtomicUsize);
+        impl MonitorSink for Counting {
+            fn on_event(&self, _e: &MonitorEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sink = Counting::default();
+        let events: Vec<MonitorEvent> = (0..3)
+            .map(|i| MonitorEvent::Task {
+                task: TaskId(i),
+                app: "a".into(),
+                state: TaskState::Done,
+                executor: None,
+                attempt: 0,
+                at: Duration::ZERO,
+            })
+            .collect();
+        sink.on_batch(&events);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 3);
     }
 }

@@ -52,7 +52,9 @@ pub struct RegisteredApp {
     /// Registry id, shipped with every task.
     pub id: AppId,
     /// Human-readable name (used in memo keys, logs, and monitoring).
-    pub name: String,
+    /// Shared as `Arc<str>` so the monitoring plane can stamp events with
+    /// the name without copying a `String` per task.
+    pub name: Arc<str>,
     /// Hash standing in for Parsl's function-body hash in memoization keys.
     /// Computed from the app name plus the concrete argument/result type
     /// names, since Rust cannot hash a closure's body. Documented contract:
@@ -108,7 +110,7 @@ impl AppRegistry {
         hasher.update(signature.as_bytes());
         let app = Arc::new(RegisteredApp {
             id,
-            name: name.to_string(),
+            name: name.into(),
             body_hash: hasher.digest(),
             kind,
             func,
@@ -160,7 +162,7 @@ mod tests {
         );
         assert_eq!(reg.len(), 1);
         let got = reg.get(app.id).expect("registered");
-        assert_eq!(got.name, "hello");
+        assert_eq!(&*got.name, "hello");
         assert_eq!(got.body_hash, app.body_hash);
     }
 

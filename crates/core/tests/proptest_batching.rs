@@ -1,22 +1,33 @@
-//! Property: batched dispatch is semantically invisible. For random
-//! layered DAGs (including failing nodes), running on an executor with a
-//! *native* batch implementation must yield byte-identical results and an
-//! identical task-state histogram to running on one that submits strictly
-//! one task per call. Seeded and deterministic: values are pure functions
-//! of the DAG shape.
+//! Property: batching is semantically invisible on *both* halves of the
+//! task lifecycle. For random layered DAGs (including failing nodes and
+//! retries):
+//!
+//! - **submission**: running on an executor with a *native* batch
+//!   implementation must yield byte-identical results and an identical
+//!   task-state histogram to running on one that submits strictly one
+//!   task per call;
+//! - **collection**: the DFK's batched completion plane
+//!   (`completion_batching(true)`, the default) must produce identical
+//!   results, states, attempt counts, and monitor-event multisets to the
+//!   per-task baseline (`completion_batching(false)`).
+//!
+//! Seeded and deterministic: values are pure functions of the DAG shape.
 
 use bytes::Bytes;
 use parsl_core::error::{AppError, ParslError, TaskError};
 use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
+use parsl_core::monitor::{MonitorEvent, MonitorSink};
 use parsl_core::prelude::*;
 use proptest::collection::vec;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // A minimal inline executor with switchable batch behaviour. `batched:
 // false` refuses the batch path entirely (every task arrives through
-// `submit`); `batched: true` executes a whole batch before delivering any
-// outcome — the most batch-like schedule possible.
+// `submit` and every outcome ships as a one-element frame); `batched:
+// true` executes a whole batch before delivering any outcome, shipping
+// all of them as one frame — the most batch-like schedule possible.
 // ---------------------------------------------------------------------------
 
 struct InlineExec {
@@ -28,11 +39,9 @@ struct InlineExec {
 impl InlineExec {
     fn new(batched: bool) -> Self {
         InlineExec {
-            label: if batched {
-                "inline-batched".into()
-            } else {
-                "inline-serial".into()
-            },
+            // Same label either way: runs in different modes must emit
+            // identical monitor events.
+            label: "inline".into(),
             batched,
             ctx: parking_lot::Mutex::new(None),
         }
@@ -59,7 +68,7 @@ impl Executor for InlineExec {
     fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
         let ctx = self.ctx.lock().clone().ok_or(ExecutorError::NotRunning)?;
         ctx.completions
-            .send(Self::run(&task))
+            .send(vec![Self::run(&task)])
             .map_err(|_| ExecutorError::Comm("completions closed".into()))
     }
 
@@ -73,12 +82,9 @@ impl Executor for InlineExec {
         }
         let ctx = self.ctx.lock().clone().ok_or(ExecutorError::NotRunning)?;
         let outcomes: Vec<TaskOutcome> = tasks.iter().map(Self::run).collect();
-        for o in outcomes {
-            ctx.completions
-                .send(o)
-                .map_err(|_| ExecutorError::Comm("completions closed".into()))?;
-        }
-        Ok(())
+        ctx.completions
+            .send(outcomes)
+            .map_err(|_| ExecutorError::Comm("completions closed".into()))
     }
 
     fn outstanding(&self) -> usize {
@@ -95,9 +101,66 @@ impl Executor for InlineExec {
 }
 
 // ---------------------------------------------------------------------------
+// An order-insensitive monitor capture: events normalized to comparable
+// tuples (the `at` timestamp dropped — wall-clock differs between runs).
+// ---------------------------------------------------------------------------
+
+/// (kind, task, app, state/reason, executor, attempt)
+type EventKey = (u8, u64, String, String, String, u32);
+
+#[derive(Default)]
+struct Capture(parking_lot::Mutex<Vec<EventKey>>);
+
+impl Capture {
+    fn multiset(&self) -> Vec<EventKey> {
+        let mut v = self.0.lock().clone();
+        v.sort();
+        v
+    }
+}
+
+impl MonitorSink for Capture {
+    fn on_event(&self, event: &MonitorEvent) {
+        let key = match event {
+            MonitorEvent::Task {
+                task,
+                app,
+                state,
+                executor,
+                attempt,
+                ..
+            } => (
+                0u8,
+                task.0,
+                app.to_string(),
+                state.to_string(),
+                executor.clone().unwrap_or_default(),
+                *attempt,
+            ),
+            MonitorEvent::Retry {
+                task,
+                attempt,
+                reason,
+                ..
+            } => (
+                1u8,
+                task.0,
+                String::new(),
+                reason.clone(),
+                String::new(),
+                *attempt,
+            ),
+            MonitorEvent::Workers { .. } => return,
+        };
+        self.0.lock().push(key);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Random layered DAGs. Node (li, ni) depends on a subset of layer li−1 and
 // computes base + Σ parents; nodes where `(li * 31 + ni) % 7 == 0` (and
-// `with_failures`) fail instead, exercising DepFail propagation.
+// `with_failures`) fail instead, exercising DepFail propagation and — with
+// a retry budget — the batched retry path.
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
@@ -131,18 +194,33 @@ fn fails(dag: &Dag, li: usize, ni: usize) -> bool {
     dag.with_failures && (li * 31 + ni) % 7 == 0
 }
 
-/// Per-layer node results, total task count, and final state histogram.
-type RunOutput = (
-    Vec<Vec<Result<u64, &'static str>>>,
-    usize,
-    Vec<(TaskState, usize)>,
-);
+/// Per-layer node results, total task count, state histogram, per-task
+/// retry counts, and the normalized monitor-event multiset.
+struct RunOutput {
+    values: Vec<Vec<Result<u64, &'static str>>>,
+    task_count: usize,
+    state_counts: Vec<(TaskState, usize)>,
+    retries: Vec<(u64, u32)>,
+    events: Vec<EventKey>,
+}
 
-/// One run of the DAG; returns each node's observed result (`Ok(value)` or
-/// a stable error discriminant) plus the kernel's final accounting.
-fn run(dag: &Dag, batched: bool) -> RunOutput {
+/// One run of the DAG; `submit_batched` selects the executor's submission
+/// mode, `collect_batched` the DFK's collection mode.
+fn run(dag: &Dag, submit_batched: bool, collect_batched: bool) -> RunOutput {
+    let capture = Arc::new(Capture::default());
+    let store = Arc::new(parsl_monitor_capture::Retries::default());
+    struct Tee(Arc<Capture>, Arc<parsl_monitor_capture::Retries>);
+    impl MonitorSink for Tee {
+        fn on_event(&self, e: &MonitorEvent) {
+            self.0.on_event(e);
+            self.1.on_event(e);
+        }
+    }
     let dfk = DataFlowKernel::builder()
-        .executor(InlineExec::new(batched))
+        .executor(InlineExec::new(submit_batched))
+        .completion_batching(collect_batched)
+        .retries(1)
+        .monitor(Arc::new(Tee(Arc::clone(&capture), Arc::clone(&store))))
         .build()
         .unwrap();
     let node = dfk.python_app_fallible(
@@ -173,7 +251,7 @@ fn run(dag: &Dag, batched: bool) -> RunOutput {
         futures.push(layer_futs);
     }
 
-    let results: Vec<Vec<Result<u64, &'static str>>> = futures
+    let values: Vec<Vec<Result<u64, &'static str>>> = futures
         .iter()
         .map(|layer| {
             layer
@@ -190,35 +268,83 @@ fn run(dag: &Dag, batched: bool) -> RunOutput {
 
     dfk.wait_for_all();
     let task_count = dfk.task_count();
-    let mut counts: Vec<(TaskState, usize)> = dfk.state_counts().into_iter().collect();
-    counts.sort_by_key(|(s, _)| format!("{s}"));
+    let mut state_counts: Vec<(TaskState, usize)> = dfk.state_counts().into_iter().collect();
+    state_counts.sort_by_key(|(s, _)| format!("{s}"));
     dfk.shutdown();
-    (results, task_count, counts)
+    RunOutput {
+        values,
+        task_count,
+        state_counts,
+        retries: store.sorted(),
+        events: capture.multiset(),
+    }
+}
+
+/// Tiny helper sink counting retries per task (the attempt-count witness).
+mod parsl_monitor_capture {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    pub struct Retries(parking_lot::Mutex<HashMap<u64, u32>>);
+
+    impl Retries {
+        pub fn sorted(&self) -> Vec<(u64, u32)> {
+            let mut v: Vec<(u64, u32)> = self.0.lock().iter().map(|(&k, &v)| (k, v)).collect();
+            v.sort();
+            v
+        }
+    }
+
+    impl MonitorSink for Retries {
+        fn on_event(&self, event: &MonitorEvent) {
+            if let MonitorEvent::Retry { task, .. } = event {
+                *self.0.lock().entry(task.0).or_insert(0) += 1;
+            }
+        }
+    }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Batched and per-task submission are observationally identical:
+    /// Batched and per-task *submission* are observationally identical:
     /// same per-node values (and failure kinds), same task count, same
     /// terminal-state histogram.
     #[test]
     fn batched_equals_per_task(dag in dag_strategy()) {
-        let (serial_vals, serial_n, serial_counts) = run(&dag, false);
-        let (batch_vals, batch_n, batch_counts) = run(&dag, true);
-        prop_assert_eq!(serial_vals, batch_vals);
-        prop_assert_eq!(serial_n, batch_n);
-        prop_assert_eq!(serial_counts, batch_counts);
+        let serial = run(&dag, false, true);
+        let batch = run(&dag, true, true);
+        prop_assert_eq!(serial.values, batch.values);
+        prop_assert_eq!(serial.task_count, batch.task_count);
+        prop_assert_eq!(serial.state_counts, batch.state_counts);
     }
 
-    /// Determinism of the batched path itself: two runs of the same DAG
-    /// agree bit for bit.
+    /// Batched and per-task *collection* are observationally identical:
+    /// same values, task count, state histogram, per-task retry counts,
+    /// and monitor-event multiset (order-insensitive, timestamps
+    /// excluded).
+    #[test]
+    fn batched_collection_equals_per_task_collection(dag in dag_strategy()) {
+        let batched = run(&dag, true, true);
+        let per_task = run(&dag, true, false);
+        prop_assert_eq!(batched.values, per_task.values);
+        prop_assert_eq!(batched.task_count, per_task.task_count);
+        prop_assert_eq!(batched.state_counts, per_task.state_counts);
+        prop_assert_eq!(batched.retries, per_task.retries);
+        prop_assert_eq!(batched.events, per_task.events);
+    }
+
+    /// Determinism of the fully batched path itself: two runs of the same
+    /// DAG agree bit for bit (and event for event).
     #[test]
     fn batched_run_is_deterministic(dag in dag_strategy()) {
-        let a = run(&dag, true);
-        let b = run(&dag, true);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
-        prop_assert_eq!(a.2, b.2);
+        let a = run(&dag, true, true);
+        let b = run(&dag, true, true);
+        prop_assert_eq!(a.values, b.values);
+        prop_assert_eq!(a.task_count, b.task_count);
+        prop_assert_eq!(a.state_counts, b.state_counts);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(a.events, b.events);
     }
 }

@@ -56,7 +56,7 @@ impl GatedExecutor {
             .map_err(TaskError::App);
         self.inflight.fetch_sub(1, Ordering::SeqCst);
         ctx.completions
-            .send(TaskOutcome::new(task.id, task.attempt, result))
+            .send(vec![TaskOutcome::new(task.id, task.attempt, result)])
             .expect("collector alive");
         true
     }

@@ -132,7 +132,7 @@ mod tests {
                     ..
                 } = e
                 {
-                    self.0.lock().push((app.clone(), l.clone()));
+                    self.0.lock().push((app.to_string(), l.clone()));
                 }
             }
         }

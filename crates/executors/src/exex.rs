@@ -18,10 +18,7 @@ use crate::proto::{encode, ToClient, ToInterchange, ToManager, WireResult, WireT
 use minimpi::{Rank, Tag, World, ANY_SOURCE};
 use nexus::{Addr, Endpoint, Fabric};
 use parking_lot::Mutex;
-use parsl_core::error::TaskError;
-use parsl_core::executor::{
-    BlockScaling, Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec,
-};
+use parsl_core::executor::{BlockScaling, Executor, ExecutorContext, ExecutorError, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -678,34 +675,23 @@ fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
         };
         match crate::proto::decode::<ToClient>(&env.payload) {
             Ok(ToClient::Results(results)) => {
-                for r in results {
-                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                    let outcome = TaskOutcome {
-                        id: parsl_core::types::TaskId(r.id),
-                        attempt: r.attempt,
-                        result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
-                        worker: Some(r.worker),
-                        started: None,
-                        finished: Some(Instant::now()),
-                    };
-                    if ctx.completions.send(outcome).is_err() {
-                        return;
-                    }
+                // One frame in, one completion batch out.
+                shared
+                    .outstanding
+                    .fetch_sub(results.len(), Ordering::Relaxed);
+                let outcomes = crate::proto::outcomes_from_results(results);
+                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                    return;
                 }
             }
             Ok(ToClient::ManagerLost { name, tasks }) => {
-                for (id, attempt) in tasks {
-                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                    let outcome = TaskOutcome::new(
-                        parsl_core::types::TaskId(id),
-                        attempt,
-                        Err(TaskError::ExecutorLost(
-                            format!("MPI pool {name} lost (heartbeat expired)").into(),
-                        )),
-                    );
-                    if ctx.completions.send(outcome).is_err() {
-                        return;
-                    }
+                shared.outstanding.fetch_sub(tasks.len(), Ordering::Relaxed);
+                let outcomes = crate::proto::outcomes_from_lost(
+                    tasks,
+                    &format!("MPI pool {name} lost (heartbeat expired)"),
+                );
+                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                    return;
                 }
             }
             _ => {}

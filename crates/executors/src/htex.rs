@@ -25,10 +25,7 @@ use crate::proto::{
 use crossbeam::channel::{bounded, unbounded, Sender};
 use nexus::{Addr, Endpoint, Fabric};
 use parking_lot::Mutex;
-use parsl_core::error::TaskError;
-use parsl_core::executor::{
-    BlockScaling, Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec,
-};
+use parsl_core::executor::{BlockScaling, Executor, ExecutorContext, ExecutorError, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -736,34 +733,25 @@ fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
         };
         match crate::proto::decode::<ToClient>(&env.payload) {
             Ok(ToClient::Results(results)) => {
-                for r in results {
-                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                    let outcome = TaskOutcome {
-                        id: parsl_core::types::TaskId(r.id),
-                        attempt: r.attempt,
-                        result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
-                        worker: Some(r.worker),
-                        started: None,
-                        finished: Some(Instant::now()),
-                    };
-                    if ctx.completions.send(outcome).is_err() {
-                        return;
-                    }
+                // Forward the whole frame as one completion batch — the
+                // batching the interchange/manager did on the wire is
+                // preserved through the DFK's collector.
+                shared
+                    .outstanding
+                    .fetch_sub(results.len(), Ordering::Relaxed);
+                let outcomes = crate::proto::outcomes_from_results(results);
+                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                    return;
                 }
             }
             Ok(ToClient::ManagerLost { name, tasks }) => {
-                for (id, attempt) in tasks {
-                    shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                    let outcome = TaskOutcome::new(
-                        parsl_core::types::TaskId(id),
-                        attempt,
-                        Err(TaskError::ExecutorLost(
-                            format!("manager {name} lost (heartbeat expired)").into(),
-                        )),
-                    );
-                    if ctx.completions.send(outcome).is_err() {
-                        return;
-                    }
+                shared.outstanding.fetch_sub(tasks.len(), Ordering::Relaxed);
+                let outcomes = crate::proto::outcomes_from_lost(
+                    tasks,
+                    &format!("manager {name} lost (heartbeat expired)"),
+                );
+                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                    return;
                 }
             }
             Ok(ToClient::CommandReply(reply)) => {
@@ -825,12 +813,14 @@ mod tests {
         htex.submit_batch(batch).unwrap();
 
         let mut got = std::collections::HashMap::new();
-        for _ in 0..n {
-            let outcome = rx
+        while got.len() < n as usize {
+            let outcomes = rx
                 .recv_timeout(Duration::from_secs(10))
                 .expect("batch completes");
-            let v: u64 = wire::from_bytes(&outcome.result.unwrap()).unwrap();
-            got.insert(outcome.id.0, v);
+            for outcome in outcomes {
+                let v: u64 = wire::from_bytes(&outcome.result.unwrap()).unwrap();
+                got.insert(outcome.id.0, v);
+            }
         }
         for i in 0..n {
             assert_eq!(got.get(&i), Some(&(i * 2)), "task {i}");

@@ -21,13 +21,12 @@ use crate::kernel;
 use crate::proto::{encode, ToClient, ToInterchange, ToManager, WireResult, WireTask};
 use nexus::{Addr, Endpoint, Fabric};
 use parking_lot::Mutex;
-use parsl_core::error::TaskError;
-use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
+use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskSpec};
 use parsl_core::registry::AppRegistry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// LLEX configuration.
 #[derive(Debug, Clone)]
@@ -333,19 +332,14 @@ fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
             continue;
         };
         if let Ok(ToClient::Results(results)) = crate::proto::decode::<ToClient>(&env.payload) {
-            for r in results {
-                shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-                let outcome = TaskOutcome {
-                    id: parsl_core::types::TaskId(r.id),
-                    attempt: r.attempt,
-                    result: r.outcome.map(bytes::Bytes::from).map_err(TaskError::App),
-                    worker: Some(r.worker),
-                    started: None,
-                    finished: Some(Instant::now()),
-                };
-                if ctx.completions.send(outcome).is_err() {
-                    return;
-                }
+            // Even single-task LLEX frames ride the batch channel; a burst
+            // of frames is coalesced by the collector's greedy drain.
+            shared
+                .outstanding
+                .fetch_sub(results.len(), Ordering::Relaxed);
+            let outcomes = crate::proto::outcomes_from_results(results);
+            if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                return;
             }
         }
     }

@@ -89,6 +89,50 @@ pub fn chunk_by_frame_budget(tasks: Vec<WireTask>, max_frame_bytes: usize) -> Ve
     chunks
 }
 
+/// Convert one `Results` frame into the completion batch the DFK's
+/// collector consumes, stamped with a shared finish time. Shared by the
+/// wire executors' client loops (HTEX, EXEX, LLEX and the baselines): the
+/// frame that crossed the fabric as one message stays one message on the
+/// completion channel instead of exploding into per-task sends.
+pub fn outcomes_from_results(results: Vec<WireResult>) -> Vec<parsl_core::executor::TaskOutcome> {
+    let finished = std::time::Instant::now();
+    results
+        .into_iter()
+        .map(|r| parsl_core::executor::TaskOutcome {
+            id: parsl_core::types::TaskId(r.id),
+            attempt: r.attempt,
+            result: r
+                .outcome
+                .map(bytes::Bytes::from)
+                .map_err(parsl_core::error::TaskError::App),
+            worker: Some(r.worker),
+            started: None,
+            finished: Some(finished),
+        })
+        .collect()
+}
+
+/// Convert a `ManagerLost` report into one completion batch of
+/// `ExecutorLost` failures (the reason is shared, not cloned per task).
+pub fn outcomes_from_lost(
+    tasks: Vec<(u64, u32)>,
+    reason: &str,
+) -> Vec<parsl_core::executor::TaskOutcome> {
+    let reason: std::sync::Arc<str> = reason.into();
+    tasks
+        .into_iter()
+        .map(|(id, attempt)| {
+            parsl_core::executor::TaskOutcome::new(
+                parsl_core::types::TaskId(id),
+                attempt,
+                Err(parsl_core::error::TaskError::ExecutorLost(
+                    std::sync::Arc::clone(&reason),
+                )),
+            )
+        })
+        .collect()
+}
+
 /// A result as shipped back from workers.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct WireResult {

@@ -70,7 +70,15 @@ fn worker_loop(
             started: Some(started),
             finished: Some(Instant::now()),
         };
-        if ctx.completions.send(outcome).is_err() {
+        // Each outcome ships the moment it exists. A worker must never
+        // hold a finished result while it executes further tasks: the
+        // DFK's walltime clock keeps running on the withheld outcome, so
+        // buffering here could spuriously expire (and re-run) a task that
+        // succeeded in time. Completion batching for the pool happens at
+        // the right layer instead — the DFK's collector greedily drains
+        // the channel, coalescing a burst from all workers into one
+        // completion-plane pass without ever delaying delivery.
+        if ctx.completions.send(vec![outcome]).is_err() {
             return; // DFK is gone
         }
     }

@@ -36,54 +36,68 @@ fn csv_escape(s: &str) -> String {
     }
 }
 
+/// Write one event's row (caller holds the writer lock). Failures are
+/// swallowed like any logging sink's; `flush()` surfaces them.
+fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
+    let _ = match event {
+        MonitorEvent::Task {
+            task,
+            app,
+            state,
+            executor,
+            attempt,
+            at,
+        } => writeln!(
+            w,
+            "task,{},{},{},{},{},{},",
+            at.as_micros(),
+            task,
+            csv_escape(app),
+            state,
+            executor.as_deref().unwrap_or(""),
+            attempt
+        ),
+        MonitorEvent::Retry {
+            task,
+            attempt,
+            reason,
+            at,
+        } => writeln!(
+            w,
+            "retry,{},{},,,,{},{}",
+            at.as_micros(),
+            task,
+            attempt,
+            csv_escape(reason)
+        ),
+        MonitorEvent::Workers {
+            executor,
+            connected,
+            outstanding,
+            at,
+        } => writeln!(
+            w,
+            "workers,{},,,,{},,connected={} outstanding={}",
+            at.as_micros(),
+            executor,
+            connected,
+            outstanding
+        ),
+    };
+}
+
 impl MonitorSink for CsvSink {
     fn on_event(&self, event: &MonitorEvent) {
+        write_event(&mut self.writer.lock(), event);
+    }
+
+    /// Native batching: one lock acquisition per completion-plane pass;
+    /// the rows land back to back in the same buffered stream.
+    fn on_batch(&self, events: &[MonitorEvent]) {
         let mut w = self.writer.lock();
-        let _ = match event {
-            MonitorEvent::Task {
-                task,
-                app,
-                state,
-                executor,
-                attempt,
-                at,
-            } => writeln!(
-                w,
-                "task,{},{},{},{},{},{},",
-                at.as_micros(),
-                task,
-                csv_escape(app),
-                state,
-                executor.as_deref().unwrap_or(""),
-                attempt
-            ),
-            MonitorEvent::Retry {
-                task,
-                attempt,
-                reason,
-                at,
-            } => writeln!(
-                w,
-                "retry,{},{},,,,{},{}",
-                at.as_micros(),
-                task,
-                attempt,
-                csv_escape(reason)
-            ),
-            MonitorEvent::Workers {
-                executor,
-                connected,
-                outstanding,
-                at,
-            } => writeln!(
-                w,
-                "workers,{},,,,{},,connected={} outstanding={}",
-                at.as_micros(),
-                executor,
-                connected,
-                outstanding
-            ),
-        };
+        for event in events {
+            write_event(&mut w, event);
+        }
     }
 }
 

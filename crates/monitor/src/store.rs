@@ -4,13 +4,14 @@ use parking_lot::RwLock;
 use parsl_core::monitor::{MonitorEvent, MonitorSink};
 use parsl_core::types::{TaskId, TaskState};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-task lifecycle timestamps derived from the event stream.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TaskTimeline {
-    /// App name.
-    pub app: String,
+    /// App name (shared with the event stream, never copied per event).
+    pub app: Arc<str>,
     /// First `Pending` event.
     pub submitted: Option<Duration>,
     /// Most recent `Launched` event (retries re-launch).
@@ -106,57 +107,70 @@ impl MemoryStore {
     }
 }
 
-impl MonitorSink for MemoryStore {
-    fn on_event(&self, event: &MonitorEvent) {
-        let mut inner = self.inner.write();
-        match event {
-            MonitorEvent::Task {
-                task,
-                app,
-                state,
-                executor,
-                at,
-                ..
-            } => {
-                let t = inner.timelines.entry(*task).or_default();
-                if t.app.is_empty() {
-                    t.app = app.clone();
+/// Fold one event into the store (caller holds the write lock).
+fn apply(inner: &mut Inner, event: &MonitorEvent) {
+    match event {
+        MonitorEvent::Task {
+            task,
+            app,
+            state,
+            executor,
+            at,
+            ..
+        } => {
+            let t = inner.timelines.entry(*task).or_default();
+            if t.app.is_empty() {
+                t.app = Arc::clone(app);
+            }
+            match state {
+                TaskState::Pending => t.submitted = Some(*at),
+                TaskState::Launched => {
+                    t.launched = Some(*at);
+                    t.executor.clone_from(executor);
                 }
-                match state {
-                    TaskState::Pending => t.submitted = Some(*at),
-                    TaskState::Launched => {
-                        t.launched = Some(*at);
+                s if s.is_terminal() => {
+                    t.finished = Some(*at);
+                    t.final_state = Some(*s);
+                    if t.executor.is_none() {
                         t.executor.clone_from(executor);
                     }
-                    s if s.is_terminal() => {
-                        t.finished = Some(*at);
-                        t.final_state = Some(*s);
-                        if t.executor.is_none() {
-                            t.executor.clone_from(executor);
-                        }
-                    }
-                    _ => {}
                 }
-            }
-            MonitorEvent::Retry { task, at, .. } => {
-                let t = inner.timelines.entry(*task).or_default();
-                t.retries += 1;
-                let _ = at;
-            }
-            MonitorEvent::Workers {
-                executor,
-                connected,
-                at,
-                ..
-            } => {
-                inner
-                    .workers
-                    .entry(executor.clone())
-                    .or_default()
-                    .push((*at, *connected));
+                _ => {}
             }
         }
-        inner.events.push(event.clone());
+        MonitorEvent::Retry { task, at, .. } => {
+            let t = inner.timelines.entry(*task).or_default();
+            t.retries += 1;
+            let _ = at;
+        }
+        MonitorEvent::Workers {
+            executor,
+            connected,
+            at,
+            ..
+        } => {
+            inner
+                .workers
+                .entry(executor.clone())
+                .or_default()
+                .push((*at, *connected));
+        }
+    }
+    inner.events.push(event.clone());
+}
+
+impl MonitorSink for MemoryStore {
+    fn on_event(&self, event: &MonitorEvent) {
+        apply(&mut self.inner.write(), event);
+    }
+
+    /// Native batching: one write-lock acquisition covers everything a
+    /// completion-plane pass produced.
+    fn on_batch(&self, events: &[MonitorEvent]) {
+        let mut inner = self.inner.write();
+        for event in events {
+            apply(&mut inner, event);
+        }
     }
 }
 

@@ -126,6 +126,92 @@ fn manager_death_mid_batch_reports_and_retries_all_outstanding() {
 }
 
 #[test]
+fn manager_death_with_partially_reported_results_loses_and_duplicates_nothing() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static RUNS: AtomicU32 = AtomicU32::new(0);
+    RUNS.store(0, Ordering::SeqCst);
+
+    // Small result batches + slow tasks: the manager reports results a few
+    // frames at a time, so when it is killed mid-campaign some of its batch
+    // is already reported and the rest is still outstanding on it. The
+    // interchange's ManagerLost report arrives as ONE outcome batch through
+    // the batched completion plane; the DFK must retry exactly the
+    // unreported remainder — nothing lost, nothing finalized twice.
+    let htex = Arc::new(parsl::executors::HtexExecutor::new(
+        parsl::executors::HtexConfig {
+            workers_per_node: 2,
+            prefetch: 16,
+            batch_size: 2,
+            init_blocks: 1,
+            heartbeat_period: Duration::from_millis(30),
+            heartbeat_threshold: Duration::from_millis(150),
+            ..Default::default()
+        },
+    ));
+    let store = Arc::new(parsl::monitor::MemoryStore::new());
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(htex.clone())
+        .retries(3)
+        .monitor(store.clone())
+        .build()
+        .unwrap();
+
+    let root = dfk.python_app("gate", || 0u64);
+    let slow = dfk.python_app("slow", |gate: u64, x: u64| {
+        RUNS.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(25));
+        gate + x * 5
+    });
+    let gate = parsl::core::call!(root);
+    let futs: Vec<_> = (0..12u64)
+        .map(|i| slow.call((Dep::future(gate.clone()), Dep::value(i))))
+        .collect();
+
+    // Let several results flow back (2 workers × ~25 ms ≈ 6+ reported),
+    // then kill the manager while the rest of the batch sits on it.
+    std::thread::sleep(Duration::from_millis(120));
+    let nodes = htex.nodes();
+    htex.kill_node(nodes.first().expect("one node up"));
+    htex.add_node();
+
+    // Nothing lost: every future resolves with the right value.
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(30)).unwrap(),
+            i as u64 * 5,
+            "task {i} must survive the partially-reported batch loss"
+        );
+    }
+    dfk.wait_for_all();
+
+    // Nothing finalized twice: exactly one terminal monitor event per
+    // task, and the terminal histogram is all-Done.
+    let counts = dfk.state_counts();
+    assert_eq!(counts.get(&TaskState::Done), Some(&13), "gate + 12 Done");
+    let mut terminal_events: std::collections::HashMap<u64, usize> = Default::default();
+    for e in store.events() {
+        if let parsl::core::MonitorEvent::Task { task, state, .. } = e {
+            if state.is_terminal() {
+                *terminal_events.entry(task.0).or_insert(0) += 1;
+            }
+        }
+    }
+    assert_eq!(terminal_events.len(), 13, "every task reached terminal");
+    for (task, n) in &terminal_events {
+        assert_eq!(*n, 1, "task {task} finalized {n} times");
+    }
+    // At least the unreported remainder re-ran; duplicates beyond one
+    // re-execution per lost task would betray double-processing.
+    let runs = RUNS.load(Ordering::SeqCst);
+    assert!(
+        (12..=24).contains(&runs),
+        "expected 12..=24 executions (12 + retried remainder), saw {runs}"
+    );
+    dfk.shutdown();
+    assert_eq!(htex.outstanding(), 0, "outstanding gauge restored");
+}
+
+#[test]
 fn exex_pool_fate_sharing_is_recovered_by_retries() {
     let exex = Arc::new(parsl::executors::ExexExecutor::new(
         parsl::executors::ExexConfig {
