@@ -244,6 +244,7 @@ fn worker_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, index: usize) {
         encode(&ToInterchange::Register {
             name: addr.to_string(),
             capacity: 1,
+            held: vec![],
         }),
     );
     loop {

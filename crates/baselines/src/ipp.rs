@@ -225,6 +225,7 @@ fn engine_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, index: usize) {
         encode(&ToInterchange::Register {
             name: addr.to_string(),
             capacity: 1,
+            held: vec![],
         }),
     );
     loop {

@@ -63,6 +63,10 @@ pub struct RegisteredApp {
     pub body_hash: u64,
     /// Native, bash, or staging.
     pub kind: AppKind,
+    /// Type signature recorded at registration. Advertised to remote
+    /// worker processes, which bind their local body for the same name
+    /// under the shipped id (function-by-reference, as in Parsl).
+    pub signature: Arc<str>,
     /// The callable.
     pub func: ErasedAppFn,
     /// Decorator options.
@@ -104,6 +108,36 @@ impl AppRegistry {
         options: AppOptions,
     ) -> Arc<RegisteredApp> {
         let id = AppId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.insert_at(id, name, kind, signature, func, options)
+    }
+
+    /// Register an app under a caller-supplied id — the remote-worker
+    /// path. The interchange advertises `(id, name, signature)` to worker
+    /// processes, which bind their local body for `name` under the shipped
+    /// id so arriving tasks resolve. The id counter is reconciled so later
+    /// local registrations never collide with remote-assigned ids.
+    pub fn register_remote(
+        &self,
+        id: AppId,
+        name: &str,
+        kind: AppKind,
+        signature: &str,
+        func: ErasedAppFn,
+        options: AppOptions,
+    ) -> Arc<RegisteredApp> {
+        self.next.fetch_max(id.0 + 1, Ordering::Relaxed);
+        self.insert_at(id, name, kind, signature, func, options)
+    }
+
+    fn insert_at(
+        &self,
+        id: AppId,
+        name: &str,
+        kind: AppKind,
+        signature: &str,
+        func: ErasedAppFn,
+        options: AppOptions,
+    ) -> Arc<RegisteredApp> {
         let mut hasher = wire::Fnv1aHasher::new();
         hasher.update(name.as_bytes());
         hasher.update(b"\0");
@@ -113,6 +147,7 @@ impl AppRegistry {
             name: name.into(),
             body_hash: hasher.digest(),
             kind,
+            signature: signature.into(),
             func,
             options,
         });
@@ -215,5 +250,24 @@ mod tests {
     fn unknown_id_is_none() {
         let reg = AppRegistry::new();
         assert!(reg.get(AppId(42)).is_none());
+    }
+
+    #[test]
+    fn register_remote_binds_shipped_id_and_reconciles_counter() {
+        let reg = AppRegistry::new();
+        let remote = reg.register_remote(
+            AppId(7),
+            "noop",
+            AppKind::Native,
+            "(u64)->u64",
+            noop_fn(),
+            AppOptions::default(),
+        );
+        assert_eq!(remote.id, AppId(7));
+        assert_eq!(&*remote.signature, "(u64)->u64");
+        assert!(reg.get(AppId(7)).is_some());
+        // Later local registrations skip past the remote-assigned id.
+        let local = reg.register("x", AppKind::Native, "()", noop_fn(), AppOptions::default());
+        assert!(local.id.0 > 7);
     }
 }

@@ -301,7 +301,7 @@ impl Executor for ExexExecutor {
             .clone()
             .ok_or(ExecutorError::NotRunning)?;
         crate::proto::send_task_batch(
-            &ep,
+            ep.as_ref(),
             &self.shared.ix_addr,
             &self.shared.outstanding,
             self.shared.fabric.max_frame_bytes(),
@@ -417,7 +417,7 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
             match crate::proto::decode::<ToInterchange>(&env.payload) {
                 Ok(ToInterchange::Submit(task)) => pending.push_back(task),
                 Ok(ToInterchange::SubmitBatch(tasks)) => pending.extend(tasks),
-                Ok(ToInterchange::Register { name: _, capacity }) => {
+                Ok(ToInterchange::Register { capacity, .. }) => {
                     shared
                         .connected_workers
                         .fetch_add(capacity, Ordering::Relaxed);
@@ -549,6 +549,7 @@ fn pool_manager_loop(shared: Arc<Shared>, rank: Rank, addr: Addr) {
         encode(&ToInterchange::Register {
             name: addr.to_string(),
             capacity: n_workers,
+            held: vec![],
         }),
     );
 
@@ -563,7 +564,8 @@ fn pool_manager_loop(shared: Arc<Shared>, rank: Rank, addr: Addr) {
         match ep.recv_timeout(Duration::from_millis(1)) {
             Ok(env) => match crate::proto::decode::<ToManager>(&env.payload) {
                 Ok(ToManager::Tasks(batch)) => backlog.extend(batch),
-                Ok(ToManager::Heartbeat) => {}
+                // Pools share the client registry; advertisements are moot.
+                Ok(ToManager::Apps(_)) | Ok(ToManager::Heartbeat) => {}
                 Ok(ToManager::Shutdown) => draining = true,
                 Err(_) => {}
             },
@@ -666,35 +668,12 @@ fn worker_rank_loop(rank: Rank, registry: Arc<AppRegistry>) {
 }
 
 fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
-            continue;
-        };
-        match crate::proto::decode::<ToClient>(&env.payload) {
-            Ok(ToClient::Results(results)) => {
-                // One frame in, one completion batch out.
-                shared
-                    .outstanding
-                    .fetch_sub(results.len(), Ordering::Relaxed);
-                let outcomes = crate::proto::outcomes_from_results(results);
-                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
-                    return;
-                }
-            }
-            Ok(ToClient::ManagerLost { name, tasks }) => {
-                shared.outstanding.fetch_sub(tasks.len(), Ordering::Relaxed);
-                let outcomes = crate::proto::outcomes_from_lost(
-                    tasks,
-                    &format!("MPI pool {name} lost (heartbeat expired)"),
-                );
-                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
-                    return;
-                }
-            }
-            _ => {}
-        }
-    }
+    crate::proto::client_recv_loop(
+        ep.as_ref(),
+        &shared.stop,
+        &shared.outstanding,
+        &ctx,
+        "MPI pool",
+        None,
+    );
 }

@@ -17,19 +17,27 @@
 //! exits immediately "to avoid resource wastage"; when the interchange
 //! loses a manager with outstanding tasks, it reports them to the client
 //! so the DFK can retry.
+//!
+//! The topology runs over either message plane (see [`nexus::transport`]):
+//! the in-proc fabric (threads, deterministic fault injection) or real
+//! loopback/remote TCP ([`HtexExecutor::tcp`]), where managers are
+//! `parsl-worker` *processes* spawned through the `providers` launcher
+//! path and connected back via [`nexus::TcpSpoke`].
 
-use crate::kernel;
 use crate::proto::{
-    encode, Command, CommandReply, ToClient, ToInterchange, ToManager, WireResult, WireTask,
+    encode, Command, CommandReply, ToClient, ToInterchange, ToManager, WireApp, WireTask,
 };
-use crossbeam::channel::{bounded, unbounded, Sender};
-use nexus::{Addr, Endpoint, Fabric};
+use crate::worker::{manager_loop, ManagerCfg};
+use crossbeam::channel::{bounded, Sender};
+use nexus::{Addr, Fabric, Port, SpokeConfig, TcpHub, TcpSpoke, Transport};
 use parking_lot::Mutex;
 use parsl_core::executor::{BlockScaling, Executor, ExecutorContext, ExecutorError, TaskSpec};
-use parsl_core::registry::AppRegistry;
+use parsl_core::registry::{AppId, AppRegistry};
+use parsl_providers::{Channel, Launcher, LocalChannel, SingleLauncher};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::process::Child;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -86,11 +94,85 @@ struct ManagerInfo {
     workers: usize,
     last_seen: Instant,
     outstanding: HashMap<(u64, u32), ()>,
+    /// App ids already advertised to this manager (remote workers bind
+    /// builtins by name on first sight; in-proc managers ignore these).
+    advertised: HashSet<u64>,
+}
+
+/// How an [`HtexExecutor::tcp`] deployment spawns and reaches workers.
+pub struct TcpHtexOptions {
+    /// Argv prefix that starts one worker process; the executor appends
+    /// its `--connect/--name/...` flags. Defaults to the `PARSL_WORKER_BIN`
+    /// environment variable, falling back to a `parsl-worker` binary next
+    /// to the current executable.
+    pub worker_cmd: Vec<String>,
+    /// Launcher wrapping the worker command (single/srun/mpiexec), the
+    /// provider path from §4.2.
+    pub launcher: Arc<dyn Launcher>,
+    /// Channel wrapping the launched command (local/ssh).
+    pub channel: Arc<dyn Channel>,
+    /// Bind address for the hub listener (`"127.0.0.1:0"` = ephemeral
+    /// loopback port).
+    pub bind: String,
+    /// How long a disconnected worker keeps retrying before it exits.
+    pub reconnect_window: Duration,
+}
+
+impl Default for TcpHtexOptions {
+    fn default() -> Self {
+        TcpHtexOptions {
+            worker_cmd: default_worker_cmd(),
+            launcher: Arc::new(SingleLauncher),
+            channel: Arc::new(LocalChannel),
+            bind: "127.0.0.1:0".into(),
+            reconnect_window: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Locate the `parsl-worker` binary: `PARSL_WORKER_BIN` wins, else a
+/// sibling of the current executable (stepping out of `deps/` for test
+/// binaries), else bare `parsl-worker` resolved via `PATH`.
+pub fn default_worker_cmd() -> Vec<String> {
+    if let Ok(p) = std::env::var("PARSL_WORKER_BIN") {
+        return vec![p];
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.parent().map(|p| p.to_path_buf());
+        if let Some(d) = &dir {
+            if d.file_name().is_some_and(|n| n == "deps") {
+                dir = d.parent().map(|p| p.to_path_buf());
+            }
+        }
+        if let Some(d) = dir {
+            let candidate = d.join("parsl-worker");
+            if candidate.exists() {
+                return vec![candidate.to_string_lossy().into_owned()];
+            }
+        }
+    }
+    vec!["parsl-worker".into()]
+}
+
+struct TcpTopology {
+    hub: TcpHub,
+    opts: TcpHtexOptions,
+    /// Spawned worker processes by manager address, for SIGKILL fault
+    /// injection and shutdown reaping.
+    children: Mutex<HashMap<Addr, Child>>,
+}
+
+/// The message plane the topology runs over.
+enum Topology {
+    /// In-proc fabric: managers are threads, faults are injected.
+    InProc(Fabric),
+    /// Real TCP: managers are spawned `parsl-worker` processes.
+    Tcp(TcpTopology),
 }
 
 struct Shared {
     cfg: HtexConfig,
-    fabric: Fabric,
+    topo: Topology,
     ix_addr: Addr,
     client_addr: Addr,
     outstanding: AtomicUsize,
@@ -104,10 +186,19 @@ struct Shared {
     blocks: AtomicUsize,
 }
 
+impl Shared {
+    fn max_frame_bytes(&self) -> usize {
+        match &self.topo {
+            Topology::InProc(f) => f.max_frame_bytes(),
+            Topology::Tcp(t) => t.hub.max_frame_bytes(),
+        }
+    }
+}
+
 /// The High Throughput Executor. See module docs.
 pub struct HtexExecutor {
     shared: Arc<Shared>,
-    client_ep: Mutex<Option<Arc<Endpoint>>>,
+    client_ep: Mutex<Option<Arc<dyn Port>>>,
     ctx: Mutex<Option<ExecutorContext>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -121,12 +212,31 @@ impl HtexExecutor {
     /// Build over an externally supplied fabric (tests inject latency and
     /// faults this way).
     pub fn on_fabric(cfg: HtexConfig, fabric: Fabric) -> Self {
+        Self::with_topology(cfg, Topology::InProc(fabric))
+    }
+
+    /// Build over real TCP: the interchange listens on a [`TcpHub`] and
+    /// every `add_node` spawns a `parsl-worker` process that connects
+    /// back. Fails if the hub socket cannot bind.
+    pub fn tcp(cfg: HtexConfig, opts: TcpHtexOptions) -> std::io::Result<Self> {
+        let hub = TcpHub::bind(&opts.bind)?;
+        Ok(Self::with_topology(
+            cfg,
+            Topology::Tcp(TcpTopology {
+                hub,
+                opts,
+                children: Mutex::new(HashMap::new()),
+            }),
+        ))
+    }
+
+    fn with_topology(cfg: HtexConfig, topo: Topology) -> Self {
         let ix_addr = Addr::new(format!("{}:ix", cfg.label));
         let client_addr = Addr::new(format!("{}:client", cfg.label));
         HtexExecutor {
             shared: Arc::new(Shared {
                 cfg,
-                fabric,
+                topo,
                 ix_addr,
                 client_addr,
                 outstanding: AtomicUsize::new(0),
@@ -144,28 +254,52 @@ impl HtexExecutor {
     }
 
     /// The fabric this executor communicates over (for fault injection).
+    /// Panics for a TCP-transport executor, which has no fabric — use
+    /// [`HtexExecutor::drop_node_conn`] / [`HtexExecutor::kill_node`]
+    /// there instead.
     pub fn fabric(&self) -> &Fabric {
-        &self.shared.fabric
+        match &self.shared.topo {
+            Topology::InProc(f) => f,
+            Topology::Tcp(_) => panic!("fabric() on a TCP-transport HTEX"),
+        }
     }
 
-    /// Bring up one more simulated node (manager + workers). Returns its
-    /// fabric address.
+    /// Bring up one more node (manager + workers): a thread in-proc, a
+    /// spawned `parsl-worker` process over TCP. Returns its address.
     pub fn add_node(&self) -> Addr {
         let shared = Arc::clone(&self.shared);
-        let registry = self
-            .ctx
-            .lock()
-            .as_ref()
-            .map(|c| Arc::clone(&c.registry))
-            .expect("add_node before start");
         let n = shared.next_node.fetch_add(1, Ordering::Relaxed);
         let addr = Addr::new(format!("{}:mgr-{n}", shared.cfg.label));
-        let mgr_addr = addr.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("{}-mgr-{n}", shared.cfg.label))
-            .spawn(move || manager_loop(shared, registry, mgr_addr))
-            .expect("spawn manager");
-        self.threads.lock().push(handle);
+        match &self.shared.topo {
+            Topology::InProc(fabric) => {
+                let registry = self
+                    .ctx
+                    .lock()
+                    .as_ref()
+                    .map(|c| Arc::clone(&c.registry))
+                    .expect("add_node before start");
+                let ep = fabric.bind(addr.clone()).expect("manager address free");
+                let mgr_cfg = ManagerCfg {
+                    workers: shared.cfg.workers_per_node,
+                    prefetch: shared.cfg.prefetch,
+                    batch_size: shared.cfg.batch_size,
+                    heartbeat_period: shared.cfg.heartbeat_period,
+                    heartbeat_threshold: shared.cfg.heartbeat_threshold,
+                    reconnect: false,
+                };
+                let ix_addr = shared.ix_addr.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("{}-mgr-{n}", shared.cfg.label))
+                    .spawn(move || manager_loop(Box::new(ep), registry, ix_addr, mgr_cfg))
+                    .expect("spawn manager");
+                self.threads.lock().push(handle);
+            }
+            Topology::Tcp(t) => {
+                let child = spawn_worker_process(&self.shared, t, &addr)
+                    .expect("spawn parsl-worker process");
+                t.children.lock().insert(addr.clone(), child);
+            }
+        }
         self.shared.nodes.lock().push(addr.clone());
         addr
     }
@@ -189,10 +323,31 @@ impl HtexExecutor {
     }
 
     /// Fault injection: abruptly kill a node's manager (no deregistration,
-    /// no result flush). The interchange notices via missed heartbeats.
+    /// no result flush). In-proc the endpoint is killed; over TCP the
+    /// worker *process* receives SIGKILL. The interchange notices via
+    /// missed heartbeats either way.
     pub fn kill_node(&self, addr: &Addr) {
-        self.shared.fabric.kill(addr);
+        match &self.shared.topo {
+            Topology::InProc(fabric) => fabric.kill(addr),
+            Topology::Tcp(t) => {
+                if let Some(mut child) = t.children.lock().remove(addr) {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+        }
         self.shared.nodes.lock().retain(|a| a != addr);
+    }
+
+    /// Fault injection (TCP only): sever a worker's connection without
+    /// touching its process. The worker's spoke reconnects and the manager
+    /// re-registers; no tasks should be lost. Returns false in-proc or if
+    /// no such connection exists.
+    pub fn drop_node_conn(&self, addr: &Addr) -> bool {
+        match &self.shared.topo {
+            Topology::InProc(_) => false,
+            Topology::Tcp(t) => t.hub.drop_conn(addr),
+        }
     }
 
     /// Addresses of live nodes.
@@ -238,23 +393,43 @@ impl Executor for HtexExecutor {
             }
             *slot = Some(ctx.clone());
         }
-        let ix_ep = self
-            .shared
-            .fabric
-            .bind(self.shared.ix_addr.clone())
-            .map_err(|e| ExecutorError::Comm(e.to_string()))?;
-        let client_ep = Arc::new(
-            self.shared
-                .fabric
-                .bind(self.shared.client_addr.clone())
-                .map_err(|e| ExecutorError::Comm(e.to_string()))?,
-        );
+        // Attach the interchange to the plane; over TCP the client also
+        // crosses a real socket (a spoke into the hub), so the submit
+        // path pays genuine per-frame transport costs.
+        let (ix_ep, client_ep): (Box<dyn Port>, Arc<dyn Port>) = match &self.shared.topo {
+            Topology::InProc(fabric) => (
+                Box::new(
+                    fabric
+                        .bind(self.shared.ix_addr.clone())
+                        .map_err(|e| ExecutorError::Comm(e.to_string()))?,
+                ),
+                Arc::new(
+                    fabric
+                        .bind(self.shared.client_addr.clone())
+                        .map_err(|e| ExecutorError::Comm(e.to_string()))?,
+                ),
+            ),
+            Topology::Tcp(t) => (
+                t.hub
+                    .attach(self.shared.ix_addr.clone())
+                    .map_err(|e| ExecutorError::Comm(e.to_string()))?,
+                Arc::new(
+                    TcpSpoke::connect(
+                        t.hub.local_addr(),
+                        self.shared.client_addr.clone(),
+                        SpokeConfig::default(),
+                    )
+                    .map_err(|e| ExecutorError::Comm(e.to_string()))?,
+                ),
+            ),
+        };
         *self.client_ep.lock() = Some(Arc::clone(&client_ep));
 
         let shared = Arc::clone(&self.shared);
+        let registry = Arc::clone(&ctx.registry);
         let ix_handle = std::thread::Builder::new()
             .name(format!("{}-ix", shared.cfg.label))
-            .spawn(move || interchange_loop(shared, ix_ep))
+            .spawn(move || interchange_loop(shared, ix_ep, registry))
             .map_err(|e| ExecutorError::Comm(e.to_string()))?;
 
         let shared = Arc::clone(&self.shared);
@@ -300,10 +475,10 @@ impl Executor for HtexExecutor {
             .clone()
             .ok_or(ExecutorError::NotRunning)?;
         crate::proto::send_task_batch(
-            &ep,
+            ep.as_ref(),
             &self.shared.ix_addr,
             &self.shared.outstanding,
-            self.shared.fabric.max_frame_bytes(),
+            self.shared.max_frame_bytes(),
             &tasks,
         )
     }
@@ -327,6 +502,29 @@ impl Executor for HtexExecutor {
         let handles: Vec<_> = self.threads.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        // Reap spawned worker processes: the interchange's Shutdown fan-out
+        // makes them drain and exit; anything still alive after a grace
+        // period is killed so no orphans outlive the executor.
+        if let Topology::Tcp(t) = &self.shared.topo {
+            let mut children: Vec<(Addr, Child)> = t.children.lock().drain().collect();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            for (_, child) in &mut children {
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            t.hub.shutdown();
         }
     }
 
@@ -393,7 +591,7 @@ impl Drop for HtexExecutor {
 // Interchange
 // ---------------------------------------------------------------------------
 
-fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
+fn interchange_loop(shared: Arc<Shared>, ep: Box<dyn Port>, registry: Arc<AppRegistry>) {
     let cfg = &shared.cfg;
     let mut pending: VecDeque<WireTask> = VecDeque::new();
     let mut managers: HashMap<Addr, ManagerInfo> = HashMap::new();
@@ -417,20 +615,53 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                 Ok(ToInterchange::SubmitBatch(tasks)) => {
                     pending.extend(tasks);
                 }
-                Ok(ToInterchange::Register { name: _, capacity }) => {
-                    let workers = capacity.saturating_sub(cfg.prefetch);
-                    shared
-                        .connected_workers
-                        .fetch_add(workers, Ordering::Relaxed);
-                    managers.insert(
-                        env.from.clone(),
-                        ManagerInfo {
-                            free: capacity,
-                            workers,
-                            last_seen: now,
-                            outstanding: HashMap::new(),
-                        },
-                    );
+                Ok(ToInterchange::Register {
+                    name: _,
+                    capacity,
+                    held,
+                }) => {
+                    if let Some(m) = managers.get_mut(&env.from) {
+                        // Re-register after a link drop: keep the
+                        // accounting, reconcile against what the manager
+                        // actually still holds, and report anything that
+                        // died in the gap as lost so the DFK retries it.
+                        let held: HashSet<(u64, u32)> = held.into_iter().collect();
+                        let vanished: Vec<(u64, u32)> = m
+                            .outstanding
+                            .keys()
+                            .filter(|k| !held.contains(k))
+                            .copied()
+                            .collect();
+                        for k in &vanished {
+                            m.outstanding.remove(k);
+                        }
+                        m.free = capacity.saturating_sub(m.outstanding.len());
+                        m.last_seen = now;
+                        if !vanished.is_empty() {
+                            let _ = ep.send(
+                                &shared.client_addr,
+                                encode(&ToClient::ManagerLost {
+                                    name: env.from.to_string(),
+                                    tasks: vanished,
+                                }),
+                            );
+                        }
+                    } else {
+                        let workers = capacity.saturating_sub(cfg.prefetch);
+                        shared
+                            .connected_workers
+                            .fetch_add(workers, Ordering::Relaxed);
+                        managers.insert(
+                            env.from.clone(),
+                            ManagerInfo {
+                                free: capacity,
+                                workers,
+                                last_seen: now,
+                                outstanding: HashMap::new(),
+                                advertised: HashSet::new(),
+                            },
+                        );
+                    }
                 }
                 Ok(ToInterchange::Capacity { name: _, free }) => {
                     if let Some(m) = managers.get_mut(&env.from) {
@@ -439,14 +670,22 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
                     }
                 }
                 Ok(ToInterchange::Results(results)) => {
+                    // Forward only results this interchange still accounts
+                    // for. A manager declared lost (its tasks already
+                    // reported and retried) may reconnect and flush stale
+                    // results; forwarding those would double-finalize
+                    // attempts and corrupt the client's outstanding gauge.
                     if let Some(m) = managers.get_mut(&env.from) {
-                        for r in &results {
-                            m.outstanding.remove(&(r.id, r.attempt));
-                        }
-                        m.free += results.len();
+                        let known: Vec<_> = results
+                            .into_iter()
+                            .filter(|r| m.outstanding.remove(&(r.id, r.attempt)).is_some())
+                            .collect();
+                        m.free += known.len();
                         m.last_seen = now;
+                        if !known.is_empty() {
+                            let _ = ep.send(&shared.client_addr, encode(&ToClient::Results(known)));
+                        }
                     }
-                    let _ = ep.send(&shared.client_addr, encode(&ToClient::Results(results)));
                 }
                 Ok(ToInterchange::Heartbeat { name: _ }) => {
                     if let Some(m) = managers.get_mut(&env.from) {
@@ -558,6 +797,34 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
             let m = managers.get_mut(pick).expect("candidate exists");
             let n = cfg.batch_size.min(m.free).min(pending.len());
             let batch: Vec<WireTask> = pending.drain(..n).collect();
+
+            // Advertise apps this manager hasn't seen before their tasks:
+            // same-pair FIFO guarantees the worker binds the ids first.
+            let mut new_app_ids: Vec<u64> = batch
+                .iter()
+                .map(|t| t.app_id)
+                .filter(|id| !m.advertised.contains(id))
+                .collect();
+            new_app_ids.sort_unstable();
+            new_app_ids.dedup();
+            let new_apps: Vec<WireApp> = new_app_ids
+                .iter()
+                .filter_map(|id| registry.get(AppId(*id)))
+                .map(|app| WireApp {
+                    id: app.id.0,
+                    name: app.name.to_string(),
+                    signature: app.signature.to_string(),
+                })
+                .collect();
+            if !new_apps.is_empty() && ep.send(pick, encode(&ToManager::Apps(new_apps))).is_err() {
+                for t in batch.into_iter().rev() {
+                    pending.push_front(t);
+                }
+                break;
+            }
+            let m = managers.get_mut(pick).expect("candidate exists");
+            m.advertised.extend(new_app_ids);
+
             for t in &batch {
                 m.outstanding.insert((t.id, t.attempt), ());
             }
@@ -587,181 +854,83 @@ fn interchange_loop(shared: Arc<Shared>, ep: Endpoint) {
 }
 
 // ---------------------------------------------------------------------------
-// Manager (one per node) and its workers
+// Worker process spawning (TCP topology)
 // ---------------------------------------------------------------------------
 
-fn manager_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
+/// Render and spawn one `parsl-worker` process through the provider path:
+/// the raw command is wrapped by the configured [`Launcher`] and
+/// [`Channel`] (identity for local single-node runs, `srun`/`ssh` shapes
+/// for clusters), then executed under `sh -c "exec ..."` so signals sent
+/// to the child hit the worker itself.
+fn spawn_worker_process(
+    shared: &Shared,
+    topo: &TcpTopology,
+    addr: &Addr,
+) -> std::io::Result<Child> {
     let cfg = &shared.cfg;
-    let Ok(ep) = shared.fabric.bind(addr.clone()) else {
-        return;
+    let connect = match &shared.topo {
+        Topology::Tcp(t) => t.hub.local_addr(),
+        Topology::InProc(_) => unreachable!("spawn_worker_process on in-proc topology"),
     };
-
-    // Worker pool: shared task queue, common result funnel.
-    let (task_tx, task_rx) = unbounded::<WireTask>();
-    let (result_tx, result_rx) = unbounded::<WireResult>();
-    let mut worker_handles = Vec::with_capacity(cfg.workers_per_node);
-    for w in 0..cfg.workers_per_node {
-        let task_rx = task_rx.clone();
-        let result_tx = result_tx.clone();
-        let registry = Arc::clone(&registry);
-        let name = format!("{addr}:w{w}");
-        worker_handles.push(
-            std::thread::Builder::new()
-                .name(name.clone())
-                .spawn(move || {
-                    while let Ok(task) = task_rx.recv() {
-                        let result = kernel::execute(&registry, &task, &name);
-                        if result_tx.send(result).is_err() {
-                            return;
-                        }
-                    }
-                })
-                .expect("spawn worker"),
-        );
-    }
-    drop(result_tx); // manager holds only the receiver side
-
-    let capacity = cfg.workers_per_node + cfg.prefetch;
-    let _ = ep.send(
-        &shared.ix_addr,
-        encode(&ToInterchange::Register {
-            name: addr.to_string(),
-            capacity,
-        }),
-    );
-
-    let ticker = crossbeam::channel::tick(cfg.heartbeat_period);
-    let mut result_buf: Vec<WireResult> = Vec::new();
-    let mut last_ix_contact = Instant::now();
-    let mut draining = false;
-    // Tasks accepted minus results returned: workers may be mid-task even
-    // when every queue is empty, and a draining manager must wait for them.
-    let mut in_flight: usize = 0;
-
-    loop {
-        crossbeam::channel::select! {
-            recv(ep.receiver()) -> env => {
-                let Ok(env) = env else { return }; // endpoint killed
-                last_ix_contact = Instant::now();
-                match crate::proto::decode::<ToManager>(&env.payload) {
-                    Ok(ToManager::Tasks(batch)) => {
-                        in_flight += batch.len();
-                        for t in batch {
-                            if task_tx.send(t).is_err() {
-                                return;
-                            }
-                        }
-                    }
-                    Ok(ToManager::Heartbeat) => {}
-                    Ok(ToManager::Shutdown) => {
-                        draining = true;
-                    }
-                    Err(_) => {}
-                }
-            }
-            recv(result_rx) -> res => {
-                if let Ok(res) = res {
-                    in_flight -= 1;
-                    result_buf.push(res);
-                    // Batch aggressively under load (drain whatever has
-                    // already accumulated), but never sit on results when
-                    // the funnel is empty — idle latency must not pay the
-                    // batching timer.
-                    while result_buf.len() < cfg.batch_size {
-                        match result_rx.try_recv() {
-                            Ok(more) => {
-                                in_flight -= 1;
-                                result_buf.push(more);
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    flush_results(&ep, &shared.ix_addr, &addr, &mut result_buf);
-                }
-            }
-            recv(ticker) -> _ => {
-                flush_results(&ep, &shared.ix_addr, &addr, &mut result_buf);
-                let _ = ep.send(
-                    &shared.ix_addr,
-                    encode(&ToInterchange::Heartbeat { name: addr.to_string() }),
-                );
-                // "Managers, upon losing contact with the interchange, exit
-                // immediately to avoid resource wastage."
-                if last_ix_contact.elapsed() > cfg.heartbeat_threshold {
-                    return;
-                }
-            }
-        }
-        // Deregister only after every accepted task has returned its
-        // result and the fabric inbox holds nothing new.
-        if draining && in_flight == 0 && ep.queued() == 0 {
-            flush_results(&ep, &shared.ix_addr, &addr, &mut result_buf);
-            let _ = ep.send(
-                &shared.ix_addr,
-                encode(&ToInterchange::Deregister {
-                    name: addr.to_string(),
-                }),
-            );
-            drop(task_tx);
-            for h in worker_handles {
-                let _ = h.join();
-            }
-            return;
-        }
-    }
+    let mut argv: Vec<String> = topo.opts.worker_cmd.clone();
+    argv.extend([
+        "--connect".into(),
+        connect.to_string(),
+        "--name".into(),
+        addr.to_string(),
+        "--ix".into(),
+        shared.ix_addr.to_string(),
+        "--workers".into(),
+        cfg.workers_per_node.to_string(),
+        "--prefetch".into(),
+        cfg.prefetch.to_string(),
+        "--batch".into(),
+        cfg.batch_size.to_string(),
+        "--heartbeat-ms".into(),
+        cfg.heartbeat_period.as_millis().to_string(),
+        "--threshold-ms".into(),
+        cfg.heartbeat_threshold.as_millis().to_string(),
+        "--reconnect-ms".into(),
+        topo.opts.reconnect_window.as_millis().to_string(),
+    ]);
+    let raw = argv
+        .iter()
+        .map(|a| shell_quote(a))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let launched = topo.opts.launcher.wrap(&raw, 1, cfg.workers_per_node);
+    let command = topo.opts.channel.wrap(&launched);
+    std::process::Command::new("sh")
+        .arg("-c")
+        .arg(format!("exec {command}"))
+        .spawn()
 }
 
-fn flush_results(ep: &Endpoint, ix: &Addr, _addr: &Addr, buf: &mut Vec<WireResult>) {
-    if buf.is_empty() {
-        return;
+/// Quote one argv element for `sh -c`.
+fn shell_quote(s: &str) -> String {
+    if !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"-_./:=".contains(&b))
+    {
+        s.to_string()
+    } else {
+        format!("'{}'", s.replace('\'', r"'\''"))
     }
-    let batch = std::mem::take(buf);
-    let _ = ep.send(ix, encode(&ToInterchange::Results(batch)));
 }
 
 // ---------------------------------------------------------------------------
 // Client-side receive loop
 // ---------------------------------------------------------------------------
 
-fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
-            continue;
-        };
-        match crate::proto::decode::<ToClient>(&env.payload) {
-            Ok(ToClient::Results(results)) => {
-                // Forward the whole frame as one completion batch — the
-                // batching the interchange/manager did on the wire is
-                // preserved through the DFK's collector.
-                shared
-                    .outstanding
-                    .fetch_sub(results.len(), Ordering::Relaxed);
-                let outcomes = crate::proto::outcomes_from_results(results);
-                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
-                    return;
-                }
-            }
-            Ok(ToClient::ManagerLost { name, tasks }) => {
-                shared.outstanding.fetch_sub(tasks.len(), Ordering::Relaxed);
-                let outcomes = crate::proto::outcomes_from_lost(
-                    tasks,
-                    &format!("manager {name} lost (heartbeat expired)"),
-                );
-                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
-                    return;
-                }
-            }
-            Ok(ToClient::CommandReply(reply)) => {
-                if let Some(tx) = shared.command_reply.lock().take() {
-                    let _ = tx.send(reply);
-                }
-            }
-            Err(_) => {}
-        }
-    }
+fn client_loop(shared: Arc<Shared>, ep: Arc<dyn Port>, ctx: ExecutorContext) {
+    crate::proto::client_recv_loop(
+        ep.as_ref(),
+        &shared.stop,
+        &shared.outstanding,
+        &ctx,
+        "manager",
+        Some(&shared.command_reply),
+    );
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! The [`model`] module holds the discrete-event versions of these
 //! architectures used to regenerate the paper-scale experiments.
 
+pub mod builtin;
 pub mod exex;
 pub mod htex;
 pub mod kernel;
@@ -22,12 +23,14 @@ pub mod llex;
 pub mod model;
 pub mod proto;
 pub mod threadpool;
+pub mod worker;
 
 pub use exex::{ExexConfig, ExexExecutor};
-pub use htex::{HtexConfig, HtexExecutor};
+pub use htex::{default_worker_cmd, HtexConfig, HtexExecutor, TcpHtexOptions};
 pub use llex::{LlexConfig, LlexExecutor};
 pub use model::{CampaignResult, FrameworkModel, ScaleFailure};
 pub use threadpool::ThreadPoolExecutor;
+pub use worker::{run_worker, ManagerCfg, WorkerOptions};
 
 #[cfg(test)]
 mod tests {

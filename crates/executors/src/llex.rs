@@ -200,7 +200,7 @@ impl Executor for LlexExecutor {
             .clone()
             .ok_or(ExecutorError::NotRunning)?;
         crate::proto::send_task_batch(
-            &ep,
+            ep.as_ref(),
             &self.shared.ix_addr,
             &self.shared.outstanding,
             self.shared.fabric.max_frame_bytes(),
@@ -300,6 +300,7 @@ fn worker_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
         encode(&ToInterchange::Register {
             name: addr.to_string(),
             capacity: 1,
+            held: vec![],
         }),
     );
     loop {
@@ -324,23 +325,15 @@ fn worker_loop(shared: Arc<Shared>, registry: Arc<AppRegistry>, addr: Addr) {
 }
 
 fn client_loop(shared: Arc<Shared>, ep: Arc<Endpoint>, ctx: ExecutorContext) {
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(env) = ep.recv_timeout(Duration::from_millis(50)) else {
-            continue;
-        };
-        if let Ok(ToClient::Results(results)) = crate::proto::decode::<ToClient>(&env.payload) {
-            // Even single-task LLEX frames ride the batch channel; a burst
-            // of frames is coalesced by the collector's greedy drain.
-            shared
-                .outstanding
-                .fetch_sub(results.len(), Ordering::Relaxed);
-            let outcomes = crate::proto::outcomes_from_results(results);
-            if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
-                return;
-            }
-        }
-    }
+    // Even single-task LLEX frames ride the batch channel; a burst of
+    // frames is coalesced by the collector's greedy drain. LLEX never
+    // emits ManagerLost or CommandReply, so those arms are inert.
+    crate::proto::client_recv_loop(
+        ep.as_ref(),
+        &shared.stop,
+        &shared.outstanding,
+        &ctx,
+        "worker",
+        None,
+    );
 }

@@ -42,12 +42,12 @@ impl WireTask {
 }
 
 /// Shared client-side batch sender for the wire executors (HTEX, EXEX,
-/// LLEX): convert the specs, chunk them at the fabric's frame budget, bump
-/// the executor's outstanding gauge per chunk, and ship `SubmitBatch`
+/// LLEX): convert the specs, chunk them at the transport's frame budget,
+/// bump the executor's outstanding gauge per chunk, and ship `SubmitBatch`
 /// frames to the interchange — rolling the gauge back for a chunk the
-/// fabric refuses.
+/// transport refuses.
 pub fn send_task_batch(
-    ep: &nexus::Endpoint,
+    ep: &dyn nexus::Port,
     ix: &nexus::Addr,
     outstanding: &std::sync::atomic::AtomicUsize,
     max_frame_bytes: usize,
@@ -133,6 +133,20 @@ pub fn outcomes_from_lost(
         .collect()
 }
 
+/// An app advertisement: enough identity for a remote worker process to
+/// bind its compiled-in body for `name` under the interchange's `id`.
+/// The reproduction's analogue of Parsl serializing functions by
+/// reference — the body never crosses the wire, only the reference.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct WireApp {
+    /// Registry id tasks will arrive with.
+    pub id: u64,
+    /// App name, resolved against the worker's builtin table.
+    pub name: String,
+    /// Advisory type signature (kept for memo-hash parity and debugging).
+    pub signature: String,
+}
+
 /// A result as shipped back from workers.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct WireResult {
@@ -165,6 +179,12 @@ pub enum ToInterchange {
         /// Concurrent task slots (workers + prefetch for managers; 1 for
         /// LLEX workers).
         capacity: usize,
+        /// `(task id, attempt)` pairs the sender is still holding. Empty
+        /// on first registration; on a reconnect re-register the
+        /// interchange reconciles its accounting against this set and
+        /// reports anything that vanished in the gap as lost (so the DFK
+        /// retries it) instead of leaving it outstanding forever.
+        held: Vec<(u64, u32)>,
     },
     /// Manager reports `free` open slots after dispatching work.
     Capacity {
@@ -204,6 +224,10 @@ pub enum ToInterchange {
 pub enum ToManager {
     /// A batch of tasks to run.
     Tasks(Vec<WireTask>),
+    /// App advertisements, sent before the first task batch referencing
+    /// them. In-proc managers share the client's registry and ignore
+    /// these; remote worker processes bind builtins by name.
+    Apps(Vec<WireApp>),
     /// Liveness signal from the interchange.
     Heartbeat,
     /// Drain and exit.
@@ -251,6 +275,60 @@ pub enum CommandReply {
     Workers(usize),
     /// Generic acknowledgement.
     Ack,
+}
+
+/// Shared client-side receive loop for the wire executors (HTEX, EXEX,
+/// LLEX), generalized over the transport: forward each `Results` frame as
+/// one completion batch, convert lost-manager reports into `ExecutorLost`
+/// retries, and resolve synchronous command replies. Returns when `stop`
+/// is set or the completion channel closes.
+pub(crate) fn client_recv_loop(
+    ep: &dyn nexus::Port,
+    stop: &std::sync::atomic::AtomicBool,
+    outstanding: &std::sync::atomic::AtomicUsize,
+    ctx: &parsl_core::executor::ExecutorContext,
+    lost_noun: &str,
+    command_reply: Option<&parking_lot::Mutex<Option<crossbeam::channel::Sender<CommandReply>>>>,
+) {
+    use std::sync::atomic::Ordering;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(env) = ep.recv_timeout(std::time::Duration::from_millis(50)) else {
+            continue;
+        };
+        match decode::<ToClient>(&env.payload) {
+            Ok(ToClient::Results(results)) => {
+                // Forward the whole frame as one completion batch — the
+                // batching the interchange/manager did on the wire is
+                // preserved through the DFK's collector.
+                outstanding.fetch_sub(results.len(), Ordering::Relaxed);
+                let outcomes = outcomes_from_results(results);
+                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                    return;
+                }
+            }
+            Ok(ToClient::ManagerLost { name, tasks }) => {
+                outstanding.fetch_sub(tasks.len(), Ordering::Relaxed);
+                let outcomes = outcomes_from_lost(
+                    tasks,
+                    &format!("{lost_noun} {name} lost (heartbeat expired)"),
+                );
+                if !outcomes.is_empty() && ctx.completions.send(outcomes).is_err() {
+                    return;
+                }
+            }
+            Ok(ToClient::CommandReply(reply)) => {
+                if let Some(slot) = command_reply {
+                    if let Some(tx) = slot.lock().take() {
+                        let _ = tx.send(reply);
+                    }
+                }
+            }
+            Err(_) => {}
+        }
+    }
 }
 
 /// Encode any protocol message as fabric payload.

@@ -1,0 +1,271 @@
+//! The HTEX manager (pilot agent), generalized over the transport.
+//!
+//! One manager runs per node: it registers capacity with the interchange,
+//! feeds a pool of worker threads from received task batches, batches
+//! results back, and keeps the heartbeat contract (§4.3.1). The same loop
+//! serves both deployment shapes:
+//!
+//! - **in-proc** (`HtexExecutor::add_node`): a thread holding a fabric
+//!   endpoint, sharing the client's app registry;
+//! - **spawned process** (`parsl-worker` bin via [`run_worker`]): a
+//!   [`nexus::TcpSpoke`] back to the interchange's hub, resolving apps
+//!   from the compiled-in builtin table as the interchange advertises
+//!   them.
+//!
+//! With `reconnect` enabled the manager re-registers — carrying its held
+//! `(task, attempt)` set so the interchange can reconcile accounting —
+//! whenever the spoke reports a new link generation or the interchange
+//! has been silent past the threshold. Without it (in-proc), prolonged
+//! silence makes the manager exit, "to avoid resource wastage".
+
+use crate::builtin;
+use crate::kernel;
+use crate::proto::{encode, ToInterchange, ToManager, WireResult, WireTask};
+use crossbeam::channel::unbounded;
+use nexus::{Addr, Port, SpokeConfig, TcpSpoke};
+use parsl_core::registry::{AppId, AppOptions, AppRegistry};
+use parsl_core::types::AppKind;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Manager tuning, the per-node slice of `HtexConfig`.
+#[derive(Debug, Clone)]
+pub struct ManagerCfg {
+    /// Worker threads in this manager's pool.
+    pub workers: usize,
+    /// Extra advertised slots beyond the workers (task prefetch).
+    pub prefetch: usize,
+    /// Result batch size.
+    pub batch_size: usize,
+    /// Heartbeat period toward the interchange.
+    pub heartbeat_period: Duration,
+    /// Interchange silence past this marks the link suspect.
+    pub heartbeat_threshold: Duration,
+    /// On a suspect link, re-register instead of exiting (TCP workers,
+    /// whose spoke reconnects underneath them).
+    pub reconnect: bool,
+}
+
+/// Run one manager until shutdown or link death. Blocks the caller.
+pub fn manager_loop(ep: Box<dyn Port>, registry: Arc<AppRegistry>, ix_addr: Addr, cfg: ManagerCfg) {
+    let addr = ep.addr().clone();
+
+    // Worker pool: shared task queue, common result funnel.
+    let (task_tx, task_rx) = unbounded::<WireTask>();
+    let (result_tx, result_rx) = unbounded::<WireResult>();
+    let mut worker_handles = Vec::with_capacity(cfg.workers);
+    for w in 0..cfg.workers {
+        let task_rx = task_rx.clone();
+        let result_tx = result_tx.clone();
+        let registry = Arc::clone(&registry);
+        let name = format!("{addr}:w{w}");
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(move || {
+                    while let Ok(task) = task_rx.recv() {
+                        let result = kernel::execute(&registry, &task, &name);
+                        if result_tx.send(result).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+    drop(result_tx); // manager holds only the receiver side
+
+    let capacity = cfg.workers + cfg.prefetch;
+    // Tasks accepted but not yet returned as results. Doubles as the
+    // in-flight gauge for draining and as the `held` set a re-register
+    // reports for accounting reconciliation.
+    let mut held: HashSet<(u64, u32)> = HashSet::new();
+
+    let send_register = |ep: &dyn Port, held: &HashSet<(u64, u32)>| {
+        let _ = ep.send(
+            &ix_addr,
+            encode(&ToInterchange::Register {
+                name: addr.to_string(),
+                capacity,
+                held: held.iter().copied().collect(),
+            }),
+        );
+    };
+    send_register(ep.as_ref(), &held);
+    let mut last_gen = ep.generation();
+
+    let ticker = crossbeam::channel::tick(cfg.heartbeat_period);
+    let mut result_buf: Vec<WireResult> = Vec::new();
+    let mut last_ix_contact = Instant::now();
+    let mut draining = false;
+
+    loop {
+        crossbeam::channel::select! {
+            recv(ep.receiver()) -> env => {
+                let Ok(env) = env else { return }; // endpoint killed / spoke gave up
+                last_ix_contact = Instant::now();
+                match crate::proto::decode::<ToManager>(&env.payload) {
+                    Ok(ToManager::Tasks(batch)) => {
+                        for t in batch {
+                            held.insert((t.id, t.attempt));
+                            if task_tx.send(t).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    Ok(ToManager::Apps(apps)) => {
+                        // Bind advertised apps by name. In-proc managers
+                        // share the client's registry, so every id already
+                        // resolves and this is a no-op.
+                        for a in apps {
+                            if registry.get(AppId(a.id)).is_none() {
+                                if let Some(func) = builtin::resolve(&a.name, &a.signature) {
+                                    registry.register_remote(
+                                        AppId(a.id),
+                                        &a.name,
+                                        AppKind::Native,
+                                        &a.signature,
+                                        func,
+                                        AppOptions::default(),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Ok(ToManager::Heartbeat) => {}
+                    Ok(ToManager::Shutdown) => {
+                        draining = true;
+                    }
+                    Err(_) => {}
+                }
+            }
+            recv(result_rx) -> res => {
+                if let Ok(res) = res {
+                    held.remove(&(res.id, res.attempt));
+                    result_buf.push(res);
+                    // Batch aggressively under load (drain whatever has
+                    // already accumulated), but never sit on results when
+                    // the funnel is empty — idle latency must not pay the
+                    // batching timer.
+                    while result_buf.len() < cfg.batch_size {
+                        match result_rx.try_recv() {
+                            Ok(more) => {
+                                held.remove(&(more.id, more.attempt));
+                                result_buf.push(more);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    flush_results(ep.as_ref(), &ix_addr, &mut result_buf);
+                }
+            }
+            recv(ticker) -> _ => {
+                flush_results(ep.as_ref(), &ix_addr, &mut result_buf);
+                let _ = ep.send(
+                    &ix_addr,
+                    encode(&ToInterchange::Heartbeat { name: addr.to_string() }),
+                );
+                let gen = ep.generation();
+                if gen != last_gen {
+                    // The spoke re-established the link: re-register with
+                    // the held set so the interchange reconciles.
+                    last_gen = gen;
+                    last_ix_contact = Instant::now();
+                    send_register(ep.as_ref(), &held);
+                } else if last_ix_contact.elapsed() > cfg.heartbeat_threshold {
+                    if cfg.reconnect {
+                        // Registration may have raced the interchange
+                        // coming up, or the silence is transient; try
+                        // again instead of dying.
+                        last_ix_contact = Instant::now();
+                        send_register(ep.as_ref(), &held);
+                    } else {
+                        // "Managers, upon losing contact with the
+                        // interchange, exit immediately to avoid resource
+                        // wastage."
+                        return;
+                    }
+                }
+            }
+        }
+        // Deregister only after every accepted task has returned its
+        // result and the inbox holds nothing new.
+        if draining && held.is_empty() && ep.queued() == 0 {
+            flush_results(ep.as_ref(), &ix_addr, &mut result_buf);
+            let _ = ep.send(
+                &ix_addr,
+                encode(&ToInterchange::Deregister {
+                    name: addr.to_string(),
+                }),
+            );
+            drop(task_tx);
+            for h in worker_handles {
+                let _ = h.join();
+            }
+            return;
+        }
+    }
+}
+
+fn flush_results(ep: &dyn Port, ix: &Addr, buf: &mut Vec<WireResult>) {
+    if buf.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(buf);
+    let _ = ep.send(ix, encode(&ToInterchange::Results(batch)));
+}
+
+/// Options for a spawned `parsl-worker` process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Hub socket address to connect back to (`host:port`).
+    pub connect: String,
+    /// This manager's name on the transport.
+    pub name: String,
+    /// The interchange's name on the transport.
+    pub ix: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Prefetch slots.
+    pub prefetch: usize,
+    /// Result batch size.
+    pub batch_size: usize,
+    /// Heartbeat period.
+    pub heartbeat_period: Duration,
+    /// Heartbeat threshold.
+    pub heartbeat_threshold: Duration,
+    /// How long a dropped connection keeps retrying before the process
+    /// exits.
+    pub reconnect_window: Duration,
+}
+
+/// Entry point of the `parsl-worker` bin: connect a spoke to the hub and
+/// serve tasks until shutdown or the reconnect window expires.
+pub fn run_worker(opts: WorkerOptions) -> Result<(), String> {
+    let spoke = TcpSpoke::connect(
+        opts.connect.as_str(),
+        Addr::new(opts.name.as_str()),
+        SpokeConfig {
+            reconnect_window: opts.reconnect_window,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("connect {}: {e}", opts.connect))?;
+    // Fresh registry: apps arrive as advertisements and bind to builtins.
+    let registry = AppRegistry::new();
+    manager_loop(
+        Box::new(spoke),
+        registry,
+        Addr::new(opts.ix.as_str()),
+        ManagerCfg {
+            workers: opts.workers,
+            prefetch: opts.prefetch,
+            batch_size: opts.batch_size,
+            heartbeat_period: opts.heartbeat_period,
+            heartbeat_threshold: opts.heartbeat_threshold,
+            reconnect: true,
+        },
+    );
+    Ok(())
+}

@@ -38,12 +38,16 @@ mod error;
 mod fabric;
 mod latency;
 mod stats;
+pub mod tcp;
+pub mod transport;
 
 pub use addr::Addr;
 pub use endpoint::{Endpoint, Envelope};
 pub use error::{RecvError, SendError};
 pub use fabric::{AddrInUse, Fabric, FabricConfig, DEFAULT_MAX_FRAME_BYTES};
 pub use stats::FabricStats;
+pub use tcp::{SpokeConfig, TcpHub, TcpSpoke};
+pub use transport::{Port, Transport, TransportError};
 
 #[cfg(test)]
 mod tests {

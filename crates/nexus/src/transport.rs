@@ -1,0 +1,139 @@
+//! Transport abstraction: the executors' message plane, generalized.
+//!
+//! The HTEX protocol loops (interchange, manager, client) are written
+//! against [`Port`] — an addressed mailbox that can send to any peer by
+//! [`Addr`] — and [`Transport`] — a factory that attaches ports. Two
+//! implementations exist:
+//!
+//! - the in-proc [`Fabric`], the fast deterministic test
+//!   double with latency/loss/kill fault injection, and
+//! - the real TCP plane ([`crate::tcp`]), hub-and-spoke sockets carrying
+//!   `wire` length-prefixed frames between processes.
+//!
+//! Every protocol loop runs unchanged over either plane.
+
+use crate::addr::Addr;
+use crate::endpoint::{Endpoint, Envelope};
+use crate::error::{RecvError, SendError};
+use crate::fabric::Fabric;
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use std::time::Duration;
+
+/// An addressed mailbox on some message plane.
+///
+/// Mirrors [`Endpoint`]'s API so in-proc code ports over mechanically.
+/// Delivery guarantees are those of the underlying plane: FIFO between a
+/// given sender/receiver pair, no delivery guarantee across a link drop.
+pub trait Port: Send + Sync {
+    /// This port's own address.
+    fn addr(&self) -> &Addr;
+
+    /// Send `payload` to the peer named `to`.
+    fn send(&self, to: &Addr, payload: Bytes) -> Result<(), SendError>;
+
+    /// Block until a message arrives.
+    fn recv(&self) -> Result<Envelope, RecvError>;
+
+    /// Block up to `timeout` for a message.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError>;
+
+    /// Take a message if one is already queued.
+    fn try_recv(&self) -> Option<Envelope>;
+
+    /// Number of messages waiting in the inbox.
+    fn queued(&self) -> usize;
+
+    /// The raw inbox receiver, so protocol loops can `select!` across the
+    /// port and other channels.
+    fn receiver(&self) -> &Receiver<Envelope>;
+
+    /// Link incarnation counter: bumped each time the underlying link is
+    /// re-established. In-proc endpoints never reconnect, so the default
+    /// is a constant. Managers watch this to re-register after a drop.
+    fn generation(&self) -> u64 {
+        0
+    }
+}
+
+impl Port for Endpoint {
+    fn addr(&self) -> &Addr {
+        Endpoint::addr(self)
+    }
+
+    fn send(&self, to: &Addr, payload: Bytes) -> Result<(), SendError> {
+        Endpoint::send(self, to, payload)
+    }
+
+    fn recv(&self) -> Result<Envelope, RecvError> {
+        Endpoint::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        Endpoint::try_recv(self)
+    }
+
+    fn queued(&self) -> usize {
+        Endpoint::queued(self)
+    }
+
+    fn receiver(&self) -> &Receiver<Envelope> {
+        Endpoint::receiver(self)
+    }
+}
+
+/// Failure to attach a port (name collision, socket error).
+#[derive(Debug, Clone)]
+pub struct TransportError(pub String);
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transport: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A message plane that can attach named ports.
+pub trait Transport: Send + Sync {
+    /// Bind a mailbox at `addr` and return it as a boxed [`Port`].
+    fn attach(&self, addr: Addr) -> Result<Box<dyn Port>, TransportError>;
+
+    /// Largest frame the plane will carry; batchers chunk to this budget.
+    fn max_frame_bytes(&self) -> usize;
+}
+
+impl Transport for Fabric {
+    fn attach(&self, addr: Addr) -> Result<Box<dyn Port>, TransportError> {
+        self.bind(addr)
+            .map(|ep| Box::new(ep) as Box<dyn Port>)
+            .map_err(|e| TransportError(e.to_string()))
+    }
+
+    fn max_frame_bytes(&self) -> usize {
+        Fabric::max_frame_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_attaches_ports() {
+        let fabric = Fabric::new();
+        let a = fabric.attach(Addr::new("a")).unwrap();
+        let b = fabric.attach(Addr::new("b")).unwrap();
+        assert_eq!(a.generation(), 0);
+        a.send(&Addr::new("b"), Bytes::from_static(b"ping"))
+            .unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.from.as_str(), "a");
+        assert_eq!(&env.payload[..], b"ping");
+        assert!(fabric.attach(Addr::new("a")).is_err());
+    }
+}

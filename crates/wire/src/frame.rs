@@ -41,6 +41,41 @@ pub fn read_frame(buf: &mut BytesMut) -> Result<Option<Bytes>> {
     Ok(Some(buf.split_to(len).freeze()))
 }
 
+/// Incremental decoder for a frame stream arriving in arbitrary chunks
+/// (TCP reads, pipes).
+///
+/// Feed raw bytes as they arrive with [`StreamDecoder::feed`], then drain
+/// complete frames with [`StreamDecoder::next_frame`]. Bytes split at any
+/// boundary — mid-prefix, mid-payload — are buffered until the frame
+/// completes. A corrupt length prefix surfaces as
+/// [`Error::LengthOverflow`]; the decoder never panics on hostile input.
+#[derive(Default)]
+pub struct StreamDecoder {
+    buf: BytesMut,
+}
+
+impl StreamDecoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Append bytes read off the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, or `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>> {
+        read_frame(&mut self.buf)
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 /// Frame writer over any `io::Write` (checkpoint files, logs).
 pub struct FrameWriter<W: Write> {
     inner: W,

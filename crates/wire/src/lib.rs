@@ -42,7 +42,7 @@ mod varint;
 
 pub use de::{from_bytes, Deserializer};
 pub use error::{Error, Result};
-pub use frame::{read_frame, write_frame, FrameReader, FrameWriter, MAX_FRAME_LEN};
+pub use frame::{read_frame, write_frame, FrameReader, FrameWriter, StreamDecoder, MAX_FRAME_LEN};
 pub use hash::{fnv1a, fnv1a_str, Fnv1aHasher};
 pub use ser::{to_bytes, to_writer, Serializer};
 pub use varint::{decode_varint, encode_varint, zigzag_decode, zigzag_encode};

@@ -1,0 +1,128 @@
+//! Torn-frame tests: the stream decoder must survive frames split at every
+//! byte boundary and hostile trailing bytes without panicking — either the
+//! identical frame sequence comes out, or a clean `Err`.
+
+use bytes::BytesMut;
+use wire::{write_frame, StreamDecoder, MAX_FRAME_LEN};
+
+/// Encode `payloads` into one contiguous byte stream of frames.
+fn stream_of(payloads: &[&[u8]]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    for p in payloads {
+        write_frame(&mut buf, p).unwrap();
+    }
+    buf.to_vec()
+}
+
+/// Drain every complete frame currently decodable.
+fn drain(dec: &mut StreamDecoder) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while let Some(f) = dec.next_frame().expect("valid stream decodes cleanly") {
+        out.push(f.to_vec());
+    }
+    out
+}
+
+#[test]
+fn split_at_every_byte_boundary_yields_identical_frames() {
+    let payloads: [&[u8]; 4] = [b"alpha", b"", b"a longer frame payload \x00\xff", b"z"];
+    let stream = stream_of(&payloads);
+    let want: Vec<Vec<u8>> = payloads.iter().map(|p| p.to_vec()).collect();
+
+    // Two-chunk split at every boundary, including 0 and len.
+    for cut in 0..=stream.len() {
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        dec.feed(&stream[..cut]);
+        got.extend(drain(&mut dec));
+        dec.feed(&stream[cut..]);
+        got.extend(drain(&mut dec));
+        assert_eq!(got, want, "split at byte {cut}");
+        assert_eq!(dec.buffered(), 0, "no residue after split at byte {cut}");
+    }
+}
+
+#[test]
+fn byte_at_a_time_feed_yields_identical_frames() {
+    let payloads: [&[u8]; 3] = [b"one", b"\x01\x02\x03\x04", b""];
+    let stream = stream_of(&payloads);
+    let want: Vec<Vec<u8>> = payloads.iter().map(|p| p.to_vec()).collect();
+
+    let mut dec = StreamDecoder::new();
+    let mut got = Vec::new();
+    for b in &stream {
+        dec.feed(std::slice::from_ref(b));
+        got.extend(drain(&mut dec));
+    }
+    assert_eq!(got, want);
+}
+
+#[test]
+fn trailing_garbage_is_clean_error_or_pending_never_panic() {
+    let stream = stream_of(&[b"good frame"]);
+
+    // Append garbage whose first 4 bytes, read as a length prefix, range
+    // from tiny (looks like an incomplete frame: decoder waits) to huge
+    // (tripping LengthOverflow). Either outcome is acceptable; panicking
+    // or corrupting already-decoded frames is not.
+    for garbage in [
+        &[0xffu8, 0xff, 0xff, 0xff][..],
+        &[0x01, 0x00, 0x00, 0xf0][..],
+        &[0x00][..],
+        &[0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22][..],
+    ] {
+        let mut dec = StreamDecoder::new();
+        dec.feed(&stream);
+        dec.feed(garbage);
+        let first = dec.next_frame().unwrap().expect("good frame decodes");
+        assert_eq!(first.as_ref(), b"good frame");
+        // Whatever follows must resolve without panicking.
+        match dec.next_frame() {
+            Ok(None) => {}                                    // waiting for more bytes
+            Ok(Some(f)) => assert!(f.len() <= MAX_FRAME_LEN), // garbage happened to parse
+            Err(_) => {}                                      // clean error
+        }
+    }
+}
+
+#[test]
+fn oversized_prefix_is_clean_error_at_any_split() {
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+    bad.extend_from_slice(b"body");
+
+    for cut in 0..=bad.len() {
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bad[..cut]);
+        // Before the full prefix arrives the decoder just waits.
+        if cut < 4 {
+            assert!(dec.next_frame().unwrap().is_none(), "cut {cut}");
+        }
+        dec.feed(&bad[cut..]);
+        assert!(dec.next_frame().is_err(), "cut {cut}");
+    }
+}
+
+#[test]
+fn interleaved_feeds_preserve_frame_order() {
+    let frames: Vec<Vec<u8>> = (0..64u32)
+        .map(|i| i.to_le_bytes().repeat((i % 7 + 1) as usize))
+        .collect();
+    let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+    let stream = stream_of(&refs);
+
+    // Feed in irregular chunk sizes.
+    let mut dec = StreamDecoder::new();
+    let mut got = Vec::new();
+    let mut pos = 0usize;
+    let mut step = 1usize;
+    while pos < stream.len() {
+        let end = (pos + step).min(stream.len());
+        dec.feed(&stream[pos..end]);
+        got.extend(drain(&mut dec));
+        pos = end;
+        step = step % 13 + 1;
+    }
+    assert_eq!(got, frames);
+    assert_eq!(dec.buffered(), 0);
+}

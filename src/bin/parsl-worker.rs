@@ -1,0 +1,96 @@
+//! `parsl-worker` — the HTEX worker-pool process (§4.3.1).
+//!
+//! Spawned by `HtexExecutor::tcp` through the provider/launcher path, one
+//! per node. Connects a [`nexus::TcpSpoke`] back to the interchange's hub,
+//! registers its capacity, and serves task batches until shutdown or until
+//! a dropped connection outlives the reconnect window ("managers, upon
+//! losing contact with the interchange, exit immediately to avoid resource
+//! wastage").
+//!
+//! ```text
+//! parsl-worker --connect 127.0.0.1:9000 --name htex:node-0 --ix htex:ix \
+//!              --workers 4 [--prefetch 4] [--batch 16] \
+//!              [--heartbeat-ms 1000] [--threshold-ms 5000] \
+//!              [--reconnect-ms 10000]
+//! ```
+
+use parsl_executors::{run_worker, WorkerOptions};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: parsl-worker --connect HOST:PORT --name NAME --ix IX \
+         [--workers N] [--prefetch N] [--batch N] [--heartbeat-ms MS] \
+         [--threshold-ms MS] [--reconnect-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut ix: Option<String> = None;
+    let mut workers = 1usize;
+    let mut prefetch = 0usize;
+    let mut batch_size = 16usize;
+    let mut heartbeat_ms = 1000u64;
+    let mut threshold_ms = 5000u64;
+    let mut reconnect_ms = 10_000u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("parsl-worker: {flag} expects {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(val("HOST:PORT")),
+            "--name" => name = Some(val("NAME")),
+            "--ix" => ix = Some(val("NAME")),
+            "--workers" => workers = parse(&val("N")),
+            "--prefetch" => prefetch = parse(&val("N")),
+            "--batch" => batch_size = parse(&val("N")),
+            "--heartbeat-ms" => heartbeat_ms = parse(&val("MS")),
+            "--threshold-ms" => threshold_ms = parse(&val("MS")),
+            "--reconnect-ms" => reconnect_ms = parse(&val("MS")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("parsl-worker: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let (Some(connect), Some(name), Some(ix)) = (connect, name, ix) else {
+        eprintln!("parsl-worker: --connect, --name, and --ix are required");
+        usage();
+    };
+    if workers == 0 {
+        eprintln!("parsl-worker: --workers must be at least 1");
+        std::process::exit(2);
+    }
+
+    if let Err(e) = run_worker(WorkerOptions {
+        connect,
+        name,
+        ix,
+        workers,
+        prefetch,
+        batch_size: batch_size.max(1),
+        heartbeat_period: Duration::from_millis(heartbeat_ms.max(1)),
+        heartbeat_threshold: Duration::from_millis(threshold_ms.max(1)),
+        reconnect_window: Duration::from_millis(reconnect_ms),
+    }) {
+        eprintln!("parsl-worker: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("parsl-worker: invalid numeric argument {s:?}");
+        std::process::exit(2)
+    })
+}

@@ -392,3 +392,130 @@ fn llex_drops_faults_silently_as_documented() {
     );
     dfk.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Real-process fault injection: SIGKILL a `parsl-worker` process that
+// holds a partially-executed batch over TCP. Heartbeat expiry at the
+// interchange must report every task the process held as ManagerLost,
+// the DFK must retry each exactly once on the replacement node, and no
+// task may be finalized twice.
+// ---------------------------------------------------------------------------
+
+/// Per-task retry counts plus per-task terminal-event counts (the
+/// double-finalize witness).
+#[derive(Default)]
+struct FaultLedger {
+    retries: std::sync::Mutex<std::collections::HashMap<u64, u32>>,
+    terminals: std::sync::Mutex<std::collections::HashMap<u64, u32>>,
+}
+
+impl parsl::core::monitor::MonitorSink for FaultLedger {
+    fn on_event(&self, event: &parsl::core::monitor::MonitorEvent) {
+        use parsl::core::monitor::MonitorEvent;
+        match event {
+            MonitorEvent::Retry { task, .. } => {
+                *self.retries.lock().unwrap().entry(task.0).or_insert(0) += 1;
+            }
+            MonitorEvent::Task { task, state, .. } if state.is_terminal() => {
+                *self.terminals.lock().unwrap().entry(task.0).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn sigkilled_tcp_worker_process_retries_outstanding_batch_exactly_once() {
+    let ledger = Arc::new(FaultLedger::default());
+    // One node whose manager prefetches deeply: the whole gated fan-out
+    // lands on it as a single batch, mostly unexecuted.
+    let htex = Arc::new(
+        parsl::executors::HtexExecutor::tcp(
+            parsl::executors::HtexConfig {
+                workers_per_node: 2,
+                prefetch: 16,
+                batch_size: 16,
+                init_blocks: 1,
+                heartbeat_period: Duration::from_millis(50),
+                heartbeat_threshold: Duration::from_millis(400),
+                ..Default::default()
+            },
+            parsl::executors::TcpHtexOptions {
+                worker_cmd: vec![env!("CARGO_BIN_EXE_parsl-worker").to_string()],
+                ..Default::default()
+            },
+        )
+        .expect("bind loopback hub"),
+    );
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(htex.clone())
+        .retries(3)
+        .monitor(ledger.clone())
+        .build()
+        .unwrap();
+
+    // Builtin-table apps: bodies run inside the worker process.
+    let root = dfk.python_app("gate", || 0u64);
+    let work = dfk.python_app("gated_sleep_mul", |gate: u64, ms: u64, x: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        gate + x * 3
+    });
+    let gate = parsl::core::call!(root);
+    let futs: Vec<_> = (0..8u64)
+        .map(|i| {
+            work.call((
+                Dep::future(gate.clone()),
+                Dep::value(1500u64),
+                Dep::value(i),
+            ))
+        })
+        .collect();
+
+    // The gate resolves quickly; its completion releases all 8 children
+    // as one submit_batch. Give the batch time to land on the process
+    // (2 executing, 6 prefetched — none finishes inside 1.5 s), then
+    // SIGKILL the process holding it and bring up a replacement.
+    assert_eq!(gate.result_timeout(Duration::from_secs(20)).unwrap(), 0);
+    std::thread::sleep(Duration::from_millis(500));
+    let nodes = htex.nodes();
+    htex.kill_node(nodes.first().expect("one node up"));
+    htex.add_node();
+
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(60)).unwrap(),
+            i as u64 * 3,
+            "task {i} must survive the SIGKILL"
+        );
+    }
+    dfk.wait_for_all();
+    assert_eq!(
+        dfk.state_counts().get(&TaskState::Done),
+        Some(&9),
+        "gate + 8 children all Done"
+    );
+
+    // Every child was outstanding at the kill: retried exactly once, and
+    // exactly one terminal event each — nothing lost, nothing finalized
+    // twice.
+    let retries = ledger.retries.lock().unwrap().clone();
+    let child_ids: Vec<u64> = futs.iter().map(|f| f.task_id().0).collect();
+    for id in &child_ids {
+        assert_eq!(
+            retries.get(id),
+            Some(&1),
+            "task {id} must be retried exactly once, saw {retries:?}"
+        );
+    }
+    assert_eq!(
+        retries.len(),
+        child_ids.len(),
+        "only the held batch retries"
+    );
+    let terminals = ledger.terminals.lock().unwrap().clone();
+    for (id, n) in &terminals {
+        assert_eq!(*n, 1, "task {id} finalized {n} times");
+    }
+    assert_eq!(terminals.len(), 9, "gate + 8 children each finalized once");
+    dfk.shutdown();
+}
