@@ -133,6 +133,7 @@ impl Executor for DaskLikeExecutor {
             id: task.id.0,
             attempt: task.attempt,
             app_id: task.app.id.0,
+            tenant: task.tenant.0,
             args: task.args.to_vec(),
         };
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);

@@ -190,6 +190,7 @@ impl Executor for FireworksExecutor {
             id: task.id.0,
             attempt: task.attempt,
             app_id: task.app.id.0,
+            tenant: task.tenant.0,
             args: task.args.to_vec(),
         });
         Ok(())

@@ -80,6 +80,7 @@ fn specs(app: &Arc<RegisteredApp>, base: u64, n: usize) -> Vec<TaskSpec> {
             args: bytes::Bytes::from(wire::to_bytes(&(i,)).unwrap()),
             resources: ResourceSpec::default(),
             attempt: 0,
+            tenant: parsl_core::types::TenantId::DEFAULT,
         })
         .collect()
 }

@@ -1,0 +1,313 @@
+//! Multi-tenant fairness experiment: interleaved tenant DAGs under
+//! skewed load.
+//!
+//! The paper's DataFlowKernel serves one workflow; the reproduction's
+//! multi-tenant plane (per-tenant in-flight quotas, weighted-deficit
+//! unparking, tenant-aware `WeightedFair` placement) lets several
+//! workflows share a kernel without starving each other. This binary
+//! measures that claim: four light tenants and one heavy tenant with a
+//! **4x DAG backlog** interleave 1000 three-task chain DAGs through one
+//! thread-pool kernel, every tenant capped at the same in-flight quota
+//! and equal weight.
+//!
+//! Reported:
+//!
+//! - per-tenant throughput over the **contended phase** — up to the
+//!   first instant some tenant ran out of work. After that, the freed
+//!   share flows to the backlogged tenant (work conservation, not
+//!   unfairness), so fairness is judged only while every tenant is
+//!   competing. Under equal weights the contended rates must be close,
+//!   summarized by the **Jain fairness index** `(Σx)² / (n·Σx²)`
+//!   (1.0 = perfectly equal shares, 1/n = one tenant monopolizes); the
+//!   guard requires ≥ 0.9;
+//! - **aggregate throughput** against a single-tenant run of the same
+//!   3000 tasks with no quotas — fairness must cost < 10% (`tps_ratio`);
+//! - a starvation check: every tenant's completion count must match its
+//!   submission count (enforced, not just printed).
+//!
+//! Usage: `fig_fairness [--smoke] [--out FILE]`. The full run writes
+//! `BENCH_fairness.json`; `--out` redirects the JSON (used by CI to
+//! compare a smoke run against the committed baseline).
+
+use bench::{fmt_f, Table};
+use parsl_core::monitor::{MonitorEvent, MonitorSink};
+use parsl_core::prelude::*;
+use parsl_core::SchedulerPolicy;
+use parsl_executors::ThreadPoolExecutor;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker slots in the shared pool.
+const WORKERS: usize = 8;
+/// Per-tenant in-flight quota. Equal to the pool width: a tenant running
+/// alone can still saturate the pool (so fairness costs no tail
+/// throughput), while five contending tenants oversubscribe it 5x and
+/// the weighted-deficit unpark order decides who runs.
+const QUOTA: usize = WORKERS;
+/// Tasks per chain DAG.
+const CHAIN: usize = 3;
+
+/// Per-tenant activity trace from monitor events: first launch and
+/// every completion timestamp (for windowed rate computation).
+#[derive(Default, Clone)]
+struct Trace {
+    first_launch: Option<Duration>,
+    dones: Vec<Duration>,
+}
+
+#[derive(Default)]
+struct TenantSink(parking_lot::Mutex<HashMap<u32, Trace>>);
+
+impl MonitorSink for TenantSink {
+    fn on_event(&self, e: &MonitorEvent) {
+        let MonitorEvent::Task {
+            state, tenant, at, ..
+        } = e
+        else {
+            return;
+        };
+        let mut map = self.0.lock();
+        let w = map.entry(tenant.0).or_default();
+        match state {
+            TaskState::Launched if w.first_launch.is_none() => w.first_launch = Some(*at),
+            TaskState::Done | TaskState::Memoized => w.dones.push(*at),
+            _ => {}
+        }
+    }
+}
+
+struct MultiRun {
+    makespan: Duration,
+    aggregate_tps: f64,
+    /// (tenant id, tasks completed, rate during the contended phase).
+    per_tenant: Vec<(u32, usize, f64)>,
+    jain: f64,
+}
+
+/// Submit one `CHAIN`-long dependency chain for `tenant`; returns the
+/// tail future.
+fn submit_chain(
+    tenant: &TenantHandle,
+    app: &App<(u64,), u64>,
+    seed: u64,
+) -> parsl_core::AppFuture<u64> {
+    let mut f = tenant.call(app, (Dep::value(seed),));
+    for _ in 1..CHAIN {
+        f = tenant.call(app, (Dep::future(f),));
+    }
+    f
+}
+
+/// Jain fairness index over per-tenant throughputs.
+fn jain_index(tps: &[f64]) -> f64 {
+    let n = tps.len() as f64;
+    let sum: f64 = tps.iter().sum();
+    let sq: f64 = tps.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (n * sq)
+}
+
+/// The multi-tenant run: `light_dags` chains for each of four light
+/// tenants, 4x that for the heavy tenant, submissions interleaved so
+/// every tenant always has work parked behind its quota.
+fn run_multi(light_dags: usize, task_ms: u64) -> MultiRun {
+    let heavy_dags = 4 * light_dags;
+    let sink = Arc::new(TenantSink::default());
+    let mut builder = DataFlowKernel::builder()
+        .executor(ThreadPoolExecutor::with_label("pool", WORKERS))
+        .scheduler(SchedulerPolicy::WeightedFair)
+        .seed(7)
+        .monitor(sink.clone());
+    // Tenant 0 is the heavy one; 1..=4 are light. Equal weights and
+    // quotas: fairness must come from the admission plane, not from
+    // tuning the heavy tenant down.
+    for t in 0..5u32 {
+        builder = builder.tenant(
+            TenantId(t),
+            TenantConfig {
+                weight: 1,
+                max_inflight: Some(QUOTA),
+            },
+        );
+    }
+    let dfk = builder.build().unwrap();
+    let work = dfk.python_app("work", move |i: u64| {
+        std::thread::sleep(Duration::from_millis(task_ms));
+        i
+    });
+    let tenants: Vec<TenantHandle> = (0..5).map(|t| dfk.tenant(TenantId(t))).collect();
+
+    let t0 = Instant::now();
+    let mut futs = Vec::with_capacity(heavy_dags + 4 * light_dags);
+    // Interleaved arrival: each round submits four heavy chains and one
+    // chain per light tenant, so the heavy backlog is always present.
+    for round in 0..light_dags as u64 {
+        for k in 0..4 {
+            futs.push(submit_chain(&tenants[0], &work, round * 4 + k));
+        }
+        for light in &tenants[1..5] {
+            futs.push(submit_chain(light, &work, round));
+        }
+    }
+    dfk.wait_for_all();
+    let makespan = t0.elapsed();
+    for f in &futs {
+        f.result().unwrap();
+    }
+    let windows = sink.0.lock().clone();
+    dfk.shutdown();
+
+    // End of the contended phase: the first instant some tenant's last
+    // task completed. Beyond it the drained tenant's share legitimately
+    // flows to whoever still has work.
+    let contended_end = (0..5u32)
+        .map(|t| {
+            windows
+                .get(&t)
+                .and_then(|w| w.dones.iter().max().copied())
+                .unwrap_or_default()
+        })
+        .min()
+        .unwrap_or_default();
+
+    let expected = |t: u32| CHAIN * if t == 0 { heavy_dags } else { light_dags };
+    let mut per_tenant: Vec<(u32, usize, f64)> = Vec::new();
+    for t in 0..5u32 {
+        let w = windows.get(&t).cloned().unwrap_or_default();
+        assert_eq!(
+            w.dones.len(),
+            expected(t),
+            "tenant {t} starved: {} of {} tasks completed",
+            w.dones.len(),
+            expected(t)
+        );
+        let in_window = w.dones.iter().filter(|&&at| at <= contended_end).count();
+        let span = match w.first_launch {
+            Some(a) if contended_end > a => (contended_end - a).as_secs_f64(),
+            _ => makespan.as_secs_f64(),
+        };
+        per_tenant.push((t, w.dones.len(), in_window as f64 / span));
+    }
+    let total_tasks: usize = per_tenant.iter().map(|(_, n, _)| n).sum();
+    let tps: Vec<f64> = per_tenant.iter().map(|&(_, _, x)| x).collect();
+    MultiRun {
+        makespan,
+        aggregate_tps: total_tasks as f64 / makespan.as_secs_f64(),
+        per_tenant,
+        jain: jain_index(&tps),
+    }
+}
+
+/// The single-tenant baseline: the same total task count as one
+/// workflow, no quotas — what fairness is allowed to cost 10% of.
+fn run_single(light_dags: usize, task_ms: u64) -> f64 {
+    let total_dags = 8 * light_dags;
+    let dfk = DataFlowKernel::builder()
+        .executor(ThreadPoolExecutor::with_label("pool", WORKERS))
+        .scheduler(SchedulerPolicy::WeightedFair)
+        .seed(7)
+        .build()
+        .unwrap();
+    let work = dfk.python_app("work", move |i: u64| {
+        std::thread::sleep(Duration::from_millis(task_ms));
+        i
+    });
+    let tenant = dfk.tenant(TenantId::DEFAULT);
+    let t0 = Instant::now();
+    let futs: Vec<_> = (0..total_dags as u64)
+        .map(|i| submit_chain(&tenant, &work, i))
+        .collect();
+    dfk.wait_for_all();
+    let makespan = t0.elapsed();
+    for f in &futs {
+        f.result().unwrap();
+    }
+    dfk.shutdown();
+    (CHAIN * total_dags) as f64 / makespan.as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone());
+    // Full: 4x125 + 500 = 1000 DAGs (3000 tasks). Smoke: 200 DAGs.
+    let (light_dags, task_ms) = if smoke { (25, 1) } else { (125, 1) };
+    let total_dags = 8 * light_dags;
+
+    println!(
+        "fig_fairness: {total_dags} chain DAGs x {CHAIN} tasks ({} heavy / 4x{} light), \
+         {WORKERS} workers, quota {QUOTA}/tenant{}",
+        4 * light_dags,
+        light_dags,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let multi = run_multi(light_dags, task_ms);
+    let single_tps = run_single(light_dags, task_ms);
+    let tps_ratio = multi.aggregate_tps / single_tps;
+
+    let mut table = Table::new(&["tenant", "dags", "tasks done", "tasks/s (contended)"]);
+    for &(t, done, tps) in &multi.per_tenant {
+        table.row(vec![
+            if t == 0 {
+                format!("tenant-{t} (heavy)")
+            } else {
+                format!("tenant-{t}")
+            },
+            format!("{}", done / CHAIN),
+            format!("{done}"),
+            fmt_f(tps),
+        ]);
+    }
+    table.print();
+    println!(
+        "aggregate: {} tasks/s over {} ms | single-tenant baseline: {} tasks/s \
+         (ratio {:.3}) | Jain index {:.3}",
+        fmt_f(multi.aggregate_tps),
+        fmt_f(multi.makespan.as_secs_f64() * 1e3),
+        fmt_f(single_tps),
+        tps_ratio,
+        multi.jain
+    );
+    if multi.jain < 0.9 {
+        println!("WARNING: Jain index below the 0.9 fairness bar");
+    }
+    if tps_ratio < 0.9 {
+        println!("WARNING: multi-tenancy cost more than 10% aggregate throughput");
+    }
+
+    let path = match (&out, smoke) {
+        (Some(p), _) => p.clone(),
+        (None, false) => "BENCH_fairness.json".to_string(),
+        (None, true) => {
+            println!("smoke mode: skipping BENCH_fairness.json (pass --out to write)");
+            return;
+        }
+    };
+    let per_tenant_json: Vec<String> = multi
+        .per_tenant
+        .iter()
+        .map(|&(t, done, tps)| {
+            format!("{{ \"tenant\": {t}, \"tasks\": {done}, \"tps\": {tps:.1} }}")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"fig_fairness\",\n  \"workload\": \"{total_dags} chain DAGs x \
+         {CHAIN} tasks, 4x-skewed heavy tenant, {WORKERS} workers, quota {QUOTA}\",\n  \
+         \"per_tenant\": [\n    {}\n  ],\n  \"aggregate_tps\": {:.1},\n  \
+         \"single_tenant_tps\": {:.1},\n  \"tps_ratio\": {:.3},\n  \"jain_index\": {:.3}\n}}\n",
+        per_tenant_json.join(",\n    "),
+        multi.aggregate_tps,
+        single_tps,
+        tps_ratio,
+        multi.jain
+    );
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

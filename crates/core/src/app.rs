@@ -257,8 +257,22 @@ impl<A: AppArgs, R: TaskValue> App<A, R> {
     /// down kernel) surface as the future's exception, mirroring how a
     /// Parsl app invocation never raises at the call site.
     pub fn call(&self, deps: A::Deps) -> AppFuture<R> {
+        self.call_as(crate::types::TenantId::DEFAULT, deps)
+    }
+
+    /// Invoke the app on behalf of a specific tenant. The task is stamped
+    /// with `tenant` and counts against that tenant's quota and weighted
+    /// share; [`App::call`] is this with [`TenantId::DEFAULT`]. Prefer
+    /// [`DataFlowKernel::tenant`] when submitting many calls as one
+    /// tenant.
+    ///
+    /// [`TenantId::DEFAULT`]: crate::types::TenantId::DEFAULT
+    /// [`DataFlowKernel::tenant`]: crate::dfk::DataFlowKernel::tenant
+    pub fn call_as(&self, tenant: crate::types::TenantId, deps: A::Deps) -> AppFuture<R> {
         let state = match A::into_slots(deps) {
-            Ok(slots) => self.dfk.submit_slots(Arc::clone(&self.registered), slots),
+            Ok(slots) => self
+                .dfk
+                .submit_slots_as(Arc::clone(&self.registered), slots, tenant),
             Err(e) => self.dfk.failed_submission(e),
         };
         AppFuture::from_state(state)

@@ -10,8 +10,33 @@ use crate::executor::Executor;
 use crate::monitor::MonitorSink;
 use crate::scheduler::SchedulerPolicy;
 use crate::strategy::StrategyConfig;
+use crate::types::TenantId;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Fairness settings for one tenant (logical workflow) sharing the
+/// kernel. Tenants not configured here run with `TenantConfig::default()`
+/// — weight 1, no quota.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Relative share of the pool when tenants contend; the
+    /// weighted-deficit unparking order serves the tenant with the
+    /// smallest in-flight/weight ratio first. Must be at least 1.
+    pub weight: u32,
+    /// Cap on this tenant's tasks in flight across *all* executors;
+    /// ready tasks beyond it park until the tenant's completions free
+    /// quota (`None` = unbounded).
+    pub max_inflight: Option<usize>,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            weight: 1,
+            max_inflight: None,
+        }
+    }
+}
 
 /// Full DataFlowKernel configuration.
 pub struct Config {
@@ -38,6 +63,9 @@ pub struct Config {
     /// Per-executor in-flight cap: tasks beyond it park on the ready
     /// queue instead of dispatching (`None` = unbounded).
     pub max_inflight_per_executor: Option<usize>,
+    /// Per-tenant fairness settings (weight, quota); tenants absent here
+    /// run with the defaults (weight 1, no quota).
+    pub tenants: Vec<(TenantId, TenantConfig)>,
     /// Batched result collection (default `true`): the collector drains
     /// every queued outcome into one completion-plane pass. `false`
     /// processes outcomes strictly one at a time — the pre-batching
@@ -87,6 +115,7 @@ pub struct ConfigBuilder {
     seed: u64,
     scheduler: SchedulerPolicy,
     max_inflight_per_executor: Option<usize>,
+    tenants: Vec<(TenantId, TenantConfig)>,
     completion_batching: Option<bool>,
 }
 
@@ -159,6 +188,13 @@ impl ConfigBuilder {
         self
     }
 
+    /// Configure one tenant's fairness settings (weight and/or quota).
+    /// Unconfigured tenants run with [`TenantConfig::default`].
+    pub fn tenant(mut self, id: TenantId, cfg: TenantConfig) -> Self {
+        self.tenants.push((id, cfg));
+        self
+    }
+
     /// Toggle batched result collection (default on). With `false` the
     /// collector handles each outcome in its own completion-plane pass —
     /// the per-task baseline the batching benchmarks and equivalence
@@ -191,6 +227,25 @@ impl ConfigBuilder {
                 )));
             }
         }
+        let mut tenant_ids = std::collections::HashSet::new();
+        for (id, cfg) in &self.tenants {
+            if !tenant_ids.insert(*id) {
+                return Err(crate::error::ParslError::Config(format!(
+                    "duplicate tenant config for {id}"
+                )));
+            }
+            if cfg.weight == 0 {
+                return Err(crate::error::ParslError::Config(format!(
+                    "{id}: weight must be at least 1"
+                )));
+            }
+            if cfg.max_inflight == Some(0) {
+                return Err(crate::error::ParslError::Config(format!(
+                    "{id}: max_inflight must be at least 1 \
+                     (a quota of 0 could never dispatch anything)"
+                )));
+            }
+        }
         Ok(Config {
             executors: self.executors,
             retries: self.retries,
@@ -202,6 +257,7 @@ impl ConfigBuilder {
             seed: self.seed,
             scheduler: self.scheduler,
             max_inflight_per_executor: self.max_inflight_per_executor,
+            tenants: self.tenants,
             completion_batching: self.completion_batching.unwrap_or(true),
         })
     }
@@ -259,6 +315,52 @@ mod tests {
             .max_inflight_per_executor(0)
             .build();
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn tenant_configs_validated() {
+        let base = || Config::builder().executor(ImmediateExecutor::new());
+        // Zero weight and zero quota are both unusable.
+        assert!(base()
+            .tenant(
+                TenantId(1),
+                TenantConfig {
+                    weight: 0,
+                    max_inflight: None
+                }
+            )
+            .build()
+            .is_err());
+        assert!(base()
+            .tenant(
+                TenantId(1),
+                TenantConfig {
+                    weight: 1,
+                    max_inflight: Some(0)
+                }
+            )
+            .build()
+            .is_err());
+        // Duplicate tenant ids are a config error.
+        assert!(base()
+            .tenant(TenantId(1), TenantConfig::default())
+            .tenant(TenantId(1), TenantConfig::default())
+            .build()
+            .is_err());
+        // A valid config flows through.
+        let c = base()
+            .tenant(
+                TenantId(2),
+                TenantConfig {
+                    weight: 3,
+                    max_inflight: Some(8),
+                },
+            )
+            .build()
+            .unwrap();
+        assert_eq!(c.tenants.len(), 1);
+        assert_eq!(c.tenants[0].0, TenantId(2));
+        assert_eq!(c.tenants[0].1.weight, 3);
     }
 
     #[test]

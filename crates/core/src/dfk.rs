@@ -54,24 +54,40 @@
 //! With `max_inflight_per_executor` set, tasks that would push an
 //! executor over its cap park instead and re-enter the ready queue as
 //! completions free capacity.
+//!
+//! # Multi-tenancy
+//!
+//! One kernel can serve many logical workflows (tenants) over one
+//! executor pool. Every task carries a [`TenantId`] (stamped by
+//! [`DataFlowKernel::tenant`] / `App::call_as`; plain `call` uses
+//! [`TenantId::DEFAULT`]), and the kernel keeps per-tenant in-flight
+//! counts — total and per executor — next to the per-executor ones.
+//! Tenants may be given a `max_inflight` quota and a fairness weight
+//! ([`crate::config::TenantConfig`]): an over-quota tenant's ready tasks
+//! park exactly like over-cap ones, *without* blocking other tenants,
+//! and freed capacity is granted back across parked tenants in
+//! weighted-deficit order — the tenant with the smallest
+//! in-flight/weight share wakes first (`unpark_ready`). The
+//! [`crate::scheduler::WeightedFair`] policy adds tenant-aware placement
+//! on top.
 
 use crate::app::{App, AppArgs, AppFn, ArgSlot, TaskValue};
 use crate::bash::{run_bash, BashOptions};
-use crate::config::{Config, ConfigBuilder};
+use crate::config::{Config, ConfigBuilder, TenantConfig};
 use crate::error::{AppError, ParslError, TaskError};
 use crate::executor::{Executor, ExecutorContext, TaskOutcome, TaskSpec};
-use crate::future::FutureState;
+use crate::future::{AppFuture, FutureState};
 use crate::memo::{memo_key, Memoizer};
 use crate::monitor::{MonitorEvent, MonitorSink};
 use crate::registry::{AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
 use crate::scheduler::{ExecutorSnapshot, Scheduler};
 use crate::strategy::{ScalingDecision, SimpleStrategy, Strategy, StrategyConfig};
-use crate::types::{AppKind, ResourceSpec, TaskId, TaskState};
+use crate::types::{AppKind, ResourceSpec, TaskId, TaskState, TenantId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -100,11 +116,41 @@ struct TaskRecord {
     args_bytes: Option<Bytes>,
     attempt: u32,
     retries_left: u32,
+    /// Executor the task was last dispatched to (monitor labeling).
     executor_idx: Option<usize>,
+    /// Executor whose in-flight slot (and the tenant's) this task
+    /// currently holds; `Some` from routing until the charge is released
+    /// by `release_charge` — exactly once per dispatched attempt, on any
+    /// accepted outcome or terminal commit.
+    charged: Option<usize>,
+    /// Logical workflow the task belongs to.
+    tenant: TenantId,
+    /// True while an entry for this task sits in the kernel's parked
+    /// list (may be stale-true after an unpark requeue; removal is by
+    /// id, so a stale flag is harmless).
+    parked: bool,
+    /// Attempt number a walltime deadline is armed for; parking and
+    /// dispatch both arm, this dedups so one attempt arms at most once.
+    deadline_attempt: Option<u32>,
     memo_key: Option<u64>,
     future: Arc<FutureState>,
     /// Terminal result, stored before the future is assigned.
     result: Option<Result<Bytes, TaskError>>,
+}
+
+/// Per-tenant in-flight accounting and fairness settings. Counters are
+/// atomics behind a shared `Arc`, so the dispatcher and the collector
+/// update them without serializing on one lock.
+struct TenantState {
+    /// Fairness weight (config; default 1).
+    weight: u32,
+    /// In-flight quota across all executors (config; `None` unbounded).
+    max_inflight: Option<usize>,
+    /// Attempts of this tenant dispatched and not yet resolved.
+    inflight: AtomicUsize,
+    /// The same, split per executor (configuration order) — feeds
+    /// `ExecutorSnapshot::tenant_outstanding`.
+    per_exec: Vec<AtomicUsize>,
 }
 
 /// The sharded task table. Ids are allocated from an atomic counter;
@@ -172,9 +218,18 @@ pub struct DataFlowKernel {
     inflight: Vec<AtomicUsize>,
     /// Backpressure cap per executor; `None` = unbounded.
     max_inflight: Option<usize>,
-    /// Ready tasks parked by backpressure, with the executor they are
-    /// pinned to (`None` = any executor satisfies them).
-    parked: Mutex<Vec<(TaskId, Option<usize>)>>,
+    /// Per-tenant accounting, created lazily at first submission.
+    tenants: RwLock<HashMap<TenantId, Arc<TenantState>>>,
+    /// Configured per-tenant settings, applied when a tenant's state is
+    /// first created.
+    tenant_cfg: HashMap<TenantId, TenantConfig>,
+    /// True when any configured tenant has an in-flight quota — without
+    /// one (and without an executor cap) nothing can ever park.
+    has_tenant_quotas: bool,
+    /// Ready tasks parked by backpressure — an executor cap or a tenant
+    /// quota — with the executor they are pinned to (`None` = any) and
+    /// their tenant (drives the weighted-deficit unparking order).
+    parked: Mutex<Vec<(TaskId, Option<usize>, TenantId)>>,
     /// Tasks whose dependencies are all met, awaiting dispatch.
     ready: Mutex<Vec<TaskId>>,
     /// Single-drainer flag for the ready queue: whoever wins the CAS
@@ -275,6 +330,12 @@ impl DfkBuilder {
         self
     }
 
+    /// Per-tenant fairness settings (weight, in-flight quota).
+    pub fn tenant(mut self, id: TenantId, cfg: TenantConfig) -> Self {
+        self.inner = self.inner.tenant(id, cfg);
+        self
+    }
+
     /// Toggle batched result collection (default on; `false` is the
     /// per-task baseline used by benchmarks and equivalence tests).
     pub fn completion_batching(mut self, on: bool) -> Self {
@@ -340,6 +401,12 @@ impl DataFlowKernel {
             exec_seq: AtomicU64::new(0),
             inflight: (0..n_executors).map(|_| AtomicUsize::new(0)).collect(),
             max_inflight: config.max_inflight_per_executor,
+            tenants: RwLock::new(HashMap::new()),
+            has_tenant_quotas: config
+                .tenants
+                .iter()
+                .any(|(_, cfg)| cfg.max_inflight.is_some()),
+            tenant_cfg: config.tenants.into_iter().collect(),
             parked: Mutex::new(Vec::new()),
             ready: Mutex::new(Vec::new()),
             dispatching: AtomicBool::new(false),
@@ -659,12 +726,25 @@ impl DataFlowKernel {
     // Submission and the dependency machinery
     // ------------------------------------------------------------------
 
-    /// Submit a task from pre-built argument slots. Returns the future's
-    /// state; typed wrapping happens in [`App::call`].
+    /// Submit a task from pre-built argument slots under the default
+    /// tenant. Returns the future's state; typed wrapping happens in
+    /// [`App::call`].
     pub fn submit_slots(
         self: &Arc<Self>,
         app: Arc<RegisteredApp>,
         slots: Vec<ArgSlot>,
+    ) -> Arc<FutureState> {
+        self.submit_slots_as(app, slots, TenantId::DEFAULT)
+    }
+
+    /// Submit a task from pre-built argument slots on behalf of a tenant
+    /// (the per-submit half of the tenancy API; the handle half is
+    /// [`DataFlowKernel::tenant`]).
+    pub fn submit_slots_as(
+        self: &Arc<Self>,
+        app: Arc<RegisteredApp>,
+        slots: Vec<ArgSlot>,
+        tenant: TenantId,
     ) -> Arc<FutureState> {
         let id = self.table.alloc_id();
         let future = FutureState::new(id);
@@ -692,6 +772,10 @@ impl DataFlowKernel {
                 attempt: 0,
                 retries_left,
                 executor_idx: None,
+                charged: None,
+                tenant,
+                parked: false,
+                deadline_attempt: None,
                 memo_key: None,
                 future: Arc::clone(&future),
                 result: None,
@@ -704,6 +788,7 @@ impl DataFlowKernel {
             state: TaskState::Pending,
             executor: None,
             attempt: 0,
+            tenant,
             at: self.started_at.elapsed(),
         });
 
@@ -749,6 +834,10 @@ impl DataFlowKernel {
                 attempt: 0,
                 retries_left: 0,
                 executor_idx: None,
+                charged: None,
+                tenant: TenantId::DEFAULT,
+                parked: false,
+                deadline_attempt: None,
                 memo_key: None,
                 future: Arc::clone(&future),
                 result: None,
@@ -756,6 +845,50 @@ impl DataFlowKernel {
         );
         self.finalize(id, Err(TaskError::App(error)), TaskState::Failed);
         future
+    }
+
+    /// A handle that submits every call under one tenant id — the
+    /// "many logical workflows over one kernel" entry point:
+    ///
+    /// ```
+    /// use parsl_core::prelude::*;
+    ///
+    /// let dfk = DataFlowKernel::builder()
+    ///     .executor(ImmediateExecutor::new())
+    ///     .build()
+    ///     .unwrap();
+    /// let double = dfk.python_app("double", |x: i64| x * 2);
+    /// let alice = dfk.tenant(TenantId(1));
+    /// let f = alice.call(&double, (Dep::value(21i64),));
+    /// assert_eq!(f.result().unwrap(), 42);
+    /// dfk.shutdown();
+    /// ```
+    pub fn tenant(self: &Arc<Self>, id: TenantId) -> TenantHandle {
+        TenantHandle {
+            dfk: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// The [`TenantState`] for `id`, created on first use from the
+    /// configured settings (or the defaults). Hot paths take the shared
+    /// read lock; the write lock is hit once per tenant lifetime.
+    fn tenant_state(&self, id: TenantId) -> Arc<TenantState> {
+        if let Some(st) = self.tenants.read().get(&id) {
+            return Arc::clone(st);
+        }
+        let mut map = self.tenants.write();
+        Arc::clone(map.entry(id).or_insert_with(|| {
+            let cfg = self.tenant_cfg.get(&id).cloned().unwrap_or_default();
+            Arc::new(TenantState {
+                weight: cfg.weight,
+                max_inflight: cfg.max_inflight,
+                inflight: AtomicUsize::new(0),
+                per_exec: (0..self.executors.len())
+                    .map(|_| AtomicUsize::new(0))
+                    .collect(),
+            })
+        }))
     }
 
     /// A parent future resolved; update the waiting child. Locks only the
@@ -851,7 +984,12 @@ impl DataFlowKernel {
     /// [`Executor::submit_batch`] call.
     fn launch_batch(self: &Arc<Self>, ids: Vec<TaskId>) {
         let mut memoized: Vec<(TaskId, Bytes)> = Vec::new();
-        let mut parked: Vec<(TaskId, Option<usize>)> = Vec::new();
+        let mut parked: Vec<(TaskId, Option<usize>, TenantId)> = Vec::new();
+        // Walltimes to arm for tasks that parked: the clock must keep
+        // running while a task waits out backpressure, or a parked task
+        // could outlive its walltime unbounded (armed after the shard
+        // locks drop).
+        let mut park_deadlines: Vec<(TaskId, u32, Duration)> = Vec::new();
         let mut per_exec: Vec<Vec<TaskSpec>> = vec![Vec::new(); self.executors.len()];
         // One load snapshot per batch, updated as tasks are assigned, so
         // the scheduler sees the load its own picks create and a wide
@@ -904,13 +1042,24 @@ impl DataFlowKernel {
                     }
                     None => {
                         let pinned = self.pinned_index(&rec.app);
-                        match self.route(&mut snapshots, pinned) {
+                        let tenant = self.tenant_state(rec.tenant);
+                        match self.route(&mut snapshots, pinned, &tenant) {
                             Some(idx) => Some(self.prepare_submit(rec, id, args, idx)),
                             None => {
                                 // Backpressure: every eligible executor is
-                                // at its cap. The task stays Pending and
-                                // parks until completions free capacity.
-                                parked.push((id, pinned));
+                                // at its cap, or the tenant is over its
+                                // quota. The task stays Pending and parks
+                                // until completions free capacity; its
+                                // walltime (if any) starts now, not at
+                                // dispatch, so it can expire while parked.
+                                if let Some(w) = rec.app.options.walltime {
+                                    if rec.deadline_attempt != Some(rec.attempt) {
+                                        rec.deadline_attempt = Some(rec.attempt);
+                                        park_deadlines.push((id, rec.attempt, w));
+                                    }
+                                }
+                                rec.parked = true;
+                                parked.push((id, pinned, rec.tenant));
                                 None
                             }
                         }
@@ -924,6 +1073,7 @@ impl DataFlowKernel {
                     state: TaskState::Launched,
                     executor: Some(self.executors[exec_idx].label().to_string()),
                     attempt: spec.attempt,
+                    tenant: spec.tenant,
                     at: self.started_at.elapsed(),
                 });
                 if let Some(w) = walltime {
@@ -937,6 +1087,10 @@ impl DataFlowKernel {
         // edges, whose newly ready children join the queue we are draining.
         for (id, bytes) in memoized {
             self.finalize(id, Ok(bytes), TaskState::Memoized);
+        }
+
+        for (id, attempt, w) in park_deadlines {
+            self.arm_deadline(Instant::now() + w, id, attempt);
         }
 
         if !parked.is_empty() {
@@ -968,6 +1122,8 @@ impl DataFlowKernel {
     }
 
     /// Current per-executor load and capacity, in configuration order.
+    /// `tenant_outstanding` starts zeroed; tenant-aware callers fill it
+    /// per task (`fill_tenant_outstanding`).
     fn snapshot_executors(&self) -> Vec<ExecutorSnapshot> {
         self.executors
             .iter()
@@ -976,16 +1132,37 @@ impl DataFlowKernel {
                 index,
                 outstanding: self.inflight[index].load(Ordering::Relaxed),
                 capacity: e.capacity(),
+                tenant_outstanding: 0,
             })
             .collect()
     }
 
+    /// Stamp the routing task's tenant's per-executor in-flight counts
+    /// onto the snapshots the scheduler is about to see.
+    fn fill_tenant_outstanding(snapshots: &mut [ExecutorSnapshot], tenant: &TenantState) {
+        for s in snapshots.iter_mut() {
+            s.tenant_outstanding = tenant.per_exec[s.index].load(Ordering::Relaxed);
+        }
+    }
+
     /// Route one ready task: honor the pin if present, otherwise ask the
     /// scheduler, offering only executors under the backpressure cap.
-    /// Returns `None` when no eligible executor has capacity — the caller
-    /// parks the task. On success the snapshot and the shared in-flight
-    /// counter are charged for the assignment.
-    fn route(&self, snapshots: &mut [ExecutorSnapshot], pinned: Option<usize>) -> Option<usize> {
+    /// Returns `None` when the task's tenant is over its in-flight quota
+    /// or no eligible executor has capacity — the caller parks the task.
+    /// On success the snapshot, the shared in-flight counter, and the
+    /// tenant's counters are charged for the assignment.
+    fn route(
+        &self,
+        snapshots: &mut [ExecutorSnapshot],
+        pinned: Option<usize>,
+        tenant: &TenantState,
+    ) -> Option<usize> {
+        if tenant
+            .max_inflight
+            .is_some_and(|q| tenant.inflight.load(Ordering::Relaxed) >= q)
+        {
+            return None;
+        }
         let cap = self.max_inflight;
         let over = |s: &ExecutorSnapshot| cap.is_some_and(|c| s.outstanding >= c);
         let idx = match pinned {
@@ -998,6 +1175,7 @@ impl DataFlowKernel {
             None if cap.is_none() && self.executors.len() == 1 => 0,
             None => {
                 let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
+                Self::fill_tenant_outstanding(snapshots, tenant);
                 if snapshots.iter().any(&over) {
                     // Slow path: some executor is saturated, so offer the
                     // scheduler only the under-cap subset.
@@ -1018,38 +1196,65 @@ impl DataFlowKernel {
         };
         snapshots[idx].outstanding += 1;
         self.inflight[idx].fetch_add(1, Ordering::Relaxed);
+        tenant.inflight.fetch_add(1, Ordering::Relaxed);
+        tenant.per_exec[idx].fetch_add(1, Ordering::Relaxed);
         Some(idx)
     }
 
-    /// Route a failed task's next attempt. Retries deliberately bypass the
-    /// backpressure cap — the attempt already holds graph-level resources
-    /// and parking it would stall retry semantics — but unpinned retries
-    /// still follow the scheduler, so a saturated executor is not retried
-    /// into by default.
-    fn route_retry(&self, pinned: Option<usize>) -> usize {
+    /// Route a failed task's next attempt. Retries deliberately bypass
+    /// the backpressure cap and the tenant quota — the attempt already
+    /// holds graph-level resources and parking it would stall retry
+    /// semantics — but unpinned retries still follow the scheduler, so a
+    /// saturated executor is not retried into by default.
+    fn route_retry(&self, pinned: Option<usize>, tenant: &TenantState) -> usize {
         let idx = match pinned {
             Some(i) => i,
             None => {
-                let snapshots = self.snapshot_executors();
+                let mut snapshots = self.snapshot_executors();
+                Self::fill_tenant_outstanding(&mut snapshots, tenant);
                 let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
                 let pos = self.scheduler.assign(&snapshots, seq);
                 snapshots[pos].index
             }
         };
         self.inflight[idx].fetch_add(1, Ordering::Relaxed);
+        tenant.inflight.fetch_add(1, Ordering::Relaxed);
+        tenant.per_exec[idx].fetch_add(1, Ordering::Relaxed);
         idx
     }
 
+    /// Release the executor and tenant in-flight slots a dispatched
+    /// attempt holds. Exactly-once: the charge travels in `rec.charged`
+    /// and is taken here, so every terminal path (outcome, memo hit,
+    /// dependency failure, walltime expiry, shutdown sweep) releases it
+    /// precisely once no matter which path runs first.
+    fn release_charge(&self, rec: &mut TaskRecord) {
+        if let Some(idx) = rec.charged.take() {
+            self.inflight[idx].fetch_sub(1, Ordering::Relaxed);
+            let tenant = self.tenant_state(rec.tenant);
+            tenant.inflight.fetch_sub(1, Ordering::Relaxed);
+            tenant.per_exec[idx].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
     /// Re-queue parked tasks whose backpressure requirement is satisfiable
-    /// again, at most as many as there are free in-flight slots — waking
-    /// the whole parking lot on every completion would make each freed
-    /// slot re-process (memo-check, route, re-park) every parked task.
-    /// Returns true when any task went back on the ready queue (the
-    /// caller decides whether a drain is needed).
+    /// again, at most as many as there are free in-flight slots (and free
+    /// tenant quota) — waking the whole parking lot on every completion
+    /// would make each freed slot re-process (memo-check, route, re-park)
+    /// every parked task.
+    ///
+    /// Grants follow a **weighted-deficit order** across tenants: each
+    /// round wakes the oldest parked task of the eligible tenant with the
+    /// smallest in-flight/weight share (shares compared by integer
+    /// cross-multiplication), so freed capacity flows to the tenant
+    /// furthest below its weighted fair share and a backlogged heavy
+    /// tenant cannot monopolize the wakeups. FIFO order is preserved
+    /// within each tenant. Returns true when any task went back on the
+    /// ready queue (the caller decides whether a drain is needed).
     fn unpark_ready(&self) -> bool {
-        let Some(cap) = self.max_inflight else {
-            return false;
-        };
+        if self.max_inflight.is_none() && !self.has_tenant_quotas {
+            return false; // nothing can ever park
+        }
         let mut requeue: Vec<TaskId> = Vec::new();
         {
             let mut parked = self.parked.lock();
@@ -1059,25 +1264,74 @@ impl DataFlowKernel {
             // Free-slot budget per executor, decremented as tasks are
             // woken. A woken task may still re-park if a concurrent
             // dispatch takes the slot first; the budget only bounds churn.
-            let mut budget: Vec<usize> = self
-                .inflight
-                .iter()
-                .map(|n| cap.saturating_sub(n.load(Ordering::Relaxed)))
-                .collect();
-            parked.retain(|&(id, pin)| {
-                let slot = match pin {
-                    Some(i) => (budget[i] > 0).then_some(i),
-                    None => budget.iter().position(|&b| b > 0),
-                };
-                match slot {
-                    Some(i) => {
-                        budget[i] -= 1;
-                        requeue.push(id);
-                        false
+            let mut budget: Vec<usize> = match self.max_inflight {
+                Some(cap) => self
+                    .inflight
+                    .iter()
+                    .map(|n| cap.saturating_sub(n.load(Ordering::Relaxed)))
+                    .collect(),
+                None => vec![usize::MAX; self.executors.len()],
+            };
+            // Per-tenant virtual shares: in-flight count (bumped per
+            // grant so one pass stays fair) and remaining quota.
+            struct Share {
+                inflight: u64,
+                weight: u64,
+                quota: usize,
+            }
+            let mut shares: HashMap<TenantId, Share> = HashMap::new();
+            for &(_, _, t) in parked.iter() {
+                shares.entry(t).or_insert_with(|| {
+                    let st = self.tenant_state(t);
+                    let inflight = st.inflight.load(Ordering::Relaxed);
+                    Share {
+                        inflight: inflight as u64,
+                        weight: u64::from(st.weight),
+                        quota: st
+                            .max_inflight
+                            .map_or(usize::MAX, |q| q.saturating_sub(inflight)),
                     }
-                    None => true,
+                });
+            }
+            let mut woken = vec![false; parked.len()];
+            let mut considered: HashSet<TenantId> = HashSet::new();
+            loop {
+                // One candidate per tenant (its oldest unwoken task with
+                // a satisfiable pin); among them, the smallest weighted
+                // share wins the next freed slot.
+                considered.clear();
+                let mut best: Option<(usize, usize)> = None; // (pos, slot)
+                for (pos, &(_, pin, t)) in parked.iter().enumerate() {
+                    if woken[pos] || !considered.insert(t) {
+                        continue;
+                    }
+                    let share = &shares[&t];
+                    if share.quota == 0 {
+                        continue;
+                    }
+                    let slot = match pin {
+                        Some(i) => (budget[i] > 0).then_some(i),
+                        None => budget.iter().position(|&b| b > 0),
+                    };
+                    let Some(slot) = slot else { continue };
+                    let beats_best = best.is_none_or(|(bpos, _)| {
+                        let b = &shares[&parked[bpos].2];
+                        share.inflight * b.weight < b.inflight * share.weight
+                    });
+                    if beats_best {
+                        best = Some((pos, slot));
+                    }
                 }
-            });
+                let Some((pos, slot)) = best else { break };
+                woken[pos] = true;
+                budget[slot] -= 1;
+                let share = shares.get_mut(&parked[pos].2).expect("seeded above");
+                share.inflight += 1;
+                share.quota -= 1;
+                requeue.push(parked[pos].0);
+            }
+            let mut woken = woken.iter();
+            parked.retain(|_| !*woken.next().expect("one flag per entry"));
         }
         if requeue.is_empty() {
             return false;
@@ -1088,7 +1342,10 @@ impl DataFlowKernel {
 
     /// Build the TaskSpec for launch on the chosen executor (called with
     /// the task's shard lock held; returns what the dispatcher needs after
-    /// unlocking).
+    /// unlocking). The routing already charged the in-flight slots; this
+    /// records the charge on the task. The returned walltime is `None`
+    /// when this attempt's deadline is already armed (it armed at park
+    /// time) — the caller arms whatever comes back.
     fn prepare_submit(
         &self,
         rec: &mut TaskRecord,
@@ -1097,6 +1354,7 @@ impl DataFlowKernel {
         idx: usize,
     ) -> (TaskSpec, usize, Option<Duration>) {
         rec.executor_idx = Some(idx);
+        rec.charged = Some(idx);
         rec.state = TaskState::Launched;
         let spec = TaskSpec {
             id,
@@ -1107,8 +1365,16 @@ impl DataFlowKernel {
                 ..ResourceSpec::default()
             },
             attempt: rec.attempt,
+            tenant: rec.tenant,
         };
-        (spec, idx, rec.app.options.walltime)
+        let walltime = match rec.app.options.walltime {
+            Some(w) if rec.deadline_attempt != Some(rec.attempt) => {
+                rec.deadline_attempt = Some(rec.attempt);
+                Some(w)
+            }
+            _ => None,
+        };
+        (spec, idx, walltime)
     }
 
     /// A batch of outcomes arrived from the executors (or was synthesized
@@ -1146,6 +1412,10 @@ impl DataFlowKernel {
         // Retries: (spec, executor index, walltime) — armed and grouped
         // per executor after the shard pass.
         let mut retries: Vec<(TaskSpec, usize, Option<Duration>)> = Vec::new();
+        // Tasks leaving a parked state through this batch (walltime
+        // expiry while parked): their park entries are dropped after the
+        // shard pass so nothing re-queues them.
+        let mut drop_parked: Vec<TaskId> = Vec::new();
 
         for group in by_shard {
             let Some(first) = group.first() else { continue };
@@ -1160,10 +1430,16 @@ impl DataFlowKernel {
                     continue;
                 }
                 // The accepted outcome resolves exactly one dispatched
-                // attempt: release its in-flight slot (retries charge a
-                // fresh one via route_retry).
-                if let Some(idx) = rec.executor_idx {
-                    self.inflight[idx].fetch_sub(1, Ordering::Relaxed);
+                // attempt: release its in-flight slots (retries charge a
+                // fresh one via route_retry). A task that was parked when
+                // the outcome arrived (walltime expiry under
+                // backpressure) holds no charge — release_charge is a
+                // no-op — but its park entry must go, or a later unpark
+                // would re-launch a task this batch settles.
+                self.release_charge(rec);
+                if rec.parked {
+                    rec.parked = false;
+                    drop_parked.push(outcome.id);
                 }
                 match outcome.result {
                     Ok(bytes) => {
@@ -1183,7 +1459,8 @@ impl DataFlowKernel {
                             rec.retries_left -= 1;
                             rec.attempt += 1;
                             let args = rec.args_bytes.clone().expect("launched tasks have args");
-                            let idx = self.route_retry(self.pinned_index(&rec.app));
+                            let tenant = self.tenant_state(rec.tenant);
+                            let idx = self.route_retry(self.pinned_index(&rec.app), &tenant);
                             let (spec, idx, walltime) =
                                 self.prepare_submit(rec, outcome.id, args, idx);
                             if monitoring {
@@ -1210,6 +1487,14 @@ impl DataFlowKernel {
                     }
                 }
             }
+        }
+
+        // Drop park entries for tasks this batch settled while parked
+        // (after the shard locks, before futures fire new work).
+        if !drop_parked.is_empty() {
+            self.parked
+                .lock()
+                .retain(|(id, _, _)| !drop_parked.contains(id));
         }
 
         // (2) one writer-locked checkpoint append for the whole batch.
@@ -1334,6 +1619,10 @@ impl DataFlowKernel {
         Option<(u64, Bytes)>,
     ) {
         debug_assert!(state.is_terminal());
+        // Whatever path got us here, a dispatched attempt's in-flight
+        // slots must come back (no-op if already released or never
+        // charged — e.g. memo hits and dependency failures).
+        self.release_charge(rec);
         rec.state = state;
         let checkpoint = if state == TaskState::Done {
             match (rec.memo_key, &result) {
@@ -1353,6 +1642,7 @@ impl DataFlowKernel {
                     .executor_idx
                     .map(|i| self.executors[i].label().to_string()),
                 attempt: rec.attempt,
+                tenant: rec.tenant,
                 at: self.started_at.elapsed(),
             })
         } else {
@@ -1368,7 +1658,7 @@ impl DataFlowKernel {
     /// (memo hits, dependency failures, failed submissions, shutdown).
     fn finalize(self: &Arc<Self>, id: TaskId, result: Result<Bytes, TaskError>, state: TaskState) {
         let monitoring = self.monitor.is_some();
-        let (future, result, event, checkpoint) = {
+        let (future, result, event, checkpoint, was_parked) = {
             let mut shard = self.table.shard(id).lock();
             let Some(rec) = shard.get_mut(&id) else {
                 return;
@@ -1376,8 +1666,17 @@ impl DataFlowKernel {
             if rec.state.is_terminal() {
                 return; // already finalized (e.g. racing DepFail)
             }
-            self.commit_terminal(rec, id, state, result, monitoring)
+            let was_parked = std::mem::take(&mut rec.parked);
+            let (future, result, event, checkpoint) =
+                self.commit_terminal(rec, id, state, result, monitoring);
+            (future, result, event, checkpoint, was_parked)
         };
+
+        // A task finalized while (possibly) parked must leave the parked
+        // list, or a later unpark would re-queue a terminal task.
+        if was_parked {
+            self.parked.lock().retain(|&(pid, _, _)| pid != id);
+        }
 
         if let Some((key, bytes)) = checkpoint {
             self.memo.record(key, &bytes);
@@ -1403,6 +1702,13 @@ impl DataFlowKernel {
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok();
         future.set(result);
+        // A task settled here may have freed capacity other parked tasks
+        // were waiting on: a released charge, freed tenant quota, or — the
+        // subtle case — a parked task that was woken into a memo hit and
+        // so never consumed the slot its wakeup was granted for. Without
+        // this re-offer that slot stays free while its siblings stay
+        // parked forever (cheap no-op when nothing is parked).
+        self.unpark_ready();
         if gated {
             self.drain_holding_flag();
         }
@@ -1473,9 +1779,24 @@ impl DataFlowKernel {
             .collect()
     }
 
-    /// Ready tasks currently parked by the backpressure cap.
+    /// Ready tasks currently parked by the backpressure cap or a tenant
+    /// quota.
     pub fn parked_tasks(&self) -> usize {
         self.parked.lock().len()
+    }
+
+    /// Attempts of `tenant` currently dispatched and unresolved, as
+    /// tracked by the dispatcher. Zero for tenants that never submitted.
+    pub fn tenant_inflight(&self, tenant: TenantId) -> usize {
+        self.tenants
+            .read()
+            .get(&tenant)
+            .map_or(0, |st| st.inflight.load(Ordering::Relaxed))
+    }
+
+    /// Tenants that have submitted work, in no particular order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.read().keys().copied().collect()
     }
 
     /// Times the walltime watcher has woken up. Stays at zero on a kernel
@@ -1554,6 +1875,46 @@ impl DataFlowKernel {
             self.finalize(id, Err(TaskError::Shutdown), TaskState::Failed);
         }
         let _ = self.memo.flush();
+    }
+}
+
+/// A submission handle bound to one tenant: every call through it is
+/// stamped with that tenant's id and accounted against its quota and
+/// weight. Create via [`DataFlowKernel::tenant`]; clones share the
+/// identity. Apps themselves stay tenant-neutral — one registered app
+/// can be called by any number of tenants.
+#[derive(Clone)]
+pub struct TenantHandle {
+    dfk: Arc<DataFlowKernel>,
+    id: TenantId,
+}
+
+impl TenantHandle {
+    /// The tenant this handle submits as.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The kernel this handle submits to.
+    pub fn dfk(&self) -> &Arc<DataFlowKernel> {
+        &self.dfk
+    }
+
+    /// Invoke an app as this tenant (the handle-based spelling of
+    /// [`App::call_as`]).
+    pub fn call<A: AppArgs, R: TaskValue>(&self, app: &App<A, R>, deps: A::Deps) -> AppFuture<R> {
+        app.call_as(self.id, deps)
+    }
+
+    /// This tenant's dispatched-and-unresolved attempt count.
+    pub fn inflight(&self) -> usize {
+        self.dfk.tenant_inflight(self.id)
+    }
+}
+
+impl std::fmt::Debug for TenantHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TenantHandle({})", self.id)
     }
 }
 

@@ -9,7 +9,7 @@
 
 use crate::error::TaskError;
 use crate::registry::{AppRegistry, RegisteredApp};
-use crate::types::{ResourceSpec, TaskId};
+use crate::types::{ResourceSpec, TaskId, TenantId};
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use std::sync::Arc;
@@ -28,6 +28,10 @@ pub struct TaskSpec {
     pub resources: ResourceSpec,
     /// 0 for the first try; incremented by DFK retries.
     pub attempt: u32,
+    /// Logical workflow this task belongs to (stamped at submission;
+    /// travels through the executor wire protocol for per-tenant
+    /// accounting beyond the kernel boundary).
+    pub tenant: TenantId,
 }
 
 impl std::fmt::Debug for TaskSpec {
@@ -37,6 +41,7 @@ impl std::fmt::Debug for TaskSpec {
             .field("app", &self.app.name)
             .field("args_len", &self.args.len())
             .field("attempt", &self.attempt)
+            .field("tenant", &self.tenant)
             .finish()
     }
 }
@@ -293,6 +298,7 @@ mod tests {
             args,
             resources: ResourceSpec::default(),
             attempt: 0,
+            tenant: TenantId::DEFAULT,
         }
     }
 

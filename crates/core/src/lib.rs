@@ -59,8 +59,8 @@ pub mod types;
 pub use app::{App, AppArgs, AppFn, ArgSlot, Dep, TaskValue};
 pub use bash::BashOptions;
 pub use combinators::{barrier, join_all, map_app};
-pub use config::{Config, ConfigBuilder};
-pub use dfk::{DataFlowKernel, DfkBuilder};
+pub use config::{Config, ConfigBuilder, TenantConfig};
+pub use dfk::{DataFlowKernel, DfkBuilder, TenantHandle};
 pub use error::{AppError, ParslError, TaskError};
 pub use executor::{
     BlockScaling, Executor, ExecutorContext, ExecutorError, ImmediateExecutor, TaskOutcome,
@@ -73,22 +73,22 @@ pub use monitor::{MonitorEvent, MonitorSink, NullSink};
 pub use registry::{AppId, AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
 pub use scheduler::{ExecutorSnapshot, Scheduler, SchedulerPolicy};
 pub use strategy::{ScalingDecision, SimpleStrategy, Strategy, StrategyConfig};
-pub use types::{AppKind, ResourceSpec, TaskId, TaskState};
+pub use types::{AppKind, ResourceSpec, TaskId, TaskState, TenantId};
 
 /// Everything a typical program needs.
 pub mod prelude {
     pub use crate::app::{App, Dep, TaskValue};
     pub use crate::bash::BashOptions;
     pub use crate::call;
-    pub use crate::config::Config;
-    pub use crate::dfk::DataFlowKernel;
+    pub use crate::config::{Config, TenantConfig};
+    pub use crate::dfk::{DataFlowKernel, TenantHandle};
     pub use crate::error::{AppError, ParslError, TaskError};
     pub use crate::executor::{Executor, ImmediateExecutor};
     pub use crate::future::AppFuture;
     pub use crate::registry::AppOptions;
     pub use crate::scheduler::SchedulerPolicy;
     pub use crate::strategy::StrategyConfig;
-    pub use crate::types::{TaskId, TaskState};
+    pub use crate::types::{TaskId, TaskState, TenantId};
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! the sink interface; concrete stores (in-memory, CSV, analysis) live in
 //! `parsl-monitor`.
 
-use crate::types::{TaskId, TaskState};
+use crate::types::{TaskId, TaskState, TenantId};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,6 +25,9 @@ pub enum MonitorEvent {
         executor: Option<String>,
         /// Attempt number (0-based; >0 indicates retries).
         attempt: u32,
+        /// Logical workflow the task belongs to, for per-tenant
+        /// aggregation and fairness accounting.
+        tenant: TenantId,
         /// Time since the DataFlowKernel started.
         at: Duration,
     },
@@ -106,6 +109,7 @@ mod tests {
             state: TaskState::Done,
             executor: None,
             attempt: 0,
+            tenant: TenantId::DEFAULT,
             at: Duration::from_millis(5),
         };
         assert_eq!(e.at(), Duration::from_millis(5));
@@ -147,6 +151,7 @@ mod tests {
                 state: TaskState::Done,
                 executor: None,
                 attempt: 0,
+                tenant: TenantId::DEFAULT,
                 at: Duration::ZERO,
             })
             .collect();

@@ -27,12 +27,21 @@
 //!   executors receive traffic in proportion to their worker slots
 //!   (`Executor::capacity`, which tracks `BlockScaling` for elastic
 //!   executors), so scale-out shifts traffic toward the grown executor.
+//! - [`SchedulerPolicy::WeightedFair`] — tenant-aware placement for the
+//!   multi-tenant kernel: spread the routing task's *own tenant* evenly
+//!   (its per-executor in-flight count arrives via
+//!   [`ExecutorSnapshot::tenant_outstanding`]), falling back to total
+//!   queue depth on ties. Cross-tenant fairness — per-tenant
+//!   `max_inflight` quotas and the weighted-deficit unparking order —
+//!   lives in the kernel's admission plane (`dfk.rs`); this policy is
+//!   the placement half of the pair.
 //!
 //! Placement composes with **backpressure**: the kernel can cap in-flight
 //! tasks per executor (`ConfigBuilder::max_inflight_per_executor`). The
 //! dispatcher only offers under-cap executors to the scheduler; when none
 //! qualifies the task parks and is re-queued as completions free capacity
-//! (see `crates/core/src/dfk.rs`, `launch_batch`).
+//! (see `crates/core/src/dfk.rs`, `launch_batch`). Per-tenant quotas park
+//! the same way, without blocking other tenants.
 
 use std::sync::Arc;
 
@@ -52,6 +61,11 @@ pub struct ExecutorSnapshot {
     /// Worker slots currently provisioned (see `Executor::capacity`).
     /// Zero means unknown; policies treat it as one slot.
     pub capacity: usize,
+    /// In-flight tasks of the *routing task's tenant* on this executor.
+    /// Filled per task by the dispatcher; zero for single-tenant kernels
+    /// and on paths that do not track tenancy (then tenant-aware policies
+    /// degrade to their tie-breaker).
+    pub tenant_outstanding: usize,
 }
 
 /// A placement policy: given candidate executors, choose one.
@@ -81,6 +95,9 @@ pub enum SchedulerPolicy {
     LeastOutstanding,
     /// Traffic proportional to provisioned worker slots.
     CapacityWeighted,
+    /// Tenant-aware spread: each tenant's tasks join their own shortest
+    /// queue (see [`WeightedFair`]).
+    WeightedFair,
     /// A user-supplied policy.
     Custom(Arc<dyn Scheduler>),
 }
@@ -94,6 +111,7 @@ impl SchedulerPolicy {
             SchedulerPolicy::RoundRobin => Arc::new(RoundRobin),
             SchedulerPolicy::LeastOutstanding => Arc::new(LeastOutstanding),
             SchedulerPolicy::CapacityWeighted => Arc::new(CapacityWeighted { seed }),
+            SchedulerPolicy::WeightedFair => Arc::new(WeightedFair),
             SchedulerPolicy::Custom(s) => Arc::clone(s),
         }
     }
@@ -106,6 +124,7 @@ impl std::fmt::Debug for SchedulerPolicy {
             SchedulerPolicy::RoundRobin => "RoundRobin",
             SchedulerPolicy::LeastOutstanding => "LeastOutstanding",
             SchedulerPolicy::CapacityWeighted => "CapacityWeighted",
+            SchedulerPolicy::WeightedFair => "WeightedFair",
             SchedulerPolicy::Custom(s) => return write!(f, "Custom({})", s.name()),
         };
         f.write_str(name)
@@ -202,6 +221,36 @@ impl Scheduler for CapacityWeighted {
     }
 }
 
+/// Tenant-aware join-shortest-queue: place each task on the executor
+/// where its *own tenant* has the fewest tasks in flight, breaking ties
+/// by total queue depth, then by candidate order. A tenant's work
+/// therefore spreads across the pool even while another tenant's backlog
+/// piles onto one executor — per-executor hot spots created by one
+/// workflow do not distort another workflow's placement.
+///
+/// This is the placement half of the multi-tenant fairness plane; the
+/// admission half (per-tenant `max_inflight` quotas, weighted-deficit
+/// unparking) is policy-independent and lives in the kernel. Placement
+/// never changes *what* runs — only *where* — so results under
+/// `WeightedFair` are observationally identical to `RandomHash`
+/// (proven by `proptest_tenancy`).
+pub struct WeightedFair;
+
+impl Scheduler for WeightedFair {
+    fn name(&self) -> &str {
+        "weighted_fair"
+    }
+
+    fn assign(&self, candidates: &[ExecutorSnapshot], _seq: u64) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| (s.tenant_outstanding, s.outstanding))
+            .map(|(i, _)| i)
+            .expect("candidates non-empty")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +263,7 @@ mod tests {
                 index,
                 outstanding,
                 capacity,
+                tenant_outstanding: 0,
             })
             .collect()
     }
@@ -277,8 +327,26 @@ mod tests {
             (SchedulerPolicy::RoundRobin, "round_robin"),
             (SchedulerPolicy::LeastOutstanding, "least_outstanding"),
             (SchedulerPolicy::CapacityWeighted, "capacity_weighted"),
+            (SchedulerPolicy::WeightedFair, "weighted_fair"),
         ] {
             assert_eq!(policy.build(0).name(), name);
         }
+    }
+
+    #[test]
+    fn weighted_fair_prefers_own_tenants_shortest_queue() {
+        let wf = WeightedFair;
+        // Executor 1 is globally busiest but has none of *this* tenant's
+        // tasks; the tenant-aware policy still picks it.
+        let mut c = snaps(&[(2, 1), (9, 1), (4, 1)]);
+        c[0].tenant_outstanding = 3;
+        c[1].tenant_outstanding = 0;
+        c[2].tenant_outstanding = 1;
+        assert_eq!(wf.assign(&c, 0), 1);
+        // Tenant-count ties break on total outstanding.
+        let mut c = snaps(&[(5, 1), (2, 1)]);
+        c[0].tenant_outstanding = 1;
+        c[1].tenant_outstanding = 1;
+        assert_eq!(wf.assign(&c, 0), 1);
     }
 }

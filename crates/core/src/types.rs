@@ -23,6 +23,28 @@ impl fmt::Display for TaskId {
     }
 }
 
+/// Identity of the logical workflow (tenant) a task belongs to.
+///
+/// One DataFlowKernel can serve many concurrent workflows sharing one
+/// executor pool; the tenant id is stamped on every task at submission
+/// (via [`crate::dfk::DataFlowKernel::tenant`] or `App::call_as`) and
+/// travels with it through routing, parking, retries, executor wire
+/// frames, and monitor events. Plain `App::call` submissions run under
+/// [`TenantId::DEFAULT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The ambient tenant used when no tenant is specified.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
 /// Lifecycle of a task in the dependency graph (§4.1).
 ///
 /// ```text
@@ -148,6 +170,12 @@ mod tests {
         assert!(TaskState::Memoized.is_success());
         assert!(!TaskState::Failed.is_success());
         assert!(!TaskState::DepFail.is_success());
+    }
+
+    #[test]
+    fn tenant_default_and_display() {
+        assert_eq!(TenantId::default(), TenantId::DEFAULT);
+        assert_eq!(TenantId(7).to_string(), "tenant-7");
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Integration tests for the multi-tenant admission plane: per-tenant
+//! in-flight quotas, weighted-deficit unparking, tenant-aware placement,
+//! and the exactly-once slot accounting on every park/unpark exit path
+//! (memo hit, dependency failure, walltime expiry while parked).
+//!
+//! These are cap=1-style deadlock regressions: a leaked or stranded slot
+//! shows up here as a `wait_for_all_timeout` that never returns rather
+//! than a silently wrong counter.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use parsl_core::error::{AppError, ParslError, TaskError};
+use parsl_core::executor::{Executor, ExecutorContext, ExecutorError, TaskOutcome, TaskSpec};
+use parsl_core::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An executor that accepts tasks but completes them only when the test
+/// says so, recording the tenant of every submission in arrival order.
+struct GatedExecutor {
+    label: String,
+    workers: usize,
+    ctx: Mutex<Option<ExecutorContext>>,
+    queue: Mutex<VecDeque<TaskSpec>>,
+    tenants_seen: Mutex<Vec<TenantId>>,
+    submitted: AtomicUsize,
+    inflight: AtomicUsize,
+}
+
+impl GatedExecutor {
+    fn new(label: &str, workers: usize) -> Arc<Self> {
+        Arc::new(GatedExecutor {
+            label: label.to_string(),
+            workers,
+            ctx: Mutex::new(None),
+            queue: Mutex::new(VecDeque::new()),
+            tenants_seen: Mutex::new(Vec::new()),
+            submitted: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+        })
+    }
+
+    fn submitted(&self) -> usize {
+        self.submitted.load(Ordering::SeqCst)
+    }
+
+    fn tenants_seen(&self) -> Vec<TenantId> {
+        self.tenants_seen.lock().clone()
+    }
+
+    fn run_task(task: &TaskSpec) -> TaskOutcome {
+        let result = (task.app.func)(&task.args)
+            .map(Bytes::from)
+            .map_err(TaskError::App);
+        TaskOutcome::new(task.id, task.attempt, result)
+    }
+
+    /// Run and report the oldest held task; false when none is held.
+    fn complete_one(&self) -> bool {
+        let Some(task) = self.queue.lock().pop_front() else {
+            return false;
+        };
+        let ctx = self.ctx.lock().clone().expect("started");
+        let outcome = Self::run_task(&task);
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        ctx.completions
+            .send(vec![outcome])
+            .expect("collector alive");
+        true
+    }
+
+    fn complete_all(&self) -> usize {
+        let mut n = 0;
+        while self.complete_one() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run every held task and report all outcomes as ONE completion
+    /// batch, so the kernel performs a single `unpark_ready` pass with
+    /// the whole freed budget — the weighted-deficit order is then
+    /// observable in the subsequent submission order.
+    fn complete_all_as_one_batch(&self) -> usize {
+        let tasks: Vec<TaskSpec> = self.queue.lock().drain(..).collect();
+        if tasks.is_empty() {
+            return 0;
+        }
+        let ctx = self.ctx.lock().clone().expect("started");
+        let outcomes: Vec<TaskOutcome> = tasks.iter().map(Self::run_task).collect();
+        self.inflight.fetch_sub(tasks.len(), Ordering::SeqCst);
+        ctx.completions.send(outcomes).expect("collector alive");
+        tasks.len()
+    }
+}
+
+impl Executor for GatedExecutor {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn start(&self, ctx: ExecutorContext) -> Result<(), ExecutorError> {
+        *self.ctx.lock() = Some(ctx);
+        Ok(())
+    }
+
+    fn submit(&self, task: TaskSpec) -> Result<(), ExecutorError> {
+        if self.ctx.lock().is_none() {
+            return Err(ExecutorError::NotRunning);
+        }
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        self.tenants_seen.lock().push(task.tenant);
+        self.queue.lock().push_back(task);
+        Ok(())
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    fn connected_workers(&self) -> usize {
+        self.workers
+    }
+
+    fn shutdown(&self) {
+        self.ctx.lock().take();
+        self.queue.lock().clear();
+    }
+}
+
+/// Poll until `cond` holds; panic after 5 seconds.
+fn eventually(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Drain the executor until the kernel reports no live tasks.
+fn drain(dfk: &DataFlowKernel, ex: &GatedExecutor) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while dfk.live_tasks() > 0 {
+        assert!(Instant::now() < deadline, "drain stalled: tasks stranded");
+        ex.complete_all();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn tenant_quota_parks_excess_while_other_tenants_flow() {
+    let ex = GatedExecutor::new("gated", 4);
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(ex.clone())
+        .tenant(
+            TenantId(1),
+            TenantConfig {
+                weight: 1,
+                max_inflight: Some(1),
+            },
+        )
+        .build()
+        .unwrap();
+    let id = dfk.python_app("id", |x: u64| x);
+    let alice = dfk.tenant(TenantId(1));
+
+    // Three tasks against a quota of one: one dispatches, two park.
+    let alice_futs: Vec<_> = (0..3).map(|i| alice.call(&id, (Dep::value(i),))).collect();
+    eventually("quota's worth dispatched", || ex.submitted() == 1);
+    eventually("excess parked", || dfk.parked_tasks() == 2);
+    assert_eq!(alice.inflight(), 1);
+
+    // The quota throttles alice only: default-tenant work flows past her
+    // parked backlog (there is no global cap here).
+    let other: Vec<_> = (10..12u64).map(|i| parsl_core::call!(id, i)).collect();
+    eventually("other tenant unaffected", || ex.submitted() == 3);
+    assert_eq!(
+        dfk.parked_tasks(),
+        2,
+        "quota must hold while nothing completes"
+    );
+
+    drain(&dfk, &ex);
+    for (i, f) in alice_futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), i as u64);
+    }
+    for (i, f) in other.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), 10 + i as u64);
+    }
+    assert_eq!(dfk.tenant_inflight(TenantId(1)), 0, "quota slot leaked");
+    assert_eq!(dfk.parked_tasks(), 0);
+    dfk.shutdown();
+}
+
+#[test]
+fn memo_hit_while_parked_settles_whole_cohort_under_cap1() {
+    // Deadlock regression: three identical memoizable tasks under a
+    // cap of one. The first dispatches; the other two park. When the
+    // first completes, one parked task is woken into a memo hit — it
+    // settles WITHOUT consuming the freed slot, so the kernel must
+    // re-offer that slot to the last parked task or it strands forever.
+    let ex = GatedExecutor::new("gated", 1);
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(ex.clone())
+        .max_inflight_per_executor(1)
+        .memoize(true)
+        .build()
+        .unwrap();
+    let double = dfk.python_app("double", |x: u64| x * 2);
+
+    let a = parsl_core::call!(double, 7u64);
+    eventually("first dispatched", || ex.submitted() == 1);
+    let b = parsl_core::call!(double, 7u64);
+    let c = parsl_core::call!(double, 7u64);
+    eventually("duplicates parked", || dfk.parked_tasks() == 2);
+
+    assert!(ex.complete_one());
+    assert!(
+        dfk.wait_for_all_timeout(Duration::from_secs(5)),
+        "memo-hit unpark stranded a parked duplicate (cap=1 deadlock)"
+    );
+    for f in [&a, &b, &c] {
+        assert_eq!(f.result().unwrap(), 14);
+    }
+    // The duplicates were served from the cache, never the executor.
+    assert_eq!(ex.submitted(), 1);
+    assert_eq!(dfk.parked_tasks(), 0);
+    assert_eq!(dfk.tenant_inflight(TenantId::DEFAULT), 0);
+    dfk.shutdown();
+}
+
+#[test]
+fn dep_fail_releases_no_slot_it_never_held_cap1() {
+    // A dependency failure terminalizes a task that never dispatched:
+    // it must not disturb the in-flight accounting, and the failure's
+    // own released slot must reach the parked task behind it.
+    let ex = GatedExecutor::new("gated", 1);
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(ex.clone())
+        .max_inflight_per_executor(1)
+        .build()
+        .unwrap();
+    let boom = dfk.python_app_fallible("boom", |_x: u64| -> Result<u64, AppError> {
+        Err(AppError::msg("boom"))
+    });
+    let inc = dfk.python_app("inc", |x: u64| x + 1);
+
+    let parent = parsl_core::call!(boom, 1u64);
+    eventually("parent dispatched", || ex.submitted() == 1);
+    let waiting = parsl_core::call!(inc, 5u64);
+    eventually("bystander parked", || dfk.parked_tasks() == 1);
+    let child = inc.call((Dep::future(parent),));
+
+    // Failing the parent dep-fails the child and frees the only slot;
+    // the parked bystander must then dispatch and the run must drain.
+    assert!(ex.complete_one());
+    drain(&dfk, &ex);
+    assert!(matches!(
+        child.result(),
+        Err(ParslError::Task(TaskError::DependencyFailed { .. }))
+    ));
+    assert_eq!(waiting.result().unwrap(), 6);
+    assert_eq!(ex.submitted(), 2, "dep-failed child must never dispatch");
+    assert_eq!(dfk.tenant_inflight(TenantId::DEFAULT), 0, "slot leaked");
+
+    // The ultimate leak check: a fresh task still finds the slot free.
+    let again = parsl_core::call!(inc, 9u64);
+    eventually("fresh task dispatched", || ex.submitted() == 3);
+    drain(&dfk, &ex);
+    assert_eq!(again.result().unwrap(), 10);
+    dfk.shutdown();
+}
+
+#[test]
+fn walltime_expires_while_parked_behind_a_blocked_executor() {
+    // The walltime clock starts when a task becomes ready, not when it
+    // dispatches: a task parked behind a saturated executor must still
+    // expire via the deadline watcher, leave the parking lot, and leave
+    // the accounting untouched (it never held a slot).
+    let ex = GatedExecutor::new("gated", 1);
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(ex.clone())
+        .max_inflight_per_executor(1)
+        .build()
+        .unwrap();
+    let id = dfk.python_app("id", |x: u64| x);
+    let timed = dfk.python_app_cfg::<(u64,), u64, _>(
+        "timed",
+        AppOptions {
+            walltime: Some(Duration::from_millis(40)),
+            ..Default::default()
+        },
+        |x: u64| Ok(x),
+    );
+
+    let blocker = parsl_core::call!(id, 1u64);
+    eventually("blocker dispatched", || ex.submitted() == 1);
+    let doomed = parsl_core::call!(timed, 2u64);
+    eventually("timed task parked", || dfk.parked_tasks() == 1);
+
+    // The executor stays blocked; only the watcher can settle the task.
+    eventually("parked task expired", || dfk.parked_tasks() == 0);
+    assert!(matches!(
+        doomed.result(),
+        Err(ParslError::Task(TaskError::WalltimeExceeded))
+    ));
+    assert_eq!(ex.submitted(), 1, "expired task must not dispatch later");
+    assert_eq!(
+        dfk.tenant_inflight(TenantId::DEFAULT),
+        1,
+        "only the blocker"
+    );
+
+    assert!(ex.complete_one());
+    drain(&dfk, &ex);
+    assert_eq!(blocker.result().unwrap(), 1);
+    assert_eq!(dfk.tenant_inflight(TenantId::DEFAULT), 0);
+    dfk.shutdown();
+}
+
+#[test]
+fn weighted_deficit_unpark_grants_follow_tenant_weights() {
+    // Fill a cap-4 executor with default-tenant blockers, park four
+    // tasks each for a weight-2 and a weight-1 tenant, then free all
+    // four slots in ONE completion batch. The single unpark pass must
+    // grant by smallest inflight/weight share: A, B, A, A — the
+    // weight-2 tenant gets the larger share, but the weight-1 tenant is
+    // not starved.
+    let heavy = TenantId(1);
+    let light = TenantId(2);
+    let ex = GatedExecutor::new("gated", 4);
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(ex.clone())
+        .max_inflight_per_executor(4)
+        .tenant(
+            heavy,
+            TenantConfig {
+                weight: 2,
+                max_inflight: None,
+            },
+        )
+        .tenant(
+            light,
+            TenantConfig {
+                weight: 1,
+                max_inflight: None,
+            },
+        )
+        .build()
+        .unwrap();
+    let id = dfk.python_app("id", |x: u64| x);
+
+    let blockers: Vec<_> = (0..4u64).map(|i| parsl_core::call!(id, i)).collect();
+    eventually("cap filled", || ex.submitted() == 4);
+
+    let a = dfk.tenant(heavy);
+    let b = dfk.tenant(light);
+    let a_futs: Vec<_> = (0..4).map(|i| a.call(&id, (Dep::value(i),))).collect();
+    let b_futs: Vec<_> = (0..4).map(|i| b.call(&id, (Dep::value(i),))).collect();
+    eventually("both tenants parked", || dfk.parked_tasks() == 8);
+
+    assert_eq!(ex.complete_all_as_one_batch(), 4);
+    eventually("one budget's worth woken", || ex.submitted() == 8);
+    let grants: Vec<TenantId> = ex.tenants_seen()[4..8].to_vec();
+    assert_eq!(
+        grants,
+        vec![heavy, light, heavy, heavy],
+        "weighted-deficit order must interleave 2:1, not serve one tenant wholesale"
+    );
+
+    drain(&dfk, &ex);
+    for (i, f) in a_futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), i as u64);
+    }
+    for (i, f) in b_futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), i as u64);
+    }
+    for f in &blockers {
+        f.result().unwrap();
+    }
+    assert_eq!(dfk.tenant_inflight(heavy), 0);
+    assert_eq!(dfk.tenant_inflight(light), 0);
+    dfk.shutdown();
+}
+
+#[test]
+fn weighted_fair_placement_spreads_a_tenant_despite_a_hot_spot() {
+    // Six tasks pinned onto executor a simulate another workflow's hot
+    // spot. A tenant routing through WeightedFair spreads its own four
+    // tasks by *its own* per-executor in-flight count, so it still lands
+    // 2/2 instead of chasing the globally idle executor wholesale.
+    let a = GatedExecutor::new("a", 4);
+    let b = GatedExecutor::new("b", 4);
+    let dfk = DataFlowKernel::builder()
+        .executor_arc(a.clone())
+        .executor_arc(b.clone())
+        .scheduler(SchedulerPolicy::WeightedFair)
+        .build()
+        .unwrap();
+    assert_eq!(dfk.scheduler_name(), "weighted_fair");
+    let pinned = dfk.python_app_cfg::<(u64,), u64, _>(
+        "pinned",
+        AppOptions {
+            executor: Some("a".into()),
+            ..Default::default()
+        },
+        |x: u64| Ok(x),
+    );
+    let id = dfk.python_app("id", |x: u64| x);
+
+    let hot: Vec<_> = (0..6u64).map(|i| parsl_core::call!(pinned, i)).collect();
+    eventually("hot spot built", || a.submitted() == 6);
+
+    let alice = dfk.tenant(TenantId(7));
+    let futs: Vec<_> = (0..4).map(|i| alice.call(&id, (Dep::value(i),))).collect();
+    eventually("tenant tasks dispatched", || {
+        a.submitted() + b.submitted() == 10
+    });
+    assert_eq!(
+        a.submitted(),
+        8,
+        "tenant-JSQ must still use the hot executor"
+    );
+    assert_eq!(b.submitted(), 2);
+
+    a.complete_all();
+    b.complete_all();
+    for f in hot.iter().chain(&futs) {
+        f.result().unwrap();
+    }
+    dfk.shutdown();
+}

@@ -977,6 +977,7 @@ mod tests {
                 args: Bytes::from(wire::to_bytes(&(i,)).unwrap()),
                 resources: ResourceSpec::default(),
                 attempt: 0,
+                tenant: parsl_core::types::TenantId::DEFAULT,
             })
             .collect();
         htex.submit_batch(batch).unwrap();

@@ -53,6 +53,7 @@ mod tests {
             id: 1,
             attempt: 0,
             app_id: app.id.0,
+            tenant: 0,
             args: wire::to_bytes(&(14u32,)).unwrap(),
         };
         let result = execute(&reg, &task, "w0");
@@ -69,6 +70,7 @@ mod tests {
             id: 1,
             attempt: 0,
             app_id: 999,
+            tenant: 0,
             args: vec![],
         };
         let result = execute(&reg, &task, "w0");

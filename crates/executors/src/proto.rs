@@ -18,6 +18,9 @@ pub struct WireTask {
     pub attempt: u32,
     /// App registry id.
     pub app_id: u64,
+    /// Tenant (logical workflow) the task was submitted under, carried
+    /// across the fabric so remote accounting can stay per-tenant.
+    pub tenant: u32,
     /// Wire-encoded argument tuple.
     pub args: Vec<u8>,
 }
@@ -29,6 +32,7 @@ impl WireTask {
             id: task.id.0,
             attempt: task.attempt,
             app_id: task.app.id.0,
+            tenant: task.tenant.0,
             args: task.args.to_vec(),
         }
     }
@@ -351,6 +355,7 @@ mod tests {
             id: 7,
             attempt: 1,
             app_id: 3,
+            tenant: 5,
             args: vec![1, 2, 3],
         };
         let msg = ToInterchange::Submit(t.clone());
@@ -368,6 +373,7 @@ mod tests {
                 id: i,
                 attempt: 0,
                 app_id: 1,
+                tenant: 0,
                 args: vec![i as u8; 8],
             })
             .collect();
@@ -385,6 +391,7 @@ mod tests {
                 id: i,
                 attempt: 0,
                 app_id: 1,
+                tenant: 0,
                 args: vec![0; 60],
             })
             .collect();
@@ -398,6 +405,7 @@ mod tests {
             id: 7,
             attempt: 0,
             app_id: 1,
+            tenant: 0,
             args: vec![0; 4096],
         }];
         let chunks = chunk_by_frame_budget(huge, 64);

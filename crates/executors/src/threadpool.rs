@@ -240,6 +240,7 @@ mod tests {
             ),
             args: bytes::Bytes::new(),
             resources: Default::default(),
+            tenant: Default::default(),
             attempt: 0,
         });
         assert!(matches!(spec_err, Err(ExecutorError::NotRunning)));

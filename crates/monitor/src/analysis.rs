@@ -105,6 +105,7 @@ mod tests {
                 state: TaskState::Pending,
                 executor: None,
                 attempt: 0,
+                tenant: parsl_core::types::TenantId::DEFAULT,
                 at: Duration::from_millis(sub),
             });
             store.on_event(&MonitorEvent::Task {
@@ -113,6 +114,7 @@ mod tests {
                 state: TaskState::Done,
                 executor: None,
                 attempt: 0,
+                tenant: parsl_core::types::TenantId::DEFAULT,
                 at: Duration::from_millis(fin),
             });
         }

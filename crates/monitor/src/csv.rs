@@ -7,7 +7,7 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// Appends one CSV row per event. Columns:
-/// `kind,at_us,task,app,state,executor,attempt,detail`.
+/// `kind,at_us,task,app,state,executor,attempt,tenant,detail`.
 pub struct CsvSink {
     writer: Mutex<BufWriter<File>>,
 }
@@ -16,7 +16,10 @@ impl CsvSink {
     /// Create (truncate) the file and write the header.
     pub fn create(path: &Path) -> std::io::Result<Self> {
         let mut writer = BufWriter::new(File::create(path)?);
-        writeln!(writer, "kind,at_us,task,app,state,executor,attempt,detail")?;
+        writeln!(
+            writer,
+            "kind,at_us,task,app,state,executor,attempt,tenant,detail"
+        )?;
         Ok(CsvSink {
             writer: Mutex::new(writer),
         })
@@ -46,16 +49,18 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             state,
             executor,
             attempt,
+            tenant,
             at,
         } => writeln!(
             w,
-            "task,{},{},{},{},{},{},",
+            "task,{},{},{},{},{},{},{},",
             at.as_micros(),
             task,
             csv_escape(app),
             state,
             executor.as_deref().unwrap_or(""),
-            attempt
+            attempt,
+            tenant.0
         ),
         MonitorEvent::Retry {
             task,
@@ -64,7 +69,7 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             at,
         } => writeln!(
             w,
-            "retry,{},{},,,,{},{}",
+            "retry,{},{},,,,{},,{}",
             at.as_micros(),
             task,
             attempt,
@@ -77,7 +82,7 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             at,
         } => writeln!(
             w,
-            "workers,{},,,,{},,connected={} outstanding={}",
+            "workers,{},,,,{},,,connected={} outstanding={}",
             at.as_micros(),
             executor,
             connected,

@@ -35,6 +35,7 @@ mod tests {
             state,
             executor: Some("x".into()),
             attempt: 0,
+            tenant: parsl_core::types::TenantId::DEFAULT,
             at: Duration::from_millis(at_ms),
         }
     }
@@ -111,7 +112,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(
             lines[0],
-            "kind,at_us,task,app,state,executor,attempt,detail"
+            "kind,at_us,task,app,state,executor,attempt,tenant,detail"
         );
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains("pending"));

@@ -47,12 +47,47 @@ const IO_CHUNK: usize = 64 * 1024;
 enum TcpFrame {
     /// First frame on every connection: the spoke's claimed address.
     Hello { name: String },
-    /// An addressed message.
+    /// An addressed message. The payload encodes as raw bytes (varint
+    /// length + body, via [`RawBytes`]), NOT as a `Vec<u8>` element
+    /// sequence — [`peek_data_header`] and the hub's verbatim relay
+    /// depend on the payload being a contiguous byte run in the frame.
     Data {
         from: String,
         to: String,
-        payload: Vec<u8>,
+        payload: RawBytes,
     },
+}
+
+/// Payload wrapper that serializes through serde's bytes calls, so the
+/// wire format is a varint length followed by the raw body as one
+/// contiguous run — the derive on `Vec<u8>` would emit a per-element
+/// varint sequence, where bytes ≥ 0x80 grow to two bytes and the payload
+/// could not be sliced (or relayed) straight out of the frame.
+struct RawBytes(Vec<u8>);
+
+impl Serialize for RawBytes {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for RawBytes {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct BytesVisitor;
+        impl<'de> serde::de::Visitor<'de> for BytesVisitor {
+            type Value = RawBytes;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "raw bytes")
+            }
+            fn visit_bytes<E: serde::de::Error>(self, b: &[u8]) -> Result<RawBytes, E> {
+                Ok(RawBytes(b.to_vec()))
+            }
+            fn visit_byte_buf<E: serde::de::Error>(self, b: Vec<u8>) -> Result<RawBytes, E> {
+                Ok(RawBytes(b))
+            }
+        }
+        d.deserialize_byte_buf(BytesVisitor)
+    }
 }
 
 fn encode_tcp_frame(f: &TcpFrame) -> Vec<u8> {
@@ -82,6 +117,8 @@ struct HubInner {
     max_frame_bytes: usize,
     closed: AtomicBool,
     next_conn: AtomicU64,
+    /// Frames forwarded spoke→spoke verbatim (no decode, no re-encode).
+    relayed: AtomicU64,
     /// Ports attached in this process.
     local: Mutex<HashMap<Addr, Sender<Envelope>>>,
     /// Spokes registered via `Hello`, by claimed name.
@@ -89,7 +126,10 @@ struct HubInner {
 }
 
 impl HubInner {
-    /// Deliver a frame to a local port or a registered spoke.
+    /// Deliver a locally originated message (a hub-side port's `send`) to
+    /// a local port or a registered spoke. Spoke traffic never takes this
+    /// path — it arrives already framed and goes through
+    /// [`HubInner::route_raw`].
     fn route(&self, from: &Addr, to: &Addr, payload: Bytes) -> Result<(), SendError> {
         if self.closed.load(Ordering::Acquire) {
             return Err(SendError::SelfClosed);
@@ -108,13 +148,55 @@ impl HubInner {
         let frame = encode_tcp_frame(&TcpFrame::Data {
             from: from.to_string(),
             to: to.to_string(),
-            payload: payload.to_vec(),
+            payload: RawBytes(payload.to_vec()),
         });
         let failed = conn.writer.lock().write_all(&frame).is_err();
         if failed {
             self.drop_conn_if_current(to, conn.id);
             return Err(SendError::PeerGone(to.clone()));
         }
+        Ok(())
+    }
+
+    /// Hot path for frames arriving from a spoke: the `Data` header has
+    /// been peeked (not deserialized), `payload` locates the payload bytes
+    /// inside `frame`. Local delivery slices the payload out of the frame
+    /// buffer; a remote destination gets the original frame bytes verbatim
+    /// under a fresh length prefix — the payload is never decoded, copied,
+    /// or re-encoded on the way through.
+    fn route_raw(
+        &self,
+        from: &Addr,
+        to: &Addr,
+        frame: Bytes,
+        payload: std::ops::Range<usize>,
+    ) -> Result<(), SendError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(SendError::SelfClosed);
+        }
+        if let Some(tx) = self.local.lock().get(to).cloned() {
+            return tx
+                .send(Envelope {
+                    from: from.clone(),
+                    payload: frame.slice(payload),
+                })
+                .map_err(|_| SendError::PeerGone(to.clone()));
+        }
+        let Some(conn) = self.conns.lock().get(to).cloned() else {
+            return Err(SendError::PeerGone(to.clone()));
+        };
+        let prefix = (frame.len() as u32).to_le_bytes();
+        let failed = {
+            let mut w = conn.writer.lock();
+            w.write_all(&prefix)
+                .and_then(|()| w.write_all(&frame))
+                .is_err()
+        };
+        if failed {
+            self.drop_conn_if_current(to, conn.id);
+            return Err(SendError::PeerGone(to.clone()));
+        }
+        self.relayed.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -133,7 +215,33 @@ impl HubInner {
     }
 }
 
-/// Per-connection reader: handshake, then decode-and-route until EOF.
+/// Wire layout of [`TcpFrame::Data`], peeked without deserializing: the
+/// variant index, then `from`, `to`, and the payload, each length-prefixed.
+/// Returns the two address fields (borrowed from the frame) and the
+/// payload's byte range, or `None` if the frame is not a well-formed
+/// `Data` (a `Hello`, or garbage — the caller falls back to a full
+/// decode to tell which).
+fn peek_data_header(frame: &[u8]) -> Option<(&str, &str, std::ops::Range<usize>)> {
+    const DATA_VARIANT: u64 = 1;
+    let (variant, mut off) = wire::decode_varint(frame).ok()?;
+    if variant != DATA_VARIANT {
+        return None;
+    }
+    let (from, used) = wire::decode_str_prefix(&frame[off..]).ok()?;
+    off += used;
+    let (to, used) = wire::decode_str_prefix(&frame[off..]).ok()?;
+    off += used;
+    let (payload_len, used) = wire::decode_varint(&frame[off..]).ok()?;
+    off += used;
+    let end = off.checked_add(usize::try_from(payload_len).ok()?)?;
+    // The payload is the last field; anything shorter or longer is corrupt.
+    (end == frame.len()).then_some((from, to, off..end))
+}
+
+/// Per-connection reader: handshake, then route until EOF. `Data` frames
+/// — the hot path — are routed from their raw bytes via
+/// [`peek_data_header`]; only `Hello` (once per connection) pays a full
+/// decode.
 fn hub_conn_reader(inner: Arc<HubInner>, mut stream: TcpStream) {
     let mut decoder = wire::StreamDecoder::new();
     let mut buf = vec![0u8; IO_CHUNK];
@@ -152,6 +260,23 @@ fn hub_conn_reader(inner: Arc<HubInner>, mut stream: TcpStream) {
                 // Corrupt stream: kill the connection, never panic.
                 Err(_) => break 'conn,
             };
+            // Hot path: route a Data frame straight from its raw bytes.
+            let peeked = peek_data_header(&frame).map(|(from, to, payload)| {
+                let from_ok = registered.as_ref().is_some_and(|(a, _)| a.as_str() == from);
+                (from_ok, Addr::new(to), payload)
+            });
+            if let Some((from_ok, to, payload)) = peeked {
+                let Some((from, _)) = registered.as_ref() else {
+                    break 'conn; // data before Hello
+                };
+                if !from_ok {
+                    break 'conn; // spoke speaking as someone else
+                }
+                // Destination gone: drop the frame, like a lossy link.
+                // Heartbeats recover anything that mattered.
+                let _ = inner.route_raw(from, &to, frame, payload);
+                continue;
+            }
             let Ok(msg) = wire::from_bytes::<TcpFrame>(&frame) else {
                 break 'conn;
             };
@@ -185,14 +310,10 @@ fn hub_conn_reader(inner: Arc<HubInner>, mut stream: TcpStream) {
                     drop(conns);
                     registered = Some((name, id));
                 }
-                TcpFrame::Data { to, payload, .. } => {
-                    let Some((from, _)) = registered.as_ref() else {
-                        break 'conn; // data before Hello
-                    };
-                    // Destination gone: drop the frame, like a lossy link.
-                    // Heartbeats recover anything that mattered.
-                    let _ = inner.route(from, &Addr::new(to), Bytes::from(payload));
-                }
+                // Every well-formed Data frame was already routed raw
+                // above; one that peeks as malformed but still decodes
+                // is impossible (same layout), so treat it as corrupt.
+                TcpFrame::Data { .. } => break 'conn,
             }
         }
     }
@@ -237,6 +358,7 @@ impl TcpHub {
             max_frame_bytes,
             closed: AtomicBool::new(false),
             next_conn: AtomicU64::new(1),
+            relayed: AtomicU64::new(0),
             local: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
         });
@@ -256,6 +378,12 @@ impl TcpHub {
     /// Names of currently registered spokes.
     pub fn connected(&self) -> Vec<Addr> {
         self.inner.conns.lock().keys().cloned().collect()
+    }
+
+    /// Frames forwarded spoke→spoke as raw bytes (header peeked, payload
+    /// never decoded or re-encoded). Local deliveries don't count.
+    pub fn relayed_frames(&self) -> u64 {
+        self.inner.relayed.load(Ordering::Relaxed)
     }
 
     /// Fault injection: sever the connection registered as `name`.
@@ -481,13 +609,16 @@ fn spoke_reader(inner: Arc<SpokeInner>, mut stream: TcpStream, tx: Sender<Envelo
             loop {
                 match decoder.next_frame() {
                     Ok(Some(frame)) => {
-                        if let Ok(TcpFrame::Data { from, payload, .. }) =
-                            wire::from_bytes::<TcpFrame>(&frame)
-                        {
+                        // Same header peek as the hub: the payload is
+                        // sliced out of the frame buffer, never decoded
+                        // or copied. Non-Data frames are ignored.
+                        let hdr =
+                            peek_data_header(&frame).map(|(f, _, range)| (Addr::new(f), range));
+                        if let Some((from, range)) = hdr {
                             if tx
                                 .send(Envelope {
-                                    from: Addr::new(from),
-                                    payload: Bytes::from(payload),
+                                    from,
+                                    payload: frame.slice(range),
                                 })
                                 .is_err()
                             {
@@ -568,7 +699,7 @@ impl Port for TcpSpoke {
         let frame = encode_tcp_frame(&TcpFrame::Data {
             from: self.inner.name.to_string(),
             to: to.to_string(),
-            payload: payload.to_vec(),
+            payload: RawBytes(payload.to_vec()),
         });
         let mut st = self.inner.state.lock();
         match st.writer.as_ref() {
@@ -755,5 +886,83 @@ mod tests {
     fn oversized_frame_budget_is_reported() {
         let hub = TcpHub::bind_with("127.0.0.1:0", 1024).unwrap();
         assert_eq!(Transport::max_frame_bytes(&hub), 1024);
+    }
+
+    #[test]
+    fn peek_matches_serde_layout() {
+        let frame = wire::to_bytes(&TcpFrame::Data {
+            from: "mgr-0".into(),
+            to: "ix".into(),
+            payload: RawBytes(vec![9, 0x80, 0xff]),
+        })
+        .unwrap();
+        let (from, to, payload) = peek_data_header(&frame).expect("well-formed Data peeks");
+        assert_eq!(from, "mgr-0");
+        assert_eq!(to, "ix");
+        // Bytes >= 0x80 must sit in the frame verbatim (raw-bytes layout,
+        // not a per-element varint sequence).
+        assert_eq!(&frame[payload], &[9, 0x80, 0xff]);
+        // Hello frames don't peek (they take the full-decode path).
+        let hello = wire::to_bytes(&TcpFrame::Hello { name: "x".into() }).unwrap();
+        assert!(peek_data_header(&hello).is_none());
+        // Truncated and padded frames are rejected.
+        assert!(peek_data_header(&frame[..frame.len() - 1]).is_none());
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert!(peek_data_header(&padded).is_none());
+    }
+
+    #[test]
+    fn hub_relays_spoke_frames_verbatim() {
+        let hub = hub();
+        // Two raw TCP peers speaking the frame protocol by hand, so we can
+        // observe the exact bytes the hub puts on the destination socket.
+        let mut a = TcpStream::connect(hub.local_addr()).unwrap();
+        a.write_all(&encode_tcp_frame(&TcpFrame::Hello { name: "a".into() }))
+            .unwrap();
+        let mut b = TcpStream::connect(hub.local_addr()).unwrap();
+        b.write_all(&encode_tcp_frame(&TcpFrame::Hello { name: "b".into() }))
+            .unwrap();
+        wait_for(|| hub.connected().len() == 2, "both raw peers registered");
+
+        let frame = encode_tcp_frame(&TcpFrame::Data {
+            from: "a".into(),
+            to: "b".into(),
+            payload: RawBytes((0..=255u8).collect()),
+        });
+        a.write_all(&frame).unwrap();
+
+        let mut got = vec![0u8; frame.len()];
+        b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(
+            got, frame,
+            "a relayed frame must arrive byte-identical, prefix included"
+        );
+        // The counter bumps just after the bytes hit the socket; give the
+        // reader thread a beat.
+        wait_for(|| hub.relayed_frames() == 1, "routed via the raw path");
+    }
+
+    #[test]
+    fn spoofed_from_field_kills_the_connection() {
+        let hub = hub();
+        let ix = hub.attach(Addr::new("ix")).unwrap();
+        let mut liar = TcpStream::connect(hub.local_addr()).unwrap();
+        liar.write_all(&encode_tcp_frame(&TcpFrame::Hello {
+            name: "liar".into(),
+        }))
+        .unwrap();
+        wait_for(|| hub.connected().len() == 1, "liar registered");
+        // Forwarding raw frames means the embedded `from` travels as-is,
+        // so the hub must refuse a frame claiming someone else's name.
+        liar.write_all(&encode_tcp_frame(&TcpFrame::Data {
+            from: "honest".into(),
+            to: "ix".into(),
+            payload: RawBytes(vec![1]),
+        }))
+        .unwrap();
+        wait_for(|| hub.connected().is_empty(), "liar disconnected");
+        assert!(ix.try_recv().is_none(), "spoofed frame must not deliver");
     }
 }

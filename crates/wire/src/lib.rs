@@ -54,6 +54,27 @@ pub fn encoded_len<T: serde::Serialize>(value: &T) -> Result<usize> {
     Ok(to_bytes(value)?.len())
 }
 
+/// Decode one varint-length-prefixed string from the front of `input`
+/// without copying it.
+///
+/// Returns the borrowed string and the total bytes consumed (prefix +
+/// body). This is exactly how the format lays out strings, so protocol
+/// routers can peek an address field out of an encoded frame — and then
+/// forward the raw bytes verbatim — without deserializing the whole
+/// message.
+pub fn decode_str_prefix(input: &[u8]) -> Result<(&str, usize)> {
+    let (len, used) = decode_varint(input)?;
+    let len = usize::try_from(len).map_err(|_| Error::LengthOverflow(len))?;
+    let end = used
+        .checked_add(len)
+        .ok_or(Error::LengthOverflow(len as u64))?;
+    if end > input.len() {
+        return Err(Error::Eof);
+    }
+    let s = std::str::from_utf8(&input[used..end]).map_err(|_| Error::InvalidUtf8)?;
+    Ok((s, end))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +199,39 @@ mod tests {
     fn encoded_len_matches() {
         let v = vec![1u64, 2, 3];
         assert_eq!(encoded_len(&v).unwrap(), to_bytes(&v).unwrap().len());
+    }
+
+    #[test]
+    fn str_prefix_peek_matches_full_decode() {
+        // A string followed by other fields: the peek must consume exactly
+        // the string's encoding and borrow, not copy, the body.
+        let mut bytes = to_bytes(&"interchange".to_string()).unwrap();
+        let string_len = bytes.len();
+        bytes.extend_from_slice(&to_bytes(&7u64).unwrap());
+        let (s, used) = decode_str_prefix(&bytes).unwrap();
+        assert_eq!(s, "interchange");
+        assert_eq!(used, string_len);
+        let empty = to_bytes(&String::new()).unwrap();
+        assert_eq!(decode_str_prefix(&empty).unwrap(), ("", 1));
+    }
+
+    #[test]
+    fn str_prefix_rejects_hostile_input() {
+        // Truncated body.
+        let bytes = to_bytes(&"hello".to_string()).unwrap();
+        assert!(matches!(
+            decode_str_prefix(&bytes[..bytes.len() - 1]),
+            Err(Error::Eof)
+        ));
+        // Declared length far beyond the buffer.
+        let mut huge = Vec::new();
+        encode_varint(u64::MAX, &mut huge);
+        assert!(matches!(
+            decode_str_prefix(&huge),
+            Err(Error::Eof) | Err(Error::LengthOverflow(_))
+        ));
+        // Invalid UTF-8 body.
+        let bad = [2u8, 0xff, 0xfe];
+        assert!(matches!(decode_str_prefix(&bad), Err(Error::InvalidUtf8)));
     }
 }
