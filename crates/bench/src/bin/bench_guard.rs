@@ -24,6 +24,17 @@ struct Check {
     ratio: f64,
 }
 
+const USAGE: &str = "usage: bench_guard <baseline.json> <current.json> <key> [<key>...] \
+     [--tolerance 0.30]";
+
+/// Print a diagnostic plus the usage line and exit 2 — a CI failure must
+/// read as a one-line diagnosis, never a panic backtrace.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_guard: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.30;
@@ -31,17 +42,19 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
-            let v = it.next().expect("--tolerance needs a value");
-            tolerance = v.parse().expect("--tolerance must be a float");
+            let Some(v) = it.next() else {
+                usage_error("--tolerance needs a value");
+            };
+            tolerance = match v.parse() {
+                Ok(t) => t,
+                Err(_) => usage_error(&format!("--tolerance must be a float, got {v:?}")),
+            };
         } else {
             positional.push(a);
         }
     }
     if positional.len() < 3 {
-        eprintln!(
-            "usage: bench_guard <baseline.json> <current.json> <key> [<key>...] \
-             [--tolerance 0.30]"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let baseline_path = &positional[0];

@@ -1,0 +1,229 @@
+//! Data-locality experiment: wide fan-out over one shared remote input.
+//!
+//! The canonical data-heavy Parsl pattern (§4.5, and the sequence-analysis
+//! workflows of §5): one large reference file fetched over the WAN, then a
+//! wide bag of per-sample tasks all reading it. Scheme-blind routing pays
+//! the transfer once *per task* — every analysis call stages its own copy
+//! — and spreads the tasks with no regard for where the bytes landed.
+//! This binary pits that baseline (`least_outstanding`, no cache) against
+//! the data plane introduced for it: a byte-budgeted single-flight
+//! [`StagingCache`] collapses the N stage-ins into one WAN transfer, and
+//! [`SchedulerPolicy::DataAware`] routing scores executors by
+//! `transfer_cost + α · queue_depth`, converging the fan-out on the
+//! executors that hold the staged bytes while queue pressure still spills
+//! overflow to the others.
+//!
+//! Measured per run: makespan, and total bytes moved = WAN bytes pulled
+//! by transfer tasks + cross-executor bytes charged in the kernel's
+//! `DataMap`. The guarded headline metrics are ratios (baseline over
+//! data-aware) that scale with the fan-out degree and the compute/
+//! transfer balance, so smoke mode runs the *same* workload as the full
+//! run (it is short) and differs only in not writing the default
+//! baseline file.
+//!
+//! Usage: `fig_locality [--smoke] [--out FILE]`. The full run writes
+//! `BENCH_locality.json`; `--out` redirects the JSON (used by CI to
+//! compare a smoke run against the committed baseline).
+//!
+//! [`StagingCache`]: parsl_data::StagingCache
+//! [`SchedulerPolicy::DataAware`]: parsl_core::SchedulerPolicy::DataAware
+
+use bench::{fmt_f, Table};
+use parsl_core::app::Dep;
+use parsl_core::datamap::{DataHints, TransferModel};
+use parsl_core::prelude::*;
+use parsl_core::SchedulerPolicy;
+use parsl_data::{DataManager, DataManagerConfig, File, StagedFile};
+use parsl_executors::ThreadPoolExecutor;
+use std::time::{Duration, Instant};
+
+/// Worker slots of the fast and slow executors: the 4x skew.
+const FAST_WORKERS: usize = 8;
+const SLOW_WORKERS: usize = 2;
+
+/// Fan-out degree: per-sample tasks all reading the shared reference.
+const FAN_OUT: usize = 120;
+
+/// The shared WAN input every task reads.
+const REF_URL: &str = "http://repo.example.org/reference/grch38.fa";
+
+/// Simulated WAN setup latency — the dominant per-transfer cost, raised
+/// well above the default so re-transfers actually hurt the baseline the
+/// way a real WAN does.
+const WAN_LATENCY_MS: u64 = 20;
+
+struct RunResult {
+    makespan: Duration,
+    wan_bytes: u64,
+    plane_bytes: u64,
+    transfers: u64,
+}
+
+impl RunResult {
+    fn total_bytes(&self) -> u64 {
+        self.wan_bytes + self.plane_bytes
+    }
+}
+
+/// Drive the fan-out through a fresh skewed two-executor kernel. The
+/// baseline (`data_aware = false`) routes with plain JSQ and stages the
+/// reference once per task; the data-aware run adds the staging cache and
+/// locality-weighted routing. Both declare the same input hints, so the
+/// data-plane byte accounting is identical in kind.
+fn run_locality(data_aware: bool, n: usize, task_ms: u64) -> RunResult {
+    let policy = if data_aware {
+        SchedulerPolicy::data_aware()
+    } else {
+        SchedulerPolicy::LeastOutstanding
+    };
+    let dfk = DataFlowKernel::builder()
+        .executor(ThreadPoolExecutor::with_label("fast", FAST_WORKERS))
+        .executor(ThreadPoolExecutor::with_label("slow", SLOW_WORKERS))
+        .scheduler(policy)
+        .seed(7)
+        .transfer_model(TransferModel {
+            latency: Duration::from_millis(WAN_LATENCY_MS),
+            bandwidth: 8_000_000_000,
+        })
+        .build()
+        .unwrap();
+    let staging_dir = std::env::temp_dir().join(format!(
+        "parsl-fig-locality-{}-{}",
+        std::process::id(),
+        data_aware
+    ));
+    let dm = DataManager::new(
+        &dfk,
+        DataManagerConfig {
+            staging_dir: staging_dir.clone(),
+            wan_latency: Duration::from_millis(WAN_LATENCY_MS),
+            cache_budget_bytes: if data_aware { Some(1_000_000) } else { None },
+            ..Default::default()
+        },
+    );
+    let reference = File::parse(REF_URL);
+    let ref_hint = DataManager::data_ref(&reference);
+
+    let analyze = dfk.python_app("analyze", move |sf: StagedFile, i: u64| {
+        std::thread::sleep(Duration::from_millis(task_ms));
+        sf.bytes.wrapping_add(i)
+    });
+
+    let t0 = Instant::now();
+    let futs: Vec<_> = (0..n as u64)
+        .map(|i| {
+            let staged = dm.stage_in(reference.clone());
+            analyze.call_hinted(
+                (Dep::future(staged), Dep::value(i)),
+                DataHints::reading(vec![ref_hint]),
+            )
+        })
+        .collect();
+    for f in &futs {
+        f.result().unwrap();
+    }
+    dfk.wait_for_all();
+    let makespan = t0.elapsed();
+    let wan_bytes = dm.wan_bytes();
+    let plane_bytes = dfk.data_bytes_moved();
+    let transfers = dm
+        .cache_stats()
+        .map(|s| s.misses)
+        .unwrap_or(wan_bytes / DataManager::expected_bytes(&reference).max(1));
+    dfk.shutdown();
+    std::fs::remove_dir_all(&staging_dir).ok();
+    RunResult {
+        makespan,
+        wan_bytes,
+        plane_bytes,
+        transfers,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone());
+    // Same workload in both modes: the guarded metrics are ratios scaled
+    // by the fan-out degree and the compute/transfer balance, so a
+    // trimmed smoke run would drift from the committed baseline. The full
+    // run is already short (~1.5 s); smoke only skips writing the
+    // default baseline file.
+    let (n, task_ms) = (FAN_OUT, 4);
+
+    println!(
+        "fig_locality: {n}-way fan-out over one shared WAN input ({WAN_LATENCY_MS} ms latency), \
+         fast={FAST_WORKERS}w vs slow={SLOW_WORKERS}w{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let jsq = run_locality(false, n, task_ms);
+    let da = run_locality(true, n, task_ms);
+
+    let mut table = Table::new(&[
+        "config",
+        "makespan ms",
+        "WAN transfers",
+        "WAN bytes",
+        "plane bytes",
+    ]);
+    for (name, r) in [("jsq_no_cache", &jsq), ("data_aware_cache", &da)] {
+        table.row(vec![
+            name.into(),
+            fmt_f(r.makespan.as_secs_f64() * 1e3),
+            r.transfers.to_string(),
+            r.wan_bytes.to_string(),
+            r.plane_bytes.to_string(),
+        ]);
+    }
+    table.print();
+
+    let bytes_ratio = jsq.total_bytes() as f64 / da.total_bytes().max(1) as f64;
+    let speedup = jsq.makespan.as_secs_f64() / da.makespan.as_secs_f64();
+    println!(
+        "data_aware+cache vs jsq: {bytes_ratio:.1}x fewer bytes moved, \
+         {speedup:.2}x makespan ({} ms -> {} ms)",
+        fmt_f(jsq.makespan.as_secs_f64() * 1e3),
+        fmt_f(da.makespan.as_secs_f64() * 1e3),
+    );
+    if bytes_ratio < 5.0 {
+        println!("WARNING: bytes-moved ratio below the 5x target");
+    }
+    if speedup < 1.0 {
+        println!("WARNING: data-aware makespan worse than JSQ");
+    }
+
+    let path = match (&out, smoke) {
+        (Some(p), _) => p.clone(),
+        (None, false) => "BENCH_locality.json".to_string(),
+        (None, true) => {
+            println!("smoke mode: skipping BENCH_locality.json (pass --out to write)");
+            return;
+        }
+    };
+    let row = |r: &RunResult| {
+        format!(
+            "{{ \"makespan_ms\": {:.1}, \"wan_transfers\": {}, \"wan_bytes\": {}, \
+             \"plane_bytes\": {}, \"total_bytes\": {} }}",
+            r.makespan.as_secs_f64() * 1e3,
+            r.transfers,
+            r.wan_bytes,
+            r.plane_bytes,
+            r.total_bytes(),
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"fig_locality\",\n  \"workload\": \"{n}-way fan-out over one \
+         shared WAN input, {WAN_LATENCY_MS} ms WAN latency, fast {FAST_WORKERS}w vs slow \
+         {SLOW_WORKERS}w\",\n  \"jsq_no_cache\": {},\n  \"data_aware_cache\": {},\n  \
+         \"locality_bytes_moved_ratio\": {bytes_ratio:.2},\n  \
+         \"locality_makespan_speedup\": {speedup:.3}\n}}\n",
+        row(&jsq),
+        row(&da),
+    );
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

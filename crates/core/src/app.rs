@@ -269,10 +269,30 @@ impl<A: AppArgs, R: TaskValue> App<A, R> {
     /// [`TenantId::DEFAULT`]: crate::types::TenantId::DEFAULT
     /// [`DataFlowKernel::tenant`]: crate::dfk::DataFlowKernel::tenant
     pub fn call_as(&self, tenant: crate::types::TenantId, deps: A::Deps) -> AppFuture<R> {
+        self.call_hinted_as(tenant, deps, crate::datamap::DataHints::default())
+    }
+
+    /// Invoke the app with declared data inputs/outputs. The hints feed
+    /// the kernel's `DataMap`/`DataAware` routing (see [`crate::datamap`]):
+    /// inputs pull the task toward executors already holding those bytes,
+    /// a declared output is recorded as resident where the task ran.
+    /// Tasks submitted without hints route exactly as before.
+    pub fn call_hinted(&self, deps: A::Deps, hints: crate::datamap::DataHints) -> AppFuture<R> {
+        self.call_hinted_as(crate::types::TenantId::DEFAULT, deps, hints)
+    }
+
+    /// [`App::call_hinted`] on behalf of a specific tenant.
+    pub fn call_hinted_as(
+        &self,
+        tenant: crate::types::TenantId,
+        deps: A::Deps,
+        hints: crate::datamap::DataHints,
+    ) -> AppFuture<R> {
         let state = match A::into_slots(deps) {
-            Ok(slots) => self
-                .dfk
-                .submit_slots_as(Arc::clone(&self.registered), slots, tenant),
+            Ok(slots) => {
+                self.dfk
+                    .submit_slots_hinted(Arc::clone(&self.registered), slots, tenant, hints)
+            }
             Err(e) => self.dfk.failed_submission(e),
         };
         AppFuture::from_state(state)

@@ -6,6 +6,7 @@
 //! configurations." The Rust rendering is a builder that validates at
 //! `build()`.
 
+use crate::datamap::TransferModel;
 use crate::executor::Executor;
 use crate::monitor::MonitorSink;
 use crate::scheduler::SchedulerPolicy;
@@ -66,6 +67,10 @@ pub struct Config {
     /// Per-tenant fairness settings (weight, quota); tenants absent here
     /// run with the defaults (weight 1, no quota).
     pub tenants: Vec<(TenantId, TenantConfig)>,
+    /// Cost model converting non-resident input bytes into seconds for
+    /// the `DataAware` scheduler (defaults mirror the data manager's
+    /// simulated WAN: 1 ms latency, 8 GB/s).
+    pub transfer_model: TransferModel,
     /// Batched result collection (default `true`): the collector drains
     /// every queued outcome into one completion-plane pass. `false`
     /// processes outcomes strictly one at a time — the pre-batching
@@ -117,6 +122,7 @@ pub struct ConfigBuilder {
     max_inflight_per_executor: Option<usize>,
     tenants: Vec<(TenantId, TenantConfig)>,
     completion_batching: Option<bool>,
+    transfer_model: Option<TransferModel>,
 }
 
 impl ConfigBuilder {
@@ -195,6 +201,15 @@ impl ConfigBuilder {
         self
     }
 
+    /// Set the transfer-cost model the `DataAware` scheduler uses to
+    /// price moving a task's non-resident input bytes to a candidate
+    /// executor (default: 1 ms latency, 8 GB/s — the data manager's
+    /// simulated WAN).
+    pub fn transfer_model(mut self, model: TransferModel) -> Self {
+        self.transfer_model = Some(model);
+        self
+    }
+
     /// Toggle batched result collection (default on). With `false` the
     /// collector handles each outcome in its own completion-plane pass —
     /// the per-task baseline the batching benchmarks and equivalence
@@ -259,6 +274,7 @@ impl ConfigBuilder {
             max_inflight_per_executor: self.max_inflight_per_executor,
             tenants: self.tenants,
             completion_batching: self.completion_batching.unwrap_or(true),
+            transfer_model: self.transfer_model.unwrap_or_default(),
         })
     }
 }
@@ -373,5 +389,25 @@ mod tests {
             .unwrap();
         assert!(matches!(c.scheduler, SchedulerPolicy::LeastOutstanding));
         assert_eq!(c.max_inflight_per_executor, Some(3));
+    }
+
+    #[test]
+    fn transfer_model_flows_through() {
+        let c = Config::builder()
+            .executor(ImmediateExecutor::new())
+            .scheduler(SchedulerPolicy::data_aware())
+            .transfer_model(TransferModel {
+                latency: std::time::Duration::from_millis(20),
+                bandwidth: 1_000_000,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(c.transfer_model.bandwidth, 1_000_000);
+        // Default mirrors the data manager's simulated WAN.
+        let d = Config::builder()
+            .executor(ImmediateExecutor::new())
+            .build()
+            .unwrap();
+        assert_eq!(d.transfer_model.bandwidth, 8_000_000_000);
     }
 }

@@ -1,0 +1,298 @@
+//! Data-placement registry and transfer-cost model (§4.5 data gravity).
+//!
+//! The paper's wide-area data management stages files with regular tasks
+//! but routes by queue depth alone, so a 100-way fan-out over one 10 GB
+//! input both stages it 100 times and scatters the readers away from the
+//! copy that already landed. This module gives the kernel a memory of
+//! *where bytes live*:
+//!
+//! - [`DataRef`] — a content key (FNV-1a of the file's URL) plus an
+//!   expected size in bytes. Apps declare their inputs as `DataRef`s via
+//!   [`DataHints`] (`App::call_hinted`), and staging apps declare the
+//!   staged file as their output.
+//! - [`DataMap`] — a sharded registry from content key to the set of
+//!   executors holding a copy, populated when a staging task (or any
+//!   task with a declared output) completes and charged by the router
+//!   when it sends a reader somewhere the bytes are not yet resident.
+//!   Entries for an executor are invalidated wholesale when its manager
+//!   is lost or the executor scales in.
+//! - [`TransferModel`] — the latency + bytes/bandwidth cost model (the
+//!   same shape as simnet's `Link`/Fabric model and the data manager's
+//!   simulated WAN) that converts missing bytes into seconds, comparable
+//!   against queue depth by the `DataAware` scheduler policy.
+//!
+//! The registry deliberately tracks *placement*, not *contents*: values
+//! stay in the staging cache / memo table; the `DataMap` only answers
+//! "how many of this task's input bytes are already on executor i?".
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A reference to a (potentially large) data object a task reads or
+/// writes: a content key plus the expected transfer size. The key is
+/// FNV-1a of the canonical URL, matching the staging cache's keying, so
+/// the hint an app declares and the copy the data manager admits meet in
+/// the same [`DataMap`] entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataRef {
+    /// Content key (FNV-1a of the canonical URL).
+    pub key: u64,
+    /// Expected size in bytes; drives the transfer-cost estimate.
+    pub bytes: u64,
+}
+
+impl DataRef {
+    /// Reference a data object by URL and expected size.
+    pub fn from_url(url: &str, bytes: u64) -> DataRef {
+        DataRef {
+            key: wire::fnv1a_str(url),
+            bytes,
+        }
+    }
+}
+
+/// Declared data inputs/output of one app invocation, attached at call
+/// time (`App::call_hinted`). Tasks that declare nothing route exactly
+/// as before — the `DataAware` policy falls back to join-shortest-queue.
+#[derive(Debug, Clone, Default)]
+pub struct DataHints {
+    /// Data objects the task reads; routing weighs the cost of moving
+    /// the non-resident ones to each candidate executor.
+    pub inputs: Vec<DataRef>,
+    /// A data object the task produces (e.g. a staged file); recorded as
+    /// resident on the executor that ran the task when it completes.
+    pub output: Option<DataRef>,
+}
+
+impl DataHints {
+    /// Hints for a task that reads the given objects.
+    pub fn reading(inputs: Vec<DataRef>) -> DataHints {
+        DataHints {
+            inputs,
+            output: None,
+        }
+    }
+
+    /// Hints for a task that produces the given object.
+    pub fn producing(output: DataRef) -> DataHints {
+        DataHints {
+            inputs: Vec::new(),
+            output: Some(output),
+        }
+    }
+}
+
+/// Latency + bandwidth transfer-cost model: moving `n` bytes costs
+/// `latency + n / bandwidth` seconds, zero when nothing moves. The same
+/// shape as simnet's per-link Fabric model and the data manager's
+/// simulated WAN; defaults mirror the data manager's HTTP path (1 ms
+/// WAN latency, 8 GB/s).
+#[derive(Debug, Clone, Copy)]
+pub struct TransferModel {
+    /// Fixed per-transfer latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth: u64,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        TransferModel {
+            latency: Duration::from_millis(1),
+            bandwidth: 8_000_000_000,
+        }
+    }
+}
+
+impl TransferModel {
+    /// Seconds to move `bytes` over this link; zero bytes cost nothing.
+    pub fn cost_secs(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency.as_secs_f64() + bytes as f64 / self.bandwidth.max(1) as f64
+    }
+}
+
+/// Number of lock shards, masked by the low bits of the (well-mixed
+/// FNV-1a) content key — the same design as the memo table: lookups run
+/// once per task on the routing hot path.
+const DATA_SHARDS: usize = 16;
+
+struct Entry {
+    bytes: u64,
+    holders: HashSet<usize>,
+}
+
+/// Sharded registry of which executor holds which data object.
+///
+/// Writers: the completion plane (declared outputs of finished tasks),
+/// the router (charging a placement marks the inputs resident — the
+/// staging cache will hold them after the first read). Readers: the
+/// per-task locality fill that prices each candidate executor.
+/// Invalidation: [`DataMap::forget_executor`] on manager loss/scale-in.
+pub struct DataMap {
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    bytes_moved: AtomicU64,
+}
+
+impl Default for DataMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataMap {
+    /// Empty registry.
+    pub fn new() -> DataMap {
+        DataMap {
+            shards: (0..DATA_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            bytes_moved: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        &self.shards[(key as usize) & (DATA_SHARDS - 1)]
+    }
+
+    /// Record that `executor` holds a copy of `data`.
+    pub fn record(&self, data: DataRef, executor: usize) {
+        let mut shard = self.shard(data.key).lock();
+        let entry = shard.entry(data.key).or_insert_with(|| Entry {
+            bytes: data.bytes,
+            holders: HashSet::new(),
+        });
+        entry.bytes = entry.bytes.max(data.bytes);
+        entry.holders.insert(executor);
+    }
+
+    /// Bytes of `inputs` already resident on `executor`.
+    pub fn resident_bytes(&self, inputs: &[DataRef], executor: usize) -> u64 {
+        inputs
+            .iter()
+            .filter(|d| {
+                self.shard(d.key)
+                    .lock()
+                    .get(&d.key)
+                    .is_some_and(|e| e.holders.contains(&executor))
+            })
+            .map(|d| d.bytes)
+            .sum()
+    }
+
+    /// Commit a placement: every non-resident input becomes resident on
+    /// `executor` (after the first read the staging cache holds it), and
+    /// the missing bytes are charged to the kernel-wide moved counter.
+    /// Returns the bytes this placement had to move.
+    pub fn charge(&self, inputs: &[DataRef], executor: usize) -> u64 {
+        let mut moved = 0;
+        for d in inputs {
+            let mut shard = self.shard(d.key).lock();
+            let entry = shard.entry(d.key).or_insert_with(|| Entry {
+                bytes: d.bytes,
+                holders: HashSet::new(),
+            });
+            entry.bytes = entry.bytes.max(d.bytes);
+            if entry.holders.insert(executor) {
+                moved += d.bytes;
+            }
+        }
+        if moved > 0 {
+            self.bytes_moved.fetch_add(moved, Ordering::Relaxed);
+        }
+        moved
+    }
+
+    /// Drop every residency claim for `executor` — its manager was lost
+    /// or it scaled in, so its staged copies can no longer be assumed.
+    pub fn forget_executor(&self, executor: usize) {
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            map.retain(|_, e| {
+                e.holders.remove(&executor);
+                !e.holders.is_empty()
+            });
+        }
+    }
+
+    /// Total bytes the router has had to move (charged placements).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved.load(Ordering::Relaxed)
+    }
+
+    /// Number of tracked data objects (for introspection/tests).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_resident() {
+        let m = DataMap::new();
+        let a = DataRef::from_url("ftp://h/ref.fa", 1000);
+        let b = DataRef::from_url("ftp://h/reads.fq", 50);
+        m.record(a, 2);
+        assert_eq!(m.resident_bytes(&[a, b], 2), 1000);
+        assert_eq!(m.resident_bytes(&[a, b], 0), 0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn charge_moves_only_missing_bytes_once() {
+        let m = DataMap::new();
+        let a = DataRef::from_url("u1", 700);
+        let b = DataRef::from_url("u2", 30);
+        m.record(a, 1);
+        // First placement on executor 1 only moves the missing input.
+        assert_eq!(m.charge(&[a, b], 1), 30);
+        // Second identical placement moves nothing: both now resident.
+        assert_eq!(m.charge(&[a, b], 1), 0);
+        // A different executor pays for both.
+        assert_eq!(m.charge(&[a, b], 0), 730);
+        assert_eq!(m.bytes_moved(), 760);
+    }
+
+    #[test]
+    fn forget_executor_invalidates_residency() {
+        let m = DataMap::new();
+        let a = DataRef::from_url("u", 10);
+        m.record(a, 0);
+        m.record(a, 1);
+        m.forget_executor(0);
+        assert_eq!(m.resident_bytes(&[a], 0), 0);
+        assert_eq!(m.resident_bytes(&[a], 1), 10);
+        // Last holder gone → entry disappears entirely.
+        m.forget_executor(1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn transfer_model_prices_bytes() {
+        let tm = TransferModel {
+            latency: Duration::from_millis(10),
+            bandwidth: 1_000_000,
+        };
+        assert_eq!(tm.cost_secs(0), 0.0);
+        let c = tm.cost_secs(1_000_000);
+        assert!((c - 1.01).abs() < 1e-9, "10ms + 1s, got {c}");
+        // Degenerate zero bandwidth must not divide by zero.
+        let z = TransferModel {
+            latency: Duration::ZERO,
+            bandwidth: 0,
+        };
+        assert!(z.cost_secs(5).is_finite());
+    }
+}

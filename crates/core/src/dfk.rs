@@ -74,6 +74,7 @@
 use crate::app::{App, AppArgs, AppFn, ArgSlot, TaskValue};
 use crate::bash::{run_bash, BashOptions};
 use crate::config::{Config, ConfigBuilder, TenantConfig};
+use crate::datamap::{DataHints, DataMap, DataRef, TransferModel};
 use crate::error::{AppError, ParslError, TaskError};
 use crate::executor::{Executor, ExecutorContext, TaskOutcome, TaskSpec};
 use crate::future::{AppFuture, FutureState};
@@ -133,6 +134,10 @@ struct TaskRecord {
     /// dispatch both arm, this dedups so one attempt arms at most once.
     deadline_attempt: Option<u32>,
     memo_key: Option<u64>,
+    /// Declared data inputs/output (`App::call_hinted`); inputs steer the
+    /// `DataAware` router toward executors already holding the bytes, the
+    /// output is recorded in the kernel's `DataMap` on completion.
+    hints: DataHints,
     future: Arc<FutureState>,
     /// Terminal result, stored before the future is assigned.
     result: Option<Result<Bytes, TaskError>>,
@@ -209,6 +214,12 @@ pub struct DataFlowKernel {
     monitor: Option<Arc<dyn MonitorSink>>,
     /// Placement policy for unpinned tasks.
     scheduler: Arc<dyn Scheduler>,
+    /// Which executor holds which staged file / declared output — the
+    /// placement registry behind `DataAware` routing.
+    data_map: DataMap,
+    /// Converts a task's non-resident input bytes into estimated seconds
+    /// for the per-candidate `transfer_cost` snapshot field.
+    transfer_model: TransferModel,
     /// Assignment sequence feeding the scheduler's per-task entropy.
     exec_seq: AtomicU64,
     /// Per-executor attempts dispatched and not yet resolved. This is the
@@ -336,6 +347,12 @@ impl DfkBuilder {
         self
     }
 
+    /// Transfer-cost model for `DataAware` routing.
+    pub fn transfer_model(mut self, model: TransferModel) -> Self {
+        self.inner = self.inner.transfer_model(model);
+        self
+    }
+
     /// Toggle batched result collection (default on; `false` is the
     /// per-task baseline used by benchmarks and equivalence tests).
     pub fn completion_batching(mut self, on: bool) -> Self {
@@ -398,6 +415,8 @@ impl DataFlowKernel {
             default_retries: config.retries,
             monitor: config.monitor,
             scheduler: config.scheduler.build(config.seed),
+            data_map: DataMap::new(),
+            transfer_model: config.transfer_model,
             exec_seq: AtomicU64::new(0),
             inflight: (0..n_executors).map(|_| AtomicUsize::new(0)).collect(),
             max_inflight: config.max_inflight_per_executor,
@@ -560,7 +579,7 @@ impl DataFlowKernel {
     /// One strategy evaluation across all scalable executors. Public so
     /// tests and simulations can drive the strategy synchronously.
     pub fn run_strategy_once(&self, strategy: &dyn Strategy) {
-        for e in &self.executors {
+        for (idx, e) in self.executors.iter().enumerate() {
             let Some(scaling) = e.scaling() else { continue };
             let outstanding = e.outstanding();
             match strategy.decide(outstanding, scaling) {
@@ -570,6 +589,13 @@ impl DataFlowKernel {
                 }
                 ScalingDecision::In { blocks } => {
                     scaling.scale_in(blocks);
+                    // Scaled-in blocks take their staged files with them.
+                    // Scale-in is block-granular while residency is
+                    // executor-granular, so drop the whole executor's
+                    // claims — conservatively correct: a stale "resident"
+                    // entry would mis-route readers, a dropped one only
+                    // costs a re-stage.
+                    self.data_map.forget_executor(idx);
                 }
             }
             self.emit(|| MonitorEvent::Workers {
@@ -746,6 +772,20 @@ impl DataFlowKernel {
         slots: Vec<ArgSlot>,
         tenant: TenantId,
     ) -> Arc<FutureState> {
+        self.submit_slots_hinted(app, slots, tenant, DataHints::default())
+    }
+
+    /// Submit a task with declared data inputs/outputs (`App::call_hinted`):
+    /// the inputs feed the `DataAware` router's per-candidate transfer
+    /// cost, the output is recorded as resident on the executor that runs
+    /// the task. Hint-less submission is this with [`DataHints::default`].
+    pub fn submit_slots_hinted(
+        self: &Arc<Self>,
+        app: Arc<RegisteredApp>,
+        slots: Vec<ArgSlot>,
+        tenant: TenantId,
+        hints: DataHints,
+    ) -> Arc<FutureState> {
         let id = self.table.alloc_id();
         let future = FutureState::new(id);
         let parents: Vec<(usize, Arc<FutureState>)> = slots
@@ -777,6 +817,7 @@ impl DataFlowKernel {
                 parked: false,
                 deadline_attempt: None,
                 memo_key: None,
+                hints,
                 future: Arc::clone(&future),
                 result: None,
             },
@@ -839,6 +880,7 @@ impl DataFlowKernel {
                 parked: false,
                 deadline_attempt: None,
                 memo_key: None,
+                hints: DataHints::default(),
                 future: Arc::clone(&future),
                 result: None,
             },
@@ -1043,7 +1085,7 @@ impl DataFlowKernel {
                     None => {
                         let pinned = self.pinned_index(&rec.app);
                         let tenant = self.tenant_state(rec.tenant);
-                        match self.route(&mut snapshots, pinned, &tenant) {
+                        match self.route(&mut snapshots, pinned, &tenant, &rec.hints.inputs) {
                             Some(idx) => Some(self.prepare_submit(rec, id, args, idx)),
                             None => {
                                 // Backpressure: every eligible executor is
@@ -1133,6 +1175,8 @@ impl DataFlowKernel {
                 outstanding: self.inflight[index].load(Ordering::Relaxed),
                 capacity: e.capacity(),
                 tenant_outstanding: 0,
+                resident_bytes: 0,
+                transfer_cost: 0.0,
             })
             .collect()
     }
@@ -1142,6 +1186,31 @@ impl DataFlowKernel {
     fn fill_tenant_outstanding(snapshots: &mut [ExecutorSnapshot], tenant: &TenantState) {
         for s in snapshots.iter_mut() {
             s.tenant_outstanding = tenant.per_exec[s.index].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Stamp the routing task's data-locality view onto the snapshots:
+    /// how many declared input bytes each executor already holds, and
+    /// what moving the rest there would cost. Always overwrites both
+    /// fields — snapshots persist across a batch's tasks, so a stale
+    /// value from the previous task would corrupt the next decision (in
+    /// particular, the zero-input JSQ fallback relies on every
+    /// `transfer_cost` being exactly zero).
+    fn fill_data_locality(&self, snapshots: &mut [ExecutorSnapshot], inputs: &[DataRef]) {
+        if inputs.is_empty() {
+            for s in snapshots.iter_mut() {
+                s.resident_bytes = 0;
+                s.transfer_cost = 0.0;
+            }
+            return;
+        }
+        let total: u64 = inputs.iter().map(|d| d.bytes).sum();
+        for s in snapshots.iter_mut() {
+            let resident = self.data_map.resident_bytes(inputs, s.index);
+            s.resident_bytes = resident;
+            s.transfer_cost = self
+                .transfer_model
+                .cost_secs(total.saturating_sub(resident));
         }
     }
 
@@ -1156,6 +1225,7 @@ impl DataFlowKernel {
         snapshots: &mut [ExecutorSnapshot],
         pinned: Option<usize>,
         tenant: &TenantState,
+        inputs: &[DataRef],
     ) -> Option<usize> {
         if tenant
             .max_inflight
@@ -1176,6 +1246,7 @@ impl DataFlowKernel {
             None => {
                 let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
                 Self::fill_tenant_outstanding(snapshots, tenant);
+                self.fill_data_locality(snapshots, inputs);
                 if snapshots.iter().any(&over) {
                     // Slow path: some executor is saturated, so offer the
                     // scheduler only the under-cap subset.
@@ -1198,6 +1269,15 @@ impl DataFlowKernel {
         self.inflight[idx].fetch_add(1, Ordering::Relaxed);
         tenant.inflight.fetch_add(1, Ordering::Relaxed);
         tenant.per_exec[idx].fetch_add(1, Ordering::Relaxed);
+        // Commit the placement in the data map: the non-resident inputs
+        // are now in flight toward `idx` (the staging cache will hold
+        // them after the first read), so later tasks in this very batch
+        // already see them as resident — a fan-out converges on one
+        // executor instead of paying the transfer N times. The charged
+        // bytes are the kernel's bytes-moved metric.
+        if !inputs.is_empty() {
+            self.data_map.charge(inputs, idx);
+        }
         Some(idx)
     }
 
@@ -1206,12 +1286,18 @@ impl DataFlowKernel {
     /// holds graph-level resources and parking it would stall retry
     /// semantics — but unpinned retries still follow the scheduler, so a
     /// saturated executor is not retried into by default.
-    fn route_retry(&self, pinned: Option<usize>, tenant: &TenantState) -> usize {
+    fn route_retry(
+        &self,
+        pinned: Option<usize>,
+        tenant: &TenantState,
+        inputs: &[DataRef],
+    ) -> usize {
         let idx = match pinned {
             Some(i) => i,
             None => {
                 let mut snapshots = self.snapshot_executors();
                 Self::fill_tenant_outstanding(&mut snapshots, tenant);
+                self.fill_data_locality(&mut snapshots, inputs);
                 let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
                 let pos = self.scheduler.assign(&snapshots, seq);
                 snapshots[pos].index
@@ -1220,6 +1306,9 @@ impl DataFlowKernel {
         self.inflight[idx].fetch_add(1, Ordering::Relaxed);
         tenant.inflight.fetch_add(1, Ordering::Relaxed);
         tenant.per_exec[idx].fetch_add(1, Ordering::Relaxed);
+        if !inputs.is_empty() {
+            self.data_map.charge(inputs, idx);
+        }
         idx
     }
 
@@ -1455,12 +1544,27 @@ impl DataFlowKernel {
                         fire.push((future, result));
                     }
                     Err(e) => {
+                        // A lost manager takes its staged files down with
+                        // it: drop every residency claim for the executor
+                        // so readers stop being attracted to copies that
+                        // no longer exist. Coarse (the whole executor, not
+                        // one manager's share) but conservatively correct
+                        // — the penalty is a re-stage, not a mis-route.
+                        if matches!(e, TaskError::ExecutorLost(_)) {
+                            if let Some(idx) = rec.executor_idx {
+                                self.data_map.forget_executor(idx);
+                            }
+                        }
                         if rec.retries_left > 0 {
                             rec.retries_left -= 1;
                             rec.attempt += 1;
                             let args = rec.args_bytes.clone().expect("launched tasks have args");
                             let tenant = self.tenant_state(rec.tenant);
-                            let idx = self.route_retry(self.pinned_index(&rec.app), &tenant);
+                            let idx = self.route_retry(
+                                self.pinned_index(&rec.app),
+                                &tenant,
+                                &rec.hints.inputs,
+                            );
                             let (spec, idx, walltime) =
                                 self.prepare_submit(rec, outcome.id, args, idx);
                             if monitoring {
@@ -1624,6 +1728,14 @@ impl DataFlowKernel {
         // charged — e.g. memo hits and dependency failures).
         self.release_charge(rec);
         rec.state = state;
+        // A completed task's declared output now lives where it ran:
+        // stage-in completions are what populate the placement registry
+        // (memo hits skip this — they produced nothing anywhere new).
+        if state == TaskState::Done {
+            if let (Some(output), Some(idx)) = (rec.hints.output, rec.executor_idx) {
+                self.data_map.record(output, idx);
+            }
+        }
         let checkpoint = if state == TaskState::Done {
             match (rec.memo_key, &result) {
                 (Some(key), Ok(bytes)) => Some((key, bytes.clone())),
@@ -1767,6 +1879,21 @@ impl DataFlowKernel {
     /// Name of the active task-routing policy.
     pub fn scheduler_name(&self) -> &str {
         self.scheduler.name()
+    }
+
+    /// The data-placement registry (which executor holds which staged
+    /// file / declared output). Read-mostly introspection; the data
+    /// manager and executors feed it through task hints.
+    pub fn data_map(&self) -> &DataMap {
+        &self.data_map
+    }
+
+    /// Total declared input bytes the router has had to move — placements
+    /// of tasks whose inputs were not yet resident on the chosen
+    /// executor. The bytes-not-moved half of the locality win
+    /// (`fig_locality`); the makespan half is measured by the benchmark.
+    pub fn data_bytes_moved(&self) -> u64 {
+        self.data_map.bytes_moved()
     }
 
     /// Per-executor `(label, in-flight)` counts as tracked by the

@@ -150,6 +150,25 @@ impl<T> AppFuture<T> {
         }
     }
 
+    /// Wrap an externally created [`FutureState`] cell. The caller vouches
+    /// that whatever assigns the cell encodes a `T` — this is how layers
+    /// outside the kernel (e.g. the staging cache's single-flight slots)
+    /// mint futures that several waiters share.
+    pub fn from_shared_state(state: Arc<FutureState>) -> Self {
+        AppFuture {
+            state,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Run `cb` when the result is assigned (immediately if it already
+    /// is), with the raw wire-encoded result. The callback mechanism
+    /// behind dependency edges, exposed so non-kernel layers can chain
+    /// completions without spawning a waiter thread.
+    pub fn on_done(&self, cb: impl FnOnce(&Result<Bytes, TaskError>) + Send + 'static) {
+        self.state.on_done(cb);
+    }
+
     /// The task backing this future.
     pub fn task_id(&self) -> TaskId {
         self.state.task_id()
@@ -172,6 +191,25 @@ impl<T> AppFuture<T> {
     /// Access the shared state (used by `App::call` to wire dependencies).
     pub(crate) fn state(&self) -> &Arc<FutureState> {
         &self.state
+    }
+}
+
+impl<T: serde::Serialize> AppFuture<T> {
+    /// An already-resolved future holding `value` — for paths that
+    /// satisfy a request without running a task (e.g. a staging-cache
+    /// hit). A wire-encoding failure becomes the future's exception, so
+    /// the call site stays infallible like every other invocation path.
+    pub fn ready(value: &T) -> Self {
+        let state = FutureState::new(TaskId(0));
+        state.set(wire::to_bytes(value).map(Bytes::from).map_err(|e| {
+            TaskError::App(crate::error::AppError::Serialization(format!(
+                "encode ready value: {e}"
+            )))
+        }));
+        AppFuture {
+            state,
+            _marker: PhantomData,
+        }
     }
 }
 

@@ -44,6 +44,7 @@ pub mod app;
 pub mod bash;
 pub mod combinators;
 pub mod config;
+pub mod datamap;
 pub mod dfk;
 pub mod error;
 pub mod executor;
@@ -60,6 +61,7 @@ pub use app::{App, AppArgs, AppFn, ArgSlot, Dep, TaskValue};
 pub use bash::BashOptions;
 pub use combinators::{barrier, join_all, map_app};
 pub use config::{Config, ConfigBuilder, TenantConfig};
+pub use datamap::{DataHints, DataMap, DataRef, TransferModel};
 pub use dfk::{DataFlowKernel, DfkBuilder, TenantHandle};
 pub use error::{AppError, ParslError, TaskError};
 pub use executor::{
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::bash::BashOptions;
     pub use crate::call;
     pub use crate::config::{Config, TenantConfig};
+    pub use crate::datamap::{DataHints, DataRef, TransferModel};
     pub use crate::dfk::{DataFlowKernel, TenantHandle};
     pub use crate::error::{AppError, ParslError, TaskError};
     pub use crate::executor::{Executor, ImmediateExecutor};

@@ -35,6 +35,12 @@
 //!   `max_inflight` quotas and the weighted-deficit unparking order —
 //!   lives in the kernel's admission plane (`dfk.rs`); this policy is
 //!   the placement half of the pair.
+//! - [`SchedulerPolicy::DataAware`] — locality-weighted placement for
+//!   data-heavy workflows: score each candidate as estimated transfer
+//!   seconds for the task's non-resident declared inputs (from the
+//!   kernel's `DataMap` + `TransferModel`, see [`crate::datamap`]) plus
+//!   `alpha` seconds per queued task; tasks with no declared inputs fall
+//!   back to join-shortest-queue.
 //!
 //! Placement composes with **backpressure**: the kernel can cap in-flight
 //! tasks per executor (`ConfigBuilder::max_inflight_per_executor`). The
@@ -66,6 +72,17 @@ pub struct ExecutorSnapshot {
     /// and on paths that do not track tenancy (then tenant-aware policies
     /// degrade to their tie-breaker).
     pub tenant_outstanding: usize,
+    /// Bytes of the *routing task's declared inputs* already resident on
+    /// this executor (staged files, cached large outputs). Filled per
+    /// task by the dispatcher from the kernel's `DataMap`; zero when the
+    /// task declares no inputs.
+    pub resident_bytes: u64,
+    /// Estimated seconds to move the routing task's *non-resident* input
+    /// bytes to this executor (the kernel's `TransferModel` applied to
+    /// declared minus resident bytes). Zero when the task declares no
+    /// inputs — which is how data-aware policies detect "nothing to
+    /// weigh" and fall back to pure load balancing.
+    pub transfer_cost: f64,
 }
 
 /// A placement policy: given candidate executors, choose one.
@@ -98,11 +115,27 @@ pub enum SchedulerPolicy {
     /// Tenant-aware spread: each tenant's tasks join their own shortest
     /// queue (see [`WeightedFair`]).
     WeightedFair,
+    /// Locality-weighted placement: minimize estimated transfer seconds
+    /// plus `alpha` seconds per queued task (see [`DataAware`]).
+    DataAware {
+        /// Queue-depth weight in seconds per outstanding task. Use
+        /// [`SchedulerPolicy::data_aware`] for the tuned default.
+        alpha: f64,
+    },
     /// A user-supplied policy.
     Custom(Arc<dyn Scheduler>),
 }
 
 impl SchedulerPolicy {
+    /// [`SchedulerPolicy::DataAware`] with the tuned default weight:
+    /// 5 ms of estimated transfer time per queued task, i.e. an executor
+    /// may be one task deeper for every 5 ms of transfer it saves. Large
+    /// inputs (tens of MB over a WAN) dominate and pin readers to their
+    /// data; small or absent inputs leave the score to queue depth.
+    pub fn data_aware() -> SchedulerPolicy {
+        SchedulerPolicy::DataAware { alpha: 0.005 }
+    }
+
     /// Materialize the policy. `seed` feeds the hashing policies so
     /// placement is reproducible for a given config seed.
     pub fn build(&self, seed: u64) -> Arc<dyn Scheduler> {
@@ -112,6 +145,7 @@ impl SchedulerPolicy {
             SchedulerPolicy::LeastOutstanding => Arc::new(LeastOutstanding),
             SchedulerPolicy::CapacityWeighted => Arc::new(CapacityWeighted { seed }),
             SchedulerPolicy::WeightedFair => Arc::new(WeightedFair),
+            SchedulerPolicy::DataAware { alpha } => Arc::new(DataAware { alpha: *alpha }),
             SchedulerPolicy::Custom(s) => Arc::clone(s),
         }
     }
@@ -125,6 +159,9 @@ impl std::fmt::Debug for SchedulerPolicy {
             SchedulerPolicy::LeastOutstanding => "LeastOutstanding",
             SchedulerPolicy::CapacityWeighted => "CapacityWeighted",
             SchedulerPolicy::WeightedFair => "WeightedFair",
+            SchedulerPolicy::DataAware { alpha } => {
+                return write!(f, "DataAware {{ alpha: {alpha} }}")
+            }
             SchedulerPolicy::Custom(s) => return write!(f, "Custom({})", s.name()),
         };
         f.write_str(name)
@@ -251,6 +288,49 @@ impl Scheduler for WeightedFair {
     }
 }
 
+/// Locality-weighted join-shortest-queue: score each candidate as
+/// `transfer_cost + alpha * outstanding` — estimated seconds to move the
+/// task's non-resident input bytes there, plus `alpha` seconds of queue
+/// penalty per in-flight task — and take the minimum. An executor
+/// already holding a task's 100 MB reference input wins unless its queue
+/// is `transfer_cost / alpha` tasks deeper than an empty peer, so
+/// locality attracts readers to their data without ever starving load
+/// balancing.
+///
+/// When the task declares no inputs every `transfer_cost` is zero and
+/// the policy delegates to [`LeastOutstanding`] outright — not just
+/// numerically equivalent but the same code path, so zero-input DAGs are
+/// observationally identical under both policies (proven by
+/// `proptest_locality`).
+pub struct DataAware {
+    /// Seconds of transfer cost one queued task is "worth".
+    pub alpha: f64,
+}
+
+impl Scheduler for DataAware {
+    fn name(&self) -> &str {
+        "data_aware"
+    }
+
+    fn assign(&self, candidates: &[ExecutorSnapshot], seq: u64) -> usize {
+        if candidates.iter().all(|s| s.transfer_cost == 0.0) {
+            return LeastOutstanding.assign(candidates, seq);
+        }
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let sa = a.transfer_cost + self.alpha * a.outstanding as f64;
+                let sb = b.transfer_cost + self.alpha * b.outstanding as f64;
+                sa.partial_cmp(&sb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.outstanding.cmp(&b.outstanding))
+            })
+            .map(|(i, _)| i)
+            .expect("candidates non-empty")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +344,8 @@ mod tests {
                 outstanding,
                 capacity,
                 tenant_outstanding: 0,
+                resident_bytes: 0,
+                transfer_cost: 0.0,
             })
             .collect()
     }
@@ -328,9 +410,56 @@ mod tests {
             (SchedulerPolicy::LeastOutstanding, "least_outstanding"),
             (SchedulerPolicy::CapacityWeighted, "capacity_weighted"),
             (SchedulerPolicy::WeightedFair, "weighted_fair"),
+            (SchedulerPolicy::data_aware(), "data_aware"),
         ] {
             assert_eq!(policy.build(0).name(), name);
         }
+    }
+
+    #[test]
+    fn data_aware_prefers_resident_data() {
+        let da = DataAware { alpha: 0.005 };
+        // Executor 0 holds the 80 MB input (cost 0); executor 1 would
+        // have to fetch it (10 ms). Even 1 queued task on 0 is cheaper
+        // than the move.
+        let mut c = snaps(&[(1, 8), (0, 8)]);
+        c[0].transfer_cost = 0.0;
+        c[0].resident_bytes = 80_000_000;
+        c[1].transfer_cost = 0.010;
+        assert_eq!(da.assign(&c, 0), 0);
+        // ... until the queue imbalance outweighs the transfer: at
+        // alpha=5ms, 3 extra tasks (15 ms) > 10 ms of transfer.
+        let mut c = snaps(&[(3, 8), (0, 8)]);
+        c[0].transfer_cost = 0.0;
+        c[1].transfer_cost = 0.010;
+        assert_eq!(da.assign(&c, 0), 1);
+    }
+
+    #[test]
+    fn data_aware_zero_inputs_matches_least_outstanding() {
+        let da = DataAware { alpha: 0.005 };
+        let jsq = LeastOutstanding;
+        for loads in [
+            vec![(5, 1), (2, 1), (9, 1)],
+            vec![(3, 1), (3, 1)],
+            vec![(0, 4), (0, 2), (0, 8), (0, 1)],
+        ] {
+            let c = snaps(&loads);
+            for seq in 0..8 {
+                assert_eq!(da.assign(&c, seq), jsq.assign(&c, seq));
+            }
+        }
+    }
+
+    #[test]
+    fn data_aware_score_ties_break_on_queue_depth() {
+        let da = DataAware { alpha: 0.005 };
+        // Equal scores (0.010 vs 0.005 + 0.005*1): the shallower queue
+        // wins so a locality tie never piles onto the busier executor.
+        let mut c = snaps(&[(0, 1), (1, 1)]);
+        c[0].transfer_cost = 0.010;
+        c[1].transfer_cost = 0.005;
+        assert_eq!(da.assign(&c, 0), 0);
     }
 
     #[test]

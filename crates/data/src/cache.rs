@@ -1,0 +1,371 @@
+//! Executor-side staging cache: a byte-budgeted LRU of staged files with
+//! single-flight transfer coalescing.
+//!
+//! The paper's data manager re-transfers a remote file every time an app
+//! names it. For wide fan-outs over a shared input (the common pattern in
+//! §5's sequence-analysis workflows) that multiplies WAN traffic by the
+//! fan-out degree. The cache collapses this: the first request for a URL
+//! starts the transfer, every concurrent request for the same URL shares
+//! that in-flight future (single flight), and once the bytes land the
+//! [`StagedFile`] is retained under a byte budget so later requests resolve
+//! immediately with no task at all.
+//!
+//! Concurrency shape: a miss installs an *in-flight cell* — a bare
+//! [`FutureState`] — under the cache lock, then starts the real transfer
+//! with the lock released. The transfer's completion is bridged into the
+//! cell via `on_done`, and admission/eviction runs in the cell's own
+//! completion callback, which re-acquires the lock only after the caller
+//! has released it. This keeps the cache correct even with fully
+//! synchronous executors that complete the transfer inside `fetch()`.
+
+use crate::manager::StagedFile;
+use parking_lot::Mutex;
+use parsl_core::future::{AppFuture, FutureState};
+use parsl_core::types::TaskId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters describing cache behaviour since creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a resident entry (no task, no transfer).
+    pub hits: u64,
+    /// Requests that started a new transfer.
+    pub misses: u64,
+    /// Requests that piggybacked on an already in-flight transfer.
+    pub coalesced: u64,
+    /// Resident entries dropped to make room under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held by resident entries.
+    pub used_bytes: u64,
+    /// Number of slots (resident + in-flight).
+    pub entries: usize,
+}
+
+enum Slot {
+    /// Bytes are on local disk; `last_use` orders LRU eviction.
+    Ready { file: StagedFile, last_use: u64 },
+    /// A transfer is underway; clones of this future share its result.
+    InFlight(AppFuture<StagedFile>),
+}
+
+struct Inner {
+    entries: HashMap<u64, Slot>,
+    /// Bytes held by `Ready` entries (in-flight transfers are not charged
+    /// until admission, when their true size is known).
+    used: u64,
+    /// Monotonic LRU clock.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+}
+
+/// Byte-budgeted, single-flight cache of staged files, keyed by the FNV-1a
+/// hash of the source URL.
+pub struct StagingCache {
+    budget: u64,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl StagingCache {
+    /// A cache retaining at most `budget_bytes` of staged content.
+    pub fn new(budget_bytes: u64) -> Self {
+        StagingCache {
+            budget: budget_bytes,
+            inner: Arc::new(Mutex::new(Inner {
+                entries: HashMap::new(),
+                used: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                coalesced: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Resolve `key`: a resident entry answers immediately, an in-flight
+    /// transfer is shared, and only a true miss invokes `fetch` to start
+    /// the (single) transfer. `fetch` runs with the cache lock released.
+    pub fn get_or_stage(
+        &self,
+        key: u64,
+        fetch: impl FnOnce() -> AppFuture<StagedFile>,
+    ) -> AppFuture<StagedFile> {
+        let cell = {
+            let mut g = self.inner.lock();
+            let now = g.tick;
+            match g.entries.get_mut(&key) {
+                Some(Slot::Ready { file, last_use }) => {
+                    let file = file.clone();
+                    *last_use = now;
+                    g.tick += 1;
+                    g.hits += 1;
+                    drop(g);
+                    return AppFuture::ready(&file);
+                }
+                Some(Slot::InFlight(fut)) => {
+                    let fut = fut.clone();
+                    g.coalesced += 1;
+                    return fut;
+                }
+                None => {
+                    g.misses += 1;
+                    let cell = FutureState::new(TaskId(0));
+                    g.entries.insert(
+                        key,
+                        Slot::InFlight(AppFuture::from_shared_state(Arc::clone(&cell))),
+                    );
+                    cell
+                }
+            }
+        };
+
+        // Admission runs when the cell resolves; registered before the
+        // bridge below so a synchronously completed fetch still admits.
+        let inner = Arc::clone(&self.inner);
+        let budget = self.budget;
+        cell.on_done(move |r| {
+            let mut g = inner.lock();
+            g.entries.remove(&key);
+            let file = match r {
+                Ok(bytes) => match wire::from_bytes::<StagedFile>(bytes) {
+                    Ok(f) => f,
+                    Err(_) => return,
+                },
+                Err(_) => return,
+            };
+            if file.bytes > budget {
+                return;
+            }
+            while g.used + file.bytes > budget {
+                let victim = g
+                    .entries
+                    .iter()
+                    .filter_map(|(k, s)| match s {
+                        Slot::Ready { file, last_use } => Some((*k, *last_use, file.bytes)),
+                        Slot::InFlight(_) => None,
+                    })
+                    .min_by_key(|&(_, last_use, _)| last_use);
+                match victim {
+                    Some((vk, _, vb)) => {
+                        g.entries.remove(&vk);
+                        g.used -= vb;
+                        g.evictions += 1;
+                    }
+                    None => return,
+                }
+            }
+            g.used += file.bytes;
+            let last_use = g.tick;
+            g.tick += 1;
+            g.entries.insert(key, Slot::Ready { file, last_use });
+        });
+
+        let transfer = fetch();
+        let cell_for_bridge = Arc::clone(&cell);
+        transfer.on_done(move |r| cell_for_bridge.set(r.clone()));
+        AppFuture::from_shared_state(cell)
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            coalesced: g.coalesced,
+            evictions: g.evictions,
+            used_bytes: g.used,
+            entries: g.entries.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StagingCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("StagingCache")
+            .field("budget", &self.budget)
+            .field("used", &s.used_bytes)
+            .field("entries", &s.entries)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn sf(path: &str, bytes: u64) -> StagedFile {
+        StagedFile {
+            local_path: path.to_string(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn second_request_is_a_hit() {
+        let cache = StagingCache::new(1_000);
+        let fetched = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let got = cache
+                .get_or_stage(1, || {
+                    fetched.fetch_add(1, Ordering::SeqCst);
+                    AppFuture::ready(&sf("/tmp/a", 100))
+                })
+                .result()
+                .unwrap();
+            assert_eq!(got.bytes, 100);
+        }
+        assert_eq!(fetched.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.used_bytes), (2, 1, 100));
+    }
+
+    #[test]
+    fn inflight_requests_coalesce_into_one_transfer() {
+        let cache = StagingCache::new(1_000);
+        let cell = FutureState::new(TaskId(0));
+        let fetched = AtomicUsize::new(0);
+        let first = cache.get_or_stage(7, || {
+            fetched.fetch_add(1, Ordering::SeqCst);
+            AppFuture::from_shared_state(Arc::clone(&cell))
+        });
+        let second = cache.get_or_stage(7, || {
+            fetched.fetch_add(1, Ordering::SeqCst);
+            panic!("second request must not start a transfer")
+        });
+        assert!(!first.done() && !second.done());
+        cell.set(Ok(bytes::Bytes::from(
+            wire::to_bytes(&sf("/tmp/b", 42)).unwrap(),
+        )));
+        assert_eq!(first.result().unwrap(), second.result().unwrap());
+        assert_eq!(fetched.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.coalesced, s.used_bytes), (1, 1, 42));
+    }
+
+    #[test]
+    fn concurrent_requests_share_a_single_flight() {
+        const THREADS: usize = 16;
+        let cache = Arc::new(StagingCache::new(1_000));
+        let cell = FutureState::new(TaskId(0));
+        let fetched = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(THREADS + 1));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let cell = Arc::clone(&cell);
+            let fetched = Arc::clone(&fetched);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                cache
+                    .get_or_stage(99, || {
+                        fetched.fetch_add(1, Ordering::SeqCst);
+                        AppFuture::from_shared_state(cell)
+                    })
+                    .result()
+                    .unwrap()
+            }));
+        }
+        barrier.wait();
+        cell.set(Ok(bytes::Bytes::from(
+            wire::to_bytes(&sf("/tmp/c", 9)).unwrap(),
+        )));
+        for h in handles {
+            assert_eq!(h.join().unwrap().bytes, 9);
+        }
+        assert_eq!(fetched.load(Ordering::SeqCst), 1, "exactly one transfer");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.coalesced as usize, THREADS - 1);
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget_and_lru_order() {
+        let cache = StagingCache::new(100);
+        cache
+            .get_or_stage(1, || AppFuture::ready(&sf("/tmp/one", 60)))
+            .result()
+            .unwrap();
+        cache
+            .get_or_stage(2, || AppFuture::ready(&sf("/tmp/two", 30)))
+            .result()
+            .unwrap();
+        // Touch key 1 so key 2 becomes least recently used.
+        cache
+            .get_or_stage(1, || panic!("must be a hit"))
+            .result()
+            .unwrap();
+        cache
+            .get_or_stage(3, || AppFuture::ready(&sf("/tmp/three", 40)))
+            .result()
+            .unwrap();
+        let s = cache.stats();
+        assert!(s.used_bytes <= 100, "budget respected: {}", s.used_bytes);
+        assert_eq!(s.evictions, 1);
+        // Key 2 was evicted; key 1 survived.
+        cache
+            .get_or_stage(1, || panic!("key 1 must still be resident"))
+            .result()
+            .unwrap();
+        let refetched = AtomicUsize::new(0);
+        cache
+            .get_or_stage(2, || {
+                refetched.fetch_add(1, Ordering::SeqCst);
+                AppFuture::ready(&sf("/tmp/two", 30))
+            })
+            .result()
+            .unwrap();
+        assert_eq!(refetched.load(Ordering::SeqCst), 1, "key 2 was evicted");
+    }
+
+    #[test]
+    fn oversized_files_pass_through_without_admission() {
+        let cache = StagingCache::new(10);
+        let got = cache
+            .get_or_stage(5, || AppFuture::ready(&sf("/tmp/big", 500)))
+            .result()
+            .unwrap();
+        assert_eq!(got.bytes, 500);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.used_bytes), (0, 0));
+        // The next request is a fresh miss, not a hit.
+        let refetched = AtomicUsize::new(0);
+        cache.get_or_stage(5, || {
+            refetched.fetch_add(1, Ordering::SeqCst);
+            AppFuture::ready(&sf("/tmp/big", 500))
+        });
+        assert_eq!(refetched.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn failed_transfers_are_not_cached() {
+        let cache = StagingCache::new(1_000);
+        let failing = cache.get_or_stage(11, || {
+            let cell = FutureState::new(TaskId(0));
+            cell.set(Err(parsl_core::error::TaskError::WalltimeExceeded));
+            AppFuture::from_shared_state(cell)
+        });
+        assert!(failing.result().is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // Retry runs a fresh transfer and succeeds.
+        let got = cache
+            .get_or_stage(11, || AppFuture::ready(&sf("/tmp/retry", 8)))
+            .result()
+            .unwrap();
+        assert_eq!(got.bytes, 8);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

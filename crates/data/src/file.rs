@@ -43,7 +43,8 @@ pub struct File {
 
 impl File {
     /// Parse a URL-ish reference: `http://host/path`, `ftp://host/path`,
-    /// `globus://endpoint/path`, or a bare local path.
+    /// `globus://endpoint/path`, `file://[host]/path`, or a bare local
+    /// path.
     pub fn parse(url: &str) -> File {
         let (scheme, rest) = if let Some(r) = url.strip_prefix("http://") {
             (Scheme::Http, r)
@@ -53,6 +54,23 @@ impl File {
             (Scheme::Ftp, r)
         } else if let Some(r) = url.strip_prefix("globus://") {
             (Scheme::Globus, r)
+        } else if let Some(r) = url.strip_prefix("file://") {
+            // RFC 8089 forms: `file:///path` has an empty authority and
+            // `file://host/path` names one. Either way the file is
+            // reachable without a transfer, so both map to Local (the
+            // host survives for display only).
+            let (host, path) = match r.strip_prefix('/') {
+                Some(p) => (String::new(), format!("/{p}")),
+                None => match r.split_once('/') {
+                    Some((h, p)) => (h.to_string(), format!("/{p}")),
+                    None => (r.to_string(), "/".to_string()),
+                },
+            };
+            return File {
+                scheme: Scheme::Local,
+                host,
+                path,
+            };
         } else {
             return File {
                 scheme: Scheme::Local,
@@ -127,6 +145,26 @@ mod tests {
         let f = File::parse("http://justhost");
         assert_eq!(f.host, "justhost");
         assert_eq!(f.path, "/");
+    }
+
+    #[test]
+    fn file_url_empty_authority_is_local() {
+        let f = File::parse("file:///data/ref/hg38.fa");
+        assert_eq!(f.scheme, Scheme::Local);
+        assert_eq!(f.host, "");
+        assert_eq!(f.path, "/data/ref/hg38.fa");
+        assert!(f.is_local());
+        assert_eq!(f.url(), "/data/ref/hg38.fa");
+    }
+
+    #[test]
+    fn file_url_with_host_is_local() {
+        let f = File::parse("file://nfs01/scratch/x.bin");
+        assert_eq!(f.scheme, Scheme::Local);
+        assert_eq!(f.host, "nfs01");
+        assert_eq!(f.path, "/scratch/x.bin");
+        assert!(f.is_local());
+        assert_eq!(f.name(), "x.bin");
     }
 
     #[test]

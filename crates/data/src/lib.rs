@@ -24,9 +24,11 @@
 //!   delays, with deterministic synthetic content for "remote" files (the
 //!   substitution documented in DESIGN.md).
 
+mod cache;
 mod file;
 mod manager;
 
+pub use cache::{CacheStats, StagingCache};
 pub use file::{File, Scheme};
 pub use manager::{DataManager, DataManagerConfig, StagedFile};
 
@@ -160,6 +162,34 @@ mod tests {
             .collect();
         assert!(!globus_tasks.is_empty());
         assert!(globus_tasks.iter().all(|(_, l)| l == "dm"));
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn cached_stage_in_runs_one_transfer_for_many_requests() {
+        let dfk = dfk();
+        let dm = DataManager::new(
+            &dfk,
+            DataManagerConfig {
+                cache_budget_bytes: Some(10_000_000),
+                ..Default::default()
+            },
+        );
+        let before = dfk.task_count();
+        let futs: Vec<_> = (0..8)
+            .map(|_| dm.stage_in(File::parse("http://mirror.example.org/ref.fa")))
+            .collect();
+        let staged: Vec<_> = futs.iter().map(|f| f.result().unwrap()).collect();
+        assert!(staged.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            dfk.task_count(),
+            before + 1,
+            "eight requests, one transfer task"
+        );
+        let s = dm.cache_stats().unwrap();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits + s.coalesced, 7);
+        assert_eq!(dm.wan_bytes(), staged[0].bytes);
         dfk.shutdown();
     }
 

@@ -1,13 +1,16 @@
 //! The data manager: transparent staging via dynamic data dependencies.
 
+use crate::cache::{CacheStats, StagingCache};
 use crate::file::{File, Scheme};
-use parsl_core::app::App;
+use parsl_core::app::{App, Dep};
+use parsl_core::datamap::{DataHints, DataRef};
 use parsl_core::error::AppError;
 use parsl_core::future::AppFuture;
 use parsl_core::registry::AppOptions;
 use parsl_core::DataFlowKernel;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,6 +42,10 @@ pub struct DataManagerConfig {
     pub ftp_bandwidth: u64,
     /// Simulated Globus bandwidth (parallel streams: fastest).
     pub globus_bandwidth: u64,
+    /// When set, remote stage-ins flow through a [`StagingCache`] of this
+    /// many bytes: repeated requests for the same URL hit the cache (or
+    /// join the in-flight transfer) instead of re-crossing the WAN.
+    pub cache_budget_bytes: Option<u64>,
 }
 
 impl Default for DataManagerConfig {
@@ -50,6 +57,7 @@ impl Default for DataManagerConfig {
             http_bandwidth: 8_000_000_000,
             ftp_bandwidth: 5_000_000_000,
             globus_bandwidth: 20_000_000_000,
+            cache_budget_bytes: None,
         }
     }
 }
@@ -94,6 +102,8 @@ pub struct DataManager {
     stage_http_ftp: App<(File,), StagedFile>,
     stage_globus: App<(File,), StagedFile>,
     stage_out_app: App<(StagedFile, File), StagedFile>,
+    cache: Option<StagingCache>,
+    wan_bytes: Arc<AtomicU64>,
 }
 
 impl DataManager {
@@ -101,6 +111,7 @@ impl DataManager {
     pub fn new(dfk: &Arc<DataFlowKernel>, config: DataManagerConfig) -> Self {
         std::fs::create_dir_all(&config.staging_dir).ok();
         let cfg = Arc::new(config);
+        let wan_bytes = Arc::new(AtomicU64::new(0));
 
         let stage_local = dfk.python_app_fallible(
             "_parsl_stage_in_local",
@@ -115,12 +126,14 @@ impl DataManager {
         );
 
         let c = Arc::clone(&cfg);
+        let w = Arc::clone(&wan_bytes);
         let stage_http_ftp = dfk.python_app_fallible(
             "_parsl_stage_in_transfer",
-            move |f: File| -> Result<StagedFile, AppError> { simulate_fetch(&c, &f) },
+            move |f: File| -> Result<StagedFile, AppError> { simulate_fetch(&c, &w, &f) },
         );
 
         let c = Arc::clone(&cfg);
+        let w = Arc::clone(&wan_bytes);
         let globus_options = AppOptions {
             executor: cfg.globus_executor.clone(),
             ..Default::default()
@@ -128,7 +141,7 @@ impl DataManager {
         let stage_globus = dfk.python_app_cfg(
             "_parsl_stage_in_globus",
             globus_options,
-            move |f: File| -> Result<StagedFile, AppError> { simulate_fetch(&c, &f) },
+            move |f: File| -> Result<StagedFile, AppError> { simulate_fetch(&c, &w, &f) },
         );
 
         let c = Arc::clone(&cfg);
@@ -179,18 +192,72 @@ impl DataManager {
             stage_http_ftp,
             stage_globus,
             stage_out_app,
+            cache: cfg.cache_budget_bytes.map(StagingCache::new),
+            wan_bytes,
         }
     }
 
     /// Make `file` available locally; returns the future of its staged
     /// form. Passing this future to an app creates the paper's dynamic
     /// data dependency.
+    ///
+    /// Remote files carry a declared output [`DataRef`] so the kernel's
+    /// `DataMap` learns which executor holds the staged copy, and — when
+    /// [`DataManagerConfig::cache_budget_bytes`] is set — flow through the
+    /// [`StagingCache`]: a resident URL resolves with no task at all, and
+    /// concurrent requests for the same URL share one transfer.
     pub fn stage_in(&self, file: File) -> AppFuture<StagedFile> {
-        match file.scheme {
-            Scheme::Local => parsl_core::call!(self.stage_local, file),
-            Scheme::Http | Scheme::Ftp => parsl_core::call!(self.stage_http_ftp, file),
-            Scheme::Globus => parsl_core::call!(self.stage_globus, file),
+        if file.scheme == Scheme::Local {
+            return parsl_core::call!(self.stage_local, file);
         }
+        match &self.cache {
+            Some(cache) => {
+                let key = wire::fnv1a_str(&file.url());
+                cache.get_or_stage(key, || self.dispatch_remote(file))
+            }
+            None => self.dispatch_remote(file),
+        }
+    }
+
+    /// Submit the staging task for a remote `file`, hinted with the
+    /// expected size of the staged output so routing can account for it.
+    fn dispatch_remote(&self, file: File) -> AppFuture<StagedFile> {
+        let url = file.url();
+        let hints = DataHints::producing(DataRef::from_url(&url, synthetic_size(&url)));
+        let app = match file.scheme {
+            Scheme::Globus => &self.stage_globus,
+            _ => &self.stage_http_ftp,
+        };
+        app.call_hinted((Dep::value(file),), hints)
+    }
+
+    /// Expected size of `file` once staged: the on-disk size for local
+    /// files (zero if unreadable), the deterministic synthetic size for
+    /// remote ones. Lets callers build input hints before any transfer
+    /// has run.
+    pub fn expected_bytes(file: &File) -> u64 {
+        match file.scheme {
+            Scheme::Local => std::fs::metadata(&file.path).map(|m| m.len()).unwrap_or(0),
+            _ => synthetic_size(&file.url()),
+        }
+    }
+
+    /// The [`DataRef`] describing `file` in the kernel's data plane —
+    /// same key and size the staging task declares as its output, so a
+    /// task hinted with this ref is pulled toward the staged copy.
+    pub fn data_ref(file: &File) -> DataRef {
+        DataRef::from_url(&file.url(), Self::expected_bytes(file))
+    }
+
+    /// Total bytes pulled across the simulated WAN by this manager's
+    /// transfer tasks (stage-ins only; cache hits add nothing here).
+    pub fn wan_bytes(&self) -> u64 {
+        self.wan_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Staging-cache counters, when a cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Ship a produced file to `dest` (local copy or simulated upload).
@@ -200,10 +267,15 @@ impl DataManager {
 }
 
 /// Shared body of the simulated HTTP/FTP/Globus fetch.
-fn simulate_fetch(cfg: &DataManagerConfig, f: &File) -> Result<StagedFile, AppError> {
+fn simulate_fetch(
+    cfg: &DataManagerConfig,
+    wan: &AtomicU64,
+    f: &File,
+) -> Result<StagedFile, AppError> {
     let url = f.url();
     let bytes = synthetic_size(&url);
     std::thread::sleep(cfg.simulated_transfer_time(f.scheme, bytes));
+    wan.fetch_add(bytes, Ordering::Relaxed);
     let content = synthetic_content(&url, bytes);
     let local = cfg
         .staging_dir
