@@ -10,10 +10,17 @@
 //!
 //! - without elasticity: utilization 68.15 %, makespan 301 s;
 //! - with elasticity: utilization 84.28 %, makespan 331 s (+9.9 %).
+//!
+//! Beyond the paper's reactive controller this bench also runs the
+//! predictive controller, whose scale-in is a graceful *drain*: victim
+//! managers stop receiving work, finish what they hold, and only then is
+//! the provider job released — so the drain row must show zero
+//! scale-in-race retries.
 
 use bench::{fmt_f, section, Table};
 use parsl_core::combinators::join_all;
 use parsl_core::prelude::*;
+use parsl_core::strategy::PredictiveConfig;
 use parsl_core::Executor;
 use parsl_executors::{HtexConfig, HtexExecutor};
 use parsl_providers::{BlockPool, ProvidedExecutor, SimProvider};
@@ -29,6 +36,17 @@ const MAX_BLOCKS: usize = 4;
 /// Total useful task-seconds in the workflow (scaled).
 const TASK_SECONDS: f64 = (WIDTH as f64) * 2.0 + 1.0 + (WIDTH as f64) * 2.0 + 1.0;
 
+/// Which elasticity controller a run uses.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// All blocks up front, no strategy (the paper's baseline).
+    Fixed,
+    /// The paper's reactive controller; scale-in is abrupt.
+    Simple,
+    /// Little's-law controller; scale-in drains gracefully.
+    Predictive,
+}
+
 struct RunResult {
     makespan: f64,
     utilization: f64,
@@ -42,14 +60,13 @@ fn main() {
         MAX_BLOCKS * WORKERS_PER_BLOCK
     );
 
-    let fixed = run(false);
-    let elastic = run(true);
-    if fixed.retries + elastic.retries > 0 {
-        println!(
-            "(task retries due to scale-in races: fixed {}, elastic {})",
-            fixed.retries, elastic.retries
-        );
-    }
+    let fixed = run(Mode::Fixed);
+    let elastic = run(Mode::Simple);
+    let drained = run(Mode::Predictive);
+    println!(
+        "(task retries due to scale-in races: fixed {}, simple {}, predictive/drain {})",
+        fixed.retries, elastic.retries, drained.retries
+    );
 
     section("Figure 6 — utilization and makespan");
     let mut t = Table::new(&[
@@ -58,6 +75,7 @@ fn main() {
         "paper %",
         "makespan s",
         "paper s (scaled)",
+        "retries",
     ]);
     t.row(vec![
         "no elasticity".into(),
@@ -65,13 +83,23 @@ fn main() {
         "68.15".into(),
         fmt_f(fixed.makespan),
         fmt_f(301.0 / 50.0),
+        fixed.retries.to_string(),
     ]);
     t.row(vec![
-        "with elasticity".into(),
+        "simple (abrupt)".into(),
         fmt_f(elastic.utilization * 100.0),
         "84.28".into(),
         fmt_f(elastic.makespan),
         fmt_f(331.0 / 50.0),
+        elastic.retries.to_string(),
+    ]);
+    t.row(vec![
+        "predictive (drain)".into(),
+        fmt_f(drained.utilization * 100.0),
+        "-".into(),
+        fmt_f(drained.makespan),
+        "-".into(),
+        drained.retries.to_string(),
     ]);
     t.print();
     println!(
@@ -79,26 +107,36 @@ fn main() {
         (elastic.utilization / fixed.utilization - 1.0) * 100.0,
         (elastic.makespan / fixed.makespan - 1.0) * 100.0,
     );
+    assert_eq!(
+        drained.retries, 0,
+        "drain-based scale-in must not race running tasks into retries"
+    );
 }
 
-fn run(elastic: bool) -> RunResult {
+fn run(mode: Mode) -> RunResult {
     let store = Arc::new(parsl_monitor::MemoryStore::new());
     let htex = Arc::new(HtexExecutor::new(HtexConfig {
         label: "midway-htex".into(),
         workers_per_node: WORKERS_PER_BLOCK,
         nodes_per_block: 1,
-        init_blocks: if elastic { 0 } else { MAX_BLOCKS },
+        init_blocks: if mode == Mode::Fixed { MAX_BLOCKS } else { 0 },
         prefetch: 0,
         batch_size: 4,
         ..Default::default()
     }));
 
-    let dfk = if elastic {
+    let dfk = if mode == Mode::Fixed {
+        DataFlowKernel::builder()
+            .executor_arc(htex.clone() as Arc<dyn Executor>)
+            .monitor(store.clone())
+            .build()
+            .unwrap()
+    } else {
         let provider = SimProvider::builder()
             .nodes(MAX_BLOCKS)
             .queue_delay(Duration::from_millis(160))
             .build();
-        let pool = BlockPool::builder(provider)
+        let mut pool = BlockPool::builder(provider)
             .nodes_per_block(1)
             .workers_per_node(WORKERS_PER_BLOCK)
             .min_blocks(1)
@@ -113,30 +151,53 @@ fn run(elastic: bool) -> RunResult {
                 }
             })
             .on_block_down({
+                // The abrupt path: a released provider job kills the
+                // allocation out from under its manager (the paper's
+                // scancel), so running tasks die and surface as retries
+                // after heartbeat loss — the Figure 6 scale-in race.
                 let htex = Arc::clone(&htex);
                 move |nodes| {
                     for _ in 0..nodes {
-                        htex.remove_node();
+                        if let Some(addr) = htex.nodes().last().cloned() {
+                            htex.kill_node(&addr);
+                        }
                     }
                 }
-            })
-            .build();
+            });
+        if mode == Mode::Predictive {
+            // Drain plane: retiring managers surrender their nodes right
+            // away (graceful Retire through the interchange), and the
+            // provider job is held until the executor reports the drain
+            // finished.
+            pool = pool
+                .on_block_drain({
+                    let htex = Arc::clone(&htex);
+                    move |nodes| {
+                        for _ in 0..nodes {
+                            htex.remove_node();
+                        }
+                    }
+                })
+                .drained_probe({
+                    let htex = Arc::clone(&htex);
+                    move || htex.draining_nodes()
+                });
+        }
+        let strategy = match mode {
+            Mode::Simple => StrategyConfig::simple(1.0),
+            _ => StrategyConfig::predictive(PredictiveConfig {
+                target_utilization: 1.0,
+                hysteresis: 0.0,
+                default_service: Duration::from_millis(WIDE_MS),
+                drain: true,
+            }),
+        };
         DataFlowKernel::builder()
-            .executor(ProvidedExecutor::new(Arc::clone(&htex), pool))
-            .strategy(StrategyConfig {
-                enabled: true,
-                interval: Duration::from_millis(100),
-                parallelism: 1.0,
-            })
+            .executor(ProvidedExecutor::new(Arc::clone(&htex), pool.build()))
+            .strategy(strategy.interval(Duration::from_millis(100)))
             // Manager loss during scale-in is handled by DFK retries, the
             // mechanism §4.3.1 describes for exactly this situation.
             .retries(3)
-            .monitor(store.clone())
-            .build()
-            .unwrap()
-    } else {
-        DataFlowKernel::builder()
-            .executor_arc(htex.clone() as Arc<dyn Executor>)
             .monitor(store.clone())
             .build()
             .unwrap()
@@ -160,7 +221,7 @@ fn run(elastic: bool) -> RunResult {
         })
     };
 
-    if !elastic {
+    if mode == Mode::Fixed {
         // The paper deploys workers and waits for them before starting.
         let deadline = Instant::now() + Duration::from_secs(10);
         while htex.connected_workers() < MAX_BLOCKS * WORKERS_PER_BLOCK && Instant::now() < deadline

@@ -113,10 +113,10 @@ fn run_locality(data_aware: bool, n: usize, task_ms: u64) -> RunResult {
     let futs: Vec<_> = (0..n as u64)
         .map(|i| {
             let staged = dm.stage_in(reference.clone());
-            analyze.call_hinted(
-                (Dep::future(staged), Dep::value(i)),
-                DataHints::reading(vec![ref_hint]),
-            )
+            analyze
+                .invoke()
+                .hints(DataHints::reading(vec![ref_hint]))
+                .call((Dep::future(staged), Dep::value(i)))
         })
         .collect();
     for f in &futs {

@@ -22,7 +22,7 @@
 //! dependency edge; the DataFlowKernel launches the task only when every
 //! future argument has resolved (§3.3).
 
-use crate::dfk::DataFlowKernel;
+use crate::dfk::{DataFlowKernel, SubmitOptions};
 use crate::error::AppError;
 use crate::future::AppFuture;
 use crate::registry::RegisteredApp;
@@ -256,51 +256,131 @@ impl<A: AppArgs, R: TaskValue> App<A, R> {
     /// submission problems (e.g. argument serialization failure or a shut
     /// down kernel) surface as the future's exception, mirroring how a
     /// Parsl app invocation never raises at the call site.
+    ///
+    /// Shorthand for `app.invoke().call(deps)`; per-call options (tenant,
+    /// data hints) hang off the [`App::invoke`] builder.
     pub fn call(&self, deps: A::Deps) -> AppFuture<R> {
-        self.call_as(crate::types::TenantId::DEFAULT, deps)
+        self.invoke().call(deps)
     }
 
-    /// Invoke the app on behalf of a specific tenant. The task is stamped
-    /// with `tenant` and counts against that tenant's quota and weighted
-    /// share; [`App::call`] is this with [`TenantId::DEFAULT`]. Prefer
-    /// [`DataFlowKernel::tenant`] when submitting many calls as one
-    /// tenant.
+    /// Start building an invocation: chain per-call options, then
+    /// [`Invocation::call`] with the arguments. This is *the* invocation
+    /// API — `call` is sugar for the no-option build, and the old
+    /// `call_as`/`call_hinted`/`call_hinted_as` spellings are thin shims
+    /// over it.
     ///
-    /// [`TenantId::DEFAULT`]: crate::types::TenantId::DEFAULT
+    /// ```
+    /// use parsl_core::prelude::*;
+    ///
+    /// let dfk = DataFlowKernel::builder()
+    ///     .executor(ImmediateExecutor::new())
+    ///     .build()
+    ///     .unwrap();
+    /// let double = dfk.python_app("double", |x: i64| x * 2);
+    /// let f = double.invoke().tenant(TenantId(7)).call((Dep::value(21i64),));
+    /// assert_eq!(f.result().unwrap(), 42);
+    /// dfk.shutdown();
+    /// ```
+    pub fn invoke(&self) -> Invocation<'_, A, R> {
+        Invocation {
+            app: self,
+            opts: SubmitOptions::default(),
+        }
+    }
+
+    /// Invoke the app on behalf of a specific tenant.
+    ///
+    /// Deprecated spelling of `app.invoke().tenant(t).call(deps)`; kept
+    /// as a delegating shim. Prefer [`DataFlowKernel::tenant`] when
+    /// submitting many calls as one tenant.
+    ///
     /// [`DataFlowKernel::tenant`]: crate::dfk::DataFlowKernel::tenant
     pub fn call_as(&self, tenant: crate::types::TenantId, deps: A::Deps) -> AppFuture<R> {
-        self.call_hinted_as(tenant, deps, crate::datamap::DataHints::default())
+        self.invoke().tenant(tenant).call(deps)
     }
 
-    /// Invoke the app with declared data inputs/outputs. The hints feed
-    /// the kernel's `DataMap`/`DataAware` routing (see [`crate::datamap`]):
-    /// inputs pull the task toward executors already holding those bytes,
-    /// a declared output is recorded as resident where the task ran.
-    /// Tasks submitted without hints route exactly as before.
+    /// Invoke the app with declared data inputs/outputs.
+    ///
+    /// Deprecated spelling of `app.invoke().hints(h).call(deps)`; kept as
+    /// a delegating shim. The hints feed the kernel's
+    /// `DataMap`/`DataAware` routing (see [`crate::datamap`]).
     pub fn call_hinted(&self, deps: A::Deps, hints: crate::datamap::DataHints) -> AppFuture<R> {
-        self.call_hinted_as(crate::types::TenantId::DEFAULT, deps, hints)
+        self.invoke().hints(hints).call(deps)
     }
 
-    /// [`App::call_hinted`] on behalf of a specific tenant.
+    /// Invoke the app with a tenant and data hints.
+    ///
+    /// Deprecated spelling of
+    /// `app.invoke().tenant(t).hints(h).call(deps)`; kept as a delegating
+    /// shim.
     pub fn call_hinted_as(
         &self,
         tenant: crate::types::TenantId,
         deps: A::Deps,
         hints: crate::datamap::DataHints,
     ) -> AppFuture<R> {
-        let state = match A::into_slots(deps) {
-            Ok(slots) => {
-                self.dfk
-                    .submit_slots_hinted(Arc::clone(&self.registered), slots, tenant, hints)
-            }
-            Err(e) => self.dfk.failed_submission(e),
-        };
-        AppFuture::from_state(state)
+        self.invoke().tenant(tenant).hints(hints).call(deps)
     }
 
     /// The underlying registration (id, options, hash).
     pub fn registered(&self) -> &Arc<RegisteredApp> {
         &self.registered
+    }
+}
+
+/// A pending invocation of an [`App`]: per-call options accumulate on
+/// the builder, [`Invocation::call`] submits with the arguments. Created
+/// by [`App::invoke`].
+///
+/// ```
+/// use parsl_core::prelude::*;
+///
+/// let dfk = DataFlowKernel::builder()
+///     .executor(ImmediateExecutor::new())
+///     .build()
+///     .unwrap();
+/// let add = dfk.python_app("add", |a: i64, b: i64| a + b);
+/// let f = add
+///     .invoke()
+///     .tenant(TenantId(1))
+///     .hints(DataHints::default())
+///     .call((Dep::value(20i64), Dep::value(22i64)));
+/// assert_eq!(f.result().unwrap(), 42);
+/// dfk.shutdown();
+/// ```
+#[must_use = "an Invocation does nothing until .call(args)"]
+#[derive(Debug)]
+pub struct Invocation<'a, A: AppArgs, R: TaskValue> {
+    app: &'a App<A, R>,
+    opts: SubmitOptions,
+}
+
+impl<A: AppArgs, R: TaskValue> Invocation<'_, A, R> {
+    /// Submit under a tenant id (quota and fairness accounting);
+    /// [`crate::types::TenantId::DEFAULT`] when unset.
+    pub fn tenant(mut self, id: crate::types::TenantId) -> Self {
+        self.opts.tenant = id;
+        self
+    }
+
+    /// Declare data inputs/outputs for `DataAware` routing.
+    pub fn hints(mut self, hints: crate::datamap::DataHints) -> Self {
+        self.opts.hints = hints;
+        self
+    }
+
+    /// Submit with the given arguments. Always returns a future
+    /// immediately; submission problems surface as the future's
+    /// exception.
+    pub fn call(self, deps: A::Deps) -> AppFuture<R> {
+        let app = self.app;
+        let state = match A::into_slots(deps) {
+            Ok(slots) => app
+                .dfk
+                .submit(Arc::clone(&app.registered), slots, self.opts),
+            Err(e) => app.dfk.failed_submission(e),
+        };
+        AppFuture::from_state(state)
     }
 }
 

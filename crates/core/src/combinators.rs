@@ -9,7 +9,7 @@
 //! all apply.
 
 use crate::app::{ArgSlot, TaskValue};
-use crate::dfk::DataFlowKernel;
+use crate::dfk::{DataFlowKernel, SubmitOptions};
 use crate::error::AppError;
 use crate::future::AppFuture;
 use crate::registry::AppOptions;
@@ -64,7 +64,7 @@ pub fn join_all<T: TaskValue>(
         .iter()
         .map(|f| ArgSlot::Pending(Arc::clone(f.state())))
         .collect();
-    AppFuture::from_state(dfk.submit_slots(app, slots))
+    AppFuture::from_state(dfk.submit(app, slots, SubmitOptions::default()))
 }
 
 /// Synchronization barrier: resolves (to `()`) once every input future has
@@ -90,7 +90,7 @@ pub fn barrier<T: TaskValue>(
         .iter()
         .map(|f| ArgSlot::Pending(Arc::clone(f.state())))
         .collect();
-    AppFuture::from_state(dfk.submit_slots(app, slots))
+    AppFuture::from_state(dfk.submit(app, slots, SubmitOptions::default()))
 }
 
 /// Apply a one-argument app to every element: the `map` construct.

@@ -306,7 +306,7 @@ mod tests {
             .unwrap();
         assert_eq!(c.retries, 0);
         assert!(!c.memoize);
-        assert!(!c.strategy.enabled);
+        assert!(!c.strategy.enabled());
         assert!(c.checkpoint_file.is_none());
         assert!(matches!(c.scheduler, SchedulerPolicy::RandomHash));
         assert!(c.max_inflight_per_executor.is_none());

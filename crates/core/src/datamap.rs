@@ -8,7 +8,7 @@
 //!
 //! - [`DataRef`] — a content key (FNV-1a of the file's URL) plus an
 //!   expected size in bytes. Apps declare their inputs as `DataRef`s via
-//!   [`DataHints`] (`App::call_hinted`), and staging apps declare the
+//!   [`DataHints`] (`app.invoke().hints(h)`), and staging apps declare the
 //!   staged file as their output.
 //! - [`DataMap`] — a sharded registry from content key to the set of
 //!   executors holding a copy, populated when a staging task (or any
@@ -54,7 +54,7 @@ impl DataRef {
 }
 
 /// Declared data inputs/output of one app invocation, attached at call
-/// time (`App::call_hinted`). Tasks that declare nothing route exactly
+/// time (`app.invoke().hints(h)`). Tasks that declare nothing route exactly
 /// as before — the `DataAware` policy falls back to join-shortest-queue.
 #[derive(Debug, Clone, Default)]
 pub struct DataHints {

@@ -80,9 +80,9 @@ use crate::executor::{Executor, ExecutorContext, TaskOutcome, TaskSpec};
 use crate::future::{AppFuture, FutureState};
 use crate::memo::{memo_key, Memoizer};
 use crate::monitor::{MonitorEvent, MonitorSink};
-use crate::registry::{AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
+use crate::registry::{AppId, AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
 use crate::scheduler::{ExecutorSnapshot, Scheduler};
-use crate::strategy::{ScalingDecision, SimpleStrategy, Strategy, StrategyConfig};
+use crate::strategy::{LoadSignal, ScalingDecision, Strategy, StrategyConfig};
 use crate::types::{AppKind, ResourceSpec, TaskId, TaskState, TenantId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
@@ -124,6 +124,19 @@ struct TaskRecord {
     /// by `release_charge` — exactly once per dispatched attempt, on any
     /// accepted outcome or terminal commit.
     charged: Option<usize>,
+    /// Attempt number of an in-flight speculative duplicate (straggler
+    /// hedge), if one was launched. Whichever of the primary and the
+    /// hedge finishes first wins; the other is cancelled and its late
+    /// outcome discarded by the attempt filter.
+    hedge_attempt: Option<u32>,
+    /// Executor in-flight slot the hedge holds (executor counter only —
+    /// hedges are accounting-invisible to tenant quotas). Released
+    /// exactly once via `release_hedge_charge`.
+    hedge_charged: Option<usize>,
+    /// When the current attempt was dispatched; feeds the hedge
+    /// watcher's age check and the service-time fallback when an
+    /// executor does not stamp `started`/`finished`.
+    launched_at: Option<Instant>,
     /// Logical workflow the task belongs to.
     tenant: TenantId,
     /// True while an entry for this task sits in the kernel's parked
@@ -134,7 +147,7 @@ struct TaskRecord {
     /// dispatch both arm, this dedups so one attempt arms at most once.
     deadline_attempt: Option<u32>,
     memo_key: Option<u64>,
-    /// Declared data inputs/output (`App::call_hinted`); inputs steer the
+    /// Declared data inputs/output (`Invocation::hints`); inputs steer the
     /// `DataAware` router toward executors already holding the bytes, the
     /// output is recorded in the kernel's `DataMap` on completion.
     hints: DataHints,
@@ -156,6 +169,123 @@ struct TenantState {
     /// The same, split per executor (configuration order) — feeds
     /// `ExecutorSnapshot::tenant_outstanding`.
     per_exec: Vec<AtomicUsize>,
+}
+
+/// Cap on service-time samples retained per app: a bounded ring so a
+/// long run's quantiles track recent behaviour instead of averaging
+/// over its whole history.
+const SERVICE_RING: usize = 512;
+
+/// EWMA smoothing for the arrival-rate estimate, applied once per
+/// strategy tick.
+const ARRIVAL_EWMA_ALPHA: f64 = 0.3;
+
+/// Workload observations feeding the predictive strategy and the hedge
+/// watcher: a submission counter (arrival rate), and per-app rings of
+/// observed service times (quantiles).
+struct ServiceStats {
+    /// Tasks ever submitted (bumped in `submit`).
+    arrivals: AtomicU64,
+    /// EWMA arrival-rate state, updated once per strategy tick.
+    rate: Mutex<RateState>,
+    /// Per-app service-time sample rings, seconds.
+    samples: RwLock<HashMap<AppId, Mutex<SampleRing>>>,
+}
+
+struct RateState {
+    last_count: u64,
+    last_at: Instant,
+    rate: f64,
+}
+
+#[derive(Default)]
+struct SampleRing {
+    buf: Vec<f64>,
+    next: usize,
+}
+
+impl SampleRing {
+    fn push(&mut self, secs: f64) {
+        if self.buf.len() < SERVICE_RING {
+            self.buf.push(secs);
+        } else {
+            self.buf[self.next] = secs;
+            self.next = (self.next + 1) % SERVICE_RING;
+        }
+    }
+}
+
+impl ServiceStats {
+    fn new() -> Self {
+        ServiceStats {
+            arrivals: AtomicU64::new(0),
+            rate: Mutex::new(RateState {
+                last_count: 0,
+                last_at: Instant::now(),
+                rate: 0.0,
+            }),
+            samples: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn record(&self, app: AppId, d: Duration) {
+        let secs = d.as_secs_f64();
+        if let Some(ring) = self.samples.read().get(&app) {
+            ring.lock().push(secs);
+            return;
+        }
+        self.samples
+            .write()
+            .entry(app)
+            .or_default()
+            .get_mut()
+            .push(secs);
+    }
+
+    /// Advance the EWMA arrival rate by one tick and return it (tasks/s).
+    fn tick_rate(&self) -> f64 {
+        let count = self.arrivals.load(Ordering::Relaxed);
+        let mut st = self.rate.lock();
+        let now = Instant::now();
+        let dt = now.duration_since(st.last_at).as_secs_f64();
+        if dt > 1e-6 {
+            let inst = (count.saturating_sub(st.last_count)) as f64 / dt;
+            st.rate = ARRIVAL_EWMA_ALPHA * inst + (1.0 - ARRIVAL_EWMA_ALPHA) * st.rate;
+            st.last_count = count;
+            st.last_at = now;
+        }
+        st.rate
+    }
+
+    /// Quantile over one app's ring; `None` below `min_samples`.
+    fn quantile_for(&self, app: AppId, q: f64, min_samples: usize) -> Option<Duration> {
+        let map = self.samples.read();
+        let ring = map.get(&app)?;
+        let mut buf = ring.lock().buf.clone();
+        drop(map);
+        if buf.len() < min_samples.max(1) {
+            return None;
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("no NaN service times"));
+        let idx = ((buf.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_secs_f64(buf[idx]))
+    }
+
+    /// Quantile pooled across every app's ring; `None` with no samples.
+    fn quantile_global(&self, q: f64) -> Option<Duration> {
+        let map = self.samples.read();
+        let mut buf: Vec<f64> = map
+            .values()
+            .flat_map(|ring| ring.lock().buf.clone())
+            .collect();
+        drop(map);
+        if buf.is_empty() {
+            return None;
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("no NaN service times"));
+        let idx = ((buf.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_secs_f64(buf[idx]))
+    }
 }
 
 /// The sharded task table. Ids are allocated from an atomic counter;
@@ -264,8 +394,24 @@ pub struct DataFlowKernel {
     /// the per-task baseline.
     completion_batching: bool,
     strategy_cfg: StrategyConfig,
+    /// Arrival-rate and service-time observations feeding the predictive
+    /// strategy's [`LoadSignal`] and the hedge watcher's p99 threshold.
+    stats: ServiceStats,
     /// Placeholder app backing `failed_submission` records.
     invalid_app: Arc<RegisteredApp>,
+}
+
+/// Per-call options for [`DataFlowKernel::submit`] — everything beyond
+/// the app and its argument slots. `Default` is a plain submission:
+/// default tenant, no data hints. The typed spelling is
+/// [`crate::app::App::invoke`].
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Logical workflow the task runs under (quota + fairness
+    /// accounting); [`TenantId::DEFAULT`] when unset.
+    pub tenant: TenantId,
+    /// Declared data inputs/output steering the `DataAware` router.
+    pub hints: DataHints,
 }
 
 /// Builder producing a started [`DataFlowKernel`]. Accepts everything
@@ -438,6 +584,7 @@ impl DataFlowKernel {
             walltime_wakeups: AtomicU64::new(0),
             completion_batching: config.completion_batching,
             strategy_cfg: config.strategy,
+            stats: ServiceStats::new(),
             invalid_app,
         });
 
@@ -552,24 +699,44 @@ impl DataFlowKernel {
             dfk.threads.lock().push(handle);
         }
 
-        // Strategy loop: block-based elasticity (§4.4).
-        if dfk.strategy_cfg.enabled {
+        // Strategy loop: block-based elasticity (§4.4). The controller
+        // itself is whatever the configured mode materializes — simple
+        // threshold, the predictive Little's-law sizer, or a user-supplied
+        // `Strategy` — driven on the configured interval.
+        if let Some(strategy) = dfk.strategy_cfg.mode.build() {
             let weak = Arc::downgrade(&dfk);
-            let cfg = dfk.strategy_cfg.clone();
+            let interval = dfk.strategy_cfg.interval;
             let handle = std::thread::Builder::new()
                 .name("parsl-strategy".into())
-                .spawn(move || {
-                    let strategy = SimpleStrategy::new(cfg.parallelism);
-                    loop {
-                        std::thread::sleep(cfg.interval);
-                        let Some(dfk) = weak.upgrade() else { return };
-                        if dfk.stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                        dfk.run_strategy_once(&strategy);
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    let Some(dfk) = weak.upgrade() else { return };
+                    if dfk.stop.load(Ordering::Acquire) {
+                        return;
                     }
+                    dfk.run_strategy_once(strategy.as_ref());
                 })
                 .expect("spawn strategy");
+            dfk.threads.lock().push(handle);
+        }
+
+        // Hedge watcher: straggler mitigation. Periodically scans for
+        // launched attempts whose age exceeds `multiplier ×` their app's
+        // observed p99 service time and launches a speculative duplicate
+        // on another executor; first terminal outcome wins.
+        if let Some(hedge) = dfk.strategy_cfg.hedge.clone() {
+            let weak = Arc::downgrade(&dfk);
+            let handle = std::thread::Builder::new()
+                .name("parsl-hedge".into())
+                .spawn(move || loop {
+                    std::thread::sleep(hedge.check_interval);
+                    let Some(dfk) = weak.upgrade() else { return };
+                    if dfk.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    dfk.run_hedge_once();
+                })
+                .expect("spawn hedge watcher");
             dfk.threads.lock().push(handle);
         }
 
@@ -578,11 +745,30 @@ impl DataFlowKernel {
 
     /// One strategy evaluation across all scalable executors. Public so
     /// tests and simulations can drive the strategy synchronously.
+    ///
+    /// Builds one [`LoadSignal`] per executor — the dispatcher's own
+    /// in-flight view, the executor's wire-level outstanding count, the
+    /// EWMA arrival rate, observed service-time quantiles, and the
+    /// parked depth — and applies whatever the controller decides.
     pub fn run_strategy_once(&self, strategy: &dyn Strategy) {
+        let arrival_rate = self.stats.tick_rate();
+        let service_p50 = self.stats.quantile_global(0.50);
+        let service_p99 = self.stats.quantile_global(0.99);
+        let parked = self.parked.lock().len();
         for (idx, e) in self.executors.iter().enumerate() {
             let Some(scaling) = e.scaling() else { continue };
-            let outstanding = e.outstanding();
-            match strategy.decide(outstanding, scaling) {
+            let outstanding = self.inflight[idx].load(Ordering::Relaxed);
+            let running = e.outstanding();
+            let signal = LoadSignal {
+                executor: idx,
+                outstanding,
+                running,
+                arrival_rate,
+                service_p50,
+                service_p99,
+                parked,
+            };
+            match strategy.decide(&signal, scaling) {
                 ScalingDecision::Hold => {}
                 ScalingDecision::Out { blocks } => {
                     scaling.scale_out(blocks);
@@ -597,14 +783,147 @@ impl DataFlowKernel {
                     // costs a re-stage.
                     self.data_map.forget_executor(idx);
                 }
+                ScalingDecision::Drain { blocks } => {
+                    // Graceful scale-in: victims stop receiving work,
+                    // finish what they hold, then release — no attempt is
+                    // killed, so no scale-in-race retries. Residency is
+                    // still dropped eagerly: the block *will* go away.
+                    scaling.drain(blocks);
+                    self.data_map.forget_executor(idx);
+                }
             }
             self.emit(|| MonitorEvent::Workers {
                 executor: e.label().to_string(),
                 connected: e.connected_workers(),
-                outstanding,
+                outstanding: running,
                 at: self.started_at.elapsed(),
             });
         }
+    }
+
+    /// One hedge-watcher pass: launch speculative duplicates for launched
+    /// attempts older than `multiplier ×` their app's observed p99.
+    /// Returns the number of hedges launched. Public so tests can drive
+    /// the watcher synchronously.
+    pub fn run_hedge_once(self: &Arc<Self>) -> usize {
+        let Some(hedge) = self.strategy_cfg.hedge.clone() else {
+            return 0;
+        };
+        let now = Instant::now();
+        // Pass 1: find candidates under each shard lock, no submission.
+        let mut candidates: Vec<(TaskId, Duration)> = Vec::new();
+        for shard in &self.table.shards {
+            let shard = shard.lock();
+            for (&id, rec) in shard.iter() {
+                if rec.state != TaskState::Launched
+                    || rec.hedge_attempt.is_some()
+                    || rec.charged.is_none()
+                    || rec.args_bytes.is_none()
+                {
+                    continue;
+                }
+                let Some(launched) = rec.launched_at else {
+                    continue;
+                };
+                let age = now.saturating_duration_since(launched);
+                if age < hedge.min_age {
+                    continue;
+                }
+                let Some(p99) = self.stats.quantile_for(rec.app.id, 0.99, hedge.min_samples) else {
+                    continue;
+                };
+                if age.as_secs_f64() > hedge.multiplier * p99.as_secs_f64() {
+                    candidates.push((id, age));
+                }
+            }
+        }
+        // Pass 2: per candidate, stamp the hedge under the shard lock,
+        // then submit outside it.
+        let mut launched = 0;
+        for (id, age) in candidates {
+            let prepared = {
+                let mut shard = self.table.shard(id).lock();
+                let Some(rec) = shard.get_mut(&id) else {
+                    continue;
+                };
+                // Re-check: the primary may have finished (or hedged)
+                // since pass 1.
+                if rec.state != TaskState::Launched || rec.hedge_attempt.is_some() {
+                    continue;
+                }
+                let (Some(primary_idx), Some(args)) = (rec.charged, rec.args_bytes.clone()) else {
+                    continue;
+                };
+                // Prefer a different executor (least loaded); fall back
+                // to the primary's when it is the only one.
+                let idx = self
+                    .inflight
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != primary_idx)
+                    .min_by_key(|(_, n)| n.load(Ordering::Relaxed))
+                    .map(|(i, _)| i)
+                    .unwrap_or(primary_idx);
+                let attempt = rec.attempt + 1;
+                rec.hedge_attempt = Some(attempt);
+                rec.hedge_charged = Some(idx);
+                self.inflight[idx].fetch_add(1, Ordering::Relaxed);
+                let spec = TaskSpec {
+                    id,
+                    app: Arc::clone(&rec.app),
+                    args,
+                    resources: ResourceSpec {
+                        walltime: rec.app.options.walltime,
+                        ..ResourceSpec::default()
+                    },
+                    attempt,
+                    tenant: rec.tenant,
+                };
+                Some((spec, idx))
+            };
+            let Some((spec, idx)) = prepared else {
+                continue;
+            };
+            let attempt = spec.attempt;
+            if self.executors[idx].submit(spec).is_ok() {
+                launched += 1;
+                self.emit(|| MonitorEvent::Hedge {
+                    task: id,
+                    attempt,
+                    executor: Some(self.executors[idx].label().to_string()),
+                    age,
+                    at: self.started_at.elapsed(),
+                });
+            } else {
+                // Roll the hedge back: the primary is still in flight and
+                // will resolve the task on its own.
+                let mut shard = self.table.shard(id).lock();
+                if let Some(rec) = shard.get_mut(&id) {
+                    if rec.hedge_attempt == Some(attempt) {
+                        rec.hedge_attempt = None;
+                        if let Some(i) = rec.hedge_charged.take() {
+                            self.inflight[i].fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        launched
+    }
+
+    /// Smoothed task arrival rate (tasks/second), as fed to the
+    /// predictive strategy. Advances the estimator.
+    pub fn arrival_rate(&self) -> f64 {
+        self.stats.tick_rate()
+    }
+
+    /// Observed (p50, p99) service time across all apps, `None` before
+    /// any completion carries timing.
+    pub fn service_quantiles(&self) -> (Option<Duration>, Option<Duration>) {
+        (
+            self.stats.quantile_global(0.50),
+            self.stats.quantile_global(0.99),
+        )
     }
 
     fn emit(&self, event: impl FnOnce() -> MonitorEvent) {
@@ -753,32 +1072,43 @@ impl DataFlowKernel {
     // ------------------------------------------------------------------
 
     /// Submit a task from pre-built argument slots under the default
-    /// tenant. Returns the future's state; typed wrapping happens in
-    /// [`App::call`].
+    /// tenant.
+    ///
+    /// Deprecated spelling of [`DataFlowKernel::submit`] with
+    /// [`SubmitOptions::default`]; kept as a delegating shim. Typed
+    /// callers should use [`App::call`] / [`App::invoke`].
     pub fn submit_slots(
         self: &Arc<Self>,
         app: Arc<RegisteredApp>,
         slots: Vec<ArgSlot>,
     ) -> Arc<FutureState> {
-        self.submit_slots_as(app, slots, TenantId::DEFAULT)
+        self.submit(app, slots, SubmitOptions::default())
     }
 
-    /// Submit a task from pre-built argument slots on behalf of a tenant
-    /// (the per-submit half of the tenancy API; the handle half is
-    /// [`DataFlowKernel::tenant`]).
+    /// Submit a task from pre-built argument slots on behalf of a tenant.
+    ///
+    /// Deprecated spelling of [`DataFlowKernel::submit`] with
+    /// `SubmitOptions { tenant, .. }`; kept as a delegating shim.
     pub fn submit_slots_as(
         self: &Arc<Self>,
         app: Arc<RegisteredApp>,
         slots: Vec<ArgSlot>,
         tenant: TenantId,
     ) -> Arc<FutureState> {
-        self.submit_slots_hinted(app, slots, tenant, DataHints::default())
+        self.submit(
+            app,
+            slots,
+            SubmitOptions {
+                tenant,
+                ..SubmitOptions::default()
+            },
+        )
     }
 
-    /// Submit a task with declared data inputs/outputs (`App::call_hinted`):
-    /// the inputs feed the `DataAware` router's per-candidate transfer
-    /// cost, the output is recorded as resident on the executor that runs
-    /// the task. Hint-less submission is this with [`DataHints::default`].
+    /// Submit a task with an explicit tenant and data hints.
+    ///
+    /// Deprecated spelling of [`DataFlowKernel::submit`]; kept as a
+    /// delegating shim.
     pub fn submit_slots_hinted(
         self: &Arc<Self>,
         app: Arc<RegisteredApp>,
@@ -786,7 +1116,40 @@ impl DataFlowKernel {
         tenant: TenantId,
         hints: DataHints,
     ) -> Arc<FutureState> {
+        self.submit(app, slots, SubmitOptions { tenant, hints })
+    }
+
+    /// Submit a task from pre-built argument slots — the one untyped
+    /// entry point behind every app invocation. Per-call variation
+    /// (tenant, data hints) rides in [`SubmitOptions`]; the typed
+    /// spelling is [`App::invoke`]'s builder:
+    ///
+    /// ```
+    /// use parsl_core::prelude::*;
+    ///
+    /// let dfk = DataFlowKernel::builder()
+    ///     .executor(ImmediateExecutor::new())
+    ///     .build()
+    ///     .unwrap();
+    /// let double = dfk.python_app("double", |x: i64| x * 2);
+    /// let f = double.invoke().tenant(TenantId(3)).call((Dep::value(5i64),));
+    /// assert_eq!(f.result().unwrap(), 10);
+    /// dfk.shutdown();
+    /// ```
+    ///
+    /// Returns the future's state; typed wrapping happens in the `App`
+    /// layer. Declared input hints feed the `DataAware` router's
+    /// per-candidate transfer cost; the declared output is recorded as
+    /// resident on the executor that runs the task.
+    pub fn submit(
+        self: &Arc<Self>,
+        app: Arc<RegisteredApp>,
+        slots: Vec<ArgSlot>,
+        opts: SubmitOptions,
+    ) -> Arc<FutureState> {
+        let SubmitOptions { tenant, hints } = opts;
         let id = self.table.alloc_id();
+        self.stats.arrivals.fetch_add(1, Ordering::Relaxed);
         let future = FutureState::new(id);
         let parents: Vec<(usize, Arc<FutureState>)> = slots
             .iter()
@@ -813,6 +1176,9 @@ impl DataFlowKernel {
                 retries_left,
                 executor_idx: None,
                 charged: None,
+                hedge_attempt: None,
+                hedge_charged: None,
+                launched_at: None,
                 tenant,
                 parked: false,
                 deadline_attempt: None,
@@ -876,6 +1242,9 @@ impl DataFlowKernel {
                 retries_left: 0,
                 executor_idx: None,
                 charged: None,
+                hedge_attempt: None,
+                hedge_charged: None,
+                launched_at: None,
                 tenant: TenantId::DEFAULT,
                 parked: false,
                 deadline_attempt: None,
@@ -1177,6 +1546,7 @@ impl DataFlowKernel {
                 tenant_outstanding: 0,
                 resident_bytes: 0,
                 transfer_cost: 0.0,
+                draining: e.scaling().is_some_and(|s| s.draining_blocks() > 0),
             })
             .collect()
     }
@@ -1235,8 +1605,16 @@ impl DataFlowKernel {
         }
         let cap = self.max_inflight;
         let over = |s: &ExecutorSnapshot| cap.is_some_and(|c| s.outstanding >= c);
+        // Withhold draining executors only while a non-draining
+        // alternative exists — a fully draining pool still takes work
+        // (the drain completes when its held tasks finish, and new work
+        // routed there simply extends it; better than parking forever).
+        let any_draining = snapshots.iter().any(|s| s.draining);
+        let all_draining = any_draining && snapshots.iter().all(|s| s.draining);
+        let avoid = |s: &ExecutorSnapshot| over(s) || (s.draining && !all_draining);
         let idx = match pinned {
             Some(i) => {
+                // Pins override drain avoidance: the app must run there.
                 if over(&snapshots[i]) {
                     return None;
                 }
@@ -1247,11 +1625,11 @@ impl DataFlowKernel {
                 let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
                 Self::fill_tenant_outstanding(snapshots, tenant);
                 self.fill_data_locality(snapshots, inputs);
-                if snapshots.iter().any(&over) {
-                    // Slow path: some executor is saturated, so offer the
-                    // scheduler only the under-cap subset.
+                if snapshots.iter().any(&avoid) {
+                    // Slow path: some executor is saturated or draining,
+                    // so offer the scheduler only the eligible subset.
                     let candidates: Vec<ExecutorSnapshot> =
-                        snapshots.iter().filter(|s| !over(s)).copied().collect();
+                        snapshots.iter().filter(|s| !avoid(s)).copied().collect();
                     if candidates.is_empty() {
                         return None;
                     }
@@ -1259,7 +1637,7 @@ impl DataFlowKernel {
                     candidates[pos].index
                 } else {
                     // Fast path (also the no-cap case): nothing is over
-                    // cap, so no filtered copy is needed.
+                    // cap or draining, so no filtered copy is needed.
                     let pos = self.scheduler.assign(snapshots, seq);
                     snapshots[pos].index
                 }
@@ -1299,8 +1677,17 @@ impl DataFlowKernel {
                 Self::fill_tenant_outstanding(&mut snapshots, tenant);
                 self.fill_data_locality(&mut snapshots, inputs);
                 let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
-                let pos = self.scheduler.assign(&snapshots, seq);
-                snapshots[pos].index
+                // Retries bypass caps but still avoid draining executors
+                // when a non-draining one exists.
+                let candidates: Vec<ExecutorSnapshot> =
+                    snapshots.iter().filter(|s| !s.draining).copied().collect();
+                if candidates.is_empty() {
+                    let pos = self.scheduler.assign(&snapshots, seq);
+                    snapshots[pos].index
+                } else {
+                    let pos = self.scheduler.assign(&candidates, seq);
+                    candidates[pos].index
+                }
             }
         };
         self.inflight[idx].fetch_add(1, Ordering::Relaxed);
@@ -1323,6 +1710,16 @@ impl DataFlowKernel {
             let tenant = self.tenant_state(rec.tenant);
             tenant.inflight.fetch_sub(1, Ordering::Relaxed);
             tenant.per_exec[idx].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Release the executor slot a speculative hedge holds, if any.
+    /// Hedges charge only the executor counter (never tenant quotas), so
+    /// this is the mirror of the bump in `run_hedge_once`. Exactly-once
+    /// via `take()`, same as `release_charge`.
+    fn release_hedge_charge(&self, rec: &mut TaskRecord) {
+        if let Some(idx) = rec.hedge_charged.take() {
+            self.inflight[idx].fetch_sub(1, Ordering::Relaxed);
         }
     }
 
@@ -1445,6 +1842,7 @@ impl DataFlowKernel {
         rec.executor_idx = Some(idx);
         rec.charged = Some(idx);
         rec.state = TaskState::Launched;
+        rec.launched_at = Some(Instant::now());
         let spec = TaskSpec {
             id,
             app: Arc::clone(&rec.app),
@@ -1505,6 +1903,12 @@ impl DataFlowKernel {
         // expiry while parked): their park entries are dropped after the
         // shard pass so nothing re-queues them.
         let mut drop_parked: Vec<TaskId> = Vec::new();
+        // Losing attempts of settled hedge races: (executor, task,
+        // attempt), cancelled best-effort after the shard locks drop.
+        let mut cancels: Vec<(usize, TaskId, u32)> = Vec::new();
+        // Observed service times, recorded into the stats rings after
+        // the shard locks drop.
+        let mut samples: Vec<(AppId, Duration)> = Vec::new();
 
         for group in by_shard {
             let Some(first) = group.first() else { continue };
@@ -1513,10 +1917,39 @@ impl DataFlowKernel {
                 let Some(rec) = shard.get_mut(&outcome.id) else {
                     continue;
                 };
-                if rec.state.is_terminal() || rec.attempt != outcome.attempt {
-                    // Stale: a retry, walltime expiry, or an earlier
-                    // member of this very batch already superseded it.
+                let is_primary = rec.attempt == outcome.attempt;
+                let is_hedge = rec.hedge_attempt == Some(outcome.attempt);
+                if rec.state.is_terminal() || (!is_primary && !is_hedge) {
+                    // Stale: a retry, walltime expiry, a cancelled hedge,
+                    // or an earlier member of this very batch already
+                    // superseded it.
                     continue;
+                }
+                if is_hedge && outcome.result.is_err() {
+                    // A failed hedge never settles the task — the primary
+                    // is still in flight and resolves it on its own.
+                    // Drop the speculation (a later pass may re-hedge).
+                    rec.hedge_attempt = None;
+                    self.release_hedge_charge(rec);
+                    continue;
+                }
+                // Settle the hedge race before anything else: this
+                // outcome's attempt wins, the other (if in flight) is
+                // cancelled and its late outcome will fail the attempt
+                // filter above.
+                let hedge = rec.hedge_attempt.take();
+                if let Some(h) = hedge {
+                    if is_hedge {
+                        if let Some(i) = rec.charged {
+                            cancels.push((i, outcome.id, rec.attempt));
+                        }
+                        // Adopt the winning attempt: the terminal record,
+                        // monitor event, and future all speak for it.
+                        rec.attempt = h;
+                        rec.executor_idx = rec.hedge_charged.or(rec.executor_idx);
+                    } else if let Some(i) = rec.hedge_charged {
+                        cancels.push((i, outcome.id, h));
+                    }
                 }
                 // The accepted outcome resolves exactly one dispatched
                 // attempt: release its in-flight slots (retries charge a
@@ -1526,12 +1959,24 @@ impl DataFlowKernel {
                 // no-op — but its park entry must go, or a later unpark
                 // would re-launch a task this batch settles.
                 self.release_charge(rec);
+                self.release_hedge_charge(rec);
                 if rec.parked {
                     rec.parked = false;
                     drop_parked.push(outcome.id);
                 }
                 match outcome.result {
                     Ok(bytes) => {
+                        // Feed the service-time observation planes:
+                        // worker-stamped execution time when the
+                        // executor reports it, dispatch-to-completion
+                        // wall time otherwise.
+                        let service = match (outcome.started, outcome.finished) {
+                            (Some(s), Some(f)) if f >= s => Some(f - s),
+                            _ => rec.launched_at.map(|l| l.elapsed()),
+                        };
+                        if let Some(d) = service {
+                            samples.push((rec.app.id, d));
+                        }
                         let (future, result, event, checkpoint) = self.commit_terminal(
                             rec,
                             outcome.id,
@@ -1557,7 +2002,11 @@ impl DataFlowKernel {
                         }
                         if rec.retries_left > 0 {
                             rec.retries_left -= 1;
-                            rec.attempt += 1;
+                            // The next attempt must outnumber a hedge
+                            // this outcome just cancelled (hedge =
+                            // primary + 1), or its late result would
+                            // impersonate the retry.
+                            rec.attempt = rec.attempt.max(hedge.unwrap_or(0)) + 1;
                             let args = rec.args_bytes.clone().expect("launched tasks have args");
                             let tenant = self.tenant_state(rec.tenant);
                             let idx = self.route_retry(
@@ -1599,6 +2048,19 @@ impl DataFlowKernel {
             self.parked
                 .lock()
                 .retain(|(id, _, _)| !drop_parked.contains(id));
+        }
+
+        // Cancel the losing halves of settled hedge races. Advisory:
+        // an executor that cannot cancel simply runs the loser to
+        // completion and its outcome is discarded by the attempt filter.
+        for (idx, id, attempt) in cancels {
+            self.executors[idx].cancel(id, attempt);
+        }
+
+        // Record observed service times (feeds hedging thresholds and
+        // the predictive strategy's Little's-law estimate).
+        for (app, d) in samples {
+            self.stats.record(app, d);
         }
 
         // (2) one writer-locked checkpoint append for the whole batch.
@@ -1725,8 +2187,10 @@ impl DataFlowKernel {
         debug_assert!(state.is_terminal());
         // Whatever path got us here, a dispatched attempt's in-flight
         // slots must come back (no-op if already released or never
-        // charged — e.g. memo hits and dependency failures).
+        // charged — e.g. memo hits and dependency failures). Ditto a
+        // speculative hedge's executor slot.
         self.release_charge(rec);
+        self.release_hedge_charge(rec);
         rec.state = state;
         // A completed task's declared output now lives where it ran:
         // stage-in completions are what populate the placement registry
@@ -2028,9 +2492,9 @@ impl TenantHandle {
     }
 
     /// Invoke an app as this tenant (the handle-based spelling of
-    /// [`App::call_as`]).
+    /// `app.invoke().tenant(id).call(deps)`).
     pub fn call<A: AppArgs, R: TaskValue>(&self, app: &App<A, R>, deps: A::Deps) -> AppFuture<R> {
-        app.call_as(self.id, deps)
+        app.invoke().tenant(self.id).call(deps)
     }
 
     /// This tenant's dispatched-and-unresolved attempt count.

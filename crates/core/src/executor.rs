@@ -134,6 +134,20 @@ pub trait BlockScaling: Send + Sync {
     /// Release up to `n` blocks (idle first); returns how many were
     /// released.
     fn scale_in(&self, n: usize) -> usize;
+    /// Gracefully retire up to `n` blocks: stop feeding them work, let
+    /// held tasks finish, then release the resources. Returns how many
+    /// retirements began. The provided implementation falls back to the
+    /// abrupt [`BlockScaling::scale_in`]; pools that can drain override
+    /// it (see `parsl-providers`' `BlockPool`).
+    fn drain(&self, n: usize) -> usize {
+        self.scale_in(n)
+    }
+    /// Blocks currently draining (counted in [`BlockScaling::block_count`]
+    /// until their release completes). Zero for pools without drain
+    /// support.
+    fn draining_blocks(&self) -> usize {
+        0
+    }
     /// Floor on provisioned blocks.
     fn min_blocks(&self) -> usize {
         0
@@ -174,6 +188,16 @@ pub trait Executor: Send + Sync {
             self.submit(task)?;
         }
         Ok(())
+    }
+
+    /// Best-effort cancellation of one in-flight attempt, used by the
+    /// straggler-hedging plane to stop the losing attempt of a hedged
+    /// pair. Semantics are advisory: an executor may ignore the request,
+    /// and a cancelled attempt may still deliver an outcome (the DFK's
+    /// attempt stamping filters it). The provided implementation does
+    /// nothing.
+    fn cancel(&self, id: TaskId, attempt: u32) {
+        let _ = (id, attempt);
     }
 
     /// Tasks submitted whose outcomes have not yet been delivered.

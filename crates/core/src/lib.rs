@@ -57,12 +57,12 @@ pub mod scheduler;
 pub mod strategy;
 pub mod types;
 
-pub use app::{App, AppArgs, AppFn, ArgSlot, Dep, TaskValue};
+pub use app::{App, AppArgs, AppFn, ArgSlot, Dep, Invocation, TaskValue};
 pub use bash::BashOptions;
 pub use combinators::{barrier, join_all, map_app};
 pub use config::{Config, ConfigBuilder, TenantConfig};
 pub use datamap::{DataHints, DataMap, DataRef, TransferModel};
-pub use dfk::{DataFlowKernel, DfkBuilder, TenantHandle};
+pub use dfk::{DataFlowKernel, DfkBuilder, SubmitOptions, TenantHandle};
 pub use error::{AppError, ParslError, TaskError};
 pub use executor::{
     BlockScaling, Executor, ExecutorContext, ExecutorError, ImmediateExecutor, TaskOutcome,
@@ -74,7 +74,10 @@ pub use memo::{memo_key, Memoizer};
 pub use monitor::{MonitorEvent, MonitorSink, NullSink};
 pub use registry::{AppId, AppOptions, AppRegistry, ErasedAppFn, RegisteredApp};
 pub use scheduler::{ExecutorSnapshot, Scheduler, SchedulerPolicy};
-pub use strategy::{ScalingDecision, SimpleStrategy, Strategy, StrategyConfig};
+pub use strategy::{
+    HedgeConfig, LoadSignal, PredictiveConfig, PredictiveStrategy, ScalingDecision, SimpleStrategy,
+    Strategy, StrategyConfig, StrategyMode,
+};
 pub use types::{AppKind, ResourceSpec, TaskId, TaskState, TenantId};
 
 /// Everything a typical program needs.
@@ -90,7 +93,7 @@ pub mod prelude {
     pub use crate::future::AppFuture;
     pub use crate::registry::AppOptions;
     pub use crate::scheduler::SchedulerPolicy;
-    pub use crate::strategy::StrategyConfig;
+    pub use crate::strategy::{HedgeConfig, PredictiveConfig, StrategyConfig, StrategyMode};
     pub use crate::types::{TaskId, TaskState, TenantId};
 }
 

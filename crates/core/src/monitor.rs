@@ -42,6 +42,22 @@ pub enum MonitorEvent {
         /// Time since the DataFlowKernel started.
         at: Duration,
     },
+    /// A speculative duplicate attempt was launched for a straggling task
+    /// (the hedging plane, §3.6 follow-up). Distinct from
+    /// [`MonitorEvent::Retry`]: nothing failed — the primary attempt is
+    /// still running and whichever attempt finishes first wins.
+    Hedge {
+        /// The task.
+        task: TaskId,
+        /// The speculative attempt number.
+        attempt: u32,
+        /// Executor label the hedge was routed to.
+        executor: Option<String>,
+        /// Age of the primary attempt when the hedge launched.
+        age: Duration,
+        /// Time since the DataFlowKernel started.
+        at: Duration,
+    },
     /// An executor's connected worker count changed (sampled by the
     /// strategy loop).
     Workers {
@@ -62,6 +78,7 @@ impl MonitorEvent {
         match self {
             MonitorEvent::Task { at, .. }
             | MonitorEvent::Retry { at, .. }
+            | MonitorEvent::Hedge { at, .. }
             | MonitorEvent::Workers { at, .. } => *at,
         }
     }

@@ -83,6 +83,13 @@ pub struct ExecutorSnapshot {
     /// inputs — which is how data-aware policies detect "nothing to
     /// weigh" and fall back to pure load balancing.
     pub transfer_cost: f64,
+    /// True when the executor is being gracefully retired by the
+    /// elasticity drain plane. The dispatcher withholds draining
+    /// executors from the candidate set whenever any non-draining
+    /// alternative exists, so policies normally never see this set; it is
+    /// surfaced for custom schedulers that want to reason about it on the
+    /// pinned/fallback paths where draining candidates do appear.
+    pub draining: bool,
 }
 
 /// A placement policy: given candidate executors, choose one.
@@ -346,6 +353,7 @@ mod tests {
                 tenant_outstanding: 0,
                 resident_bytes: 0,
                 transfer_cost: 0.0,
+                draining: false,
             })
             .collect()
     }

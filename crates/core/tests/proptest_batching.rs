@@ -150,7 +150,7 @@ impl MonitorSink for Capture {
                 String::new(),
                 *attempt,
             ),
-            MonitorEvent::Workers { .. } => return,
+            MonitorEvent::Workers { .. } | MonitorEvent::Hedge { .. } => return,
         };
         self.0.lock().push(key);
     }

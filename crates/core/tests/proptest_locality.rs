@@ -35,6 +35,7 @@ fn zero_cost_snapshots() -> impl Strategy<Value = Vec<ExecutorSnapshot>> {
                 // only transfer_cost may steer the data-aware score.
                 resident_bytes: resident,
                 transfer_cost: 0.0,
+                draining: false,
             })
             .collect()
     })

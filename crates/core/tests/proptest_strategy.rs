@@ -1,16 +1,33 @@
-//! Property tests on the elasticity strategy: block bounds are never
-//! violated and target tracking converges in one step.
+//! Property tests on the elasticity strategies: block bounds are never
+//! violated, target tracking converges in one step, and the predictive
+//! controller's hysteresis band always contains its own fixed point.
 
 use parsl_core::executor::BlockScaling;
-use parsl_core::strategy::{ScalingDecision, SimpleStrategy, Strategy};
+use parsl_core::strategy::{
+    LoadSignal, PredictiveConfig, PredictiveStrategy, ScalingDecision, SimpleStrategy, Strategy,
+};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 struct FakePool {
     blocks: AtomicUsize,
+    draining: AtomicUsize,
     wpb: usize,
     min: usize,
     max: usize,
+}
+
+impl FakePool {
+    fn new(blocks: usize, wpb: usize, min: usize, max: usize) -> Self {
+        FakePool {
+            blocks: AtomicUsize::new(blocks),
+            draining: AtomicUsize::new(0),
+            wpb,
+            min,
+            max,
+        }
+    }
 }
 
 impl BlockScaling for FakePool {
@@ -27,6 +44,14 @@ impl BlockScaling for FakePool {
     fn scale_in(&self, n: usize) -> usize {
         self.blocks.fetch_sub(n, Ordering::SeqCst);
         n
+    }
+    fn drain(&self, n: usize) -> usize {
+        self.draining.fetch_add(n, Ordering::SeqCst);
+        self.blocks.fetch_sub(n, Ordering::SeqCst);
+        n
+    }
+    fn draining_blocks(&self) -> usize {
+        self.draining.load(Ordering::SeqCst)
     }
     fn min_blocks(&self) -> usize {
         self.min
@@ -45,6 +70,9 @@ fn apply(decision: ScalingDecision, pool: &FakePool) {
         ScalingDecision::In { blocks } => {
             pool.scale_in(blocks);
         }
+        ScalingDecision::Drain { blocks } => {
+            pool.drain(blocks);
+        }
     }
 }
 
@@ -61,19 +89,15 @@ proptest! {
         parallelism in 0.05f64..2.0,
     ) {
         let max = min + extra;
-        let pool = FakePool {
-            blocks: AtomicUsize::new(start.clamp(min, max)),
-            wpb,
-            min,
-            max,
-        };
+        let pool = FakePool::new(start.clamp(min, max), wpb, min, max);
         let strategy = SimpleStrategy::new(parallelism);
-        apply(strategy.decide(outstanding, &pool), &pool);
+        let signal = LoadSignal::outstanding(outstanding);
+        apply(strategy.decide(&signal, &pool), &pool);
         let after = pool.block_count();
         prop_assert!(after >= min && after <= max, "bounds violated: {after}");
         prop_assert_eq!(after, strategy.target_blocks(outstanding, &pool));
         // Fixed point: same load, no further movement.
-        prop_assert_eq!(strategy.decide(outstanding, &pool), ScalingDecision::Hold);
+        prop_assert_eq!(strategy.decide(&signal, &pool), ScalingDecision::Hold);
     }
 
     /// Monotonicity: more outstanding work never yields fewer target
@@ -85,7 +109,7 @@ proptest! {
         wpb in 1usize..64,
     ) {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let pool = FakePool { blocks: AtomicUsize::new(0), wpb, min: 0, max: usize::MAX };
+        let pool = FakePool::new(0, wpb, 0, usize::MAX);
         let strategy = SimpleStrategy::new(1.0);
         prop_assert!(
             strategy.target_blocks(lo, &pool) <= strategy.target_blocks(hi, &pool)
@@ -100,7 +124,7 @@ proptest! {
         wpb in 1usize..64,
         max in 1usize..64,
     ) {
-        let pool = FakePool { blocks: AtomicUsize::new(0), wpb, min: 0, max };
+        let pool = FakePool::new(0, wpb, 0, max);
         let strategy = SimpleStrategy::new(1.0);
         let target = strategy.target_blocks(outstanding, &pool);
         if target < max {
@@ -108,5 +132,68 @@ proptest! {
             prop_assert!(target * wpb >= outstanding || target == max,
                 "under-provisioned without hitting the cap");
         }
+    }
+
+    /// Predictive convergence: one step lands inside [min, max]; once the
+    /// pool sits between the controller's floor and band ceiling the next
+    /// evaluation under the same load holds (no flapping).
+    #[test]
+    fn predictive_one_step_settles(
+        outstanding in 0usize..5_000,
+        parked in 0usize..500,
+        start in 0usize..64,
+        wpb in 1usize..64,
+        min in 0usize..8,
+        extra in 0usize..32,
+        rate in 0.0f64..200.0,
+        service_ms in 1u64..5_000,
+        utilization in 0.1f64..1.0,
+        hysteresis in 0.0f64..1.0,
+    ) {
+        let max = min + extra;
+        let pool = FakePool::new(start.clamp(min, max), wpb, min, max);
+        let strategy = PredictiveStrategy::new(PredictiveConfig {
+            target_utilization: utilization,
+            hysteresis,
+            drain: true,
+            ..Default::default()
+        });
+        let signal = LoadSignal {
+            outstanding,
+            parked,
+            arrival_rate: rate,
+            service_p50: Some(Duration::from_millis(service_ms)),
+            service_p99: Some(Duration::from_millis(service_ms * 3)),
+            ..Default::default()
+        };
+        apply(strategy.decide(&signal, &pool), &pool);
+        let after = pool.block_count();
+        prop_assert!(after >= min && after <= max, "bounds violated: {after}");
+        prop_assert_eq!(strategy.decide(&signal, &pool), ScalingDecision::Hold,
+            "not a fixed point at {after} blocks");
+    }
+
+    /// The predictive controller never cancels work: under drain mode,
+    /// every reduction is a Drain, never an abrupt In.
+    #[test]
+    fn predictive_scale_in_is_always_drain(
+        outstanding in 0usize..5_000,
+        start in 0usize..64,
+        wpb in 1usize..64,
+        rate in 0.0f64..200.0,
+    ) {
+        let pool = FakePool::new(start, wpb, 0, 64);
+        let strategy = PredictiveStrategy::new(PredictiveConfig::default());
+        let signal = LoadSignal {
+            outstanding,
+            arrival_rate: rate,
+            service_p50: Some(Duration::from_millis(250)),
+            ..Default::default()
+        };
+        let abrupt = matches!(
+            strategy.decide(&signal, &pool),
+            ScalingDecision::In { .. }
+        );
+        prop_assert!(!abrupt, "predictive drain mode issued an abrupt In");
     }
 }

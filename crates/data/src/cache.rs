@@ -289,7 +289,10 @@ mod tests {
         assert_eq!(fetched.load(Ordering::SeqCst), 1, "exactly one transfer");
         let s = cache.stats();
         assert_eq!(s.misses, 1);
-        assert_eq!(s.coalesced as usize, THREADS - 1);
+        // A straggler thread may arrive after the flight resolved and score
+        // a resident hit instead of coalescing; either way it shared the
+        // single transfer.
+        assert_eq!((s.coalesced + s.hits) as usize, THREADS - 1);
     }
 
     #[test]

@@ -228,7 +228,7 @@ impl DataManager {
             Scheme::Globus => &self.stage_globus,
             _ => &self.stage_http_ftp,
         };
-        app.call_hinted((Dep::value(file),), hints)
+        app.invoke().hints(hints).call((Dep::value(file),))
     }
 
     /// Expected size of `file` once staged: the on-disk size for local

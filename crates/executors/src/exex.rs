@@ -565,7 +565,11 @@ fn pool_manager_loop(shared: Arc<Shared>, rank: Rank, addr: Addr) {
             Ok(env) => match crate::proto::decode::<ToManager>(&env.payload) {
                 Ok(ToManager::Tasks(batch)) => backlog.extend(batch),
                 // Pools share the client registry; advertisements are moot.
-                Ok(ToManager::Apps(_)) | Ok(ToManager::Heartbeat) => {}
+                // Cancels are advisory and EXEX ranks run lockstep waves,
+                // so skipping one task would desync the wave — ignore.
+                Ok(ToManager::Apps(_))
+                | Ok(ToManager::Heartbeat)
+                | Ok(ToManager::Cancel { .. }) => {}
                 Ok(ToManager::Shutdown) => draining = true,
                 Err(_) => {}
             },

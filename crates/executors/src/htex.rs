@@ -25,14 +25,17 @@
 //! path and connected back via [`nexus::TcpSpoke`].
 
 use crate::proto::{
-    encode, Command, CommandReply, ToClient, ToInterchange, ToManager, WireApp, WireTask,
+    encode, Command, CommandReply, ToClient, ToInterchange, ToManager, WireApp, WireResult,
+    WireTask,
 };
 use crate::worker::{manager_loop, ManagerCfg};
 use crossbeam::channel::{bounded, Sender};
 use nexus::{Addr, Fabric, Port, SpokeConfig, TcpHub, TcpSpoke, Transport};
 use parking_lot::Mutex;
+use parsl_core::error::AppError;
 use parsl_core::executor::{BlockScaling, Executor, ExecutorContext, ExecutorError, TaskSpec};
 use parsl_core::registry::{AppId, AppRegistry};
+use parsl_core::types::TaskId;
 use parsl_providers::{Channel, Launcher, LocalChannel, SingleLauncher};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -184,6 +187,11 @@ struct Shared {
     /// Live node addresses, newest last (graceful scale-in pops the back).
     nodes: Mutex<Vec<Addr>>,
     blocks: AtomicUsize,
+    /// Nodes retired but not yet deregistered: incremented when a `Retire`
+    /// is sent, decremented by the interchange when the manager leaves its
+    /// draining set (graceful deregister or heartbeat loss). Drives
+    /// [`BlockScaling::draining_blocks`] and the providers' drain probes.
+    draining_nodes: AtomicUsize,
 }
 
 impl Shared {
@@ -246,6 +254,7 @@ impl HtexExecutor {
                 command_reply: Mutex::new(None),
                 nodes: Mutex::new(Vec::new()),
                 blocks: AtomicUsize::new(0),
+                draining_nodes: AtomicUsize::new(0),
             }),
             client_ep: Mutex::new(None),
             ctx: Mutex::new(None),
@@ -311,15 +320,26 @@ impl HtexExecutor {
         let Some(addr) = self.shared.nodes.lock().pop() else {
             return false;
         };
-        if let Some(ep) = self.client_ep.lock().as_ref() {
-            let _ = ep.send(
+        let sent = self.client_ep.lock().as_ref().is_some_and(|ep| {
+            ep.send(
                 &self.shared.ix_addr,
                 encode(&ToInterchange::Retire {
                     name: addr.to_string(),
                 }),
-            );
+            )
+            .is_ok()
+        });
+        if sent {
+            self.shared.draining_nodes.fetch_add(1, Ordering::Relaxed);
         }
         true
+    }
+
+    /// Nodes that have been retired but are still finishing held tasks.
+    /// A provider pool's drain probe reads this to decide when a drained
+    /// block's job can actually be released.
+    pub fn draining_nodes(&self) -> usize {
+        self.shared.draining_nodes.load(Ordering::Relaxed)
     }
 
     /// Fault injection: abruptly kill a node's manager (no deregistration,
@@ -487,6 +507,19 @@ impl Executor for HtexExecutor {
         self.shared.outstanding.load(Ordering::Relaxed)
     }
 
+    /// Best-effort: drop the attempt from the interchange's queue, or
+    /// forward the cancel to the manager holding it. Either way a
+    /// (possibly synthesized) result flows back, so the outstanding gauge
+    /// and manager accounting settle normally.
+    fn cancel(&self, id: TaskId, attempt: u32) {
+        if let Some(ep) = self.client_ep.lock().as_ref() {
+            let _ = ep.send(
+                &self.shared.ix_addr,
+                encode(&ToInterchange::Cancel { id: id.0, attempt }),
+            );
+        }
+    }
+
     fn connected_workers(&self) -> usize {
         self.shared.connected_workers.load(Ordering::Relaxed)
     }
@@ -579,6 +612,20 @@ impl BlockScaling for HtexExecutor {
     fn max_blocks(&self) -> usize {
         self.shared.cfg.max_blocks
     }
+
+    /// HTEX retirement is already graceful (`Retire` → manager finishes
+    /// held work → `Deregister`), so draining is scale-in plus the
+    /// draining-nodes gauge the snapshot and providers read.
+    fn drain(&self, n: usize) -> usize {
+        self.scale_in(n)
+    }
+
+    fn draining_blocks(&self) -> usize {
+        self.shared
+            .draining_nodes
+            .load(Ordering::Relaxed)
+            .div_ceil(self.shared.cfg.nodes_per_block.max(1))
+    }
 }
 
 impl Drop for HtexExecutor {
@@ -590,6 +637,14 @@ impl Drop for HtexExecutor {
 // ---------------------------------------------------------------------------
 // Interchange
 // ---------------------------------------------------------------------------
+
+/// One retiring node finished draining (deregistered, was lost, or never
+/// existed); saturating so a stray decrement can't wrap the gauge.
+fn node_drained(shared: &Shared) {
+    let _ = shared
+        .draining_nodes
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+}
 
 fn interchange_loop(shared: Arc<Shared>, ep: Box<dyn Port>, registry: Arc<AppRegistry>) {
     let cfg = &shared.cfg;
@@ -700,10 +755,42 @@ fn interchange_loop(shared: Arc<Shared>, ep: Box<dyn Port>, registry: Arc<AppReg
                         // this instant arrives before the shutdown.
                         draining.insert(addr.clone());
                         let _ = ep.send(&addr, encode(&ToManager::Shutdown));
+                    } else {
+                        // Manager already gone (or never registered): the
+                        // drain is trivially complete.
+                        node_drained(&shared);
+                    }
+                }
+                Ok(ToInterchange::Cancel { id, attempt }) => {
+                    if let Some(pos) = pending
+                        .iter()
+                        .position(|t| t.id == id && t.attempt == attempt)
+                    {
+                        // Never dispatched: drop it here and synthesize a
+                        // failed result so the client's outstanding gauge
+                        // settles (the DFK's attempt filter discards it).
+                        pending.remove(pos);
+                        let _ = ep.send(
+                            &shared.client_addr,
+                            encode(&ToClient::Results(vec![WireResult {
+                                id,
+                                attempt,
+                                outcome: Err(AppError::msg("cancelled before dispatch")),
+                                worker: String::new(),
+                            }])),
+                        );
+                    } else if let Some(addr) = managers
+                        .iter()
+                        .find(|(_, m)| m.outstanding.contains_key(&(id, attempt)))
+                        .map(|(a, _)| a.clone())
+                    {
+                        let _ = ep.send(&addr, encode(&ToManager::Cancel { id, attempt }));
                     }
                 }
                 Ok(ToInterchange::Deregister { name: _ }) => {
-                    draining.remove(&env.from);
+                    if draining.remove(&env.from) {
+                        node_drained(&shared);
+                    }
                     if let Some(m) = managers.remove(&env.from) {
                         shared
                             .connected_workers
@@ -768,7 +855,9 @@ fn interchange_loop(shared: Arc<Shared>, ep: Box<dyn Port>, registry: Arc<AppReg
             .collect();
         for addr in lost {
             let m = managers.remove(&addr).expect("present");
-            draining.remove(&addr);
+            if draining.remove(&addr) {
+                node_drained(&shared);
+            }
             shared
                 .connected_workers
                 .fetch_sub(m.workers, Ordering::Relaxed);
@@ -995,6 +1084,148 @@ mod tests {
         for i in 0..n {
             assert_eq!(got.get(&i), Some(&(i * 2)), "task {i}");
         }
+        assert_eq!(htex.outstanding(), 0);
+        htex.shutdown();
+    }
+
+    /// Register an app that sleeps `ms` then echoes its id.
+    fn sleep_app(registry: &AppRegistry) -> Arc<parsl_core::registry::RegisteredApp> {
+        registry.register(
+            "sleepy",
+            AppKind::Native,
+            "(u64,u64)->u64",
+            Arc::new(|args| {
+                let (id, ms): (u64, u64) = wire::from_bytes(args)
+                    .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))?;
+                std::thread::sleep(Duration::from_millis(ms));
+                wire::to_bytes(&id)
+                    .map_err(|e| parsl_core::error::AppError::Serialization(e.to_string()))
+            }),
+            AppOptions::default(),
+        )
+    }
+
+    fn spec(app: &Arc<parsl_core::registry::RegisteredApp>, id: u64, ms: u64) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(id),
+            app: Arc::clone(app),
+            args: Bytes::from(wire::to_bytes(&(id, ms)).unwrap()),
+            resources: ResourceSpec::default(),
+            attempt: 0,
+            tenant: parsl_core::types::TenantId::DEFAULT,
+        }
+    }
+
+    /// Draining a node mid-burst loses nothing: every task still returns
+    /// Ok exactly once, the retired manager finishes its held work and
+    /// deregisters (`draining_nodes` settles back to 0), and capacity
+    /// drops to the surviving node.
+    #[test]
+    fn drain_under_load_loses_no_tasks() {
+        let registry = AppRegistry::new();
+        let app = sleep_app(&registry);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let htex = HtexExecutor::new(HtexConfig {
+            workers_per_node: 1,
+            prefetch: 1,
+            init_blocks: 2,
+            nodes_per_block: 1,
+            ..Default::default()
+        });
+        htex.start(ExecutorContext {
+            completions: tx,
+            registry: Arc::clone(&registry),
+        })
+        .unwrap();
+
+        let n = 8u64;
+        htex.submit_batch((0..n).map(|i| spec(&app, i, 40)).collect())
+            .unwrap();
+        // Let the first wave land on both managers, then retire one while
+        // it still holds work.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(htex.remove_node());
+        assert_eq!(htex.draining_nodes(), 1);
+
+        let mut got = std::collections::HashMap::new();
+        while got.len() < n as usize {
+            for outcome in rx.recv_timeout(Duration::from_secs(10)).expect("completes") {
+                let v: u64 =
+                    wire::from_bytes(&outcome.result.expect("drain must not fail tasks")).unwrap();
+                assert!(got.insert(outcome.id.0, v).is_none(), "duplicate result");
+            }
+        }
+        for i in 0..n {
+            assert_eq!(got.get(&i), Some(&i), "task {i} lost");
+        }
+        assert_eq!(htex.outstanding(), 0);
+
+        // The retired manager deregisters once its held tasks finish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (htex.draining_nodes() > 0 || htex.connected_workers() > 1)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(htex.draining_nodes(), 0, "drain never completed");
+        assert_eq!(htex.connected_workers(), 1, "retired node still registered");
+        htex.shutdown();
+    }
+
+    /// Cancellation settles both halves of the protocol: a task still
+    /// queued at the interchange comes back "cancelled before dispatch",
+    /// a task already held by a manager is skipped by the worker
+    /// ("cancelled"), and an uncancelled running task completes normally.
+    /// Either way the outstanding gauge returns to zero.
+    #[test]
+    fn cancel_settles_queued_and_held_tasks() {
+        let registry = AppRegistry::new();
+        let app = sleep_app(&registry);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        // One manager advertising two slots (1 worker + 1 prefetch): the
+        // blocker runs, t2 is held, t3 stays queued at the interchange.
+        let htex = HtexExecutor::new(HtexConfig {
+            workers_per_node: 1,
+            prefetch: 1,
+            init_blocks: 1,
+            nodes_per_block: 1,
+            ..Default::default()
+        });
+        htex.start(ExecutorContext {
+            completions: tx,
+            registry: Arc::clone(&registry),
+        })
+        .unwrap();
+
+        htex.submit_batch(vec![
+            spec(&app, 1, 300), // blocker: occupies the only worker
+            spec(&app, 2, 0),   // held by the manager behind the blocker
+            spec(&app, 3, 0),   // never leaves the interchange queue
+        ])
+        .unwrap();
+        // Wait for dispatch so the blocker is running and t2 is held.
+        std::thread::sleep(Duration::from_millis(100));
+        htex.cancel(TaskId(2), 0);
+        htex.cancel(TaskId(3), 0);
+
+        let mut outcomes = std::collections::HashMap::new();
+        while outcomes.len() < 3 {
+            for o in rx.recv_timeout(Duration::from_secs(10)).expect("settles") {
+                outcomes.insert(o.id.0, o.result);
+            }
+        }
+        let v: u64 = wire::from_bytes(outcomes[&1].as_ref().unwrap()).unwrap();
+        assert_eq!(v, 1, "uncancelled blocker completes normally");
+        let held_err = format!("{:?}", outcomes[&2].as_ref().unwrap_err());
+        assert!(
+            held_err.contains("cancelled"),
+            "held-task cancel: {held_err}"
+        );
+        let queued_err = format!("{:?}", outcomes[&3].as_ref().unwrap_err());
+        assert!(
+            queued_err.contains("cancelled before dispatch"),
+            "queued-task cancel: {queued_err}"
+        );
         assert_eq!(htex.outstanding(), 0);
         htex.shutdown();
     }

@@ -217,6 +217,18 @@ pub enum ToInterchange {
         /// Manager address to retire.
         name: String,
     },
+    /// Client abandons one attempt (the losing half of a straggler hedge).
+    /// Advisory: if the attempt is still queued the interchange drops it
+    /// and synthesizes a failed result so the client's outstanding gauge
+    /// settles; if it already reached a manager the cancel is forwarded
+    /// and the worker skips execution, but a result still flows back so
+    /// held-task accounting stays intact.
+    Cancel {
+        /// DFK task id.
+        id: u64,
+        /// Attempt to abandon.
+        attempt: u32,
+    },
     /// Administrative command channel request (§4.3.1).
     Command(Command),
     /// Stop the interchange.
@@ -234,6 +246,14 @@ pub enum ToManager {
     Apps(Vec<WireApp>),
     /// Liveness signal from the interchange.
     Heartbeat,
+    /// Skip executing this attempt if it hasn't started; a "cancelled"
+    /// failure result is still returned so accounting stays intact.
+    Cancel {
+        /// DFK task id.
+        id: u64,
+        /// Attempt to abandon.
+        attempt: u32,
+    },
     /// Drain and exit.
     Shutdown,
 }

@@ -23,6 +23,8 @@ use crate::kernel;
 use crate::proto::{encode, ToInterchange, ToManager, WireResult, WireTask};
 use crossbeam::channel::unbounded;
 use nexus::{Addr, Port, SpokeConfig, TcpSpoke};
+use parking_lot::Mutex;
+use parsl_core::error::AppError;
 use parsl_core::registry::{AppId, AppOptions, AppRegistry};
 use parsl_core::types::AppKind;
 use std::collections::HashSet;
@@ -51,21 +53,35 @@ pub struct ManagerCfg {
 pub fn manager_loop(ep: Box<dyn Port>, registry: Arc<AppRegistry>, ix_addr: Addr, cfg: ManagerCfg) {
     let addr = ep.addr().clone();
 
-    // Worker pool: shared task queue, common result funnel.
+    // Worker pool: shared task queue, common result funnel. Cancelled
+    // attempts (hedge losers) are checked at pick-up: the kernel is
+    // skipped but a failed result still flows back, so `held` accounting
+    // and the interchange's outstanding map settle identically either way.
     let (task_tx, task_rx) = unbounded::<WireTask>();
     let (result_tx, result_rx) = unbounded::<WireResult>();
+    let cancelled: Arc<Mutex<HashSet<(u64, u32)>>> = Arc::new(Mutex::new(HashSet::new()));
     let mut worker_handles = Vec::with_capacity(cfg.workers);
     for w in 0..cfg.workers {
         let task_rx = task_rx.clone();
         let result_tx = result_tx.clone();
         let registry = Arc::clone(&registry);
+        let cancelled = Arc::clone(&cancelled);
         let name = format!("{addr}:w{w}");
         worker_handles.push(
             std::thread::Builder::new()
                 .name(name.clone())
                 .spawn(move || {
                     while let Ok(task) = task_rx.recv() {
-                        let result = kernel::execute(&registry, &task, &name);
+                        let result = if cancelled.lock().remove(&(task.id, task.attempt)) {
+                            WireResult {
+                                id: task.id,
+                                attempt: task.attempt,
+                                outcome: Err(AppError::msg("cancelled")),
+                                worker: name.clone(),
+                            }
+                        } else {
+                            kernel::execute(&registry, &task, &name)
+                        };
                         if result_tx.send(result).is_err() {
                             return;
                         }
@@ -134,6 +150,14 @@ pub fn manager_loop(ep: Box<dyn Port>, registry: Arc<AppRegistry>, ix_addr: Addr
                         }
                     }
                     Ok(ToManager::Heartbeat) => {}
+                    Ok(ToManager::Cancel { id, attempt }) => {
+                        // Only attempts still held can be skipped; anything
+                        // else already returned (or never arrived) and the
+                        // entry would leak.
+                        if held.contains(&(id, attempt)) {
+                            cancelled.lock().insert((id, attempt));
+                        }
+                    }
                     Ok(ToManager::Shutdown) => {
                         draining = true;
                     }
@@ -161,6 +185,8 @@ pub fn manager_loop(ep: Box<dyn Port>, registry: Arc<AppRegistry>, ix_addr: Addr
                 }
             }
             recv(ticker) -> _ => {
+                // Prune cancel marks whose attempt raced its result out.
+                cancelled.lock().retain(|k| held.contains(k));
                 flush_results(ep.as_ref(), &ix_addr, &mut result_buf);
                 let _ = ep.send(
                     &ix_addr,

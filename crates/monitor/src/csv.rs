@@ -75,6 +75,21 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             attempt,
             csv_escape(reason)
         ),
+        MonitorEvent::Hedge {
+            task,
+            attempt,
+            executor,
+            age,
+            at,
+        } => writeln!(
+            w,
+            "hedge,{},{},,,{},{},,age_us={}",
+            at.as_micros(),
+            task,
+            executor.as_deref().unwrap_or(""),
+            attempt,
+            age.as_micros()
+        ),
         MonitorEvent::Workers {
             executor,
             connected,

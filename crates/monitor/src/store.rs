@@ -24,6 +24,8 @@ pub struct TaskTimeline {
     pub executor: Option<String>,
     /// Retries observed.
     pub retries: u32,
+    /// Speculative straggler hedges observed.
+    pub hedges: u32,
 }
 
 #[derive(Default)]
@@ -95,6 +97,42 @@ impl MemoryStore {
             .unwrap_or_default()
     }
 
+    /// Observed service times (launch → terminal) of completed tasks,
+    /// optionally filtered to one app. The rollup behind the elasticity
+    /// benches' latency metrics.
+    pub fn service_times(&self, app: Option<&str>) -> Vec<Duration> {
+        self.inner
+            .read()
+            .timelines
+            .values()
+            .filter(|t| t.final_state == Some(TaskState::Done))
+            .filter(|t| app.is_none_or(|a| &*t.app == a))
+            .filter_map(|t| Some(t.finished?.saturating_sub(t.launched?)))
+            .collect()
+    }
+
+    /// Quantile of the observed service times (`q` in `[0, 1]`); `None`
+    /// with no completed tasks.
+    pub fn service_quantile(&self, app: Option<&str>, q: f64) -> Option<Duration> {
+        let mut times = self.service_times(app);
+        if times.is_empty() {
+            return None;
+        }
+        times.sort();
+        let idx = ((times.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(times[idx])
+    }
+
+    /// Hedges recorded across all tasks.
+    pub fn hedge_count(&self) -> usize {
+        self.inner
+            .read()
+            .timelines
+            .values()
+            .map(|t| t.hedges as usize)
+            .sum()
+    }
+
     /// Time of the last recorded event.
     pub fn last_event_at(&self) -> Duration {
         self.inner
@@ -142,6 +180,9 @@ fn apply(inner: &mut Inner, event: &MonitorEvent) {
             let t = inner.timelines.entry(*task).or_default();
             t.retries += 1;
             let _ = at;
+        }
+        MonitorEvent::Hedge { task, .. } => {
+            inner.timelines.entry(*task).or_default().hedges += 1;
         }
         MonitorEvent::Workers {
             executor,

@@ -11,6 +11,16 @@
 //! Because the provider can impose queue delays, the DataFlowKernel's
 //! strategy engine experiences realistic provisioning latency — the effect
 //! measured in the elasticity experiment (Figure 6).
+//!
+//! # Graceful drain
+//!
+//! [`BlockScaling::drain`] marks victim blocks *draining* instead of
+//! cancelling their provider jobs outright: `on_block_drain` fires (the
+//! executor stops routing there and retires its managers), and the
+//! provider job is released only once the configured `drained_probe`
+//! reports the executor-side drain finished — held tasks run to
+//! completion, so scale-in kills no work. Without a probe, `drain`
+//! falls back to the abrupt `scale_in` path.
 
 use crate::provider::{ExecutionProvider, JobHandle, JobStatus};
 use parking_lot::Mutex;
@@ -24,6 +34,9 @@ enum BlockState {
     Requested,
     /// Provider says the job is running; `on_block_up` has fired.
     Up,
+    /// Victim of a graceful scale-in: `on_block_drain` has fired, the
+    /// provider job is held until the executor-side drain completes.
+    Draining,
 }
 
 struct Block {
@@ -32,6 +45,11 @@ struct Block {
 }
 
 type NodeHook = Box<dyn Fn(usize) + Send + Sync>;
+
+/// Reports how many executor-side nodes are still draining; the pool
+/// releases a `Draining` block's provider job once the executor no
+/// longer accounts for its nodes.
+type DrainProbe = Box<dyn Fn() -> usize + Send + Sync>;
 
 struct PoolInner {
     provider: Arc<dyn ExecutionProvider>,
@@ -42,6 +60,8 @@ struct PoolInner {
     walltime: Option<Duration>,
     on_up: NodeHook,
     on_down: NodeHook,
+    on_drain: NodeHook,
+    drained_probe: Option<DrainProbe>,
     blocks: Mutex<Vec<Block>>,
     stop: AtomicBool,
 }
@@ -63,6 +83,8 @@ pub struct BlockPoolBuilder {
     poll_interval: Duration,
     on_up: Option<NodeHook>,
     on_down: Option<NodeHook>,
+    on_drain: Option<NodeHook>,
+    drained_probe: Option<DrainProbe>,
 }
 
 impl BlockPool {
@@ -78,6 +100,8 @@ impl BlockPool {
             poll_interval: Duration::from_millis(100),
             on_up: None,
             on_down: None,
+            on_drain: None,
+            drained_probe: None,
         }
     }
 
@@ -160,6 +184,23 @@ impl BlockPoolBuilder {
         self
     }
 
+    /// Called with the node count when a block starts draining
+    /// ([`BlockScaling::drain`]): the executor should stop routing to
+    /// the block's nodes and retire them gracefully.
+    pub fn on_block_drain(mut self, f: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.on_drain = Some(Box::new(f));
+        self
+    }
+
+    /// Probe reporting how many executor-side nodes are still draining
+    /// (e.g. the executor's retiring-manager count). Required for
+    /// [`BlockScaling::drain`] to defer the provider release; without it
+    /// `drain` falls back to the abrupt `scale_in`.
+    pub fn drained_probe(mut self, f: impl Fn() -> usize + Send + Sync + 'static) -> Self {
+        self.drained_probe = Some(Box::new(f));
+        self
+    }
+
     /// Build and start the polling thread.
     pub fn build(self) -> BlockPool {
         let inner = Arc::new(PoolInner {
@@ -171,6 +212,8 @@ impl BlockPoolBuilder {
             walltime: self.walltime,
             on_up: self.on_up.unwrap_or_else(|| Box::new(|_| {})),
             on_down: self.on_down.unwrap_or_else(|| Box::new(|_| {})),
+            on_drain: self.on_drain.unwrap_or_else(|| Box::new(|_| {})),
+            drained_probe: self.drained_probe,
             blocks: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
         });
@@ -194,7 +237,8 @@ impl BlockPoolBuilder {
     }
 }
 
-/// One provider sweep: promote Requested→Up, reap dead blocks.
+/// One provider sweep: promote Requested→Up, reap dead blocks, release
+/// draining blocks the executor has finished retiring.
 fn poll_once(inner: &PoolInner) {
     let mut blocks = inner.blocks.lock();
     let mut i = 0;
@@ -209,7 +253,7 @@ fn poll_once(inner: &PoolInner) {
             (BlockState::Requested, JobStatus::Pending) => {
                 i += 1;
             }
-            (BlockState::Up, JobStatus::Running) => {
+            (BlockState::Up | BlockState::Draining, JobStatus::Running) => {
                 i += 1;
             }
             // Dead while queued, or dead after running (walltime/failure).
@@ -219,6 +263,34 @@ fn poll_once(inner: &PoolInner) {
             (BlockState::Up, _) => {
                 (inner.on_down)(inner.nodes_per_block);
                 blocks.remove(i);
+            }
+            // A draining block's nodes were already surrendered via
+            // `on_drain`; no `on_down` when the job dies underneath it.
+            (BlockState::Draining, _) => {
+                blocks.remove(i);
+            }
+        }
+    }
+    // Drain completion: the probe reports how many executor-side nodes
+    // are still retiring. Keep that many blocks' worth draining and
+    // release the rest (oldest first) — their held work has finished.
+    if let Some(probe) = &inner.drained_probe {
+        let draining = blocks
+            .iter()
+            .filter(|b| matches!(b.state, BlockState::Draining))
+            .count();
+        if draining > 0 {
+            let keep = probe().div_ceil(inner.nodes_per_block);
+            let mut release = draining.saturating_sub(keep);
+            let mut i = 0;
+            while release > 0 && i < blocks.len() {
+                if matches!(blocks[i].state, BlockState::Draining) {
+                    let b = blocks.remove(i);
+                    inner.provider.cancel(&b.job);
+                    release -= 1;
+                } else {
+                    i += 1;
+                }
             }
         }
     }
@@ -266,11 +338,17 @@ impl BlockScaling for BlockPool {
                 break;
             }
             // Prefer releasing still-queued blocks (free), then the newest
-            // running block.
+            // running block; never steal a draining block's slot — its
+            // nodes were already surrendered.
             let idx = blocks
                 .iter()
                 .position(|b| matches!(b.state, BlockState::Requested))
-                .unwrap_or_else(|| blocks.len() - 1);
+                .or_else(|| {
+                    blocks
+                        .iter()
+                        .rposition(|b| matches!(b.state, BlockState::Up))
+                });
+            let Some(idx) = idx else { break };
             let b = blocks.remove(idx);
             self.inner.provider.cancel(&b.job);
             if matches!(b.state, BlockState::Up) {
@@ -279,6 +357,61 @@ impl BlockScaling for BlockPool {
             removed += 1;
         }
         removed
+    }
+
+    fn drain(&self, n: usize) -> usize {
+        // Without a completion probe there is nothing to defer against:
+        // fall back to the abrupt path.
+        if self.inner.drained_probe.is_none() {
+            return self.scale_in(n);
+        }
+        let mut drained = 0;
+        for _ in 0..n {
+            let hook = {
+                let mut blocks = self.inner.blocks.lock();
+                let active = blocks
+                    .iter()
+                    .filter(|b| !matches!(b.state, BlockState::Draining))
+                    .count();
+                if active <= self.inner.min_blocks {
+                    break;
+                }
+                // Still-queued blocks hold no work: cancel them outright.
+                if let Some(idx) = blocks
+                    .iter()
+                    .position(|b| matches!(b.state, BlockState::Requested))
+                {
+                    let b = blocks.remove(idx);
+                    self.inner.provider.cancel(&b.job);
+                    false
+                } else {
+                    let Some(idx) = blocks
+                        .iter()
+                        .rposition(|b| matches!(b.state, BlockState::Up))
+                    else {
+                        break;
+                    };
+                    blocks[idx].state = BlockState::Draining;
+                    true
+                }
+            };
+            if hook {
+                // Outside the lock: the hook typically calls back into
+                // the executor (retire managers).
+                (self.inner.on_drain)(self.inner.nodes_per_block);
+            }
+            drained += 1;
+        }
+        drained
+    }
+
+    fn draining_blocks(&self) -> usize {
+        self.inner
+            .blocks
+            .lock()
+            .iter()
+            .filter(|b| matches!(b.state, BlockState::Draining))
+            .count()
     }
 
     fn min_blocks(&self) -> usize {
@@ -363,6 +496,140 @@ mod tests {
             .build();
         // 3 nodes / 2 per block: only one block fits.
         assert_eq!(pool.scale_out(3), 1);
+        pool.shutdown();
+    }
+
+    /// Drive the pool until `cond` holds or two seconds pass.
+    fn wait_until(cond: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !cond() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// A pool with a simulated executor: `on_drain` surrenders nodes into
+    /// a pending-drain gauge the probe reads; the test stands in for the
+    /// executor finishing its retirement by decrementing it.
+    fn drain_pool(
+        pending: &Arc<AtomicUsize>,
+        downs: &Arc<AtomicUsize>,
+        drains: &Arc<AtomicUsize>,
+    ) -> BlockPool {
+        BlockPool::builder(LocalProvider::new(10))
+            .poll_interval(Duration::from_millis(5))
+            .on_block_down({
+                let downs = Arc::clone(downs);
+                move |n| {
+                    downs.fetch_add(n, Ordering::SeqCst);
+                }
+            })
+            .on_block_drain({
+                let pending = Arc::clone(pending);
+                let drains = Arc::clone(drains);
+                move |n| {
+                    pending.fetch_add(n, Ordering::SeqCst);
+                    drains.fetch_add(n, Ordering::SeqCst);
+                }
+            })
+            .drained_probe({
+                let pending = Arc::clone(pending);
+                move || pending.load(Ordering::SeqCst)
+            })
+            .build()
+    }
+
+    #[test]
+    fn drain_defers_release_until_probe_clears() {
+        let pending = Arc::new(AtomicUsize::new(0));
+        let downs = Arc::new(AtomicUsize::new(0));
+        let drains = Arc::new(AtomicUsize::new(0));
+        let pool = drain_pool(&pending, &downs, &drains);
+        pool.scale_out(2);
+        wait_until(|| pool.blocks_up() == 2);
+
+        assert_eq!(pool.drain(1), 1);
+        assert_eq!(drains.load(Ordering::SeqCst), 1, "on_drain fired");
+        assert_eq!(pool.draining_blocks(), 1);
+        // The job is held while the executor still reports draining nodes.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pool.block_count(), 2, "job held during drain");
+        // Executor finishes retiring: the next poll releases the job,
+        // without ever firing on_down (the nodes were already gone).
+        pending.store(0, Ordering::SeqCst);
+        wait_until(|| pool.block_count() == 1);
+        assert_eq!(pool.draining_blocks(), 0);
+        assert_eq!(
+            downs.load(Ordering::SeqCst),
+            0,
+            "drain must not fire on_down"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drain_without_probe_falls_back_to_scale_in() {
+        let downs = Arc::new(AtomicUsize::new(0));
+        let pool = BlockPool::builder(LocalProvider::new(10))
+            .poll_interval(Duration::from_millis(5))
+            .on_block_down({
+                let downs = Arc::clone(&downs);
+                move |n| {
+                    downs.fetch_add(n, Ordering::SeqCst);
+                }
+            })
+            .build();
+        pool.scale_out(2);
+        wait_until(|| pool.blocks_up() == 2);
+        assert_eq!(pool.drain(1), 1);
+        assert_eq!(pool.block_count(), 1, "abrupt fallback releases now");
+        assert_eq!(downs.load(Ordering::SeqCst), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scale_in_never_steals_draining_blocks() {
+        let pending = Arc::new(AtomicUsize::new(0));
+        let downs = Arc::new(AtomicUsize::new(0));
+        let drains = Arc::new(AtomicUsize::new(0));
+        let pool = drain_pool(&pending, &downs, &drains);
+        pool.scale_out(2);
+        wait_until(|| pool.blocks_up() == 2);
+        assert_eq!(pool.drain(1), 1);
+        // Only the one non-draining block is eligible; the draining
+        // block's nodes were already surrendered and cannot be "removed"
+        // a second time.
+        assert_eq!(pool.scale_in(2), 1);
+        assert_eq!(pool.draining_blocks(), 1);
+        assert_eq!(downs.load(Ordering::SeqCst), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drain_respects_min_blocks_on_active_count() {
+        let pending = Arc::new(AtomicUsize::new(0));
+        let drains = Arc::new(AtomicUsize::new(0));
+        let pool = BlockPool::builder(LocalProvider::new(10))
+            .min_blocks(1)
+            .poll_interval(Duration::from_millis(5))
+            .on_block_drain({
+                let pending = Arc::clone(&pending);
+                let drains = Arc::clone(&drains);
+                move |n| {
+                    pending.fetch_add(n, Ordering::SeqCst);
+                    drains.fetch_add(n, Ordering::SeqCst);
+                }
+            })
+            .drained_probe({
+                let pending = Arc::clone(&pending);
+                move || pending.load(Ordering::SeqCst)
+            })
+            .build();
+        pool.scale_out(3);
+        wait_until(|| pool.blocks_up() == 3);
+        // Draining does not count as active capacity: only two blocks may
+        // leave before the floor bites.
+        assert_eq!(pool.drain(5), 2);
+        assert_eq!(pool.draining_blocks(), 2);
         pool.shutdown();
     }
 }

@@ -46,6 +46,14 @@ impl<E: Executor> Executor for ProvidedExecutor<E> {
         self.inner.submit(task)
     }
 
+    fn submit_batch(&self, tasks: Vec<TaskSpec>) -> Result<(), ExecutorError> {
+        self.inner.submit_batch(tasks)
+    }
+
+    fn cancel(&self, id: parsl_core::types::TaskId, attempt: u32) {
+        self.inner.cancel(id, attempt);
+    }
+
     fn outstanding(&self) -> usize {
         self.inner.outstanding()
     }

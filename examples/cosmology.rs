@@ -29,11 +29,7 @@ fn main() {
                 ..Default::default()
             },
         ))
-        .strategy(StrategyConfig {
-            enabled: true,
-            interval: Duration::from_millis(100),
-            parallelism: 1.0,
-        })
+        .strategy(StrategyConfig::simple(1.0).interval(Duration::from_millis(100)))
         .retries(1)
         .build()
         .expect("kernel starts");

@@ -101,10 +101,10 @@ fn main() {
         // Declared inputs: the DataAware policy scores executors by the
         // cost of moving the non-resident bytes, so the wide fan-out over
         // the shared reference converges instead of scattering.
-        let aligned = align_app.call_hinted(
-            (Dep::future(reference.clone()), Dep::future(reads.clone())),
-            DataHints::reading(vec![reference_hint, reads_hint]),
-        );
+        let aligned = align_app
+            .invoke()
+            .hints(DataHints::reading(vec![reference_hint, reads_hint]))
+            .call((Dep::future(reference.clone()), Dep::future(reads.clone())));
         let qc = parsl::core::call!(qc_app, reads);
         let variants = call_variants.call((Dep::future(aligned), Dep::future(qc)));
         per_sample.push(variants);
