@@ -134,6 +134,7 @@ impl Executor for DaskLikeExecutor {
             attempt: task.attempt,
             app_id: task.app.id.0,
             tenant: task.tenant.0,
+            items: task.items,
             args: task.args.to_vec(),
         };
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);

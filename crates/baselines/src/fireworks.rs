@@ -191,6 +191,7 @@ impl Executor for FireworksExecutor {
             attempt: task.attempt,
             app_id: task.app.id.0,
             tenant: task.tenant.0,
+            items: task.items,
             args: task.args.to_vec(),
         });
         Ok(())

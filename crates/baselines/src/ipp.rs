@@ -132,6 +132,7 @@ impl Executor for IppExecutor {
             attempt: task.attempt,
             app_id: task.app.id.0,
             tenant: task.tenant.0,
+            items: task.items,
             args: task.args.to_vec(),
         };
         self.shared.outstanding.fetch_add(1, Ordering::Relaxed);

@@ -40,6 +40,7 @@ fn specs(app: &Arc<RegisteredApp>, n: usize) -> Vec<TaskSpec> {
             resources: ResourceSpec::default(),
             attempt: 0,
             tenant: parsl_core::types::TenantId::DEFAULT,
+            items: 1,
         })
         .collect()
 }

@@ -8,12 +8,17 @@
 //! Usage:
 //!
 //! ```text
-//! bench_guard <baseline.json> <current.json> <key> [<key>...] [--tolerance 0.30]
+//! bench_guard <baseline.json> <current.json> <key> [<key>...] \
+//!     [--tolerance 0.30] [--strict-metrics]
 //! ```
 //!
 //! Keys name numeric fields present in both files (e.g. `batched_speedup`,
-//! `least_outstanding_tps`). A key missing from either file is an error —
-//! a silently skipped metric is how regressions sneak past a guard.
+//! `least_outstanding_tps`). A key missing from either file is never
+//! silently skipped — a quietly dropped metric is how regressions sneak
+//! past a guard. By default the guard prints a loud stderr note and keeps
+//! comparing the metrics that *are* present; with `--strict-metrics` a
+//! missing key fails the run outright (exit 2). CI passes the flag; the
+//! lenient default keeps a locally edited bench run usable while iterating.
 
 use bench::json_number;
 
@@ -25,7 +30,7 @@ struct Check {
 }
 
 const USAGE: &str = "usage: bench_guard <baseline.json> <current.json> <key> [<key>...] \
-     [--tolerance 0.30]";
+     [--tolerance 0.30] [--strict-metrics]";
 
 /// Print a diagnostic plus the usage line and exit 2 — a CI failure must
 /// read as a one-line diagnosis, never a panic backtrace.
@@ -38,10 +43,13 @@ fn usage_error(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.30;
+    let mut strict_metrics = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--tolerance" {
+        if a == "--strict-metrics" {
+            strict_metrics = true;
+        } else if a == "--tolerance" {
             let Some(v) = it.next() else {
                 usage_error("--tolerance needs a value");
             };
@@ -72,21 +80,27 @@ fn main() {
 
     let mut checks: Vec<Check> = Vec::new();
     let mut failed = false;
+    let mut missing: Vec<String> = Vec::new();
     for key in keys {
         let b = json_number(&baseline, key);
         let c = json_number(&current, key);
         let (Some(b), Some(c)) = (b, c) else {
             eprintln!(
-                "bench_guard: key {key:?} missing or non-numeric \
-                 (baseline: {b:?}, current: {c:?})"
+                "bench_guard: WARNING: key {key:?} missing or non-numeric \
+                 (baseline: {b:?}, current: {c:?}) — this metric is NOT guarded"
             );
-            std::process::exit(2);
+            missing.push(key.clone());
+            continue;
         };
         if b <= 0.0 {
             // A non-positive baseline can never flag a regression; treat
             // it like a missing key instead of silently passing forever.
-            eprintln!("bench_guard: key {key:?} has non-positive baseline {b} — fix the baseline");
-            std::process::exit(2);
+            eprintln!(
+                "bench_guard: WARNING: key {key:?} has non-positive baseline {b} \
+                 — this metric is NOT guarded; fix the baseline"
+            );
+            missing.push(key.clone());
+            continue;
         }
         let ratio = c / b;
         if ratio < 1.0 - tolerance {
@@ -130,6 +144,17 @@ fn main() {
             tolerance * 100.0
         );
         std::process::exit(1);
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "bench_guard: {} metric(s) could not be compared: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+        if strict_metrics {
+            eprintln!("bench_guard: failing because --strict-metrics is set");
+            std::process::exit(2);
+        }
     }
     println!("bench_guard: all guarded metrics within tolerance");
 }

@@ -81,6 +81,7 @@ fn specs(app: &Arc<RegisteredApp>, base: u64, n: usize) -> Vec<TaskSpec> {
             resources: ResourceSpec::default(),
             attempt: 0,
             tenant: parsl_core::types::TenantId::DEFAULT,
+            items: 1,
         })
         .collect()
 }

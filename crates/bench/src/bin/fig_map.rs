@@ -1,0 +1,237 @@
+//! Chunked-task-fusion experiment: `app.map` vs per-item submission.
+//!
+//! The paper's scaling story (§5.2) is millions of micro-tasks; the
+//! fusion plane turns them into ~1k fused chunk tasks so the DFK,
+//! scheduler, hub, and monitor pay per-chunk costs instead of per-item
+//! costs. This binary measures that amortization end to end on the full
+//! DFK path:
+//!
+//! - **unfused**: N individual `noop` invocations through
+//!   `invoke().call()` — one DFK record, one wire frame, one monitor
+//!   lifecycle per item (measured on a subsample at full scale; the rate
+//!   is steady-state);
+//! - **fused**: `noop.map(0..N)` with auto-sized chunks (~1k fused tasks
+//!   at 1M items) — whole argument slices per frame, chunk loops on the
+//!   worker;
+//! - **fused map_reduce**: the same chunks feeding a fan-in-32 reduce
+//!   tree, checked against the closed-form sum;
+//! - **tcp plane**: the fused 1M-item map over real loopback TCP to
+//!   spawned `parsl-worker` processes, which rebuild the chunk body from
+//!   the advertised `fmap[noop; ...]` signature.
+//!
+//! Usage: `fig_map [--smoke] [--out FILE] [--transport T]` with `T` one
+//! of `inproc`, `tcp`, `both` (default: `inproc` for smoke, `both` for
+//! full). The full run writes `BENCH_map.json`; `--smoke` skips the file
+//! unless `--out` names one (CI feeds that to the bench guard).
+
+use bench::{fmt_f, Table};
+use parsl_core::fusion::MapOptions;
+use parsl_core::prelude::*;
+use parsl_executors::{HtexConfig, HtexExecutor, TcpHtexOptions};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-message transport cost charged by the in-proc fabric — the same
+/// syscall/framing floor fig5 charges, so the two experiments compare.
+const PER_MESSAGE_COST: Duration = Duration::from_micros(20);
+
+fn fabric() -> nexus::Fabric {
+    nexus::Fabric::with_config(nexus::FabricConfig {
+        per_message_cost: PER_MESSAGE_COST,
+        ..Default::default()
+    })
+}
+
+fn htex_config(label: &str) -> HtexConfig {
+    HtexConfig {
+        label: label.into(),
+        workers_per_node: 4,
+        nodes_per_block: 2,
+        init_blocks: 1,
+        prefetch: 64,
+        batch_size: 64,
+        ..Default::default()
+    }
+}
+
+fn dfk_inproc() -> Arc<DataFlowKernel> {
+    let htex = HtexExecutor::on_fabric(htex_config("htex"), fabric());
+    DataFlowKernel::builder()
+        .executor_arc(Arc::new(htex))
+        .build()
+        .unwrap()
+}
+
+/// N individual noop invocations: the per-item baseline every fused
+/// number is judged against. Items/second.
+fn run_unfused(n: usize) -> f64 {
+    let dfk = dfk_inproc();
+    let noop = dfk.python_app("noop", |x: u64| x);
+    let t0 = Instant::now();
+    let futs: Vec<AppFuture<u64>> = (0..n as u64).map(|i| parsl_core::call!(noop, i)).collect();
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), i as u64, "unfused item {i}");
+    }
+    let elapsed = t0.elapsed();
+    dfk.shutdown();
+    n as f64 / elapsed.as_secs_f64()
+}
+
+fn drive_map(dfk: &Arc<DataFlowKernel>, n: usize) -> (f64, usize) {
+    let noop = dfk.python_app("noop", |x: u64| x);
+    let t0 = Instant::now();
+    let handle = noop.map_with(0..n as u64, MapOptions::default());
+    let results = handle.results();
+    let elapsed = t0.elapsed();
+    assert_eq!(results.len(), n);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r.as_ref().unwrap(), i as u64, "fused item {i}");
+    }
+    (n as f64 / elapsed.as_secs_f64(), handle.chunk_count())
+}
+
+/// `noop.map(0..n)` with auto-sized chunks on the in-proc HTEX.
+/// Items/second plus the fused chunk count.
+fn run_fused(n: usize) -> (f64, usize) {
+    let dfk = dfk_inproc();
+    let out = drive_map(&dfk, n);
+    dfk.shutdown();
+    out
+}
+
+/// The same fused map over real loopback TCP with spawned
+/// `parsl-worker` processes (resolve the binary with `PARSL_WORKER_BIN`
+/// or as a sibling of this one). Median of three runs — real processes
+/// time-slice against the client on small CI boxes.
+fn run_fused_tcp(n: usize) -> f64 {
+    let mut rates: Vec<f64> = (0..3)
+        .map(|_| {
+            let mut cfg = htex_config("htex-tcp");
+            cfg.nodes_per_block = 1;
+            cfg.workers_per_node = 2;
+            let htex =
+                HtexExecutor::tcp(cfg, TcpHtexOptions::default()).expect("bind loopback hub");
+            let dfk = DataFlowKernel::builder()
+                .executor_arc(Arc::new(htex))
+                .build()
+                .unwrap();
+            let (tps, _) = drive_map(&dfk, n);
+            dfk.shutdown();
+            tps
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[1]
+}
+
+/// Fused map_reduce: the chunk partials collapse through the fan-in-32
+/// reduce tree; the closed-form sum is the correctness witness.
+fn run_map_reduce(n: usize) -> f64 {
+    let dfk = dfk_inproc();
+    let noop = dfk.python_app("noop", |x: u64| x);
+    let t0 = Instant::now();
+    let total = noop.map_reduce(0..n as u64, 0u64, |a, b| a + b);
+    let got = total.result().unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(got, (n as u64 - 1) * n as u64 / 2, "tree sum");
+    dfk.shutdown();
+    n as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone());
+    let transport = args
+        .iter()
+        .position(|a| a == "--transport")
+        .map(|i| args.get(i + 1).expect("--transport needs a value").clone())
+        .unwrap_or_else(|| {
+            if smoke {
+                "inproc".into()
+            } else {
+                "both".into()
+            }
+        });
+    let (run_inproc, run_tcp) = match transport.as_str() {
+        "inproc" => (true, false),
+        "tcp" => (false, true),
+        "both" => (true, true),
+        other => panic!("--transport must be inproc|tcp|both, got {other}"),
+    };
+    // Full scale is the paper's 1M micro-tasks. The unfused baseline
+    // pays the per-item path in full, so it runs on a subsample and
+    // reports the steady-state rate.
+    let (n_fused, n_unfused) = if smoke {
+        (20_000, 2_000)
+    } else {
+        (1_000_000, 50_000)
+    };
+
+    println!(
+        "fig_map: chunked task fusion, {n_fused} logical items \
+         (unfused baseline on {n_unfused}), transport {transport}, \
+         per-message cost {:?}{}",
+        PER_MESSAGE_COST,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut table = Table::new(&["path", "items/s"]);
+    let mut fields: Vec<String> = vec![
+        "\"experiment\": \"fig_map\"".into(),
+        format!(
+            "\"workload\": \"noop map, {n_fused} logical items fused vs {n_unfused} unfused, \
+             HTEX {transport} path\""
+        ),
+        format!("\"per_message_cost_us\": {}", PER_MESSAGE_COST.as_micros()),
+    ];
+
+    let mut speedup = None;
+    if run_inproc {
+        let unfused = run_unfused(n_unfused);
+        let (fused, chunks) = run_fused(n_fused);
+        let s = fused / unfused;
+        speedup = Some(s);
+        let reduce = run_map_reduce(n_fused);
+        table.row(vec!["per-item invoke().call()".into(), fmt_f(unfused)]);
+        table.row(vec![
+            format!("app.map ({chunks} fused chunks)"),
+            fmt_f(fused),
+        ]);
+        table.row(vec!["fusion speedup".into(), format!("{s:.2}x")]);
+        table.row(vec!["app.map_reduce (tree sum)".into(), fmt_f(reduce)]);
+        fields.push(format!("\"map_unfused_tps\": {unfused:.1}"));
+        fields.push(format!("\"map_fused_tps\": {fused:.1}"));
+        fields.push(format!("\"map_fused_chunks\": {chunks}"));
+        fields.push(format!("\"fusion_speedup\": {s:.3}"));
+        fields.push(format!("\"map_reduce_tps\": {reduce:.1}"));
+    }
+
+    if run_tcp {
+        let fused = run_fused_tcp(n_fused);
+        table.row(vec!["tcp app.map".into(), fmt_f(fused)]);
+        fields.push(format!("\"map_fused_tcp_tps\": {fused:.1}"));
+    }
+    table.print();
+
+    let path = match (&out, smoke) {
+        (Some(p), _) => p.clone(),
+        (None, false) => "BENCH_map.json".to_string(),
+        (None, true) => {
+            println!("smoke mode: skipping BENCH_map.json (pass --out to write)");
+            return;
+        }
+    };
+
+    let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+    if let Some(s) = speedup {
+        if s < 10.0 {
+            println!("WARNING: fusion speedup {s:.2}x below the 10x target");
+        }
+    }
+}

@@ -326,6 +326,12 @@ impl<A: AppArgs, R: TaskValue> App<A, R> {
     pub fn registered(&self) -> &Arc<RegisteredApp> {
         &self.registered
     }
+
+    /// The kernel this app is bound to (used by the fusion plane to
+    /// submit fused chunks on the app's behalf).
+    pub(crate) fn dfk(&self) -> &Arc<DataFlowKernel> {
+        &self.dfk
+    }
 }
 
 /// A pending invocation of an [`App`]: per-call options accumulate on

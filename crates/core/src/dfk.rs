@@ -99,10 +99,12 @@ use std::time::{Duration, Instant};
 /// past the thread counts a single client drives.
 pub const TABLE_SHARDS: usize = 16;
 
-/// Most outcomes the collector folds into one completion-plane pass.
-/// Bounds the per-pass allocation (futures, monitor events, checkpoint
-/// frames) under a sustained completion storm; the channel is drained
-/// again immediately, so the cap costs at most an extra pass.
+/// Default for the most outcomes the collector folds into one
+/// completion-plane pass (see [`ConfigBuilder::collect_batch_cap`] for
+/// the tunable). Bounds the per-pass allocation (futures, monitor
+/// events, checkpoint frames) under a sustained completion storm; the
+/// channel is drained again immediately, so the cap costs at most an
+/// extra pass.
 pub const COLLECT_BATCH_CAP: usize = 4096;
 
 /// One task's bookkeeping in the dynamic task graph.
@@ -139,6 +141,11 @@ struct TaskRecord {
     launched_at: Option<Instant>,
     /// Logical workflow the task belongs to.
     tenant: TenantId,
+    /// Logical items fused into this task (1 normally; the chunk length
+    /// for `app.map` fused chunks). Scales walltime budgets and hedge
+    /// thresholds, divides service-time samples, and expands monitor
+    /// counts back to logical items.
+    items: u32,
     /// True while an entry for this task sits in the kernel's parked
     /// list (may be stale-true after an unpark requeue; removal is by
     /// id, so a stale flag is harmless).
@@ -393,6 +400,9 @@ pub struct DataFlowKernel {
     /// Batched result collection (see module docs); `false` re-enables
     /// the per-task baseline.
     completion_batching: bool,
+    /// Most outcomes one collector pass folds together
+    /// ([`ConfigBuilder::collect_batch_cap`]).
+    collect_batch_cap: usize,
     strategy_cfg: StrategyConfig,
     /// Arrival-rate and service-time observations feeding the predictive
     /// strategy's [`LoadSignal`] and the hedge watcher's p99 threshold.
@@ -405,13 +415,27 @@ pub struct DataFlowKernel {
 /// the app and its argument slots. `Default` is a plain submission:
 /// default tenant, no data hints. The typed spelling is
 /// [`crate::app::App::invoke`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SubmitOptions {
     /// Logical workflow the task runs under (quota + fairness
     /// accounting); [`TenantId::DEFAULT`] when unset.
     pub tenant: TenantId,
     /// Declared data inputs/output steering the `DataAware` router.
     pub hints: DataHints,
+    /// Logical items this submission represents (1 for ordinary tasks;
+    /// the chunk length for fused `app.map` chunks). Values below 1 are
+    /// treated as 1.
+    pub items: u32,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            tenant: TenantId::DEFAULT,
+            hints: DataHints::default(),
+            items: 1,
+        }
+    }
 }
 
 /// Builder producing a started [`DataFlowKernel`]. Accepts everything
@@ -506,6 +530,13 @@ impl DfkBuilder {
         self
     }
 
+    /// Cap on outcomes folded into one collector pass (see
+    /// [`ConfigBuilder::collect_batch_cap`]).
+    pub fn collect_batch_cap(mut self, cap: usize) -> Self {
+        self.inner = self.inner.collect_batch_cap(cap);
+        self
+    }
+
     /// Validate, start executors and service threads, and return the
     /// running kernel.
     pub fn build(self) -> Result<Arc<DataFlowKernel>, ParslError> {
@@ -583,6 +614,7 @@ impl DataFlowKernel {
             deadline_cv: Arc::new(Condvar::new()),
             walltime_wakeups: AtomicU64::new(0),
             completion_batching: config.completion_batching,
+            collect_batch_cap: config.collect_batch_cap,
             strategy_cfg: config.strategy,
             stats: ServiceStats::new(),
             invalid_app,
@@ -611,7 +643,7 @@ impl DataFlowKernel {
                         Ok(mut outcomes) => {
                             let Some(dfk) = weak.upgrade() else { return };
                             if dfk.completion_batching {
-                                while outcomes.len() < COLLECT_BATCH_CAP {
+                                while outcomes.len() < dfk.collect_batch_cap {
                                     match rx.try_recv() {
                                         Ok(mut more) => outcomes.append(&mut more),
                                         Err(_) => break,
@@ -832,7 +864,10 @@ impl DataFlowKernel {
                 let Some(p99) = self.stats.quantile_for(rec.app.id, 0.99, hedge.min_samples) else {
                     continue;
                 };
-                if age.as_secs_f64() > hedge.multiplier * p99.as_secs_f64() {
+                // Service samples are per logical item, so a fused chunk
+                // is a straggler only past `multiplier × p99 × items`.
+                let threshold = hedge.multiplier * p99.as_secs_f64() * rec.items.max(1) as f64;
+                if age.as_secs_f64() > threshold {
                     candidates.push((id, age));
                 }
             }
@@ -873,11 +908,12 @@ impl DataFlowKernel {
                     app: Arc::clone(&rec.app),
                     args,
                     resources: ResourceSpec {
-                        walltime: rec.app.options.walltime,
+                        walltime: scale_walltime(rec.app.options.walltime, rec.items),
                         ..ResourceSpec::default()
                     },
                     attempt,
                     tenant: rec.tenant,
+                    items: rec.items,
                 };
                 Some((spec, idx))
             };
@@ -924,6 +960,14 @@ impl DataFlowKernel {
             self.stats.quantile_global(0.50),
             self.stats.quantile_global(0.99),
         )
+    }
+
+    /// Observed service-time quantile for one app (per logical item —
+    /// fused chunks record their duration divided by chunk length), or
+    /// `None` below `min_samples` observations. Feeds `app.map`'s
+    /// auto chunk sizing.
+    pub fn service_quantile_for(&self, app: AppId, q: f64, min_samples: usize) -> Option<Duration> {
+        self.stats.quantile_for(app, q, min_samples)
     }
 
     fn emit(&self, event: impl FnOnce() -> MonitorEvent) {
@@ -1116,7 +1160,15 @@ impl DataFlowKernel {
         tenant: TenantId,
         hints: DataHints,
     ) -> Arc<FutureState> {
-        self.submit(app, slots, SubmitOptions { tenant, hints })
+        self.submit(
+            app,
+            slots,
+            SubmitOptions {
+                tenant,
+                hints,
+                ..SubmitOptions::default()
+            },
+        )
     }
 
     /// Submit a task from pre-built argument slots — the one untyped
@@ -1147,9 +1199,19 @@ impl DataFlowKernel {
         slots: Vec<ArgSlot>,
         opts: SubmitOptions,
     ) -> Arc<FutureState> {
-        let SubmitOptions { tenant, hints } = opts;
+        let SubmitOptions {
+            tenant,
+            hints,
+            items,
+        } = opts;
+        let items = items.max(1);
         let id = self.table.alloc_id();
-        self.stats.arrivals.fetch_add(1, Ordering::Relaxed);
+        // Arrival accounting is per logical item: a 1000-item fused chunk
+        // is 1000 arrivals, keeping Little's-law sizing self-consistent
+        // with the per-item service samples.
+        self.stats
+            .arrivals
+            .fetch_add(items as u64, Ordering::Relaxed);
         let future = FutureState::new(id);
         let parents: Vec<(usize, Arc<FutureState>)> = slots
             .iter()
@@ -1180,6 +1242,7 @@ impl DataFlowKernel {
                 hedge_charged: None,
                 launched_at: None,
                 tenant,
+                items,
                 parked: false,
                 deadline_attempt: None,
                 memo_key: None,
@@ -1196,6 +1259,7 @@ impl DataFlowKernel {
             executor: None,
             attempt: 0,
             tenant,
+            items,
             at: self.started_at.elapsed(),
         });
 
@@ -1246,6 +1310,7 @@ impl DataFlowKernel {
                 hedge_charged: None,
                 launched_at: None,
                 tenant: TenantId::DEFAULT,
+                items: 1,
                 parked: false,
                 deadline_attempt: None,
                 memo_key: None,
@@ -1466,7 +1531,13 @@ impl DataFlowKernel {
                                 if let Some(w) = rec.app.options.walltime {
                                     if rec.deadline_attempt != Some(rec.attempt) {
                                         rec.deadline_attempt = Some(rec.attempt);
-                                        park_deadlines.push((id, rec.attempt, w));
+                                        // Per-item walltime scales with the
+                                        // fused chunk length.
+                                        park_deadlines.push((
+                                            id,
+                                            rec.attempt,
+                                            w * rec.items.max(1),
+                                        ));
                                     }
                                 }
                                 rec.parked = true;
@@ -1485,6 +1556,7 @@ impl DataFlowKernel {
                     executor: Some(self.executors[exec_idx].label().to_string()),
                     attempt: spec.attempt,
                     tenant: spec.tenant,
+                    items: spec.items,
                     at: self.started_at.elapsed(),
                 });
                 if let Some(w) = walltime {
@@ -1848,16 +1920,20 @@ impl DataFlowKernel {
             app: Arc::clone(&rec.app),
             args,
             resources: ResourceSpec {
-                walltime: rec.app.options.walltime,
+                // Per-item walltime: a fused chunk's budget scales with
+                // its length so 1000 fused items are not held to one
+                // item's deadline.
+                walltime: scale_walltime(rec.app.options.walltime, rec.items),
                 ..ResourceSpec::default()
             },
             attempt: rec.attempt,
             tenant: rec.tenant,
+            items: rec.items,
         };
         let walltime = match rec.app.options.walltime {
             Some(w) if rec.deadline_attempt != Some(rec.attempt) => {
                 rec.deadline_attempt = Some(rec.attempt);
-                Some(w)
+                Some(w * rec.items.max(1))
             }
             _ => None,
         };
@@ -1975,7 +2051,11 @@ impl DataFlowKernel {
                             _ => rec.launched_at.map(|l| l.elapsed()),
                         };
                         if let Some(d) = service {
-                            samples.push((rec.app.id, d));
+                            // Record per logical item: a fused chunk's
+                            // duration divided by its length, so the ring
+                            // reflects one item's cost for sizing and
+                            // hedging regardless of fusion.
+                            samples.push((rec.app.id, d / rec.items.max(1)));
                         }
                         let (future, result, event, checkpoint) = self.commit_terminal(
                             rec,
@@ -2219,6 +2299,7 @@ impl DataFlowKernel {
                     .map(|i| self.executors[i].label().to_string()),
                 attempt: rec.attempt,
                 tenant: rec.tenant,
+                items: rec.items,
                 at: self.started_at.elapsed(),
             })
         } else {
@@ -2524,6 +2605,11 @@ impl Drop for DataFlowKernel {
             e.shutdown();
         }
     }
+}
+
+/// Scale a per-item walltime to a fused chunk's budget.
+fn scale_walltime(walltime: Option<Duration>, items: u32) -> Option<Duration> {
+    walltime.map(|w| w * items.max(1))
 }
 
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {

@@ -32,6 +32,12 @@ pub struct TaskSpec {
     /// travels through the executor wire protocol for per-tenant
     /// accounting beyond the kernel boundary).
     pub tenant: TenantId,
+    /// Logical items fused into this task (1 for ordinary tasks, the
+    /// chunk length for `app.map` fused chunks). Per-task budgets that
+    /// scale with work — walltime, hedge thresholds, service-time
+    /// samples — multiply or divide by this so a 1000-item chunk is not
+    /// mistaken for one slow task.
+    pub items: u32,
 }
 
 impl std::fmt::Debug for TaskSpec {
@@ -42,6 +48,7 @@ impl std::fmt::Debug for TaskSpec {
             .field("args_len", &self.args.len())
             .field("attempt", &self.attempt)
             .field("tenant", &self.tenant)
+            .field("items", &self.items)
             .finish()
     }
 }
@@ -323,6 +330,7 @@ mod tests {
             resources: ResourceSpec::default(),
             attempt: 0,
             tenant: TenantId::DEFAULT,
+            items: 1,
         }
     }
 

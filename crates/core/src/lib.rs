@@ -48,6 +48,7 @@ pub mod datamap;
 pub mod dfk;
 pub mod error;
 pub mod executor;
+pub mod fusion;
 pub mod future;
 pub mod guidelines;
 pub mod memo;
@@ -68,6 +69,7 @@ pub use executor::{
     BlockScaling, Executor, ExecutorContext, ExecutorError, ImmediateExecutor, TaskOutcome,
     TaskSpec,
 };
+pub use fusion::{fused_map_body, FusedOutput, MapHandle, MapOptions};
 pub use future::{AppFuture, FutureState};
 pub use guidelines::{recommend, ExecutorChoice};
 pub use memo::{memo_key, Memoizer};
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use crate::dfk::{DataFlowKernel, TenantHandle};
     pub use crate::error::{AppError, ParslError, TaskError};
     pub use crate::executor::{Executor, ImmediateExecutor};
+    pub use crate::fusion::{MapHandle, MapOptions};
     pub use crate::future::AppFuture;
     pub use crate::registry::AppOptions;
     pub use crate::scheduler::SchedulerPolicy;

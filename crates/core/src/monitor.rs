@@ -28,6 +28,11 @@ pub enum MonitorEvent {
         /// Logical workflow the task belongs to, for per-tenant
         /// aggregation and fairness accounting.
         tenant: TenantId,
+        /// Logical items this task represents (1 normally; the chunk
+        /// length for fused `app.map` chunks). Aggregations that count
+        /// work — per-app task counts, tenant throughput — should weight
+        /// by this so fused events expand to logical counts.
+        items: u32,
         /// Time since the DataFlowKernel started.
         at: Duration,
     },
@@ -127,6 +132,7 @@ mod tests {
             executor: None,
             attempt: 0,
             tenant: TenantId::DEFAULT,
+            items: 1,
             at: Duration::from_millis(5),
         };
         assert_eq!(e.at(), Duration::from_millis(5));
@@ -169,6 +175,7 @@ mod tests {
                 executor: None,
                 attempt: 0,
                 tenant: TenantId::DEFAULT,
+                items: 1,
                 at: Duration::ZERO,
             })
             .collect();

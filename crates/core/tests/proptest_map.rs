@@ -1,0 +1,132 @@
+//! Property: `app.map` is observationally equivalent to N individual
+//! `invoke().call()`s — same per-item values, same failure classification
+//! — for random inputs and chunk sizes, while the monitoring plane sees
+//! fused events that expand to the same logical item counts.
+
+use parsl_core::fusion::MapOptions;
+use parsl_core::monitor::{MonitorEvent, MonitorSink};
+use parsl_core::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A comparable rendering of one logical item's outcome.
+fn normalize(r: Result<u64, ParslError>) -> Result<u64, String> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(ParslError::Task(TaskError::App(e))) => Err(e.to_string()),
+        Err(e) => panic!("unexpected error shape: {e:?}"),
+    }
+}
+
+fn app_body(x: u64, with_failures: bool) -> Result<u64, AppError> {
+    if with_failures && x % 7 == 0 {
+        Err(AppError::Failure(format!("rejects {x}")))
+    } else {
+        Ok(x.wrapping_mul(2654435761).rotate_left(11))
+    }
+}
+
+fn run_map(inputs: &[u64], chunk: Option<usize>, with_failures: bool) -> Vec<Result<u64, String>> {
+    let dfk = DataFlowKernel::builder()
+        .executor(ImmediateExecutor::new())
+        .build()
+        .unwrap();
+    let app = dfk.python_app_fallible("under_test", move |x: u64| app_body(x, with_failures));
+    let handle = app.map_with(
+        inputs.to_vec(),
+        MapOptions {
+            chunk_size: chunk,
+            ..MapOptions::default()
+        },
+    );
+    let out = handle.results().into_iter().map(normalize).collect();
+    dfk.shutdown();
+    out
+}
+
+fn run_individual(inputs: &[u64], with_failures: bool) -> Vec<Result<u64, String>> {
+    let dfk = DataFlowKernel::builder()
+        .executor(ImmediateExecutor::new())
+        .build()
+        .unwrap();
+    let app = dfk.python_app_fallible("under_test", move |x: u64| app_body(x, with_failures));
+    let futs: Vec<AppFuture<u64>> = inputs
+        .iter()
+        .map(|&x| app.invoke().call((Dep::value(x),)))
+        .collect();
+    let out = futs.into_iter().map(|f| normalize(f.result())).collect();
+    dfk.shutdown();
+    out
+}
+
+/// Per-terminal-state (events, logical items) tallies.
+#[derive(Default)]
+struct Tally(parking_lot::Mutex<std::collections::BTreeMap<String, (usize, usize)>>);
+
+impl MonitorSink for Tally {
+    fn on_event(&self, event: &MonitorEvent) {
+        if let MonitorEvent::Task { state, items, .. } = event {
+            if state.is_terminal() {
+                let mut m = self.0.lock();
+                let e = m.entry(state.to_string()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += *items as usize;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused map and N individual calls agree item for item: successful
+    /// values byte-for-byte, failures with identical classification and
+    /// message, in input order.
+    #[test]
+    fn map_equals_individual_calls(
+        inputs in vec(0u64..1000, 0..60),
+        chunk in 1usize..9,
+        auto in any::<bool>(),
+        with_failures in any::<bool>(),
+    ) {
+        let chunk = if auto { None } else { Some(chunk) };
+        let fused = run_map(&inputs, chunk, with_failures);
+        let individual = run_individual(&inputs, with_failures);
+        prop_assert_eq!(fused, individual);
+    }
+
+    /// The monitor sees ~n/chunk fused Done events whose `items` weights
+    /// expand back to exactly n logical completions (clean runs only:
+    /// split-retry re-reports remainder items, like retries re-report
+    /// attempts).
+    #[test]
+    fn fused_events_expand_to_logical_counts(
+        n in 0usize..200,
+        chunk in 1usize..17,
+    ) {
+        let tally = Arc::new(Tally::default());
+        let dfk = DataFlowKernel::builder()
+            .executor(ImmediateExecutor::new())
+            .monitor(Arc::clone(&tally) as Arc<dyn MonitorSink>)
+            .build()
+            .unwrap();
+        let id = dfk.python_app("id", |x: u64| x);
+        let handle = id.map_with(
+            0..n as u64,
+            MapOptions { chunk_size: Some(chunk), ..MapOptions::default() },
+        );
+        prop_assert!(handle.results().iter().all(|r| r.is_ok()));
+        dfk.wait_for_all();
+        let m = tally.0.lock();
+        if n == 0 {
+            prop_assert!(m.is_empty());
+        } else {
+            let (events, items) = m.get("done").copied().unwrap_or((0, 0));
+            prop_assert_eq!(events, n.div_ceil(chunk));
+            prop_assert_eq!(items, n);
+            prop_assert_eq!(m.len(), 1);
+        }
+        dfk.shutdown();
+    }
+}

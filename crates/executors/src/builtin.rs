@@ -68,6 +68,15 @@ fn join_body<E: TaskValue>(n: usize) -> ErasedAppFn {
 /// `barrier[{n}]`. Reconstruct the body from the signature for the
 /// element types a worker can name statically.
 fn resolve_combinator(name: &str, signature: &str) -> Option<ErasedAppFn> {
+    if name.starts_with("_parsl_fmap_") {
+        // A fused map chunk: `fmap[{inner_name}; {inner_sig}]`. Resolve
+        // the inner body the same way any task would and wrap it in the
+        // chunk-loop form the client used.
+        let rest = signature.strip_prefix("fmap[")?.strip_suffix(']')?;
+        let (inner_name, inner_sig) = rest.split_once("; ")?;
+        let inner = resolve(inner_name, inner_sig)?;
+        return Some(parsl_core::fusion::fused_map_body(inner));
+    }
     if name.starts_with("_parsl_barrier_") {
         return Some(Arc::new(|_bytes: &[u8]| {
             wire::to_bytes(&()).map_err(|e| AppError::Serialization(e.to_string()))
@@ -164,5 +173,33 @@ mod tests {
         assert!(resolve("_parsl_join_2", "join[some::Exotic; 2]").is_none());
         let barrier = resolve("_parsl_barrier_3", "barrier[3]").unwrap();
         assert!(barrier(&[]).is_ok());
+    }
+
+    #[test]
+    fn fused_map_reconstructs_from_signature() {
+        use parsl_core::fusion::FusedOutput;
+        let fmap = resolve("_parsl_fmap_double", "fmap[double; (u64)->u64]").unwrap();
+        let items: Vec<Vec<u8>> = (1..=3u64).map(|x| wire::to_bytes(&(x,)).unwrap()).collect();
+        let out = fmap(&wire::to_bytes(&items).unwrap()).unwrap();
+        let out: FusedOutput = wire::from_bytes(&out).unwrap();
+        assert!(out.err.is_none());
+        let vals: Vec<u64> = out
+            .ok
+            .iter()
+            .map(|b| wire::from_bytes::<u64>(b).unwrap())
+            .collect();
+        assert_eq!(vals, vec![2, 4, 6]);
+
+        // A failing inner element is reported positionally, like the
+        // client-side body does.
+        let fmap = resolve("_parsl_fmap_fail", "fmap[fail; (u64)->u64]").unwrap();
+        let items: Vec<Vec<u8>> = vec![wire::to_bytes(&(1u64,)).unwrap()];
+        let out: FusedOutput =
+            wire::from_bytes(&fmap(&wire::to_bytes(&items).unwrap()).unwrap()).unwrap();
+        assert!(out.ok.is_empty());
+        assert!(out.err.is_some());
+
+        // Unknown inner app → the fused app stays unbound.
+        assert!(resolve("_parsl_fmap_mystery", "fmap[mystery; (u64)->u64]").is_none());
     }
 }

@@ -1067,6 +1067,7 @@ mod tests {
                 resources: ResourceSpec::default(),
                 attempt: 0,
                 tenant: parsl_core::types::TenantId::DEFAULT,
+                items: 1,
             })
             .collect();
         htex.submit_batch(batch).unwrap();
@@ -1113,6 +1114,7 @@ mod tests {
             resources: ResourceSpec::default(),
             attempt: 0,
             tenant: parsl_core::types::TenantId::DEFAULT,
+            items: 1,
         }
     }
 

@@ -54,6 +54,7 @@ mod tests {
             attempt: 0,
             app_id: app.id.0,
             tenant: 0,
+            items: 1,
             args: wire::to_bytes(&(14u32,)).unwrap(),
         };
         let result = execute(&reg, &task, "w0");
@@ -71,6 +72,7 @@ mod tests {
             attempt: 0,
             app_id: 999,
             tenant: 0,
+            items: 1,
             args: vec![],
         };
         let result = execute(&reg, &task, "w0");

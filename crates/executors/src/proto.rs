@@ -21,6 +21,9 @@ pub struct WireTask {
     /// Tenant (logical workflow) the task was submitted under, carried
     /// across the fabric so remote accounting can stay per-tenant.
     pub tenant: u32,
+    /// Logical items fused into this task (1 normally; the chunk length
+    /// for fused `app.map` chunks).
+    pub items: u32,
     /// Wire-encoded argument tuple.
     pub args: Vec<u8>,
 }
@@ -33,6 +36,7 @@ impl WireTask {
             attempt: task.attempt,
             app_id: task.app.id.0,
             tenant: task.tenant.0,
+            items: task.items,
             args: task.args.to_vec(),
         }
     }
@@ -41,7 +45,7 @@ impl WireTask {
     /// the fabric's frame budget without encoding twice. Header fields are
     /// varints ≤ 10 bytes each plus the args length prefix.
     pub fn encoded_size_hint(&self) -> usize {
-        self.args.len() + 40
+        self.args.len() + 48
     }
 }
 
@@ -376,6 +380,7 @@ mod tests {
             attempt: 1,
             app_id: 3,
             tenant: 5,
+            items: 1,
             args: vec![1, 2, 3],
         };
         let msg = ToInterchange::Submit(t.clone());
@@ -394,6 +399,7 @@ mod tests {
                 attempt: 0,
                 app_id: 1,
                 tenant: 0,
+                items: 1,
                 args: vec![i as u8; 8],
             })
             .collect();
@@ -412,6 +418,7 @@ mod tests {
                 attempt: 0,
                 app_id: 1,
                 tenant: 0,
+                items: 1,
                 args: vec![0; 60],
             })
             .collect();
@@ -426,6 +433,7 @@ mod tests {
             attempt: 0,
             app_id: 1,
             tenant: 0,
+            items: 1,
             args: vec![0; 4096],
         }];
         let chunks = chunk_by_frame_budget(huge, 64);

@@ -242,6 +242,7 @@ mod tests {
             resources: Default::default(),
             tenant: Default::default(),
             attempt: 0,
+            items: 1,
         });
         assert!(matches!(spec_err, Err(ExecutorError::NotRunning)));
     }

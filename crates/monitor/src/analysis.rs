@@ -106,6 +106,7 @@ mod tests {
                 executor: None,
                 attempt: 0,
                 tenant: parsl_core::types::TenantId::DEFAULT,
+                items: 1,
                 at: Duration::from_millis(sub),
             });
             store.on_event(&MonitorEvent::Task {
@@ -115,6 +116,7 @@ mod tests {
                 executor: None,
                 attempt: 0,
                 tenant: parsl_core::types::TenantId::DEFAULT,
+                items: 1,
                 at: Duration::from_millis(fin),
             });
         }

@@ -7,7 +7,7 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// Appends one CSV row per event. Columns:
-/// `kind,at_us,task,app,state,executor,attempt,tenant,detail`.
+/// `kind,at_us,task,app,state,executor,attempt,tenant,items,detail`.
 pub struct CsvSink {
     writer: Mutex<BufWriter<File>>,
 }
@@ -18,7 +18,7 @@ impl CsvSink {
         let mut writer = BufWriter::new(File::create(path)?);
         writeln!(
             writer,
-            "kind,at_us,task,app,state,executor,attempt,tenant,detail"
+            "kind,at_us,task,app,state,executor,attempt,tenant,items,detail"
         )?;
         Ok(CsvSink {
             writer: Mutex::new(writer),
@@ -50,17 +50,19 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             executor,
             attempt,
             tenant,
+            items,
             at,
         } => writeln!(
             w,
-            "task,{},{},{},{},{},{},{},",
+            "task,{},{},{},{},{},{},{},{},",
             at.as_micros(),
             task,
             csv_escape(app),
             state,
             executor.as_deref().unwrap_or(""),
             attempt,
-            tenant.0
+            tenant.0,
+            items
         ),
         MonitorEvent::Retry {
             task,
@@ -69,7 +71,7 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             at,
         } => writeln!(
             w,
-            "retry,{},{},,,,{},,{}",
+            "retry,{},{},,,,{},,,{}",
             at.as_micros(),
             task,
             attempt,
@@ -83,7 +85,7 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             at,
         } => writeln!(
             w,
-            "hedge,{},{},,,{},{},,age_us={}",
+            "hedge,{},{},,,{},{},,,age_us={}",
             at.as_micros(),
             task,
             executor.as_deref().unwrap_or(""),
@@ -97,7 +99,7 @@ fn write_event(w: &mut BufWriter<File>, event: &MonitorEvent) {
             at,
         } => writeln!(
             w,
-            "workers,{},,,,{},,,connected={} outstanding={}",
+            "workers,{},,,,{},,,,connected={} outstanding={}",
             at.as_micros(),
             executor,
             connected,

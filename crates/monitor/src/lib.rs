@@ -36,6 +36,7 @@ mod tests {
             executor: Some("x".into()),
             attempt: 0,
             tenant: parsl_core::types::TenantId::DEFAULT,
+            items: 1,
             at: Duration::from_millis(at_ms),
         }
     }
@@ -99,6 +100,33 @@ mod tests {
     }
 
     #[test]
+    fn fused_map_expands_to_logical_items() {
+        use parsl_core::fusion::MapOptions;
+        use parsl_core::prelude::*;
+        use std::sync::Arc;
+        let store = Arc::new(MemoryStore::new());
+        let dfk = DataFlowKernel::builder()
+            .executor(ImmediateExecutor::new())
+            .monitor(store.clone())
+            .build()
+            .unwrap();
+        let id = dfk.python_app("id", |x: u64| x);
+        let handle = id.map_with(
+            0..50u64,
+            MapOptions {
+                chunk_size: Some(8),
+                ..MapOptions::default()
+            },
+        );
+        assert!(handle.results().iter().all(|r| r.is_ok()));
+        dfk.wait_for_all();
+        // 7 fused tasks finish, but they stand for 50 logical items.
+        assert_eq!(store.tasks_in_state(TaskState::Done).len(), 7);
+        assert_eq!(store.logical_items_in_state(TaskState::Done), 50);
+        dfk.shutdown();
+    }
+
+    #[test]
     fn csv_sink_writes_rows() {
         let path = std::env::temp_dir().join(format!("parsl-monitor-{}.csv", std::process::id()));
         let _ = std::fs::remove_file(&path);
@@ -112,7 +140,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(
             lines[0],
-            "kind,at_us,task,app,state,executor,attempt,tenant,detail"
+            "kind,at_us,task,app,state,executor,attempt,tenant,items,detail"
         );
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains("pending"));

@@ -26,6 +26,9 @@ pub struct TaskTimeline {
     pub retries: u32,
     /// Speculative straggler hedges observed.
     pub hedges: u32,
+    /// Logical items the task represents (1 normally; the chunk length
+    /// for fused `app.map` chunks). Zero only before any event arrived.
+    pub items: u32,
 }
 
 #[derive(Default)]
@@ -72,6 +75,18 @@ impl MemoryStore {
             .filter(|(_, t)| t.final_state == Some(state))
             .map(|(&id, _)| id)
             .collect()
+    }
+
+    /// Logical items whose task's final state is `state`: fused `app.map`
+    /// chunks expand to their chunk length, ordinary tasks count as 1.
+    pub fn logical_items_in_state(&self, state: TaskState) -> u64 {
+        self.inner
+            .read()
+            .timelines
+            .values()
+            .filter(|t| t.final_state == Some(state))
+            .map(|t| t.items.max(1) as u64)
+            .sum()
     }
 
     /// All task timelines, sorted by task id.
@@ -153,6 +168,7 @@ fn apply(inner: &mut Inner, event: &MonitorEvent) {
             app,
             state,
             executor,
+            items,
             at,
             ..
         } => {
@@ -160,6 +176,7 @@ fn apply(inner: &mut Inner, event: &MonitorEvent) {
             if t.app.is_empty() {
                 t.app = Arc::clone(app);
             }
+            t.items = (*items).max(1);
             match state {
                 TaskState::Pending => t.submitted = Some(*at),
                 TaskState::Launched => {
